@@ -1,0 +1,18 @@
+"""Ablation — mailbox aggregation buffer size.
+
+Message aggregation is what the routed mailbox exists to enable; with no
+aggregation (size 1), every visitor pays full packet overhead.  Claim
+checked: packet count falls monotonically with the buffer size, and the
+no-aggregation configuration is the slowest.
+"""
+
+
+def test_ablation_aggregation(run_experiment):
+    from repro.bench.experiments import ablation_aggregation
+
+    rows = run_experiment(ablation_aggregation)
+    rows.sort(key=lambda r: r["aggregation_size"])
+    packets = [r["packets"] for r in rows]
+    assert all(packets[i] >= packets[i + 1] for i in range(len(packets) - 1))
+    times = {r["aggregation_size"]: r["time_us"] for r in rows}
+    assert times[1] == max(times.values())

@@ -1,0 +1,28 @@
+"""Ablation — routing topology (DESIGN.md §6).
+
+Section III-B's trade-off: 2D/3D routing bounds the per-rank channel count
+(direct: p-1, 2D: O(sqrt(p)), 3D: O(p^(1/3))) and increases the message
+aggregation per channel ("2D routing increases the amount of message
+aggregation possible by O(sqrt(p))"), at the price of extra hops and
+forwarded traffic.  The channel counts are structural facts checked
+exactly; the aggregation gain is checked as mean packet size.
+"""
+
+
+def test_ablation_routing(run_experiment):
+    from repro.bench.experiments import ablation_routing
+
+    rows = run_experiment(ablation_routing)
+    by_name = {r["routing"]: r for r in rows}
+    p = 64
+    assert by_name["direct"]["max_channels"] == p - 1
+    assert by_name["2d"]["max_channels"] == 14   # 8x8 grid: 7 + 7
+    assert by_name["3d"]["max_channels"] == 9    # 4x4x4 grid: 3 + 3 + 3
+    # concentrating traffic onto fewer channels fattens the packets
+    def mean_packet_bytes(row):
+        return row["bytes"] / row["packets"]
+
+    assert mean_packet_bytes(by_name["2d"]) > mean_packet_bytes(by_name["direct"])
+    assert mean_packet_bytes(by_name["3d"]) > mean_packet_bytes(by_name["direct"])
+    # the price: multi-hop routing forwards traffic, so total wire bytes rise
+    assert by_name["2d"]["bytes"] > by_name["direct"]["bytes"]

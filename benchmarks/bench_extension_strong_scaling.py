@@ -1,0 +1,22 @@
+"""Extension — strong scaling of BFS on a fixed graph.
+
+The paper evaluates weak scaling; strong scaling is the natural companion
+study.  Claims checked: adding ranks to a fixed graph keeps helping
+(speedup grows monotonically) but with decaying parallel efficiency — the
+latency floor of the wavefront's critical path caps strong scaling, which
+is exactly why the paper weak-scales.
+"""
+
+
+def test_extension_strong_scaling(run_experiment):
+    from repro.bench.experiments import extension_strong_scaling
+
+    rows = run_experiment(extension_strong_scaling)
+    speedups = [r["speedup"] for r in rows]
+    efficiencies = [r["efficiency"] for r in rows]
+    # more ranks never hurt on this size...
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0
+    # ...but efficiency decays: sublinear strong scaling
+    assert efficiencies[-1] < efficiencies[0]
+    assert efficiencies[-1] < 0.8

@@ -1,0 +1,21 @@
+"""Figure 1 — hub growth for Graph500 RMAT graphs.
+
+Paper claim: at constant mean degree, the max-degree hub and the edge mass
+above fixed degree thresholds all grow with graph scale.
+"""
+
+
+def test_fig01_hub_growth(run_experiment):
+    from repro.bench.experiments import fig01_hub_growth
+
+    rows = run_experiment(fig01_hub_growth)
+    max_degrees = [r["max_degree"] for r in rows]
+    assert max_degrees == sorted(max_degrees)
+    assert max_degrees[-1] > max_degrees[0]
+
+    for threshold_col in [c for c in rows[0] if c.startswith("edges_deg>=")]:
+        series = [r[threshold_col] for r in rows]
+        assert series[-1] > series[0], threshold_col
+
+    mean_degrees = [r["mean_degree"] for r in rows]
+    assert max(mean_degrees) - min(mean_degrees) < 1e-9

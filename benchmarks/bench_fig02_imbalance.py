@@ -1,0 +1,21 @@
+"""Figure 2 — weak scaling of partition imbalance, 1D vs 2D (vs edge list).
+
+Paper claim: 1D imbalance grows with partition count; 2D block partitioning
+keeps it low; (and the paper's own remedy, edge list partitioning, is exact
+by construction).
+"""
+
+
+def test_fig02_partition_imbalance(run_experiment):
+    from repro.bench.experiments import fig02_partition_imbalance
+
+    rows = run_experiment(fig02_partition_imbalance)
+    # 1D imbalance grows with p
+    ones = [r["imbalance_1d"] for r in rows]
+    assert ones[-1] > ones[0]
+    # at the largest p, the ordering 1D > 2D > edge-list holds
+    last = rows[-1]
+    assert last["imbalance_1d"] > last["imbalance_2d"]
+    assert last["imbalance_2d"] >= last["imbalance_edge_list"]
+    # edge list partitioning is exactly balanced (up to m % p rounding)
+    assert all(r["imbalance_edge_list"] < 1.01 for r in rows)

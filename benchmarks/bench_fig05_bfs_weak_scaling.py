@@ -1,0 +1,19 @@
+"""Figure 5 — weak scaling of asynchronous BFS on the BG/P profile.
+
+Paper claim: excellent weak scaling up to 131K cores — aggregate TEPS keeps
+growing close to linearly as ranks and graph grow together.
+"""
+
+
+def test_fig05_bfs_weak_scaling(run_experiment):
+    from repro.bench.experiments import fig05_bfs_weak_scaling
+
+    rows = run_experiment(fig05_bfs_weak_scaling)
+    teps = [r["teps"] for r in rows]
+    ranks = [r["p"] for r in rows]
+    # aggregate TEPS strictly grows with p
+    assert teps == sorted(teps)
+    # and grows meaningfully: each 4x rank step at least doubles TEPS
+    for i in range(1, len(rows)):
+        step = ranks[i] / ranks[i - 1]
+        assert teps[i] / teps[i - 1] > step / 2

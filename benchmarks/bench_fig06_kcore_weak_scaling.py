@@ -1,0 +1,22 @@
+"""Figure 6 — weak scaling of k-core decomposition (k = 4, 16, 64).
+
+Paper claim: "our techniques enable near linear weak scaling for computing
+k-core" — time stays nearly flat while the graph grows with the ranks.
+"""
+
+from collections import defaultdict
+
+
+def test_fig06_kcore_weak_scaling(run_experiment):
+    from repro.bench.experiments import fig06_kcore_weak_scaling
+
+    rows = run_experiment(fig06_kcore_weak_scaling)
+    by_k = defaultdict(list)
+    for r in rows:
+        by_k[r["k"]].append(r)
+    for k, series in by_k.items():
+        series.sort(key=lambda r: r["p"])
+        p_growth = series[-1]["p"] / series[0]["p"]
+        time_growth = series[-1]["time_us"] / series[0]["time_us"]
+        # weak scaling: time grows far slower than the total work (= p)
+        assert time_growth < p_growth / 2, f"k={k}"

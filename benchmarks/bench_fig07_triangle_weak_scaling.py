@@ -1,0 +1,25 @@
+"""Figure 7 — weak scaling of triangle counting on small-world graphs.
+
+Paper claim: with uniform vertex degree (no hubs), triangle counting weak
+scales; higher rewire probabilities stay in the same performance envelope.
+"""
+
+from collections import defaultdict
+
+
+def test_fig07_triangle_weak_scaling(run_experiment):
+    from repro.bench.experiments import fig07_triangle_weak_scaling
+
+    rows = run_experiment(fig07_triangle_weak_scaling)
+    by_rewire = defaultdict(list)
+    for r in rows:
+        by_rewire[r["rewire"]].append(r)
+    for rewire, series in by_rewire.items():
+        series.sort(key=lambda r: r["p"])
+        p_growth = series[-1]["p"] / series[0]["p"]
+        time_growth = series[-1]["time_us"] / series[0]["time_us"]
+        assert time_growth < p_growth, f"rewire={rewire}"
+    # rewiring destroys lattice triangles: 0% rewire counts the most
+    zero = by_rewire[0.0][0]["triangles"]
+    most = by_rewire[max(by_rewire)][0]["triangles"]
+    assert zero > most

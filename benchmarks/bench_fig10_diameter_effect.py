@@ -1,0 +1,19 @@
+"""Figure 10 — effect of graph diameter on BFS performance.
+
+Paper claim: at fixed size and fixed compute, lowering the small-world
+rewire probability raises the BFS depth, and BFS performance (TEPS) falls
+monotonically with depth.
+"""
+
+
+def test_fig10_diameter_effect(run_experiment):
+    from repro.bench.experiments import fig10_diameter_effect
+
+    rows = run_experiment(fig10_diameter_effect)  # sorted by max_level
+    depths = [r["max_level"] for r in rows]
+    teps = [r["teps"] for r in rows]
+    assert depths == sorted(depths)
+    assert depths[-1] > 2 * depths[0]  # the sweep really moved the diameter
+    # deeper BFS -> lower TEPS (decreasing trend; adjacent points may jitter)
+    assert all(teps[i + 1] <= teps[i] * 1.05 for i in range(len(teps) - 1))
+    assert teps[0] > 1.25 * teps[-1]

@@ -1,0 +1,19 @@
+"""Figure 11 — effect of maximum vertex degree on triangle counting.
+
+Paper claim: at fixed size and compute, lowering the PA rewire probability
+grows the maximum hub degree, and triangle-counting time grows with it
+(the d_max^out factor of the Section VI-D3 bound).
+"""
+
+
+def test_fig11_degree_effect(run_experiment):
+    from repro.bench.experiments import fig11_degree_effect
+
+    rows = run_experiment(fig11_degree_effect)  # sorted by max_degree
+    degrees = [r["max_degree"] for r in rows]
+    times = [r["time_us"] for r in rows]
+    assert degrees == sorted(degrees)
+    assert degrees[-1] > 3 * degrees[0]  # the sweep really moved the hub
+    # the biggest-hub configuration is clearly the slowest
+    assert times[-1] == max(times)
+    assert times[-1] > 1.5 * times[0]

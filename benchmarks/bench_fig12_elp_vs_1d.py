@@ -1,0 +1,38 @@
+"""Figure 12 — edge list partitioning vs 1D partitioning.
+
+Paper claims: (1) 1D's data imbalance blows up per-partition memory ("the
+graph sizes in the experiments were reduced to prevent 1D from running out
+of memory") and grows with p; (2) edge-list weak scaling is almost linear
+while 1D suffers slowdowns from the imbalance.
+"""
+
+from collections import defaultdict
+
+
+def test_fig12_elp_vs_1d(run_experiment):
+    from repro.bench.experiments import fig12_elp_vs_1d
+
+    rows = run_experiment(fig12_elp_vs_1d)
+    by_strategy = defaultdict(dict)
+    for r in rows:
+        by_strategy[r["strategy"]][r["p"]] = r
+    ps = sorted(by_strategy["edge_list"])
+    largest = ps[-1]
+
+    # (1) memory: edge-list partitions stay at their fair share; 1D's
+    # worst partition grows well beyond it as p grows
+    el_imb = by_strategy["edge_list"][largest]["edge_imbalance"]
+    od_imb = by_strategy["1d"][largest]["edge_imbalance"]
+    assert el_imb < 1.01
+    assert od_imb > 1.3
+    # 1D imbalance worsens with p
+    assert (
+        by_strategy["1d"][largest]["edge_imbalance"]
+        > by_strategy["1d"][ps[0]]["edge_imbalance"]
+    )
+
+    # (2) performance at scale: edge list partitioning is faster
+    assert (
+        by_strategy["edge_list"][largest]["teps"]
+        > by_strategy["1d"][largest]["teps"]
+    )

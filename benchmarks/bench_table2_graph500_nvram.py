@@ -1,0 +1,19 @@
+"""Table II — Graph500 results with NAND Flash across machine profiles.
+
+Paper rows (MTEPS): Hyperion-DIT DRAM 1004 > Hyperion-DIT Fusion-io 609 >
+Trestles SATA SSD 242 > Leviathan single-node 52, with the NVRAM rows
+traversing 32x larger graphs.  Shape checked: the ordering of the four
+configurations is reproduced.
+"""
+
+
+def test_table2_graph500_nvram(run_experiment):
+    from repro.bench.experiments import table2_graph500_nvram
+
+    rows = run_experiment(table2_graph500_nvram)
+    assert len(rows) == 4
+    mteps = [r["mteps"] for r in rows]
+    # paper ordering: DRAM > Fusion-io > SATA SSD > single node
+    assert mteps[0] > mteps[1] > mteps[2] > mteps[3]
+    # the NVRAM rows really traverse the larger graph
+    assert rows[1]["scale"] > rows[0]["scale"]

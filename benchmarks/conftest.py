@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper figure/table through
+:mod:`repro.bench.experiments` and asserts the paper's qualitative claim on
+the result.  Experiments are deterministic simulations, so a single
+round/iteration is both sufficient and desirable (pytest-benchmark is used
+for wall-clock accounting of the harness itself, not for statistics over
+the simulated numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment function under pytest-benchmark (one iteration)
+    and echo its report so `pytest benchmarks/ --benchmark-only -s` prints
+    every regenerated table."""
+
+    def _run(fn, **kwargs):
+        rows, report = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print("\n" + report + "\n")
+        return rows
+
+    return _run

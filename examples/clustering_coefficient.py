@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Clustering-coefficient estimation with distributed triangle counting.
+
+"Triangle counting is a primitive for calculating important metrics such as
+clustering coefficient" (§II-A3).  This example compares the global
+clustering coefficient of a small-world graph as it is rewired toward
+randomness — the classic Watts–Strogatz experiment — using the paper's
+asynchronous triangle-counting visitor on 16 simulated ranks.
+
+Run:  python examples/clustering_coefficient.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistributedGraph, EdgeList, small_world_edges, triangle_count
+
+
+def global_clustering(edges: EdgeList, triangles: int) -> float:
+    """C = 3 * triangles / wedges, with wedges = sum(d * (d - 1) / 2)."""
+    d = edges.out_degrees().astype(np.float64)
+    wedges = float((d * (d - 1) / 2).sum())
+    return 3.0 * triangles / wedges if wedges else 0.0
+
+
+def main() -> None:
+    n, degree = 4096, 8
+    print(f"Watts–Strogatz sweep: {n} vertices, degree {degree}")
+    print(f"\n{'rewire':>8}  {'triangles':>10}  {'clustering':>10}  "
+          f"{'visitors':>10}  {'sim ms':>8}")
+
+    previous = None
+    for rewire in (0.0, 0.01, 0.05, 0.2, 0.5, 1.0):
+        src, dst = small_world_edges(n, degree, rewire_probability=rewire, seed=11)
+        edges = EdgeList.from_arrays(src, dst, n).permuted(seed=12).simple_undirected()
+        graph = DistributedGraph.build(edges, num_partitions=16)
+        result = triangle_count(graph, topology="2d")
+        c = global_clustering(edges, result.data.total)
+        print(f"{rewire:>8.2f}  {result.data.total:>10}  {c:>10.4f}  "
+              f"{result.stats.total_visits:>10}  {result.time_us / 1e3:>8.2f}")
+        if previous is not None and rewire >= 0.05:
+            assert c <= previous + 1e-9, "clustering should decay with rewiring"
+        previous = c
+
+    print("\nAs rewiring destroys the lattice neighbourhoods, the "
+          "clustering coefficient collapses toward the random-graph value — "
+          "the signature Watts–Strogatz curve, measured here by the "
+          "distributed asynchronous triangle counter.")
+
+
+if __name__ == "__main__":
+    main()

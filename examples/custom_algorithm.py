@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Writing your own asynchronous traversal: a worked tutorial.
+
+The paper's framework is generic: "traversal algorithms are created using a
+visitor abstraction, which allows an algorithm designer to define
+vertex-centric procedures to execute on traversed vertices" (§IV).  This
+example builds a new algorithm from scratch — **k-hop neighborhood size
+estimation** (how many vertices lie within k hops of a set of seed
+vertices), a primitive behind influence/blast-radius queries — and runs it
+on the distributed engine with ghosts, routing and termination detection
+all working unchanged.
+
+The recipe (mirroring Table I of the paper):
+
+1. a *state* class: the per-vertex data (here: best known hop distance);
+2. a *visitor* class with ``pre_visit`` (monotonic improve-or-drop filter,
+   so ghosts are safe), ``visit`` (expand while under the hop budget), and
+   ``priority`` (closer visitors first);
+3. an :class:`~repro.AsyncAlgorithm` subclass wiring state construction,
+   seeding and result gathering.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AsyncAlgorithm, DistributedGraph, EdgeList, Visitor, run_traversal
+from repro.generators.rmat import rmat_edges
+
+_INF = float("inf")
+
+
+class HopState:
+    """Per-vertex state: smallest hop count at which any seed reached us."""
+
+    __slots__ = ("hops",)
+
+    def __init__(self) -> None:
+        self.hops = _INF
+
+
+class HopVisitor(Visitor):
+    """Bounded BFS wavefront visitor."""
+
+    __slots__ = ("hops", "budget")
+
+    def __init__(self, vertex: int, hops: int, budget: int) -> None:
+        super().__init__(vertex)
+        self.hops = hops
+        self.budget = budget
+
+    @property
+    def priority(self) -> int:
+        return self.hops  # closer wavefronts first
+
+    def pre_visit(self, state: HopState) -> bool:
+        # Monotonic improve-or-drop: safe as a ghost filter, safe on
+        # replicas, and kills duplicate work exactly like BFS's pre_visit.
+        if self.hops < state.hops:
+            state.hops = self.hops
+            return True
+        return False
+
+    def visit(self, ctx) -> None:
+        if self.hops >= self.budget:
+            return  # the frontier stops expanding at the hop budget
+        if self.hops == ctx.state_of(self.vertex).hops:
+            nxt = self.hops + 1
+            for w in ctx.out_edges(self.vertex):
+                ctx.push(HopVisitor(int(w), nxt, self.budget))
+
+
+class KHopNeighborhood(AsyncAlgorithm):
+    """Counts vertices within ``k`` hops of any seed."""
+
+    name = "k-hop-neighborhood"
+    uses_ghosts = True  # pre_visit is a monotonic filter
+    visitor_bytes = 24
+
+    def __init__(self, seeds: list[int], k: int) -> None:
+        self.seeds = list(seeds)
+        self.k = k
+
+    def make_state(self, vertex: int, degree: int, role: str) -> HopState:
+        return HopState()
+
+    def initial_visitors(self, graph, rank):
+        for seed in self.seeds:
+            if graph.min_owner(seed) == rank:
+                yield HopVisitor(seed, 0, self.k)
+
+    def finalize(self, graph, states_per_rank):
+        hops = np.full(graph.num_vertices, np.inf)
+        for v, state in self.master_states(graph, states_per_rank):
+            hops[v] = state.hops
+        return hops
+
+
+def main() -> None:
+    scale = 11
+    src, dst = rmat_edges(scale, 16 << scale, seed=21)
+    edges = (
+        EdgeList.from_arrays(src, dst, 1 << scale)
+        .permuted(seed=22)
+        .simple_undirected()
+    )
+    graph = DistributedGraph.build(edges, num_partitions=16, num_ghosts=64)
+
+    degrees = edges.out_degrees()
+    seeds = [int(np.argmax(degrees)), 7, 1234]
+    n = graph.num_vertices
+    print(f"RMAT scale {scale} on 16 ranks; seeds = {seeds}")
+    print(f"\n{'k':>3}  {'within k hops':>13}  {'% of graph':>10}  "
+          f"{'visitors':>9}  {'ghost-filtered':>14}")
+    prev = 0
+    for k in range(0, 6):
+        result = run_traversal(graph, KHopNeighborhood(seeds, k), topology="2d")
+        hops = result.data
+        covered = int(np.count_nonzero(np.isfinite(hops)))
+        print(f"{k:>3}  {covered:>13}  {100 * covered / n:>9.1f}%  "
+              f"{result.stats.total_visits:>9}  "
+              f"{result.stats.total_ghost_filtered:>14}")
+        assert covered >= prev  # neighbourhoods are nested
+        prev = covered
+
+    print("\nThe same ~60-line recipe (state + visitor + algorithm) gets "
+          "edge-list partitioning, replica forwarding, ghost filtering, "
+          "routed aggregation and quiescence detection for free — the "
+          "framework reuse the paper's visitor abstraction is about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""External-memory BFS: traversing a graph that outgrows "DRAM".
+
+Reproduces the paper's headline scenario (Figure 9 / Table II) at laptop
+scale: a fixed simulated cluster whose per-rank page cache stands in for
+node DRAM, traversing graphs that grow from cache-resident to 16x larger,
+with the overflow living on a simulated Fusion-io NAND-Flash device behind
+the user-space page cache of Section II-B.
+
+Run:  python examples/external_memory_bfs.py
+"""
+
+from __future__ import annotations
+
+from repro import DistributedGraph, EdgeList, hyperion_dit, rmat_edges
+from repro.analysis.teps import bfs_traversed_edges, mteps
+from repro.bench.harness import make_page_caches, run_bfs_trial
+
+
+def build(scale: int, p: int) -> tuple[EdgeList, DistributedGraph]:
+    src, dst = rmat_edges(scale, 16 << scale, seed=3)
+    edges = EdgeList.from_arrays(src, dst, 1 << scale).permuted(seed=4).simple_undirected()
+    return edges, DistributedGraph.build(edges, p, num_ghosts=64)
+
+
+def main() -> None:
+    p = 8
+    base_scale = 9
+
+    # size the per-rank cache ("DRAM") to the base graph's working set
+    base_edges, base_graph = build(base_scale, p)
+    dram_bytes = int(max(part.csr.nbytes() for part in base_graph.partitions) * 1.25)
+    machine = hyperion_dit("nvram", cache_bytes_per_rank=dram_bytes, page_size=256)
+    print(f"Simulated cluster: {p} ranks, {dram_bytes // 1024} KiB 'DRAM' "
+          f"page cache per rank, Fusion-io NAND Flash behind it")
+
+    print(f"\n{'data':>6}  {'edges':>8}  {'hit rate':>8}  {'MTEPS':>8}  "
+          f"{'vs 1x':>6}")
+    base_mteps = None
+    for factor in (1, 2, 4, 8, 16):
+        scale = base_scale + factor.bit_length() - 1
+        edges, graph = build(scale, p)
+        caches = make_page_caches(machine, p)
+        run_bfs_trial(edges, graph, machine=machine, topology="2d",
+                      page_caches=caches, seed=99)  # warm-up pass
+        row = run_bfs_trial(edges, graph, machine=machine, topology="2d",
+                            page_caches=caches, seed=1)
+        rate = row["cache_hit_rate"]
+        m = mteps(row["traversed_edges"], row["time_us"])
+        if base_mteps is None:
+            base_mteps = m
+        print(f"{factor:>5}x  {edges.num_edges:>8}  {rate:>8.3f}  "
+              f"{m:>8.2f}  {m / base_mteps:>6.2f}")
+
+    print("\nThe 1x graph runs from the warm page cache at DRAM speed; as "
+          "the data outgrows it, the hit rate falls and TEPS degrades "
+          "gracefully instead of collapsing — the asynchronous traversal "
+          "keeps enough concurrent I/O in flight to hide flash latency "
+          "(the paper's 32x / 39% result, Figure 9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Tuning the ghost-vertex budget (the Figure 13 experiment, hands-on).
+
+Ghost vertices are local, never-synchronised replicas of high in-degree
+hubs that filter redundant BFS visitors before they reach the network
+(§III-A2, §IV-B).  This example sweeps the per-partition ghost budget on a
+hub-heavy RMAT graph and shows where the returns diminish — the knob a
+real deployment would tune, with the paper's own default (256) marked.
+
+Run:  python examples/ghost_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import DistributedGraph, EdgeList, bgp_intrepid, rmat_edges
+from repro.bench.harness import mean_over_sources
+
+
+def main() -> None:
+    scale, p = 12, 16
+    src, dst = rmat_edges(scale, 16 << scale, seed=5)
+    edges = EdgeList.from_arrays(src, dst, 1 << scale).permuted(seed=6).simple_undirected()
+    machine = bgp_intrepid()
+    print(f"RMAT scale {scale}, {p} ranks, BG/P profile, 2D routing")
+
+    print(f"\n{'ghosts':>7}  {'sim ms':>8}  {'improvement':>11}  "
+          f"{'filtered':>9}  {'sent':>9}")
+    baseline_ms = None
+    for ghosts in (0, 1, 4, 16, 64, 256, 512):
+        graph = DistributedGraph.build(edges, p, num_ghosts=ghosts)
+        row = mean_over_sources(edges, graph, num_sources=2, seed=0,
+                                machine=machine, topology="2d")
+        ms = row["time_us"] / 1e3
+        if baseline_ms is None:
+            baseline_ms = ms
+        marker = "  <- paper default" if ghosts == 256 else ""
+        print(f"{ghosts:>7}  {ms:>8.2f}  {100 * (baseline_ms - ms) / baseline_ms:>10.1f}%  "
+              f"{row['ghost_filtered']:>9.0f}  {row['visitors_sent']:>9.0f}{marker}")
+
+    print("\nEach ghost is one filter slot per partition: the first few "
+          "catch the biggest hubs (steep gains), the rest catch ever "
+          "smaller ones (diminishing returns) — exactly the Figure 13 "
+          "shape.  'The number of ghosts required for scale-free graphs is "
+          "small, because the number of high-degree vertices is small.'")
+
+
+if __name__ == "__main__":
+    main()

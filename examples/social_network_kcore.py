@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Community-core analysis of a synthetic social network.
+
+K-core decomposition is a classic social-network primitive ("K-Core has
+been used in a variety of fields including the social sciences" — §II-A2):
+peeling away low-engagement users exposes the densely connected core of a
+community.
+
+This example builds a preferential-attachment "social graph" (celebrities
+emerge as hubs), runs the distributed asynchronous k-core for a ladder of
+k values, and reports how the network contracts to its core — plus which
+fraction of each k-core the top hubs represent.
+
+Run:  python examples/social_network_kcore.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistributedGraph, EdgeList, kcore, preferential_attachment_edges
+from repro.generators.permute import permute_labels
+
+
+def main() -> None:
+    n, attach = 8192, 6
+    print(f"Building a preferential-attachment social network: "
+          f"{n} users, {attach} friendships per newcomer")
+    src, dst = preferential_attachment_edges(n, attach, seed=7)
+    src, dst = permute_labels(src, dst, n, seed=8)
+    edges = EdgeList.from_arrays(src, dst, n).simple_undirected()
+
+    degrees = edges.out_degrees()
+    hubs = np.argsort(degrees)[::-1][:5]
+    print("Top-5 'celebrities' by degree:",
+          ", ".join(f"user {int(h)} ({int(degrees[h])})" for h in hubs))
+
+    graph = DistributedGraph.build(edges, num_partitions=16)
+
+    print(f"\n{'k':>4}  {'core size':>10}  {'% of users':>10}  "
+          f"{'hubs in core':>12}  {'sim ms':>8}")
+    prev_size = n
+    for k in (2, 3, 4, 6, 8, 12, 16):
+        result = kcore(graph, k, topology="2d")
+        alive = result.data.alive
+        size = result.data.core_size
+        hubs_in = int(np.count_nonzero(alive[hubs]))
+        print(f"{k:>4}  {size:>10}  {100 * size / n:>9.1f}%  "
+              f"{hubs_in:>12}  {result.time_us / 1e3:>8.2f}")
+        assert size <= prev_size  # cores are nested
+        prev_size = size
+        if size == 0:
+            break
+
+    print("\nThe k-core ladder is nested: each core is a subgraph of the "
+          "previous one, and the hubs persist the longest — the expected "
+          "social-network signature.")
+
+
+if __name__ == "__main__":
+    main()

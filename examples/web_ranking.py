@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Web-style ranking pipeline: clean, partition, rank, cross-check.
+
+Combines several of the library's tools the way a practitioner would on a
+crawled web-ish graph:
+
+1. generate a scale-free "web" (RMAT) and extract its giant component
+   (rank computations are only meaningful inside one component),
+2. characterise the degree distribution (power-law exponent, tail mass),
+3. run asynchronous residual-push PageRank on 16 simulated ranks,
+4. cross-check the ranking against in/out-degree — PageRank should be
+   correlated with, but not identical to, raw degree.
+
+Run:  python examples/web_ranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistributedGraph, EdgeList, pagerank, rmat_edges
+from repro.analysis.degree import fit_power_law, tail_heaviness
+from repro.graph.subgraph import largest_component
+
+
+def main() -> None:
+    scale = 10
+    src, dst = rmat_edges(scale, 16 << scale, seed=33)
+    raw = (
+        EdgeList.from_arrays(src, dst, 1 << scale)
+        .permuted(seed=34)
+        .simple_undirected()
+    )
+    giant = largest_component(raw)
+    edges = giant.edges
+    print(f"Raw graph: {raw.num_vertices} vertices; giant component: "
+          f"{edges.num_vertices} vertices, {edges.num_edges} CSR entries")
+
+    degrees = edges.out_degrees()
+    fit = fit_power_law(degrees, d_min=8)
+    print(f"Degree tail: {fit}; top 1% of vertices hold "
+          f"{100 * tail_heaviness(degrees):.1f}% of all edge endpoints")
+
+    graph = DistributedGraph.build(edges, num_partitions=16, num_ghosts=64)
+    result = pagerank(graph, threshold=3e-4, topology="2d")
+    scores = result.data.scores
+    print(f"\nPageRank converged: {result.stats.total_visits} visitor "
+          f"executions, {result.time_us / 1e3:.1f} ms simulated")
+
+    print(f"\n{'rank':>4}  {'vertex':>8}  {'score':>9}  {'degree':>7}  "
+          f"(original id)")
+    for i, (v, score) in enumerate(result.data.top(8), 1):
+        print(f"{i:>4}  {v:>8}  {score:>9.5f}  {int(degrees[v]):>7}  "
+              f"({int(giant.to_original(np.array([v]))[0])})")
+
+    # sanity: on an *undirected* graph PageRank is provably close to
+    # degree-proportional (exactly proportional at damping -> 1), so a very
+    # high correlation is the expected signature — and a good end-to-end
+    # check that the asynchronous push converged to the right fixed point.
+    order_pr = np.argsort(scores)[::-1]
+    order_deg = np.argsort(degrees)[::-1]
+    top100_overlap = len(set(order_pr[:100]) & set(order_deg[:100]))
+    corr = np.corrcoef(scores, degrees)[0, 1]
+    print(f"\nPageRank-vs-degree: correlation {corr:.2f}, top-100 overlap "
+          f"{top100_overlap}/100 — near-degree-proportional, the expected "
+          "fixed point for an undirected graph (directed web graphs are "
+          "where the orderings diverge).")
+
+
+if __name__ == "__main__":
+    main()

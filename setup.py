@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP-660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` provides the equivalent development install; all
+project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

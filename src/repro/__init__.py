@@ -1,0 +1,141 @@
+"""repro — reproduction of *Scaling Techniques for Massive Scale-Free
+Graphs in Distributed (External) Memory* (Pearce, Gokhale, Amato —
+IPDPS 2013).
+
+The library implements the paper's full system in Python over a
+deterministic simulated distributed machine:
+
+* **edge list partitioning** with master/replica forwarding chains for
+  split (hub) adjacency lists,
+* **ghost vertices** filtering redundant visitors to high in-degree hubs,
+* a **routed, aggregating mailbox** over 2D / 3D synthetic topologies,
+* the **distributed asynchronous visitor queue** (Algorithm 1) with
+  counting quiescence detection,
+* three asynchronous algorithms — **BFS**, **k-core**, **triangle
+  counting** — plus SSSP and connected components,
+* a simulated **NVRAM + user-space page cache** external-memory substrate.
+
+Quickstart::
+
+    from repro import EdgeList, DistributedGraph, bfs, rmat_edges
+
+    src, dst = rmat_edges(scale=12, num_edges=16 << 12, seed=1)
+    edges = EdgeList.from_arrays(src, dst, 1 << 12).simple_undirected()
+    graph = DistributedGraph.build(edges, num_partitions=16, num_ghosts=256)
+    result = bfs(graph, source=0)
+    print(result.data.num_reached, result.stats.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    kcore,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.algorithms.bsp_bfs import bsp_bfs
+from repro.algorithms.wedge_sampling import sample_triangle_estimate
+from repro.analysis.communication import communication_profile
+from repro.analysis.validate import validate_bfs
+from repro.bench.graph500 import run_graph500
+from repro.algorithms.bfs import BFSAlgorithm, BFSResult
+from repro.algorithms.connected_components import ConnectedComponentsAlgorithm
+from repro.algorithms.kcore import KCoreAlgorithm, KCoreResult
+from repro.algorithms.sssp import SSSPAlgorithm
+from repro.algorithms.triangles import TriangleCountAlgorithm, TriangleCountResult
+from repro.core import AsyncAlgorithm, TraversalResult, Visitor, run_traversal
+from repro.generators import (
+    Graph500Config,
+    permute_labels,
+    preferential_attachment_edges,
+    rmat_edges,
+    small_world_edges,
+)
+from repro.graph import (
+    CSR,
+    DistributedGraph,
+    EdgeList,
+    EdgeListPartitioning,
+    OneDPartitioning,
+    TwoDBlockPartitioning,
+)
+from repro.graph.dist_sort import sample_sort_edges
+from repro.graph.io import (
+    load_binary_edges,
+    load_text_edges,
+    save_binary_edges,
+    save_text_edges,
+)
+from repro.runtime import (
+    EngineConfig,
+    MachineModel,
+    bgp_intrepid,
+    hyperion_dit,
+    laptop,
+    leviathan,
+    trestles,
+)
+from repro.types import UNREACHED
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graph
+    "EdgeList",
+    "CSR",
+    "DistributedGraph",
+    "EdgeListPartitioning",
+    "OneDPartitioning",
+    "TwoDBlockPartitioning",
+    # generators
+    "Graph500Config",
+    "rmat_edges",
+    "preferential_attachment_edges",
+    "small_world_edges",
+    "permute_labels",
+    # core
+    "Visitor",
+    "AsyncAlgorithm",
+    "run_traversal",
+    "TraversalResult",
+    # algorithms
+    "bfs",
+    "BFSAlgorithm",
+    "BFSResult",
+    "kcore",
+    "KCoreAlgorithm",
+    "KCoreResult",
+    "triangle_count",
+    "TriangleCountAlgorithm",
+    "TriangleCountResult",
+    "sssp",
+    "SSSPAlgorithm",
+    "pagerank",
+    "connected_components",
+    "ConnectedComponentsAlgorithm",
+    # runtime
+    "MachineModel",
+    "EngineConfig",
+    "laptop",
+    "bgp_intrepid",
+    "hyperion_dit",
+    "trestles",
+    "leviathan",
+    # extensions & tooling
+    "bsp_bfs",
+    "sample_triangle_estimate",
+    "sample_sort_edges",
+    "run_graph500",
+    "validate_bfs",
+    "communication_profile",
+    "save_binary_edges",
+    "load_binary_edges",
+    "save_text_edges",
+    "load_text_edges",
+    # misc
+    "UNREACHED",
+]

@@ -1,0 +1,35 @@
+"""Asynchronous traversal algorithms (Section VI).
+
+The paper's three algorithms — BFS (Alg. 2/3), K-Core decomposition
+(Alg. 4/5) and Triangle Counting (Alg. 6/7) — plus two extensions the
+authors' earlier work computed with the same visitor pattern: single-source
+shortest path and connected components.
+"""
+
+from repro.algorithms.bfs import BFSAlgorithm, BFSResult, bfs
+from repro.algorithms.connected_components import (
+    ConnectedComponentsAlgorithm,
+    connected_components,
+)
+from repro.algorithms.kcore import KCoreAlgorithm, KCoreResult, kcore
+from repro.algorithms.pagerank import PageRankAlgorithm, PageRankResult, pagerank
+from repro.algorithms.sssp import SSSPAlgorithm, sssp
+from repro.algorithms.triangles import TriangleCountAlgorithm, triangle_count
+
+__all__ = [
+    "BFSAlgorithm",
+    "BFSResult",
+    "bfs",
+    "KCoreAlgorithm",
+    "KCoreResult",
+    "kcore",
+    "TriangleCountAlgorithm",
+    "triangle_count",
+    "SSSPAlgorithm",
+    "sssp",
+    "PageRankAlgorithm",
+    "PageRankResult",
+    "pagerank",
+    "ConnectedComponentsAlgorithm",
+    "connected_components",
+]

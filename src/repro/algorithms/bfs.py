@@ -1,0 +1,124 @@
+"""Asynchronous Breadth-First Search — Algorithms 2 and 3 of the paper.
+
+Every vertex starts at ``length = infinity``; one visitor is queued for the
+source with ``length = 0``.  ``pre_visit`` is a monotonic improve-or-drop
+filter (safe on ghosts), ``visit`` expands the out-edges with
+``length + 1`` visitors, and the priority queue orders visitors by length —
+so the asynchronous traversal behaves like a label-correcting BFS whose
+wavefront self-organises into levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.traversal import TraversalResult, run_traversal
+from repro.core.visitor import AsyncAlgorithm, Visitor
+from repro.graph.distributed import DistributedGraph
+from repro.types import LEVEL_DTYPE, UNREACHED
+
+_INF = float("inf")
+
+
+class BFSState:
+    """Per-vertex BFS state: current best length and parent."""
+
+    __slots__ = ("length", "parent")
+
+    def __init__(self) -> None:
+        self.length = _INF
+        self.parent = -1
+
+
+class BFSVisitor(Visitor):
+    """Algorithm 2's visitor."""
+
+    __slots__ = ("length", "parent")
+
+    def __init__(self, vertex: int, length: int, parent: int) -> None:
+        super().__init__(vertex)
+        self.length = length
+        self.parent = parent
+
+    @property
+    def priority(self) -> int:
+        """operator<: sorts by length (Alg. 2 line 21)."""
+        return self.length
+
+    def pre_visit(self, vertex_data: BFSState) -> bool:
+        if self.length < vertex_data.length:
+            vertex_data.length = self.length
+            vertex_data.parent = self.parent
+            return True
+        return False
+
+    def visit(self, ctx) -> None:
+        # Only expand if this visitor still carries the vertex's best length
+        # (Alg. 2 line 13): a shorter path may have arrived since.
+        if self.length == ctx.state_of(self.vertex).length:
+            nxt = self.length + 1
+            v = self.vertex
+            push = ctx.push
+            for w in ctx.out_edges(v):
+                push(BFSVisitor(int(w), nxt, v))
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Gathered BFS output."""
+
+    source: int
+    #: BFS level per vertex; UNREACHED sentinel for unvisited vertices.
+    levels: np.ndarray
+    #: BFS tree parent per vertex; -1 for unvisited and for the source's
+    #: self-parent convention the paper uses (source's parent is itself).
+    parents: np.ndarray
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.count_nonzero(self.levels != UNREACHED))
+
+    @property
+    def max_level(self) -> int:
+        """Depth of the BFS tree (the Figure 10 x-axis)."""
+        reached = self.levels[self.levels != UNREACHED]
+        return int(reached.max()) if reached.size else 0
+
+
+class BFSAlgorithm(AsyncAlgorithm):
+    """BFS from a single source; declares ghost usage (Section IV-B)."""
+
+    name = "bfs"
+    uses_ghosts = True
+    visitor_bytes = 24  # vertex + length + parent, 8 bytes each
+
+    def __init__(self, source: int) -> None:
+        if source < 0:
+            raise ValueError(f"source must be >= 0, got {source}")
+        self.source = source
+
+    def make_state(self, vertex: int, degree: int, role: str) -> BFSState:
+        # Masters, replicas and ghosts all hold the same monotonic state;
+        # replicas converge because visitors pass the master first.
+        return BFSState()
+
+    def initial_visitors(self, graph: DistributedGraph, rank: int):
+        if rank == graph.min_owner(self.source):
+            yield BFSVisitor(self.source, 0, self.source)
+
+    def finalize(self, graph: DistributedGraph, states_per_rank: list[list]) -> BFSResult:
+        n = graph.num_vertices
+        levels = np.full(n, UNREACHED, dtype=LEVEL_DTYPE)
+        parents = np.full(n, -1, dtype=LEVEL_DTYPE)
+        for v, state in self.master_states(graph, states_per_rank):
+            if state.length != _INF:
+                levels[v] = int(state.length)
+                parents[v] = state.parent
+        return BFSResult(source=self.source, levels=levels, parents=parents)
+
+
+def bfs(graph: DistributedGraph, source: int, **kwargs) -> TraversalResult:
+    """Run asynchronous BFS; ``kwargs`` forward to :func:`run_traversal`."""
+    return run_traversal(graph, BFSAlgorithm(source), **kwargs)

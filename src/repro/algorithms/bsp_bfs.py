@@ -1,0 +1,133 @@
+"""Level-synchronous (BSP) BFS baseline.
+
+The paper's framework is *asynchronous*: visitors flow continuously and
+termination is detected by counting, so no rank ever waits at a barrier.
+The conventional alternative — used by most Graph500 entries of the era —
+is bulk-synchronous level-by-level BFS: expand the whole frontier, exchange
+the next frontier, barrier, repeat.
+
+This module implements that baseline over the same
+:class:`DistributedGraph` and machine models, so the asynchrony claim
+("our asynchronous approach mitigates the effects of both distributed and
+external memory latency") can be tested as an ablation: per level, BSP
+pays a full barrier + all-to-all round regardless of how little work the
+level contains, which hurts exactly when the diameter is high or latency
+is large.
+
+The computation per rank is vectorised NumPy (this baseline models an
+*optimised* BSP code, not a strawman).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.distributed import DistributedGraph
+from repro.runtime.costmodel import MachineModel, laptop
+from repro.types import LEVEL_DTYPE, UNREACHED, VID_DTYPE
+
+
+@dataclass(frozen=True)
+class BSPBFSResult:
+    """Output of the level-synchronous baseline."""
+
+    source: int
+    levels: np.ndarray
+    #: simulated time, comparable to the async TraversalStats.time_us
+    time_us: float
+    num_supersteps: int
+    total_frontier_messages: int
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.count_nonzero(self.levels != UNREACHED))
+
+    @property
+    def max_level(self) -> int:
+        reached = self.levels[self.levels != UNREACHED]
+        return int(reached.max()) if reached.size else 0
+
+
+#: Synchronisation cost of one BSP barrier, in hop latencies (a dissemination
+#: barrier costs O(log p) network rounds).
+BARRIER_HOPS = 2.0
+
+
+def bsp_bfs(
+    graph: DistributedGraph,
+    source: int,
+    *,
+    machine: MachineModel | None = None,
+) -> BSPBFSResult:
+    """Run level-synchronous BFS on the distributed graph.
+
+    Each superstep: every rank scans its slice of the frontier's adjacency
+    (vectorised), produces next-frontier candidates, and exchanges them
+    all-to-all.  Superstep time = max over ranks of (scan + message costs)
+    + barrier; total time is the sum over supersteps — the barrier per
+    level is the structural difference from the asynchronous engine.
+    """
+    machine = machine or laptop()
+    p = graph.num_partitions
+    n = graph.num_vertices
+    levels = np.full(n, UNREACHED, dtype=LEVEL_DTYPE)
+    levels[source] = 0
+
+    frontier = np.array([source], dtype=VID_DTYPE)
+    level = 0
+    time_us = 0.0
+    supersteps = 0
+    total_messages = 0
+    log_p = max(1.0, np.log2(max(p, 2)))
+
+    while frontier.size:
+        supersteps += 1
+        # --- per-rank expansion over its local adjacency slices ---------
+        per_rank_scan = np.zeros(p, dtype=np.int64)
+        per_rank_out = [[] for _ in range(p)]
+        for v in frontier:
+            v = int(v)
+            for rank in graph.replica_ranks(v):
+                nbrs = graph.out_edges_local(rank, v)
+                if nbrs.size:
+                    per_rank_scan[rank] += nbrs.size
+                    per_rank_out[rank].append(nbrs)
+
+        candidates = []
+        per_rank_msgs = np.zeros(p, dtype=np.int64)
+        for rank in range(p):
+            if per_rank_out[rank]:
+                outs = np.concatenate(per_rank_out[rank])
+                fresh = outs[levels[outs] == UNREACHED]
+                candidates.append(fresh)
+                per_rank_msgs[rank] = fresh.size
+        total_messages += int(per_rank_msgs.sum())
+
+        # --- superstep cost: critical-path rank + alltoall + barrier ----
+        rank_cost = (
+            per_rank_scan * machine.edge_scan_us
+            + per_rank_msgs * (24 * machine.byte_us)
+            + np.minimum(per_rank_msgs, p - 1) * machine.packet_overhead_us
+        )
+        barrier_us = BARRIER_HOPS * log_p * machine.hop_latency_us + machine.min_tick_us
+        time_us += float(rank_cost.max(initial=0.0)) + barrier_us + machine.hop_latency_us
+
+        # --- advance the level ------------------------------------------
+        if candidates:
+            nxt = np.unique(np.concatenate(candidates))
+        else:
+            nxt = np.empty(0, dtype=VID_DTYPE)
+        level += 1
+        if nxt.size:
+            levels[nxt] = level
+        frontier = nxt
+
+    return BSPBFSResult(
+        source=source,
+        levels=levels,
+        time_us=time_us,
+        num_supersteps=supersteps,
+        total_frontier_messages=total_messages,
+    )

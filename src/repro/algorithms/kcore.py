@@ -1,0 +1,129 @@
+"""Asynchronous K-Core decomposition — Algorithms 4 and 5 of the paper.
+
+"To compute the k-core decomposition of an undirected graph, we
+asynchronously remove vertices from the core whose degree is less than k.
+As vertices are removed, they may create a dynamic cascade of recursive
+removals."
+
+Every vertex initialises ``kcore = degree(v) + 1`` and ``alive = True``,
+and one visitor is seeded per vertex.  Each arriving visitor decrements the
+counter; when it drops below ``k`` the vertex dies and notifies all its
+neighbours.  The seed visitor's decrement cancels the ``+ 1``, so a vertex
+dies exactly when ``degree - removed_neighbors < k`` — the standard peeling
+condition.
+
+**Replicas of split vertices.**  The paper's forwarding rule (Alg. 1) only
+forwards a visitor past a state copy whose ``pre_visit`` returned true, so
+a counting replica would never see the non-fatal decrements and diverge.
+Masters therefore hold the real counter, while replicas initialise in a
+*hair-trigger* state (``kcore = k``): the single visitor the master
+forwards on its own death fires the replica immediately, making each
+partition of the split adjacency list emit its removal notifications
+exactly once.  K-core "cannot use ghosts" because precise counts are
+required (Section IV-B); the algorithm accordingly declares
+``uses_ghosts = False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.traversal import TraversalResult, run_traversal
+from repro.core.visitor import ROLE_MASTER, AsyncAlgorithm, Visitor
+from repro.graph.distributed import DistributedGraph
+from repro.types import LEVEL_DTYPE
+
+
+class KCoreState:
+    """Per-vertex k-core state (Alg. 5 lines 6-7)."""
+
+    __slots__ = ("alive", "kcore")
+
+    def __init__(self, kcore: int) -> None:
+        self.alive = True
+        self.kcore = kcore
+
+
+def make_kcore_visitor(k: int):
+    """Create a visitor class with ``k`` as its static parameter
+    (Alg. 5 line 4: ``kcore_visitor::k <- k``)."""
+
+    class KCoreVisitor(Visitor):
+        __slots__ = ()
+        _k = k
+
+        def pre_visit(self, vertex_data: KCoreState) -> bool:
+            if vertex_data.alive:
+                vertex_data.kcore -= 1
+                if vertex_data.kcore < self._k:
+                    vertex_data.alive = False
+                    return True
+            return False
+
+        def visit(self, ctx) -> None:
+            v = self.vertex
+            push = ctx.push
+            cls = type(self)
+            for w in ctx.out_edges(v):
+                push(cls(int(w)))
+
+    return KCoreVisitor
+
+
+@dataclass(frozen=True)
+class KCoreResult:
+    """Gathered k-core output."""
+
+    k: int
+    #: Membership mask: ``alive[v]`` is True when v survives in the k-core.
+    alive: np.ndarray
+
+    @property
+    def core_size(self) -> int:
+        return int(np.count_nonzero(self.alive))
+
+    def members(self) -> np.ndarray:
+        """Vertex ids in the k-core."""
+        return np.flatnonzero(self.alive).astype(LEVEL_DTYPE)
+
+
+class KCoreAlgorithm(AsyncAlgorithm):
+    """K-core membership for one requested ``k``.
+
+    Input must be a simple undirected graph (symmetrized, deduplicated) so
+    the out-degree equals the undirected degree.
+    """
+
+    name = "kcore"
+    uses_ghosts = False  # precise counts required
+    visitor_bytes = 8  # just the vertex id
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._visitor_cls = make_kcore_visitor(k)
+
+    def make_state(self, vertex: int, degree: int, role: str) -> KCoreState:
+        if role == ROLE_MASTER:
+            return KCoreState(degree + 1)
+        # Replica hair trigger: dies on the first forwarded (fatal) visitor.
+        return KCoreState(self.k)
+
+    def initial_visitors(self, graph: DistributedGraph, rank: int):
+        cls = self._visitor_cls
+        for v in graph.masters_on(rank):
+            yield cls(int(v))
+
+    def finalize(self, graph: DistributedGraph, states_per_rank: list[list]) -> KCoreResult:
+        alive = np.zeros(graph.num_vertices, dtype=bool)
+        for v, state in self.master_states(graph, states_per_rank):
+            alive[v] = state.alive
+        return KCoreResult(k=self.k, alive=alive)
+
+
+def kcore(graph: DistributedGraph, k: int, **kwargs) -> TraversalResult:
+    """Run asynchronous k-core; ``kwargs`` forward to :func:`run_traversal`."""
+    return run_traversal(graph, KCoreAlgorithm(k), **kwargs)

@@ -1,0 +1,157 @@
+"""Asynchronous PageRank by residual push (extension).
+
+A natural fourth algorithm for the visitor framework: the push-based
+(Gauss–Southwell) formulation of PageRank maintains per-vertex ``(rank
+mass, pending residual)`` state; visitors deliver residual mass, and a
+vertex whose accumulated residual reaches a threshold absorbs it into its
+mass and pushes ``damping * residual / degree`` to each neighbour.  At
+quiescence every pending residual is below the threshold, giving the
+standard approximation guarantee (per-vertex error bounded by
+``threshold``).
+
+**Split-vertex discipline.**  PageRank accumulates (so ghosts are
+forbidden, like k-core), but unlike k-core every copy of a *split* vertex
+must see every delivery: their ``pre_visit`` accumulates and always
+returns true, so each push walks the whole replica chain
+(triangle-counting style) and the threshold gate lives in ``visit``.
+Every state copy therefore receives the identical mass stream and
+eventually drains the same total (± threshold) over *its own slice* of
+the adjacency list — the union covers the full neighbourhood exactly
+once.  Sole-copy vertices (the overwhelming majority) have no chain to
+feed and gate directly in ``pre_visit``, skipping the queue for
+sub-threshold deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.traversal import TraversalResult, run_traversal
+from repro.core.visitor import AsyncAlgorithm, Visitor
+from repro.graph.distributed import DistributedGraph
+
+
+class PageRankState:
+    """Per-vertex absorbed mass and pending residual.
+
+    ``gated`` marks sole-copy vertices whose threshold check can happen in
+    ``pre_visit`` (dropping sub-threshold deliveries before the queue);
+    split vertices must stream every delivery through the replica chain,
+    so their gate lives in ``visit``.
+    """
+
+    __slots__ = ("mass", "residual", "gated")
+
+    def __init__(self, gated: bool = False) -> None:
+        self.mass = 0.0
+        self.residual = 0.0
+        self.gated = gated
+
+
+class PageRankVisitor(Visitor):
+    """Residual-mass carrier."""
+
+    __slots__ = ("amount", "damping", "threshold")
+
+    def __init__(self, vertex: int, amount: float, damping: float, threshold: float) -> None:
+        super().__init__(vertex)
+        self.amount = amount
+        self.damping = damping
+        self.threshold = threshold
+
+    @property
+    def priority(self) -> float:
+        return -self.amount  # biggest pushes first converge fastest
+
+    def pre_visit(self, state: PageRankState) -> bool:
+        # Accumulate at every copy; split-vertex copies always proceed so
+        # replicas see the same mass stream as the master (see module
+        # docstring), sole copies gate here and skip sub-threshold queueing.
+        state.residual += self.amount
+        if state.gated:
+            return state.residual >= self.threshold
+        return True
+
+    def visit(self, ctx) -> None:
+        v = self.vertex
+        state = ctx.state_of(v)
+        residual = state.residual
+        if residual < self.threshold:
+            return  # below the gate (or already drained by a sibling visit)
+        state.residual = 0.0
+        state.mass += residual
+        degree = ctx.graph.degree(v)
+        if degree == 0:
+            return
+        share = self.damping * residual / degree
+        push = ctx.push
+        damping = self.damping
+        threshold = self.threshold
+        for w in ctx.out_edges(v):
+            push(PageRankVisitor(int(w), share, damping, threshold))
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Gathered PageRank output."""
+
+    damping: float
+    threshold: float
+    #: per-vertex scores, L1-normalised to sum to 1.
+    scores: np.ndarray
+
+    def top(self, k: int = 10) -> list[tuple[int, float]]:
+        """The k highest-ranked vertices."""
+        order = np.argsort(self.scores)[::-1][:k]
+        return [(int(v), float(self.scores[v])) for v in order]
+
+
+class PageRankAlgorithm(AsyncAlgorithm):
+    """Push-based PageRank to residual tolerance ``threshold``."""
+
+    name = "pagerank"
+    uses_ghosts = False  # accumulating state: ghosts would swallow mass
+    visitor_bytes = 32
+
+    def __init__(self, *, damping: float = 0.85, threshold: float = 1e-4) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.damping = damping
+        self.threshold = threshold
+
+    def bind(self, graph: DistributedGraph) -> None:
+        self._sole_copy = graph.min_owners == graph.max_owners
+
+    def make_state(self, vertex: int, degree: int, role: str) -> PageRankState:
+        return PageRankState(gated=bool(self._sole_copy[vertex]))
+
+    def initial_visitors(self, graph: DistributedGraph, rank: int):
+        seed = 1.0 - self.damping  # uniform teleport mass, unnormalised
+        for v in graph.masters_on(rank):
+            yield PageRankVisitor(int(v), seed, self.damping, self.threshold)
+
+    def finalize(self, graph: DistributedGraph, states_per_rank: list[list]) -> PageRankResult:
+        scores = np.zeros(graph.num_vertices, dtype=np.float64)
+        # Master copies are authoritative (replicas hold the same stream up
+        # to sub-threshold drain timing); count leftover residual as mass
+        # so the total is conserved.
+        for v, state in self.master_states(graph, states_per_rank):
+            scores[v] = state.mass + state.residual
+        total = scores.sum()
+        if total > 0:
+            scores /= total
+        return PageRankResult(
+            damping=self.damping, threshold=self.threshold, scores=scores
+        )
+
+
+def pagerank(graph: DistributedGraph, **kwargs) -> TraversalResult:
+    """Run asynchronous PageRank; algorithm options ``damping`` and
+    ``threshold`` are accepted alongside :func:`run_traversal` kwargs."""
+    algo_keys = {"damping", "threshold"}
+    algo_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in algo_keys}
+    return run_traversal(graph, PageRankAlgorithm(**algo_kwargs), **kwargs)

@@ -1,0 +1,131 @@
+"""Asynchronous Single-Source Shortest Path (extension).
+
+The paper's earlier work ([4], cited in Section IV-A) computed SSSP with
+the same prioritized visitor queues; this module provides it on top of the
+distributed framework as a label-correcting traversal: ``pre_visit`` is a
+monotonic improve-or-drop distance filter (ghost-safe), and the priority
+queue orders visitors by tentative distance, so the traversal approximates
+asynchronous delta-stepping with delta = one visitor.
+
+Edge weights are derived from a deterministic symmetric hash of the edge's
+endpoints (no weight storage needed, identical across replicas and runs);
+pass ``unit_weights=True`` to recover BFS distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.traversal import TraversalResult, run_traversal
+from repro.core.visitor import AsyncAlgorithm, Visitor
+from repro.graph.distributed import DistributedGraph
+
+_INF = float("inf")
+_MIX_A = 0x9E3779B1
+_MIX_B = 0x85EBCA77
+_MASK = (1 << 61) - 1
+
+
+def edge_weight(u: int, v: int, *, max_weight: int = 16, salt: int = 0) -> int:
+    """Deterministic symmetric integer weight in ``[1, max_weight]``."""
+    a, b = (u, v) if u <= v else (v, u)
+    h = ((a * _MIX_A) ^ (b * _MIX_B) ^ (salt * 0xC2B2AE35)) & _MASK
+    return 1 + (h % max_weight)
+
+
+class SSSPState:
+    """Per-vertex tentative distance and parent."""
+
+    __slots__ = ("distance", "parent")
+
+    def __init__(self) -> None:
+        self.distance = _INF
+        self.parent = -1
+
+
+class SSSPVisitor(Visitor):
+    """Distance-carrying visitor, prioritised by tentative distance."""
+
+    __slots__ = ("distance", "parent", "max_weight", "salt")
+
+    def __init__(self, vertex: int, distance: float, parent: int, max_weight: int, salt: int) -> None:
+        super().__init__(vertex)
+        self.distance = distance
+        self.parent = parent
+        self.max_weight = max_weight
+        self.salt = salt
+
+    @property
+    def priority(self) -> float:
+        return self.distance
+
+    def pre_visit(self, vertex_data: SSSPState) -> bool:
+        if self.distance < vertex_data.distance:
+            vertex_data.distance = self.distance
+            vertex_data.parent = self.parent
+            return True
+        return False
+
+    def visit(self, ctx) -> None:
+        if self.distance == ctx.state_of(self.vertex).distance:
+            v = self.vertex
+            push = ctx.push
+            for w in ctx.out_edges(v):
+                w = int(w)
+                wgt = edge_weight(v, w, max_weight=self.max_weight, salt=self.salt)
+                push(SSSPVisitor(w, self.distance + wgt, v, self.max_weight, self.salt))
+
+
+@dataclass(frozen=True)
+class SSSPResult:
+    """Gathered SSSP output."""
+
+    source: int
+    distances: np.ndarray
+    parents: np.ndarray
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.count_nonzero(np.isfinite(self.distances)))
+
+
+class SSSPAlgorithm(AsyncAlgorithm):
+    """Label-correcting SSSP with hash-derived edge weights."""
+
+    name = "sssp"
+    uses_ghosts = True  # monotonic min filter, ghost-safe like BFS
+    visitor_bytes = 32
+
+    def __init__(self, source: int, *, max_weight: int = 16, salt: int = 0,
+                 unit_weights: bool = False) -> None:
+        if source < 0:
+            raise ValueError(f"source must be >= 0, got {source}")
+        self.source = source
+        self.max_weight = 1 if unit_weights else max_weight
+        self.salt = salt
+
+    def make_state(self, vertex: int, degree: int, role: str) -> SSSPState:
+        return SSSPState()
+
+    def initial_visitors(self, graph: DistributedGraph, rank: int):
+        if rank == graph.min_owner(self.source):
+            yield SSSPVisitor(self.source, 0.0, self.source, self.max_weight, self.salt)
+
+    def finalize(self, graph: DistributedGraph, states_per_rank: list[list]) -> SSSPResult:
+        n = graph.num_vertices
+        distances = np.full(n, np.inf, dtype=np.float64)
+        parents = np.full(n, -1, dtype=np.int64)
+        for v, state in self.master_states(graph, states_per_rank):
+            distances[v] = state.distance
+            parents[v] = state.parent
+        return SSSPResult(source=self.source, distances=distances, parents=parents)
+
+
+def sssp(graph: DistributedGraph, source: int, **kwargs) -> TraversalResult:
+    """Run asynchronous SSSP; algorithm options ``max_weight``/``salt``/
+    ``unit_weights`` are accepted alongside :func:`run_traversal` kwargs."""
+    algo_keys = {"max_weight", "salt", "unit_weights"}
+    algo_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in algo_keys}
+    return run_traversal(graph, SSSPAlgorithm(source, **algo_kwargs), **kwargs)

@@ -1,0 +1,118 @@
+"""Approximate triangle counting by wedge sampling.
+
+Algorithm 6's discussion: "It can also be extended to use approximate
+sampling based triangle counting methods [Seshadhri, Pinar, Kolda 2013]."
+
+A *wedge* is a length-2 path (a, v, b); it is *closed* when the edge (a, b)
+exists, and every triangle closes exactly three wedges.  Sampling wedges
+uniformly and measuring the closure fraction ``c`` gives::
+
+    triangles ~= c * total_wedges / 3
+
+with standard binomial error bars.  Exact counting costs
+``O(|E| * d_max)`` visitors (§VI-D3); the sampled estimate costs
+``O(samples)`` closure checks — the trade the paper points at for graphs
+whose hubs make exact counting expensive.
+
+The estimator runs against the :class:`DistributedGraph`: each closure
+check is performed on the partition that owns the relevant adjacency
+slice, and per-rank check counts are reported so the cost model story
+stays consistent with the exact algorithm's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.distributed import DistributedGraph
+from repro.utils.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class WedgeSampleResult:
+    """Triangle estimate from sampled wedges."""
+
+    estimate: float
+    closure_fraction: float
+    total_wedges: int
+    samples: int
+    #: binomial standard error of the *estimate* (not the fraction)
+    std_error: float
+    #: closure checks performed per rank (cost accounting)
+    checks_per_rank: np.ndarray
+
+
+def total_wedge_count(degrees: np.ndarray) -> int:
+    """Number of wedges: sum over vertices of C(degree, 2)."""
+    d = degrees.astype(np.float64)
+    return int((d * (d - 1) / 2).sum())
+
+
+def sample_triangle_estimate(
+    graph: DistributedGraph,
+    *,
+    samples: int = 10_000,
+    seed: int | np.random.Generator | None = 0,
+) -> WedgeSampleResult:
+    """Estimate the triangle count of a simple undirected distributed graph.
+
+    Wedge centres are drawn proportionally to ``C(degree, 2)`` (uniform
+    over wedges); the two endpoints are a uniform pair of the centre's
+    neighbours; closure is checked with the owning partition's sorted-row
+    binary search.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = resolve_rng(seed)
+    degrees = graph.global_out_degrees
+    weights = degrees.astype(np.float64)
+    weights = weights * (weights - 1) / 2
+    total_wedges = int(weights.sum())
+    checks_per_rank = np.zeros(graph.num_partitions, dtype=np.int64)
+    if total_wedges == 0:
+        return WedgeSampleResult(
+            estimate=0.0, closure_fraction=0.0, total_wedges=0, samples=samples,
+            std_error=0.0, checks_per_rank=checks_per_rank,
+        )
+
+    prob = weights / weights.sum()
+    centres = rng.choice(graph.num_vertices, size=samples, p=prob)
+
+    closed = 0
+    edges = graph.edges
+    src_sorted = edges.src
+    for v in centres:
+        v = int(v)
+        lo = np.searchsorted(src_sorted, v, side="left")
+        hi = np.searchsorted(src_sorted, v, side="right")
+        deg = hi - lo
+        i = int(rng.integers(0, deg))
+        j = int(rng.integers(0, deg - 1))
+        if j >= i:
+            j += 1
+        a = int(edges.dst[lo + i])
+        b = int(edges.dst[lo + j])
+        # closure check on the partition(s) owning a's adjacency slice
+        for rank in graph.replica_ranks(a):
+            checks_per_rank[rank] += 1
+            part = graph.partitions[rank]
+            if part.holds_vertex(a) and part.csr.degree(a) and part.csr.has_edge(a, b):
+                closed += 1
+                break
+
+    fraction = closed / samples
+    estimate = fraction * total_wedges / 3.0
+    std_error = (
+        total_wedges / 3.0
+        * float(np.sqrt(max(fraction * (1 - fraction), 0.0) / samples))
+    )
+    return WedgeSampleResult(
+        estimate=estimate,
+        closure_fraction=fraction,
+        total_wedges=total_wedges,
+        samples=samples,
+        std_error=std_error,
+        checks_per_rank=checks_per_rank,
+    )

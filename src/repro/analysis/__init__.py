@@ -1,0 +1,37 @@
+"""Analysis utilities: hub growth, round bounds, TEPS, validation,
+communication density."""
+
+from repro.analysis.communication import CommunicationProfile, communication_profile
+from repro.analysis.degree import (
+    degree_histogram_report,
+    fit_power_law,
+    tail_heaviness,
+)
+from repro.analysis.hubs import HubStats, hub_growth_curve, hub_stats
+from repro.analysis.rounds import (
+    bfs_round_bound,
+    kcore_round_bound,
+    triangle_round_bound,
+)
+from repro.analysis.teps import bfs_traversed_edges, gteps, mteps, teps
+from repro.analysis.validate import ValidationReport, validate_bfs
+
+__all__ = [
+    "HubStats",
+    "hub_stats",
+    "hub_growth_curve",
+    "bfs_round_bound",
+    "kcore_round_bound",
+    "triangle_round_bound",
+    "teps",
+    "mteps",
+    "gteps",
+    "bfs_traversed_edges",
+    "validate_bfs",
+    "ValidationReport",
+    "communication_profile",
+    "CommunicationProfile",
+    "fit_power_law",
+    "tail_heaviness",
+    "degree_histogram_report",
+]

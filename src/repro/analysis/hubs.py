@@ -1,0 +1,82 @@
+"""Hub-growth statistics (Figure 1).
+
+"While the average degree is held constant at 16, the number of edges
+belonging to hubs of degree greater than 1,000 or 10,000 continue to grow
+as graph size increases.  The max degree hub also continues to grow, and by
+the graph size of 2^30 vertices, the max degree hub has already crossed
+10 Million edges."
+
+Degrees are accumulated from streamed generator chunks, so the curve can be
+computed for graphs whose full edge list would not fit in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.generators.graph500 import DEFAULT_EDGEFACTOR
+from repro.generators.rmat import rmat_edge_chunks
+from repro.types import VID_DTYPE
+
+
+@dataclass(frozen=True)
+class HubStats:
+    """Edge mass held by hubs of one graph."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    #: threshold -> total edges belonging to vertices with degree >= threshold.
+    edges_at_threshold: dict[int, int]
+
+    def edges_of_max_degree_vertex(self) -> int:
+        """Edge count of the single largest hub (Figure 1's MaxDegree series)."""
+        return self.max_degree
+
+
+def hub_stats(degrees: np.ndarray, thresholds: tuple[int, ...] = (1_000, 10_000)) -> HubStats:
+    """Summarise hub structure from a per-vertex degree array."""
+    degrees = np.asarray(degrees, dtype=VID_DTYPE)
+    total = int(degrees.sum())
+    return HubStats(
+        num_vertices=int(degrees.size),
+        num_edges=total,
+        max_degree=int(degrees.max(initial=0)),
+        edges_at_threshold={
+            int(t): int(degrees[degrees >= t].sum()) for t in thresholds
+        },
+    )
+
+
+def rmat_degree_counts(scale: int, edgefactor: int = DEFAULT_EDGEFACTOR, *,
+                       seed: int | None = 0, chunk_size: int = 1 << 20) -> np.ndarray:
+    """Total (out + in) degree of every vertex of a streamed RMAT instance."""
+    n = 1 << scale
+    degrees = np.zeros(n, dtype=VID_DTYPE)
+    for src, dst in rmat_edge_chunks(scale, edgefactor << scale, seed=seed,
+                                     chunk_size=chunk_size):
+        degrees += np.bincount(src, minlength=n)
+        degrees += np.bincount(dst, minlength=n)
+    return degrees
+
+
+def hub_growth_curve(
+    scales: tuple[int, ...],
+    *,
+    edgefactor: int = DEFAULT_EDGEFACTOR,
+    thresholds: tuple[int, ...] = (1_000, 10_000),
+    seed: int | None = 0,
+) -> list[HubStats]:
+    """The Figure 1 curve: hub stats for RMAT graphs of increasing scale.
+
+    The paper plots scales 22-30 with thresholds 1,000 / 10,000; at
+    reproduction scale callers pass smaller scales with proportionally
+    smaller thresholds (see EXPERIMENTS.md).
+    """
+    out = []
+    for scale in scales:
+        degrees = rmat_degree_counts(scale, edgefactor, seed=seed)
+        out.append(hub_stats(degrees, thresholds))
+    return out

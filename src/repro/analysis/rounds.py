@@ -1,0 +1,52 @@
+"""Asymptotic analysis framework (Section VI-D).
+
+Upper bounds on the number of *parallel rounds* of the idealised execution
+model: synchronized rounds, one visitor per processor per round, a single
+contention-free shared queue, instantaneous transmission, one visitor per
+vertex per round.
+
+The bounds (Theta / big-O up to constants; these helpers return the bound
+expression's value with unit constants so tests can check measured rounds
+are within a constant factor):
+
+* BFS without ghosts:      ``D + |E|/p + d_max_in``
+* BFS with ghosts:         ``D + |E|/p + p``       (ghosts cut the hub term)
+* K-Core:                  ``D + |E|/p + d_max_in`` (no ghosts allowed)
+* Triangle counting:       ``|E| * d_max_out / p + d_max_in``
+"""
+
+from __future__ import annotations
+
+
+def bfs_round_bound(
+    diameter: int, num_edges: int, num_processors: int, max_in_degree: int,
+    *, with_ghosts: bool = False,
+) -> float:
+    """Parallel-round bound for asynchronous BFS (Section VI-D1)."""
+    _check(num_edges, num_processors)
+    hub_term = num_processors if with_ghosts else max_in_degree
+    return diameter + num_edges / num_processors + hub_term
+
+
+def kcore_round_bound(
+    diameter: int, num_edges: int, num_processors: int, max_in_degree: int
+) -> float:
+    """Parallel-round bound for asynchronous k-core (Section VI-D2); k-core
+    cannot use ghosts, so the hub term is always ``d_max_in``."""
+    _check(num_edges, num_processors)
+    return diameter + num_edges / num_processors + max_in_degree
+
+
+def triangle_round_bound(
+    num_edges: int, num_processors: int, max_out_degree: int, max_in_degree: int
+) -> float:
+    """Parallel-round bound for triangle counting (Section VI-D3)."""
+    _check(num_edges, num_processors)
+    return num_edges * max_out_degree / num_processors + max_in_degree
+
+
+def _check(num_edges: int, num_processors: int) -> None:
+    if num_processors < 1:
+        raise ValueError(f"need at least one processor, got {num_processors}")
+    if num_edges < 0:
+        raise ValueError(f"negative edge count {num_edges}")

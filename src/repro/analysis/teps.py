@@ -1,0 +1,43 @@
+"""TEPS (Traversed Edges Per Second) accounting, Graph500 conventions.
+
+Graph500 defines ``TEPS = m / t`` where ``m`` is the number of *input*
+(undirected) edges within the traversed component and ``t`` the BFS time.
+The simulated clock provides ``t``; ``m`` is recomputed from the BFS output
+against the input edge list, exactly as the benchmark's validator does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edge_list import EdgeList
+from repro.types import UNREACHED
+
+
+def bfs_traversed_edges(edges: EdgeList, levels: np.ndarray, *, undirected: bool = True) -> int:
+    """Edges counted as traversed by a BFS with the given level array.
+
+    An edge counts when its source was reached.  For a symmetrized
+    (undirected) edge list each undirected edge appears twice, so the count
+    is halved.
+    """
+    reached = levels != UNREACHED
+    m = int(np.count_nonzero(reached[edges.src]))
+    return m // 2 if undirected else m
+
+
+def teps(traversed_edges: int, time_us: float) -> float:
+    """Traversed edges per second from a microsecond duration."""
+    if time_us <= 0:
+        raise ValueError(f"non-positive traversal time {time_us}")
+    return traversed_edges / (time_us * 1e-6)
+
+
+def mteps(traversed_edges: int, time_us: float) -> float:
+    """Millions of traversed edges per second (Table II's unit)."""
+    return teps(traversed_edges, time_us) / 1e6
+
+
+def gteps(traversed_edges: int, time_us: float) -> float:
+    """Billions of traversed edges per second (Figure 5's unit)."""
+    return teps(traversed_edges, time_us) / 1e9

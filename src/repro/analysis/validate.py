@@ -1,0 +1,106 @@
+"""Graph500-style BFS output validation.
+
+The Graph500 benchmark does not trust a submitted traversal: it validates
+the returned parent array against the input edge list.  This module
+implements the same checks for the framework's BFS results, so the harness
+can stamp every TEPS row as *validated*:
+
+1. the source's parent is itself and its level is 0;
+2. every reached non-source vertex has a reached parent whose level is
+   exactly one smaller (the tree edges respect BFS levels);
+3. every claimed tree edge ``(parent[v], v)`` exists in the graph;
+4. every graph edge spans at most one level (no edge is "skipped" — both
+   endpoints reached implies ``|level[u] - level[v]| <= 1``);
+5. reachability is exact: an edge from a reached vertex never leads to an
+   unreached vertex (undirected inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.edge_list import EdgeList
+from repro.types import UNREACHED
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one BFS validation."""
+
+    valid: bool
+    errors: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.valid
+
+
+def validate_bfs(
+    edges: EdgeList,
+    source: int,
+    levels: np.ndarray,
+    parents: np.ndarray,
+    *,
+    undirected: bool = True,
+    max_errors: int = 5,
+) -> ValidationReport:
+    """Run the five Graph500-style checks; returns the first few failures."""
+    errors: list[str] = []
+
+    def fail(msg: str) -> bool:
+        errors.append(msg)
+        return len(errors) >= max_errors
+
+    reached = levels != UNREACHED
+
+    # 1. the source
+    if levels[source] != 0:
+        fail(f"source {source} has level {levels[source]}, expected 0")
+    if parents[source] != source:
+        fail(f"source {source} has parent {parents[source]}, expected itself")
+
+    # 2 & 3. tree edges: level step and existence
+    src_sorted = edges.src
+    tree_vertices = np.flatnonzero(reached)
+    for v in tree_vertices:
+        v = int(v)
+        if v == source:
+            continue
+        p = int(parents[v])
+        if p < 0 or not reached[p]:
+            if fail(f"vertex {v} reached but parent {p} is not"):
+                break
+            continue
+        if levels[p] != levels[v] - 1:
+            if fail(f"tree edge {p}->{v} spans levels {levels[p]}->{levels[v]}"):
+                break
+            continue
+        lo = np.searchsorted(src_sorted, p, side="left")
+        hi = np.searchsorted(src_sorted, p, side="right")
+        if v not in edges.dst[lo:hi]:
+            if fail(f"claimed tree edge ({p}, {v}) does not exist"):
+                break
+
+    # 4 & 5. every edge spans <= 1 level; no reached->unreached edges
+    if len(errors) < max_errors:
+        u_levels = levels[edges.src]
+        v_levels = levels[edges.dst]
+        both = (u_levels != UNREACHED) & (v_levels != UNREACHED)
+        spans = np.abs(u_levels[both] - v_levels[both])
+        if np.any(spans > 1):
+            idx = int(np.flatnonzero(both)[np.argmax(spans > 1)])
+            fail(
+                f"edge ({int(edges.src[idx])}, {int(edges.dst[idx])}) spans "
+                f"{int(spans.max())} levels"
+            )
+        if undirected:
+            half = (u_levels != UNREACHED) & (v_levels == UNREACHED)
+            if np.any(half):
+                idx = int(np.argmax(half))
+                fail(
+                    f"edge ({int(edges.src[idx])}, {int(edges.dst[idx])}) "
+                    "leaves the reached set — BFS missed a vertex"
+                )
+
+    return ValidationReport(valid=not errors, errors=errors)

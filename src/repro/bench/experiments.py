@@ -1,0 +1,1065 @@
+"""One driver per paper figure/table (see DESIGN.md §5 for the index).
+
+Each ``figNN_*`` function runs the experiment at reproduction scale and
+returns ``(rows, report)`` where ``rows`` is a list of flat dicts (one per
+plotted point) and ``report`` is a formatted table including the paper's
+qualitative expectation.  The pytest-benchmark wrappers in ``benchmarks/``
+time these drivers and assert the expectations; ``examples/`` and
+EXPERIMENTS.md reuse the same outputs.
+
+Default parameters are scaled-down versions of the paper's (recorded in
+each docstring); pass larger values for closer-to-paper runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.kcore import KCoreAlgorithm
+from repro.algorithms.triangles import TriangleCountAlgorithm
+from repro.analysis.hubs import hub_stats, rmat_degree_counts
+from repro.bench.harness import (
+    build_pa_graph,
+    build_rmat_graph,
+    build_sw_graph,
+    mean_over_sources,
+    pick_bfs_source,
+    run_bfs_trial,
+)
+from repro.bench.report import format_table
+from repro.core.traversal import run_traversal
+from repro.graph.distributed import DistributedGraph
+from repro.graph.metrics import quality_1d, quality_2d, quality_edge_list
+from repro.runtime.costmodel import (
+    EngineConfig,
+    bgp_intrepid,
+    hyperion_dit,
+    leviathan,
+    trestles,
+)
+
+#: "All other BFS experiments in this work use 256 ghost vertices per
+#: partition" — scaled to the reproduction graph sizes.
+DEFAULT_GHOSTS = 64
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1 — hub growth
+# ---------------------------------------------------------------------- #
+def fig01_hub_growth(
+    scales: tuple[int, ...] = (10, 12, 14, 16),
+    *,
+    thresholds: tuple[int, ...] = (64, 256),
+    edgefactor: int = 16,
+    seed: int = 0,
+):
+    """Hub growth for Graph500 RMAT graphs.
+
+    Paper: scales 22-30, thresholds 1,000 / 10,000; max hub crosses 10M
+    edges by scale 30.  Reproduction: scales 10-16 with thresholds scaled
+    by the same ratio to graph size; the claim checked is that all three
+    series grow monotonically with scale while mean degree stays fixed.
+    """
+    rows = []
+    for scale in scales:
+        degrees = rmat_degree_counts(scale, edgefactor, seed=seed)
+        stats = hub_stats(degrees, thresholds)
+        rows.append(
+            {
+                "scale": scale,
+                "n": stats.num_vertices,
+                "mean_degree": stats.num_edges / stats.num_vertices,
+                "max_degree": stats.max_degree,
+                **{f"edges_deg>={t}": stats.edges_at_threshold[t] for t in thresholds},
+            }
+        )
+    report = format_table(
+        rows,
+        ["scale", "n", ("mean_degree", ".1f"), "max_degree"]
+        + [f"edges_deg>={t}" for t in thresholds],
+        title="Figure 1 — hub growth for Graph500 RMAT graphs "
+        "(paper: all hub series grow with scale at constant mean degree)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2 — partition imbalance, 1D vs 2D (vs edge list)
+# ---------------------------------------------------------------------- #
+def fig02_partition_imbalance(
+    *,
+    vertices_per_partition: int = 1 << 10,
+    partition_counts: tuple[int, ...] = (4, 16, 64, 256),
+    edgefactor: int = 16,
+    seed: int = 0,
+):
+    """Weak scaling of edge-count imbalance for 1D and 2D block partitioning.
+
+    Paper: 2^18 vertices per partition; 1D imbalance grows with p, 2D stays
+    near 1.  The edge-list series (exact balance by construction) is added
+    as the paper's own remedy.
+    """
+    rows = []
+    for p in partition_counts:
+        n = vertices_per_partition * p
+        scale = int(np.log2(n))
+        if (1 << scale) != n:
+            raise ValueError("vertices_per_partition * p must be a power of two")
+        edges, _ = _rmat_edges_only(scale, edgefactor, seed)
+        rows.append(
+            {
+                "p": p,
+                "n": n,
+                "imbalance_1d": quality_1d(edges, p).edge_imbalance,
+                "imbalance_2d": quality_2d(edges, p).edge_imbalance,
+                "imbalance_edge_list": quality_edge_list(edges, p).edge_imbalance,
+            }
+        )
+    report = format_table(
+        rows,
+        ["p", "n", ("imbalance_1d", ".2f"), ("imbalance_2d", ".2f"),
+         ("imbalance_edge_list", ".4f")],
+        title="Figure 2 — weak scaling of partition imbalance "
+        "(paper: 1D grows with p; 2D stays low; edge list is exact)",
+    )
+    return rows, report
+
+
+def _rmat_edges_only(scale: int, edgefactor: int, seed: int):
+    from repro.generators.rmat import rmat_edges
+    from repro.graph.edge_list import EdgeList
+
+    src, dst = rmat_edges(scale, edgefactor << scale, seed=seed)
+    edges = EdgeList.from_arrays(src, dst, 1 << scale).permuted(seed=seed + 1)
+    return edges.simple_undirected(), None
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — BFS weak scaling on BG/P
+# ---------------------------------------------------------------------- #
+def fig05_bfs_weak_scaling(
+    *,
+    vertices_per_rank: int = 1 << 8,
+    ranks: tuple[int, ...] = (4, 16, 64),
+    num_ghosts: int = DEFAULT_GHOSTS,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Weak scaling of asynchronous BFS, BG/P profile, 3D routed mailbox.
+
+    Paper: 2^18 vertices per core up to 131K cores, 64.9 GTEPS peak, 19%
+    slower than the best-known BG/P Graph500 entry.  Claim checked: TEPS
+    grows close to linearly with p (weak scalability).
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for p in ranks:
+        scale = int(np.log2(vertices_per_rank * p))
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=p, num_ghosts=num_ghosts, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="3d",
+        )
+        row["scale"] = scale
+        row["teps_per_rank"] = row["teps"] / p
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["p", "scale", "n", "m", ("teps", ".3e"), ("teps_per_rank", ".3e"),
+         ("time_us", ".0f"), ("visit_imbalance", ".2f")],
+        title="Figure 5 — BFS weak scaling, BG/P profile, 3D routing "
+        "(paper: near-linear TEPS growth with p)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — k-core weak scaling
+# ---------------------------------------------------------------------- #
+def fig06_kcore_weak_scaling(
+    *,
+    vertices_per_rank: int = 1 << 7,
+    ranks: tuple[int, ...] = (4, 16, 64),
+    ks: tuple[int, ...] = (4, 16, 64),
+    seed: int = 0,
+):
+    """Weak scaling of k-core on RMAT graphs, cores k in {4, 16, 64}.
+
+    Paper: 2^18 vertices / 2^22 undirected edges per core, near-linear weak
+    scaling (flat time as p grows).  Claim checked: time grows far slower
+    than the 16x work increase per step (weak scaling holds).
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for p in ranks:
+        scale = int(np.log2(vertices_per_rank * p))
+        edges, graph = build_rmat_graph(scale, num_partitions=p, seed=seed)
+        for k in ks:
+            result = run_traversal(
+                graph, KCoreAlgorithm(k), machine=machine, topology="3d"
+            )
+            rows.append(
+                {
+                    "p": p,
+                    "scale": scale,
+                    "k": k,
+                    "n": graph.num_vertices,
+                    "m": graph.num_edges,
+                    "core_size": result.data.core_size,
+                    "time_us": result.stats.time_us,
+                    "visits": result.stats.total_visits,
+                }
+            )
+    report = format_table(
+        rows,
+        ["p", "scale", "k", "core_size", ("time_us", ".0f"), "visits"],
+        title="Figure 6 — k-core weak scaling on BG/P profile "
+        "(paper: near-linear weak scaling / flat time)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — triangle counting weak scaling on small-world graphs
+# ---------------------------------------------------------------------- #
+def fig07_triangle_weak_scaling(
+    *,
+    vertices_per_rank: int = 1 << 6,
+    ranks: tuple[int, ...] = (4, 16),
+    degree: int = 16,
+    rewires: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
+    seed: int = 0,
+):
+    """Weak scaling of triangle counting on small-world graphs.
+
+    Paper: uniform degree 32, rewires 0-30%; SW graphs isolate hub effects,
+    so weak scaling should be near-linear (time roughly flat in p) and
+    higher rewire should not blow up the time.
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for p in ranks:
+        n = vertices_per_rank * p
+        for rewire in rewires:
+            edges, graph = build_sw_graph(
+                n, degree, rewire=rewire, num_partitions=p, seed=seed
+            )
+            result = run_traversal(
+                graph, TriangleCountAlgorithm(), machine=machine, topology="3d"
+            )
+            rows.append(
+                {
+                    "p": p,
+                    "n": n,
+                    "rewire": rewire,
+                    "triangles": result.data.total,
+                    "time_us": result.stats.time_us,
+                    "visits": result.stats.total_visits,
+                }
+            )
+    report = format_table(
+        rows,
+        ["p", "n", ("rewire", ".2f"), "triangles", ("time_us", ".0f"), "visits"],
+        title="Figure 7 — triangle counting weak scaling on small-world graphs "
+        "(paper: near-linear weak scaling; uniform degree isolates hubs)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 8 — external-memory BFS weak scaling
+# ---------------------------------------------------------------------- #
+def fig08_em_bfs_weak_scaling(
+    *,
+    vertices_per_rank: int = 1 << 9,
+    ranks: tuple[int, ...] = (2, 4, 8, 16),
+    cache_bytes_per_rank: int = 48 * 1024,
+    page_size: int = 256,
+    num_ghosts: int = DEFAULT_GHOSTS,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Weak scaling of distributed *external memory* BFS, Hyperion profile.
+
+    Paper: 17B edges (169 GB) per node on Fusion-io; 64 nodes traverse a
+    trillion-edge graph.  Claim checked: TEPS keeps growing with p while
+    the graph (NVRAM-resident) grows proportionally.
+    """
+    rows = []
+    machine = hyperion_dit("nvram", cache_bytes_per_rank=cache_bytes_per_rank,
+                           page_size=page_size)
+    for p in ranks:
+        scale = int(np.log2(vertices_per_rank * p))
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=p, num_ghosts=num_ghosts, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d", warm_cache=True,
+        )
+        row["scale"] = scale
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["p", "scale", "m", ("teps", ".3e"), ("time_us", ".0f"),
+         ("cache_hit_rate", ".3f")],
+        title="Figure 8 — external-memory BFS weak scaling, Hyperion-DIT "
+        "profile (paper: TEPS keeps scaling with NVRAM-resident data)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 9 — NVRAM data scaling at fixed compute
+# ---------------------------------------------------------------------- #
+def fig09_nvram_data_scaling(
+    *,
+    base_scale: int = 9,
+    num_ranks: int = 8,
+    factors: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    num_ghosts: int = DEFAULT_GHOSTS,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Growing NVRAM-resident data at fixed compute (the 39% headline).
+
+    Paper: 64 Hyperion nodes; data grows 34B -> 1T edges (32x); TEPS drops
+    only 39% versus the DRAM-only baseline.  Claim checked: the 32x point's
+    degradation is moderate (far less than proportional to data growth).
+
+    The per-rank page cache is sized to the 1x working set (the node's
+    "DRAM") and stays *warm* across the repeated BFS runs, so factor 1 runs
+    at effectively in-memory speed while larger factors increasingly fall
+    through to the flash device — the same mechanism as the paper's
+    DRAM-vs-Flash split.
+    """
+    base_edges, base_graph = build_rmat_graph(
+        base_scale, num_partitions=num_ranks, num_ghosts=num_ghosts, seed=seed
+    )
+    csr_bytes_1x = max(
+        part.csr.nbytes() for part in base_graph.partitions
+    )
+    dram_machine = hyperion_dit("dram")
+    rows = []
+    dram_row = mean_over_sources(
+        base_edges, base_graph, num_sources=num_sources, seed=seed,
+        machine=dram_machine, topology="2d",
+    )
+    dram_row.update({"factor": 1, "storage": "dram"})
+    rows.append(dram_row)
+
+    nvram_machine = hyperion_dit(
+        "nvram", cache_bytes_per_rank=int(csr_bytes_1x * 1.25), page_size=256
+    )
+    for factor in factors:
+        scale = base_scale + int(np.log2(factor))
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=num_ranks, num_ghosts=num_ghosts, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=nvram_machine, topology="2d", warm_cache=True,
+        )
+        row.update({"factor": factor, "storage": "nvram"})
+        rows.append(row)
+
+    base_teps = rows[0]["teps"]
+    for row in rows:
+        row["teps_vs_dram"] = row["teps"] / base_teps if base_teps else 0.0
+    report = format_table(
+        rows,
+        ["storage", "factor", "m", ("teps", ".3e"), ("teps_vs_dram", ".3f"),
+         ("cache_hit_rate", ".3f")],
+        title="Figure 9 — NVRAM data scaling at fixed compute "
+        "(paper: 32x data with only 39% TEPS degradation)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 10 — diameter effect on BFS
+# ---------------------------------------------------------------------- #
+def fig10_diameter_effect(
+    *,
+    num_vertices: int = 1 << 12,
+    degree: int = 16,
+    rewires: tuple[float, ...] = (1.0, 0.3, 0.1, 0.03, 0.01, 0.003),
+    num_ranks: int = 16,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """BFS performance vs graph diameter (small-world rewire sweep).
+
+    Paper: fixed 2^30 vertices on 4096 cores; lowering the rewire
+    probability raises the diameter (x axis = BFS level depth) and BFS
+    performance falls.  Claim checked: TEPS decreases monotonically as the
+    measured BFS depth grows.
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for rewire in rewires:
+        edges, graph = build_sw_graph(
+            num_vertices, degree, rewire=rewire, num_partitions=num_ranks, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="3d",
+        )
+        row["rewire"] = rewire
+        rows.append(row)
+    rows.sort(key=lambda r: r["max_level"])
+    report = format_table(
+        rows,
+        [("rewire", ".3f"), ("max_level", ".0f"), ("teps", ".3e"),
+         ("time_us", ".0f")],
+        title="Figure 10 — diameter effect on BFS (paper: performance drops "
+        "as BFS depth grows)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 11 — max-degree effect on triangle counting
+# ---------------------------------------------------------------------- #
+def fig11_degree_effect(
+    *,
+    num_vertices: int = 1 << 11,
+    edges_per_vertex: int = 8,
+    rewires: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.0),
+    num_ranks: int = 16,
+    seed: int = 0,
+):
+    """Triangle counting vs maximum vertex degree (PA rewire sweep).
+
+    Paper: fixed 2^28 vertices / 2^32 edges on 4096 cores; lowering the
+    rewire probability grows the max hub (x axis) and triangle counting
+    slows.  Claim checked: time increases monotonically with max degree.
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for rewire in rewires:
+        edges, graph = build_pa_graph(
+            num_vertices, edges_per_vertex, rewire=rewire,
+            num_partitions=num_ranks, seed=seed,
+        )
+        result = run_traversal(
+            graph, TriangleCountAlgorithm(), machine=machine, topology="3d"
+        )
+        rows.append(
+            {
+                "rewire": rewire,
+                "max_degree": int(edges.out_degrees().max()),
+                "triangles": result.data.total,
+                "time_us": result.stats.time_us,
+                "visits": result.stats.total_visits,
+            }
+        )
+    rows.sort(key=lambda r: r["max_degree"])
+    report = format_table(
+        rows,
+        [("rewire", ".2f"), "max_degree", "triangles", ("time_us", ".0f"),
+         "visits"],
+        title="Figure 11 — vertex-degree effect on triangle counting "
+        "(paper: time grows with max degree)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 12 — edge list partitioning vs 1D
+# ---------------------------------------------------------------------- #
+def fig12_elp_vs_1d(
+    *,
+    vertices_per_rank: int = 1 << 8,
+    ranks: tuple[int, ...] = (4, 16, 64),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """BFS weak scaling: edge list partitioning vs 1D (Figure 12).
+
+    Paper: graph sizes reduced (2^17 vertices per core) so 1D does not run
+    out of memory; edge-list scaling is near linear while 1D slows under
+    partition imbalance.  Claims checked: 1D's max-partition memory blows
+    up with p while edge-list stays flat, and 1D is slower at scale.
+    """
+    rows = []
+    machine = bgp_intrepid()
+    for p in ranks:
+        scale = int(np.log2(vertices_per_rank * p))
+        for strategy in ("edge_list", "1d"):
+            edges, graph = build_rmat_graph(
+                scale, num_partitions=p, strategy=strategy, seed=seed,
+                num_ghosts=DEFAULT_GHOSTS if strategy == "edge_list" else 0,
+            )
+            row = mean_over_sources(
+                edges, graph, num_sources=num_sources, seed=seed,
+                machine=machine, topology="3d",
+            )
+            row["scale"] = scale
+            row["max_partition_edges"] = max(
+                part.num_local_edges for part in graph.partitions
+            )
+            row["edge_imbalance"] = row["max_partition_edges"] / (
+                graph.num_edges / p
+            )
+            rows.append(row)
+    report = format_table(
+        rows,
+        ["strategy", "p", "scale", ("teps", ".3e"), ("time_us", ".0f"),
+         "max_partition_edges", ("edge_imbalance", ".2f")],
+        title="Figure 12 — edge list partitioning vs 1D "
+        "(paper: ELP near-linear; 1D suffers imbalance and memory blow-up)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Figure 13 — ghost-count sweep
+# ---------------------------------------------------------------------- #
+def fig13_ghost_sweep(
+    *,
+    scale: int = 12,
+    num_ranks: int = 16,
+    ghost_counts: tuple[int, ...] = (0, 1, 2, 8, 64, 256, 512),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Percent BFS improvement of k ghosts per partition vs no ghosts.
+
+    Paper: 2^30 vertices on 4096 cores; 1 ghost > 12% improvement, 512
+    ghosts 19.5%.  Claim checked: improvement is positive and grows with
+    the ghost budget (magnitude depends on the hub structure, as the paper
+    itself notes).
+    """
+    rows = []
+    machine = bgp_intrepid()
+    baseline = None
+    for k in ghost_counts:
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=num_ranks, num_ghosts=k, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+        )
+        row["ghosts"] = k
+        if k == 0:
+            baseline = row["time_us"]
+        row["improvement_pct"] = (
+            100.0 * (baseline - row["time_us"]) / baseline if baseline else 0.0
+        )
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["ghosts", ("time_us", ".0f"), ("improvement_pct", ".1f"),
+         ("ghost_filtered", ".0f"), ("visitors_sent", ".0f")],
+        title="Figure 13 — ghost-vertex sweep (paper: 1 ghost >12%, "
+        "512 ghosts 19.5% improvement)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Table II — Graph500 with NAND Flash across machines
+# ---------------------------------------------------------------------- #
+def table2_graph500_nvram(
+    *,
+    base_scale: int = 10,
+    nvram_extra_scale: int = 3,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Table II: DRAM vs NAND-Flash Graph500 runs across machine profiles.
+
+    Paper rows: Hyperion-DIT DRAM (2^31, 1004 MTEPS), Hyperion-DIT
+    Fusion-io (2^36, 609 MTEPS), Trestles SATA SSD (2^36, 242 MTEPS),
+    Leviathan single node (2^36, 52 MTEPS).  Claim checked: the *ordering*
+    of the four rows is reproduced (DRAM > Fusion-io > SATA SSD >
+    single-node) with NVRAM rows traversing much larger graphs.
+    """
+    big_scale = base_scale + nvram_extra_scale
+    configs = [
+        ("Hyperion-DIT", hyperion_dit("dram"), 16, base_scale, "DRAM"),
+        ("Hyperion-DIT",
+         hyperion_dit("nvram", cache_bytes_per_rank=96 * 1024, page_size=256), 16,
+         big_scale, "Fusion-io"),
+        ("Trestles", trestles(cache_bytes_per_rank=96 * 1024, page_size=256), 16,
+         big_scale, "SATA SSD"),
+        ("Leviathan", leviathan(cache_bytes_per_rank=96 * 1024, page_size=256), 4,
+         big_scale, "Fusion-io (1 node)"),
+    ]
+    rows = []
+    for name, machine, p, scale, storage in configs:
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=p, num_ghosts=DEFAULT_GHOSTS, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d", warm_cache=True,
+        )
+        row.update(
+            {
+                "machine_name": name,
+                "storage": storage,
+                "scale": scale,
+                "mteps": row["teps"] / 1e6,
+            }
+        )
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["machine_name", "storage", "p", "scale", ("mteps", ".3f"),
+         ("cache_hit_rate", ".3f")],
+        title="Table II — Graph500 with NAND Flash (paper MTEPS: 1004 / 609 "
+        "/ 242 / 52; check ordering)",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------- #
+# Ablations (DESIGN.md §6)
+# ---------------------------------------------------------------------- #
+def ablation_routing(
+    *,
+    scale: int = 12,
+    num_ranks: int = 64,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Direct vs 2D vs 3D routing at larger rank counts: channels per rank
+    shrink and packets fatten, at the price of extra hops."""
+    from repro.comm.routing import make_topology, max_channels
+
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = bgp_intrepid()
+    rows = []
+    for name in ("direct", "2d", "3d"):
+        topo = make_topology(name, num_ranks)
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology=topo,
+        )
+        row["routing"] = name
+        row["max_channels"] = max_channels(topo)
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["routing", "max_channels", ("packets", ".0f"), ("bytes", ".0f"),
+         ("time_us", ".0f"), ("teps", ".3e")],
+        title="Ablation — routing topology (channel count vs hop latency)",
+    )
+    return rows, report
+
+
+def ablation_locality_ordering(
+    *,
+    scale: int = 11,
+    num_ranks: int = 8,
+    cache_bytes_per_rank: int = 24 * 1024,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Section V-A's vertex-id tie-breaking on vs off under NVRAM: ordering
+    by vertex id should raise the page-cache hit rate."""
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = hyperion_dit("nvram", cache_bytes_per_rank=cache_bytes_per_rank,
+                           page_size=256)
+    rows = []
+    for ordering in (True, False):
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+            config=EngineConfig(locality_ordering=ordering),
+        )
+        row["locality_ordering"] = ordering
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["locality_ordering", ("cache_hit_rate", ".4f"), ("time_us", ".0f"),
+         ("teps", ".3e")],
+        title="Ablation — Section V-A locality ordering under NVRAM",
+    )
+    return rows, report
+
+
+def ablation_aggregation(
+    *,
+    scale: int = 11,
+    num_ranks: int = 16,
+    sizes: tuple[int, ...] = (1, 4, 16, 64),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Aggregation buffer size sweep: bigger buffers mean fewer, fatter
+    packets (lower overhead) but can delay the wavefront."""
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = bgp_intrepid()
+    rows = []
+    for size in sizes:
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+            config=EngineConfig(aggregation_size=size),
+        )
+        row["aggregation_size"] = size
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["aggregation_size", ("packets", ".0f"), ("bytes", ".0f"),
+         ("time_us", ".0f")],
+        title="Ablation — mailbox aggregation buffer size",
+    )
+    return rows, report
+
+
+def ablation_termination(
+    *,
+    scale: int = 11,
+    num_ranks: int = 16,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Counting quiescence detector vs the omniscient oracle: the detector's
+    control traffic and detection delay are its (small) price."""
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = bgp_intrepid()
+    rows = []
+    for use_detector in (True, False):
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+            config=EngineConfig(use_termination_detector=use_detector),
+        )
+        row["termination"] = "counting-detector" if use_detector else "oracle"
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["termination", ("ticks", ".0f"), ("time_us", ".0f"), ("packets", ".0f")],
+        title="Ablation — quiescence detection overhead",
+    )
+    return rows, report
+
+
+def ablation_io_concurrency(
+    *,
+    scale: int = 11,
+    num_ranks: int = 8,
+    cache_bytes_per_rank: int = 24 * 1024,
+    concurrencies: tuple[int, ...] = (1, 4, 16, 48),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Concurrent I/O sweep (Section II-B's motivation): restricting the
+    outstanding NVRAM reads per tick to 1 models a synchronous traversal and
+    should be dramatically slower."""
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = hyperion_dit("nvram", cache_bytes_per_rank=cache_bytes_per_rank,
+                           page_size=256)
+    rows = []
+    for conc in concurrencies:
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+            config=EngineConfig(io_concurrency=conc),
+        )
+        row["io_concurrency"] = conc
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["io_concurrency", ("time_us", ".0f"), ("teps", ".3e"),
+         ("cache_hit_rate", ".3f")],
+        title="Ablation — NVRAM I/O concurrency (async batching is what "
+        "makes Flash viable)",
+    )
+    return rows, report
+
+
+def ablation_async_vs_bsp(
+    *,
+    num_vertices: int = 1 << 11,
+    degree: int = 4,
+    rewires: tuple[float, ...] = (1.0, 0.1, 0.01, 0.0),
+    num_ranks: int = 16,
+    seed: int = 0,
+):
+    """Asynchronous visitor queue vs an optimised level-synchronous (BSP)
+    BFS baseline across a diameter sweep.
+
+    The paper's architectural claim is that asynchrony "mitigates the
+    effects of both distributed and external memory latency"; BSP pays a
+    barrier + all-to-all per level, so its relative cost grows with the
+    BFS depth.
+    """
+    from repro.algorithms.bfs import bfs as run_bfs
+    from repro.algorithms.bsp_bfs import bsp_bfs
+
+    machine = bgp_intrepid()
+    rows = []
+    for rewire in rewires:
+        edges, graph = build_sw_graph(
+            num_vertices, degree, rewire=rewire, num_partitions=num_ranks,
+            num_ghosts=DEFAULT_GHOSTS, seed=seed,
+        )
+        source = pick_bfs_source(edges, seed=seed)
+        sync = bsp_bfs(graph, source, machine=machine)
+        asy = run_bfs(graph, source, machine=machine, topology="direct")
+        rows.append(
+            {
+                "rewire": rewire,
+                "depth": sync.max_level,
+                "bsp_time_us": sync.time_us,
+                "async_time_us": asy.stats.time_us,
+                "bsp_over_async": sync.time_us / asy.stats.time_us,
+                "supersteps": sync.num_supersteps,
+            }
+        )
+    rows.sort(key=lambda r: r["depth"])
+    report = format_table(
+        rows,
+        [("rewire", ".3f"), "depth", "supersteps", ("bsp_time_us", ".0f"),
+         ("async_time_us", ".0f"), ("bsp_over_async", ".2f")],
+        title="Ablation — asynchronous visitor queue vs BSP BFS "
+        "(async advantage grows with diameter)",
+    )
+    return rows, report
+
+
+def ablation_sort_cost(
+    *,
+    scale: int = 12,
+    ranks: tuple[int, ...] = (4, 16, 64),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Cost of the one-off global edge sort vs a single BFS traversal.
+
+    Edge list partitioning's extra requirement (§III-A1) quantified: the
+    simulated distributed sample sort is a small constant number of
+    traversal-equivalents, amortised across every traversal the resident
+    graph serves.
+    """
+    from repro.generators.rmat import rmat_edges as gen_rmat
+    from repro.graph.dist_sort import sample_sort_edges
+    from repro.graph.edge_list import EdgeList
+
+    machine = bgp_intrepid()
+    src, dst = gen_rmat(scale, 16 << scale, seed=seed)
+    unsorted_edges = (
+        EdgeList.from_arrays(src, dst, 1 << scale)
+        .permuted(seed=seed + 1)
+        .simple_undirected()
+    )
+    # simple_undirected returns sorted; shuffle to model raw generator output
+    import numpy as _np
+
+    rng = _np.random.default_rng(seed + 2)
+    order = rng.permutation(unsorted_edges.num_edges)
+    shuffled = EdgeList(
+        src=unsorted_edges.src[order], dst=unsorted_edges.dst[order],
+        num_vertices=unsorted_edges.num_vertices,
+    )
+    rows = []
+    for p in ranks:
+        sort_result = sample_sort_edges(shuffled, p, machine, seed=seed)
+        graph = DistributedGraph.build(sort_result.edges, p, num_ghosts=DEFAULT_GHOSTS)
+        bfs_row = mean_over_sources(
+            sort_result.edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+        )
+        rows.append(
+            {
+                "p": p,
+                "sort_time_us": sort_result.time_us,
+                "bfs_time_us": bfs_row["time_us"],
+                "sort_over_bfs": sort_result.time_us / bfs_row["time_us"],
+                "bucket_imbalance": sort_result.bucket_imbalance,
+                "exchange_mb": sort_result.exchange_bytes / 1e6,
+            }
+        )
+    report = format_table(
+        rows,
+        ["p", ("sort_time_us", ".0f"), ("bfs_time_us", ".0f"),
+         ("sort_over_bfs", ".2f"), ("bucket_imbalance", ".2f"),
+         ("exchange_mb", ".3f")],
+        title="Ablation — one-off distributed sort cost vs one BFS "
+        "(the edge-list partitioning setup step, amortised)",
+    )
+    return rows, report
+
+
+def ablation_exact_vs_sampled_triangles(
+    *,
+    num_vertices: int = 1 << 11,
+    edges_per_vertex: int = 8,
+    samples: tuple[int, ...] = (1_000, 10_000, 50_000),
+    num_ranks: int = 16,
+    seed: int = 0,
+):
+    """Exact triangle counting vs wedge-sampling estimates (§VI-C's
+    extension): accuracy/cost trade as sample count grows."""
+    from repro.algorithms.wedge_sampling import sample_triangle_estimate
+
+    edges, graph = build_pa_graph(
+        num_vertices, edges_per_vertex, num_partitions=num_ranks, seed=seed
+    )
+    machine = bgp_intrepid()
+    exact = run_traversal(graph, TriangleCountAlgorithm(), machine=machine,
+                          topology="2d")
+    rows = [
+        {
+            "method": "exact",
+            "samples": 0,
+            "triangles": exact.data.total,
+            "rel_error_pct": 0.0,
+            "visits_or_checks": exact.stats.total_visits,
+        }
+    ]
+    for s in samples:
+        est = sample_triangle_estimate(graph, samples=s, seed=seed)
+        rows.append(
+            {
+                "method": "wedge-sample",
+                "samples": s,
+                "triangles": int(round(est.estimate)),
+                "rel_error_pct": 100.0 * abs(est.estimate - exact.data.total)
+                / max(exact.data.total, 1),
+                "visits_or_checks": int(est.checks_per_rank.sum()),
+            }
+        )
+    report = format_table(
+        rows,
+        ["method", "samples", "triangles", ("rel_error_pct", ".2f"),
+         "visits_or_checks"],
+        title="Ablation — exact vs wedge-sampled triangle counting",
+    )
+    return rows, report
+
+
+def ablation_semi_vs_full_external(
+    *,
+    scale: int = 11,
+    num_ranks: int = 8,
+    cache_bytes_per_rank: int = 24 * 1024,
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Semi-external (paper's design: state in DRAM, edges on flash) vs
+    fully-external memory (state paged too).
+
+    Section VIII-A's case for edge-list partitioning rests on semi-external
+    viability — per-partition state is O(V/p) and can stay resident.
+    Paging the state as well makes every pre_visit a random page touch that
+    competes with the CSR for the same cache.
+    """
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=num_ranks, num_ghosts=DEFAULT_GHOSTS, seed=seed
+    )
+    machine = hyperion_dit("nvram", cache_bytes_per_rank=cache_bytes_per_rank,
+                           page_size=256)
+    rows = []
+    for full_external in (False, True):
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+            config=EngineConfig(page_vertex_state=full_external),
+        )
+        row["memory_mode"] = "fully-external" if full_external else "semi-external"
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["memory_mode", ("time_us", ".0f"), ("teps", ".3e"),
+         ("cache_hit_rate", ".3f")],
+        title="Ablation — semi-external (paper) vs fully-external memory",
+    )
+    return rows, report
+
+
+def extension_strong_scaling(
+    *,
+    scale: int = 12,
+    ranks: tuple[int, ...] = (2, 4, 8, 16, 32),
+    num_sources: int = 2,
+    seed: int = 0,
+):
+    """Strong scaling (extension): a *fixed* graph across growing rank
+    counts.
+
+    The paper reports weak scaling only; strong scaling exposes the
+    latency floor — speedup saturates once per-rank work no longer
+    amortises the per-hop latency of the wavefront's critical path.
+    """
+    machine = bgp_intrepid()
+    rows = []
+    base_time = None
+    for p in ranks:
+        edges, graph = build_rmat_graph(
+            scale, num_partitions=p, num_ghosts=DEFAULT_GHOSTS, seed=seed
+        )
+        row = mean_over_sources(
+            edges, graph, num_sources=num_sources, seed=seed,
+            machine=machine, topology="2d",
+        )
+        if base_time is None:
+            base_time = row["time_us"]
+        row["speedup"] = base_time / row["time_us"]
+        row["efficiency"] = row["speedup"] / (p / ranks[0])
+        rows.append(row)
+    report = format_table(
+        rows,
+        ["p", ("time_us", ".0f"), ("speedup", ".2f"), ("efficiency", ".2f"),
+         ("teps", ".3e")],
+        title="Extension — strong scaling of BFS on a fixed graph "
+        "(speedup saturates at the latency floor)",
+    )
+    return rows, report
+
+
+def extension_pagerank_convergence(
+    *,
+    scale: int = 9,
+    num_ranks: int = 8,
+    thresholds: tuple[float, ...] = (1e-2, 1e-3, 1e-4),
+    seed: int = 0,
+):
+    """PageRank accuracy/work trade (extension): tightening the residual
+    threshold buys L1 accuracy at roughly proportional visitor cost."""
+    from repro.algorithms.pagerank import PageRankAlgorithm
+    from repro.reference.pagerank import pagerank_scores
+
+    edges, graph = build_rmat_graph(scale, num_partitions=num_ranks, seed=seed)
+    reference = pagerank_scores(edges)
+    machine = bgp_intrepid()
+    rows = []
+    for threshold in thresholds:
+        result = run_traversal(
+            graph, PageRankAlgorithm(threshold=threshold),
+            machine=machine, topology="2d",
+        )
+        err = float(abs(result.data.scores - reference).sum())
+        rows.append(
+            {
+                "threshold": threshold,
+                "l1_error": err,
+                "visits": result.stats.total_visits,
+                "time_us": result.stats.time_us,
+            }
+        )
+    report = format_table(
+        rows,
+        [("threshold", ".0e"), ("l1_error", ".2e"), "visits", ("time_us", ".0f")],
+        title="Extension — PageRank convergence: residual threshold vs "
+        "L1 error vs work",
+    )
+    return rows, report

@@ -1,0 +1,37 @@
+"""Exporting experiment rows as CSV artifacts.
+
+Each experiment driver returns plain dict rows; this module writes them as
+CSV so regenerated figures can feed external plotting or regression
+tooling.  Columns are the union of keys across rows (first-seen order);
+missing cells are empty.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+
+def rows_to_csv(rows: Sequence[dict], path: str | Path) -> list[str]:
+    """Write rows to ``path``; returns the column order used."""
+    if not rows:
+        raise ValueError("no rows to export")
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return columns
+
+
+def load_csv_rows(path: str | Path) -> list[dict]:
+    """Read back a CSV written by :func:`rows_to_csv` (values as strings)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

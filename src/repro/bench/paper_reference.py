@@ -1,0 +1,57 @@
+"""The paper's reported numbers, for paper-vs-measured reporting.
+
+Only *shape-level* quantities are compared (ratios, orderings, monotone
+trends); the simulator is not expected to reproduce absolute TEPS of 2012
+hardware.  Each constant cites the paper location it came from.
+"""
+
+from __future__ import annotations
+
+#: Figure 5 / Section VII-B1: "achieved 64.9 GTEPS with 2^35 vertices ...
+#: only 19% slower than the best known BG/P implementation."
+PAPER_BEST_BGP_SLOWDOWN = 0.19
+PAPER_PEAK_GTEPS_131K_CORES = 64.9
+
+#: Figure 9 / abstract: "thirty-two times larger datasets with only a 39%
+#: performance degradation in TEPS."
+PAPER_NVRAM_DATA_FACTOR = 32
+PAPER_NVRAM_TEPS_DEGRADATION = 0.39
+
+#: Figure 13: "Using a single ghost shows more than a 12% improvement, and
+#: 512 ghosts shows an 19.5% improvement."
+PAPER_GHOST_IMPROVEMENT = {1: 12.0, 512: 19.5}
+#: "All other BFS experiments in this work use 256 ghost vertices per
+#: partition."
+PAPER_DEFAULT_GHOSTS = 256
+
+#: Table II — November 2011 Graph500 results using NAND Flash.
+#: (machine, storage, log2 vertices, MTEPS)
+PAPER_TABLE2 = [
+    ("Hyperion-DIT", "DRAM", 31, 1004.0),
+    ("Hyperion-DIT", "Fusion-io", 36, 609.0),
+    ("Trestles", "SATA SSD", 36, 242.0),
+    ("Leviathan", "Fusion-io", 36, 52.0),
+]
+
+#: Figure 1: "by the graph size of 2^30 vertices, the max degree hub has
+#: already crossed 10 Million edges" (average degree held at 16).
+PAPER_FIG1_MAX_DEGREE_AT_SCALE30 = 10_000_000
+
+#: Section VII-B weak-scaling configuration on BG/P: 2^18 vertices per core,
+#: largest graph 2^35 vertices on 131K cores.
+PAPER_BGP_VERTICES_PER_CORE = 1 << 18
+
+#: Figure 6/7 weak scaling: 2^18 vertices and 2^22 undirected edges per core.
+PAPER_KCORE_EDGES_PER_CORE = 1 << 22
+
+#: Figure 8: 17 billion edges (~169 GB CSR) per compute node; 64 nodes give
+#: over one trillion edges and 2^36 vertices.
+PAPER_EM_EDGES_PER_NODE = 17_000_000_000
+
+#: Figure 12: reduced sizes so 1D fits: 2^17 vertices / 2^21 edges per core.
+PAPER_FIG12_VERTICES_PER_CORE = 1 << 17
+
+#: Section VIII-A: 2D partitions go hypersparse when sqrt(p) > degree(g);
+#: "for the sparse Graph500 datasets with average degree of 16, this may
+#: occur for as low as 256 partitions".
+PAPER_HYPERSPARSE_P = 256

@@ -1,0 +1,62 @@
+"""Profiling helpers: find out where a traversal's *host* time goes.
+
+"No optimization without measuring!" — the harness's simulated clock
+answers *algorithmic* questions; this module answers the engineering
+question of where the simulator itself spends host CPU, using
+:mod:`cProfile` so optimisation work targets real bottlenecks rather than
+guesses.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Digest of one profiled call."""
+
+    result: object
+    total_calls: int
+    host_seconds: float
+    #: (function qualifier, cumulative seconds) for the hottest functions
+    hotspots: list[tuple[str, float]]
+
+    def summary(self, top: int = 5) -> str:
+        lines = [
+            f"host time {self.host_seconds:.3f}s over {self.total_calls} calls; "
+            "hottest:"
+        ]
+        for name, cum in self.hotspots[:top]:
+            lines.append(f"  {cum:8.3f}s  {name}")
+        return "\n".join(lines)
+
+
+def profile_call(fn: Callable[[], object], *, top: int = 10) -> ProfileReport:
+    """Run ``fn`` under cProfile and return its result plus a hotspot digest."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    hotspots: list[tuple[str, float]] = []
+    for func, (_cc, _nc, _tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: -item[1][3]
+    ):
+        filename, line, name = func
+        if "cProfile" in filename or name == "<built-in method builtins.exec>":
+            continue
+        short = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        hotspots.append((short, ct))
+        if len(hotspots) >= top:
+            break
+    return ProfileReport(
+        result=result,
+        total_calls=int(stats.total_calls),
+        host_seconds=float(stats.total_tt),
+        hotspots=hotspots,
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value, spec: str | None) -> str:
+    if spec and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str | tuple[str, str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``columns`` entries are either a key or ``(key, format_spec)``, e.g.
+    ``("teps", ".3e")``.  Missing keys render as ``-``.
+    """
+    specs: list[tuple[str, str | None]] = [
+        (c, None) if isinstance(c, str) else (c[0], c[1]) for c in columns
+    ]
+    header = [key for key, _ in specs]
+    body = [
+        [_fmt(row.get(key, "-"), spec) for key, spec in specs] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

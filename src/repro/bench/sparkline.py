@@ -1,0 +1,49 @@
+"""Tiny ASCII chart rendering for terminal reports.
+
+Experiment reports are plain-text tables; a sparkline column or a small
+bar chart makes trends legible at a glance without a plotting dependency.
+Used by the CLI's ``experiment`` command and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a unicode sparkline, e.g. ``▁▃▆█``.
+
+    Constant series render as mid-height bars; empty input gives "".
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BARS[3] * len(vals)
+    span = hi - lo
+    return "".join(_BARS[min(int((v - lo) / span * 8), 7)] for v in vals)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    fmt: str = ".3g",
+) -> str:
+    """Horizontal ASCII bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vals = [float(v) for v in values]
+    peak = max(max(vals), 1e-300)
+    label_width = max(len(str(lb)) for lb in labels)
+    lines = []
+    for label, v in zip(labels, vals):
+        bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
+        lines.append(f"{str(label).rjust(label_width)}  {bar.ljust(width)}  {format(v, fmt)}")
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``generate``     Generate a graph (rmat / pa / sw) and save it to disk.
+``bfs``          Run asynchronous BFS on a generated or loaded graph.
+``kcore``        Run k-core decomposition.
+``triangles``    Run exact (or wedge-sampled) triangle counting.
+``pagerank``     Run asynchronous residual-push PageRank.
+``graph500``     Run a Graph500-style submission (N validated searches).
+``experiment``   Regenerate one paper figure/table by name.
+
+Every command prints the simulated performance trace; sizes default to
+laptop scale.  Examples::
+
+    python -m repro generate rmat --scale 12 -o graph.npz
+    python -m repro bfs --graph graph.npz -p 16 --ghosts 256 --topology 2d
+    python -m repro bfs --scale 10 -p 8 --machine bgp
+    python -m repro triangles --scale 9 -p 8 --approximate --samples 20000
+    python -m repro experiment fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangles import triangle_count
+from repro.algorithms.wedge_sampling import sample_triangle_estimate
+from repro.analysis.teps import bfs_traversed_edges, mteps
+from repro.bench.harness import pick_bfs_source
+from repro.generators.preferential_attachment import preferential_attachment_edges
+from repro.generators.rmat import rmat_edges
+from repro.generators.small_world import small_world_edges
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.graph.io import load_binary_edges, save_binary_edges
+from repro.runtime.costmodel import bgp_intrepid, hyperion_dit, laptop
+
+_MACHINES = {
+    "laptop": laptop,
+    "bgp": bgp_intrepid,
+    "hyperion-dram": lambda: hyperion_dit("dram"),
+    "hyperion-nvram": lambda: hyperion_dit("nvram"),
+}
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="load a .npz edge list instead of generating")
+    parser.add_argument("--scale", type=int, default=10,
+                        help="RMAT scale when generating (default 10)")
+    parser.add_argument("--edgefactor", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-p", "--partitions", type=int, default=8)
+    parser.add_argument("--ghosts", type=int, default=64)
+    parser.add_argument("--strategy", choices=["edge_list", "1d"], default="edge_list")
+    parser.add_argument("--topology", choices=["direct", "2d", "3d", "hypercube"],
+                        default="direct")
+    parser.add_argument("--machine", choices=sorted(_MACHINES), default="laptop")
+
+
+def _build_graph(args) -> tuple[EdgeList, DistributedGraph]:
+    if args.graph:
+        edges = load_binary_edges(args.graph)
+        if not edges.sorted_by_src:
+            edges = edges.sorted_by_source()
+    else:
+        src, dst = rmat_edges(args.scale, args.edgefactor << args.scale, seed=args.seed)
+        edges = (
+            EdgeList.from_arrays(src, dst, 1 << args.scale)
+            .permuted(seed=args.seed + 1)
+            .simple_undirected()
+        )
+    graph = DistributedGraph.build(
+        edges, args.partitions, strategy=args.strategy, num_ghosts=args.ghosts
+    )
+    return edges, graph
+
+
+def _cmd_generate(args) -> int:
+    n = 1 << args.scale if args.model == "rmat" else args.vertices
+    if args.model == "rmat":
+        src, dst = rmat_edges(args.scale, args.edgefactor << args.scale, seed=args.seed)
+    elif args.model == "pa":
+        src, dst = preferential_attachment_edges(
+            args.vertices, args.attach, rewire_probability=args.rewire, seed=args.seed
+        )
+    else:  # sw
+        src, dst = small_world_edges(
+            args.vertices, args.degree, rewire_probability=args.rewire, seed=args.seed
+        )
+    edges = EdgeList.from_arrays(src, dst, n).permuted(seed=args.seed + 1)
+    if args.simple:
+        edges = edges.simple_undirected()
+    save_binary_edges(edges, args.output)
+    print(f"wrote {edges.num_edges} edges over {edges.num_vertices} vertices "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_bfs(args) -> int:
+    edges, graph = _build_graph(args)
+    source = args.source if args.source is not None else pick_bfs_source(edges, seed=args.seed)
+    result = bfs(graph, source, machine=_MACHINES[args.machine](),
+                 topology=args.topology)
+    traversed = bfs_traversed_edges(edges, result.data.levels)
+    print(result.stats.summary())
+    print(f"source {source}: reached {result.data.num_reached} vertices, "
+          f"depth {result.data.max_level}, "
+          f"{mteps(traversed, result.time_us):.3f} MTEPS (simulated)")
+    return 0
+
+
+def _cmd_kcore(args) -> int:
+    _, graph = _build_graph(args)
+    result = kcore(graph, args.k, machine=_MACHINES[args.machine](),
+                   topology=args.topology)
+    print(result.stats.summary())
+    print(f"{args.k}-core: {result.data.core_size} vertices")
+    return 0
+
+
+def _cmd_triangles(args) -> int:
+    _, graph = _build_graph(args)
+    if args.approximate:
+        est = sample_triangle_estimate(graph, samples=args.samples, seed=args.seed)
+        print(f"estimated triangles: {est.estimate:.0f} "
+              f"(+/- {est.std_error:.0f}, {est.samples} wedge samples, "
+              f"closure {est.closure_fraction:.4f})")
+    else:
+        result = triangle_count(graph, machine=_MACHINES[args.machine](),
+                                topology=args.topology)
+        print(result.stats.summary())
+        print(f"triangles: {result.data.total}")
+    return 0
+
+
+def _cmd_pagerank(args) -> int:
+    _, graph = _build_graph(args)
+    result = pagerank(graph, damping=args.damping, threshold=args.threshold,
+                      machine=_MACHINES[args.machine](), topology=args.topology)
+    print(result.stats.summary())
+    print("top vertices:")
+    for v, score in result.data.top(args.top):
+        print(f"  {v:>10}  {score:.6f}")
+    return 0
+
+
+def _cmd_graph500(args) -> int:
+    from repro.bench.graph500 import run_graph500
+
+    edges, graph = _build_graph(args)
+    run = run_graph500(
+        edges, graph, num_searches=args.searches, kernel=args.kernel,
+        machine=_MACHINES[args.machine](), topology=args.topology,
+        seed=args.seed,
+    )
+    print(run.summary())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench import experiments as experiments_module
+
+    known = sorted(
+        name for name in dir(experiments_module)
+        if name.startswith(("fig", "table", "ablation")) and not name.startswith("_")
+    )
+    matches = [name for name in known if name.startswith(args.name)]
+    if len(matches) != 1:
+        print(f"unknown or ambiguous experiment {args.name!r}; choose from:",
+              file=sys.stderr)
+        for name in known:
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    rows, report = getattr(experiments_module, matches[0])()
+    print(report)
+    if args.csv:
+        from repro.bench.export import rows_to_csv
+
+        rows_to_csv(rows, args.csv)
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scale-free graph traversal in simulated distributed "
+        "(external) memory — IPDPS 2013 reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a graph to a .npz file")
+    g.add_argument("model", choices=["rmat", "pa", "sw"])
+    g.add_argument("-o", "--output", required=True)
+    g.add_argument("--scale", type=int, default=10, help="rmat: log2 vertices")
+    g.add_argument("--edgefactor", type=int, default=16)
+    g.add_argument("--vertices", type=int, default=1024, help="pa/sw vertex count")
+    g.add_argument("--attach", type=int, default=8, help="pa: edges per vertex")
+    g.add_argument("--degree", type=int, default=16, help="sw: lattice degree")
+    g.add_argument("--rewire", type=float, default=0.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--simple", action="store_true",
+                   help="symmetrize + dedup before saving")
+    g.set_defaults(func=_cmd_generate)
+
+    b = sub.add_parser("bfs", help="asynchronous BFS")
+    _add_graph_args(b)
+    b.add_argument("--source", type=int, default=None)
+    b.set_defaults(func=_cmd_bfs)
+
+    k = sub.add_parser("kcore", help="k-core decomposition")
+    _add_graph_args(k)
+    k.add_argument("-k", type=int, default=4)
+    k.set_defaults(func=_cmd_kcore)
+
+    t = sub.add_parser("triangles", help="triangle counting")
+    _add_graph_args(t)
+    t.add_argument("--approximate", action="store_true",
+                   help="wedge-sampling estimate instead of exact count")
+    t.add_argument("--samples", type=int, default=10_000)
+    t.set_defaults(func=_cmd_triangles)
+
+    pr = sub.add_parser("pagerank", help="asynchronous PageRank")
+    _add_graph_args(pr)
+    pr.add_argument("--damping", type=float, default=0.85)
+    pr.add_argument("--threshold", type=float, default=1e-4)
+    pr.add_argument("--top", type=int, default=10)
+    pr.set_defaults(func=_cmd_pagerank)
+
+    g5 = sub.add_parser("graph500", help="Graph500-style run: N validated "
+                        "BFS searches, TEPS statistics")
+    _add_graph_args(g5)
+    g5.add_argument("--searches", type=int, default=16)
+    g5.add_argument("--kernel", choices=["bfs", "sssp"], default="bfs")
+    g5.set_defaults(func=_cmd_graph500)
+
+    e = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    e.add_argument("name", help="e.g. fig13 or table2 (prefix match)")
+    e.add_argument("--csv", help="also export the rows as CSV to this path")
+    e.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

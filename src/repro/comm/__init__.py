@@ -1,0 +1,38 @@
+"""Simulated communication substrate.
+
+Implements the paper's *routed mailbox* (Section III-B): point-to-point
+message envelopes, aggregation buffers, synthetic 2D / 3D routing
+topologies that bound the number of communicating channels per rank, and
+the counting-based quiescence detector behind ``global_empty()``
+(Section V, citing Mattern).
+
+Everything moves through :class:`repro.comm.network.Network`, a
+deterministic store-and-forward fabric advanced one hop per simulation
+tick by the engine.
+"""
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_CONTROL, KIND_VISITOR, Envelope
+from repro.comm.network import Network
+from repro.comm.routing import (
+    DirectTopology,
+    Grid2DTopology,
+    Grid3DTopology,
+    HypercubeTopology,
+    make_topology,
+)
+from repro.comm.termination import QuiescenceDetector
+
+__all__ = [
+    "Envelope",
+    "KIND_VISITOR",
+    "KIND_CONTROL",
+    "Network",
+    "Mailbox",
+    "DirectTopology",
+    "Grid2DTopology",
+    "Grid3DTopology",
+    "HypercubeTopology",
+    "make_topology",
+    "QuiescenceDetector",
+]

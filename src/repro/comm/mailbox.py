@@ -1,0 +1,134 @@
+"""The routed, aggregating mailbox (Sections III-B and V).
+
+Per the paper, the mailbox exposes exactly two operations to the visitor
+queue::
+
+    send(rank, data)  -- sends data to rank, using the routing and
+                         aggregation network
+    receive()         -- receives messages from any sender
+
+``send`` never puts an envelope on the wire immediately: envelopes are
+buffered per *next hop* and flushed as aggregated packets, either when a
+buffer reaches ``aggregation_size`` or at the end of the tick.  Envelopes
+arriving at an intermediate hop are re-buffered toward their next hop, so
+multi-hop routes re-aggregate traffic at every stage — the mechanism that
+lets 2D routing trade hop latency for O(sqrt(p)) channel counts and fatter
+packets.
+
+Messages destined for the local rank short-circuit the fabric (delivered
+through a local queue, zero network cost) but still count toward the
+visitor send/receive totals used by quiescence detection.
+"""
+
+from __future__ import annotations
+
+from repro.comm.message import KIND_VISITOR, Envelope, Packet
+from repro.comm.network import Network
+from repro.comm.routing import Topology
+from repro.errors import CommunicationError
+
+
+class Mailbox:
+    """One rank's endpoint on the routed aggregation network."""
+
+    def __init__(
+        self,
+        rank: int,
+        topology: Topology,
+        network: Network,
+        *,
+        aggregation_size: int = 16,
+    ) -> None:
+        if aggregation_size < 1:
+            raise CommunicationError(f"aggregation_size must be >= 1, got {aggregation_size}")
+        self.rank = rank
+        self.topology = topology
+        self.network = network
+        self.aggregation_size = aggregation_size
+        self._buffers: dict[int, list[Envelope]] = {}
+        self._local: list[Envelope] = []
+        # next-hop lookup table for this rank (hot path: one list index
+        # instead of a routing-method call per enqueued envelope)
+        self._hop_row = [
+            topology.next_hop(rank, dest) if dest != rank else rank
+            for dest in range(topology.num_ranks)
+        ]
+        # --- counters ---------------------------------------------------
+        #: visitor envelopes originated or forwarded from this rank
+        #: (the "visitor send count" of the quiescence algorithm).
+        self.visitors_sent = 0
+        #: visitor envelopes delivered at their final destination here.
+        self.visitors_received = 0
+        #: aggregated packets this rank put on the wire.
+        self.packets_sent = 0
+        #: wire bytes this rank put on the network.
+        self.bytes_sent = 0
+        #: envelopes re-routed here mid-route (intermediate-hop traffic).
+        self.envelopes_forwarded = 0
+
+    # ------------------------------------------------------------------ #
+    def send(self, dest: int, kind: int, payload: object, size_bytes: int) -> None:
+        """Queue one message for ``dest`` (aggregated, routed)."""
+        env = Envelope(dest=dest, kind=kind, payload=payload, size_bytes=size_bytes)
+        if kind == KIND_VISITOR:
+            self.visitors_sent += 1
+        if dest == self.rank:
+            self._local.append(env)
+            return
+        self._enqueue(env)
+
+    def _enqueue(self, env: Envelope) -> None:
+        hop = self._hop_row[env.dest]
+        buf = self._buffers.setdefault(hop, [])
+        buf.append(env)
+        if len(buf) >= self.aggregation_size:
+            self._flush_hop(hop)
+
+    def _flush_hop(self, hop: int) -> None:
+        buf = self._buffers.pop(hop, None)
+        if not buf:
+            return
+        pkt = Packet(src=self.rank, hop_dest=hop, envelopes=buf)
+        self.network.send_packet(pkt)
+        self.packets_sent += 1
+        self.bytes_sent += pkt.wire_bytes
+
+    def flush(self) -> None:
+        """Flush all aggregation buffers (called at every tick end so
+        messages are never stranded)."""
+        for hop in list(self._buffers):
+            self._flush_hop(hop)
+
+    # ------------------------------------------------------------------ #
+    def receive(self, packets: list[Packet]) -> list[Envelope]:
+        """Process arriving packets; return envelopes terminating here.
+
+        Envelopes addressed elsewhere are transit traffic: they are
+        re-buffered toward their next hop (re-aggregated with whatever else
+        this rank is sending) and do not appear in the returned list.
+        """
+        delivered: list[Envelope] = []
+        for pkt in packets:
+            if pkt.hop_dest != self.rank:
+                raise CommunicationError(
+                    f"rank {self.rank} handed a packet addressed to hop {pkt.hop_dest}"
+                )
+            for env in pkt.envelopes:
+                if env.dest == self.rank:
+                    delivered.append(env)
+                else:
+                    self.envelopes_forwarded += 1
+                    self._enqueue(env)
+        if self._local:
+            delivered.extend(self._local)
+            self._local = []
+        for env in delivered:
+            if env.kind == KIND_VISITOR:
+                self.visitors_received += 1
+        return delivered
+
+    # ------------------------------------------------------------------ #
+    def has_buffered(self) -> bool:
+        """True when unflushed envelopes are sitting in aggregation buffers
+        or the local loopback queue."""
+        return bool(self._local) or any(self._buffers.values())

@@ -1,0 +1,54 @@
+"""Deterministic store-and-forward network fabric.
+
+Packets flushed during tick ``t`` become available at their next-hop rank
+at tick ``t + 1`` — one simulation tick per network hop.  The engine maps
+tick count to simulated time via the machine model's hop latency, so a 2D
+route costs two hops of latency but buys larger aggregated packets, exactly
+the trade-off Section III-B describes.
+"""
+
+from __future__ import annotations
+
+from repro.comm.message import Packet
+from repro.errors import CommunicationError
+
+
+class Network:
+    """In-flight packet store shared by all mailboxes of one traversal."""
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise CommunicationError(f"need at least 1 rank, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self._sent_this_tick: list[Packet] = []
+        #: Cumulative fabric statistics.
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def send_packet(self, packet: Packet) -> None:
+        """Inject a packet; it arrives at ``packet.hop_dest`` next tick."""
+        if not 0 <= packet.hop_dest < self.num_ranks:
+            raise CommunicationError(f"packet addressed to invalid rank {packet.hop_dest}")
+        self._sent_this_tick.append(packet)
+        self.total_packets += 1
+        self.total_bytes += packet.wire_bytes
+
+    def advance(self) -> list[list[Packet]]:
+        """Move the tick boundary: deliver everything sent last tick.
+
+        Returns per-rank packet lists (index = rank); one call per tick, so
+        every hop costs exactly one tick of latency.
+        """
+        arrivals: list[list[Packet]] = [[] for _ in range(self.num_ranks)]
+        for pkt in self._sent_this_tick:
+            arrivals[pkt.hop_dest].append(pkt)
+        self._sent_this_tick = []
+        return arrivals
+
+    def packets_in_flight(self) -> int:
+        """Packets sent but not yet handed to a mailbox."""
+        return len(self._sent_this_tick)
+
+    def idle(self) -> bool:
+        """True when no packet is anywhere in the fabric."""
+        return self.packets_in_flight() == 0

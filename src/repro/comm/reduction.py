@@ -1,0 +1,58 @@
+"""Asynchronous tree reductions for post-traversal aggregation.
+
+Algorithm 7's last step is ``global_count = all_reduce(local_count, SUM)``.
+During a traversal all coordination happens through visitor counting; the
+final reduction is a one-shot collective, so it is modelled as a binomial
+tree whose per-level cost (packet overhead + hop latency) is charged to the
+result's simulated time rather than being run tick-by-tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce as _functools_reduce
+from math import ceil, log2
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ReduceOutcome:
+    """Result and accounting of a simulated tree all-reduce."""
+
+    value: object
+    time_us: float
+    messages: int
+    levels: int
+
+
+def tree_allreduce(
+    values: Sequence[T],
+    op: Callable[[T, T], T],
+    *,
+    packet_overhead_us: float = 0.0,
+    hop_latency_us: float = 0.0,
+    value_bytes: int = 8,
+    byte_us: float = 0.0,
+) -> ReduceOutcome:
+    """Combine per-rank ``values`` with ``op`` over a binomial tree.
+
+    Reduce-to-root takes ``ceil(log2 p)`` levels; the broadcast back doubles
+    them (all-reduce).  ``op`` must be associative; evaluation order is the
+    deterministic binomial-tree order, so non-commutative ops are combined
+    child-before-parent by rank id.
+    """
+    p = len(values)
+    if p == 0:
+        raise ValueError("tree_allreduce needs at least one value")
+    combined = _functools_reduce(op, list(values))
+    levels = ceil(log2(p)) if p > 1 else 0
+    per_level = packet_overhead_us + hop_latency_us + value_bytes * byte_us
+    messages = 2 * (p - 1)  # up the tree, then back down
+    return ReduceOutcome(
+        value=combined,
+        time_us=2 * levels * per_level,
+        messages=messages,
+        levels=levels,
+    )

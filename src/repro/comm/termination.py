@@ -1,0 +1,159 @@
+"""Quiescence detection — the ``global_empty()`` of Algorithm 1.
+
+"It is implemented using a simple O(lg(p)) quiescence detection algorithm
+based on visitor counting [Mattern 1987].  The algorithm performs an
+asynchronous reduction of the global visitor send and receive count using
+non-blocking point-to-point MPI communication."
+
+This module implements the classic *double-count* (four-counter) variant:
+the root repeatedly runs reduction waves over a binary tree of ranks, each
+wave gathering ``(visitors_sent, visitors_received, locally_quiet)``.
+Termination is announced only when **two consecutive waves** observe equal
+send/receive totals with every rank quiet — a single wave can be fooled by
+a message that is counted as received before the probe reaches its sender's
+subtree.
+
+"To check for non-termination is an asynchronous event, and only becomes
+synchronous after the visitor queues are already empty": waves run
+concurrently with useful work and only the final confirming waves happen on
+an idle machine.  Control traffic flows through the same mailboxes and
+network as visitors, so its cost is accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_CONTROL
+from repro.errors import TerminationError
+
+#: Wire size of one control message (wave id + two counters + flag).
+CONTROL_BYTES = 28
+
+_PROBE = "probe"
+_REPLY = "reply"
+_TERMINATE = "terminate"
+
+
+@dataclass(frozen=True)
+class LocalSnapshot:
+    """One rank's contribution to a reduction wave."""
+
+    sent: int
+    received: int
+    quiet: bool
+
+
+class QuiescenceDetector:
+    """Per-rank endpoint of the counting quiescence protocol.
+
+    The engine drives it with :meth:`handle` for each arriving control
+    envelope and :meth:`maybe_start_wave` (root only) once per tick.  The
+    ``snapshot_fn`` callback samples the rank's *current* counters at the
+    moment its reply is emitted, which is what makes the double count
+    sound.
+    """
+
+    def __init__(self, rank: int, num_ranks: int, mailbox: Mailbox, snapshot_fn) -> None:
+        self.rank = rank
+        self.num_ranks = num_ranks
+        self.mailbox = mailbox
+        self.snapshot_fn = snapshot_fn
+        self.terminated = False
+        # wave state
+        self._wave = -1
+        self._pending_children = 0
+        self._acc_sent = 0
+        self._acc_recv = 0
+        self._acc_quiet = True
+        # root-only state
+        self._wave_active = False
+        self._last_totals: tuple[int, int] | None = None
+        self._next_wave_id = 0
+        #: statistics: completed waves observed by this rank.
+        self.waves_participated = 0
+
+    # ------------------------------------------------------------------ #
+    def _children(self) -> list[int]:
+        kids = [2 * self.rank + 1, 2 * self.rank + 2]
+        return [k for k in kids if k < self.num_ranks]
+
+    def _parent(self) -> int:
+        return (self.rank - 1) // 2
+
+    def _send(self, dest: int, payload: tuple) -> None:
+        self.mailbox.send(dest, KIND_CONTROL, payload, CONTROL_BYTES)
+
+    # ------------------------------------------------------------------ #
+    def maybe_start_wave(self) -> None:
+        """Root only: launch a new reduction wave if none is in flight."""
+        if self.rank != 0:
+            raise TerminationError("only rank 0 starts waves")
+        if self.terminated or self._wave_active:
+            return
+        self._wave_active = True
+        self._begin_wave(self._next_wave_id)
+        self._next_wave_id += 1
+
+    def _begin_wave(self, wave: int) -> None:
+        self._wave = wave
+        self._acc_sent = 0
+        self._acc_recv = 0
+        self._acc_quiet = True
+        kids = self._children()
+        self._pending_children = len(kids)
+        for k in kids:
+            self._send(k, (_PROBE, wave))
+        if self._pending_children == 0:
+            self._emit_reply()
+
+    def _emit_reply(self) -> None:
+        snap: LocalSnapshot = self.snapshot_fn()
+        sent = self._acc_sent + snap.sent
+        recv = self._acc_recv + snap.received
+        quiet = self._acc_quiet and snap.quiet
+        self.waves_participated += 1
+        if self.rank == 0:
+            self._conclude_wave(sent, recv, quiet)
+        else:
+            self._send(self._parent(), (_REPLY, self._wave, sent, recv, quiet))
+
+    def _conclude_wave(self, sent: int, recv: int, quiet: bool) -> None:
+        self._wave_active = False
+        if quiet and sent == recv:
+            if self._last_totals == (sent, recv):
+                self._announce_termination()
+                return
+            self._last_totals = (sent, recv)
+        else:
+            self._last_totals = None
+
+    def _announce_termination(self) -> None:
+        self.terminated = True
+        for k in self._children():
+            self._send(k, (_TERMINATE,))
+
+    # ------------------------------------------------------------------ #
+    def handle(self, payload: tuple) -> None:
+        """Process one control message addressed to this rank."""
+        tag = payload[0]
+        if tag == _PROBE:
+            _, wave = payload
+            self._begin_wave(wave)
+        elif tag == _REPLY:
+            _, wave, sent, recv, quiet = payload
+            if wave != self._wave:
+                raise TerminationError(
+                    f"rank {self.rank} got reply for wave {wave}, expected {self._wave}"
+                )
+            self._acc_sent += sent
+            self._acc_recv += recv
+            self._acc_quiet = self._acc_quiet and quiet
+            self._pending_children -= 1
+            if self._pending_children == 0:
+                self._emit_reply()
+        elif tag == _TERMINATE:
+            self._announce_termination()
+        else:
+            raise TerminationError(f"unknown control message {tag!r}")

@@ -1,0 +1,77 @@
+"""User-facing traversal entry point.
+
+:func:`run_traversal` wires a :class:`DistributedGraph`, an
+:class:`AsyncAlgorithm`, a machine profile and a routing topology into a
+:class:`~repro.runtime.engine.SimulationEngine`, runs it to global
+quiescence and returns a :class:`TraversalResult` bundling the algorithm's
+output with the full simulation trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.routing import Topology
+from repro.core.visitor import AsyncAlgorithm
+from repro.graph.distributed import DistributedGraph
+from repro.runtime.costmodel import EngineConfig, MachineModel, laptop
+from repro.runtime.engine import SimulationEngine
+from repro.runtime.trace import TraversalStats
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """Output of one asynchronous traversal."""
+
+    #: Algorithm-specific result object (see each algorithm's ``finalize``).
+    data: object
+    #: Full simulation trace (counts, simulated time, cache behaviour).
+    stats: TraversalStats
+
+    @property
+    def time_us(self) -> float:
+        """Simulated traversal time in microseconds."""
+        return self.stats.time_us
+
+
+def run_traversal(
+    graph: DistributedGraph,
+    algorithm: AsyncAlgorithm,
+    *,
+    machine: MachineModel | None = None,
+    topology: Topology | str = "direct",
+    config: EngineConfig | None = None,
+    page_caches: list | None = None,
+) -> TraversalResult:
+    """Run ``algorithm`` over ``graph`` on a simulated machine.
+
+    Parameters
+    ----------
+    graph:
+        A :meth:`DistributedGraph.build` result (edge-list or 1D layout).
+    algorithm:
+        e.g. :class:`repro.algorithms.bfs.BFSAlgorithm`.
+    machine:
+        Cost profile; defaults to the fast in-memory ``laptop()`` profile.
+    topology:
+        ``"direct"``, ``"2d"``, ``"3d"`` or a prebuilt
+        :class:`~repro.comm.routing.Topology`.
+    config:
+        Engine knobs (:class:`~repro.runtime.costmodel.EngineConfig`).
+    page_caches:
+        Optional per-rank :class:`~repro.memory.page_cache.PageCache`
+        objects (NVRAM machines only).  Passing the same caches across
+        traversals keeps them *warm*, modelling Graph500's repeated BFS
+        runs over a persistent user-space page cache.
+    """
+    engine = SimulationEngine(
+        graph,
+        algorithm,
+        machine or laptop(),
+        topology=topology,
+        config=config,
+        page_caches=page_caches,
+    )
+    states_per_rank, stats = engine.run()
+    data = algorithm.finalize(graph, states_per_rank)
+    return TraversalResult(data=data, stats=stats)

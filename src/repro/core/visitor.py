@@ -1,0 +1,126 @@
+"""The visitor abstraction (Section IV-A, Table I).
+
+A traversal algorithm supplies a *visitor* type with:
+
+``pre_visit(vertex_data)``
+    Preliminary evaluation against the target vertex's state; returns
+    ``True`` if the visit should proceed.  May be applied to *ghost*
+    state, to master state on delivery, and to replica state along the
+    forwarding chain — it must therefore be a pure function of the visitor
+    and the state object it is handed.
+
+``visit(ctx)``
+    The main visitor procedure.  ``ctx`` is the executing rank's
+    :class:`~repro.core.visitor_queue.VisitorQueueRank`, which exposes the
+    graph operations (``out_edges``, ``state_of``, ``has_local_edge``) and
+    ``push`` for dynamically created visitors.  (The paper writes
+    ``visit(graph, visitor_queue)``; here both capabilities live on one
+    context object.)
+
+``priority``
+    The ``operator<`` of Table I: visitors are ordered in a local min-heap
+    by this integer.  Ties are broken by vertex id when the engine's
+    locality ordering is enabled (Section V-A) — "to improve page-level
+    locality, we order visitors by their vertex identifier when the
+    algorithm does not define an order".
+
+An :class:`AsyncAlgorithm` packages the visitor with everything the engine
+needs: per-vertex state construction (master / replica / ghost roles),
+initial visitor seeding, ghost-usage declaration ("each algorithm must
+explicitly declare ghost usage") and result gathering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.visitor_queue import VisitorQueueRank
+    from repro.graph.distributed import DistributedGraph
+
+#: State roles.  ``MASTER`` is the authoritative copy on ``min_owner``;
+#: ``REPLICA`` copies live along the forwarding chain; ``GHOST`` copies are
+#: the local, never-synchronised filters of Section IV-B.
+ROLE_MASTER = "master"
+ROLE_REPLICA = "replica"
+ROLE_GHOST = "ghost"
+
+
+class Visitor:
+    """Base visitor: accept-everything semantics, priority 0.
+
+    Subclasses use ``__slots__`` and plain attributes; visitors are sent by
+    value through the simulated network, exactly like the paper's POD
+    visitor structs travel through MPI.
+    """
+
+    __slots__ = ("vertex",)
+
+    #: Heap priority (the ``operator<`` of Table I). Class attribute so
+    #: visitors without ordering pay no per-instance storage.
+    priority = 0
+
+    def __init__(self, vertex: int) -> None:
+        self.vertex = vertex
+
+    def pre_visit(self, vertex_data) -> bool:
+        """Default: always proceed."""
+        return True
+
+    def visit(self, ctx: "VisitorQueueRank") -> None:
+        """Default: do nothing."""
+
+
+class AsyncAlgorithm(ABC):
+    """Descriptor binding a visitor type into a runnable traversal."""
+
+    #: Human-readable algorithm name (reports, stats).
+    name: str = "abstract"
+    #: Whether ghosts may filter this algorithm's visitors.  Only safe for
+    #: algorithms whose pre_visit is a monotonic filter (BFS, CC); counting
+    #: algorithms (k-core, triangle counting) must leave this False.
+    uses_ghosts: bool = False
+    #: Serialized visitor size for the byte-cost model.
+    visitor_bytes: int = 16
+
+    def bind(self, graph: "DistributedGraph") -> None:
+        """Called once by the engine before state construction.
+
+        Default: no-op.  Algorithms that need graph-wide facts to shape
+        their per-vertex state (e.g. PageRank gates sole-copy vertices in
+        ``pre_visit`` but must stream through split-vertex replica chains)
+        capture them here.
+        """
+
+    @abstractmethod
+    def make_state(self, vertex: int, degree: int, role: str):
+        """Create the per-vertex state object for ``vertex``.
+
+        ``role`` is one of :data:`ROLE_MASTER`, :data:`ROLE_REPLICA`,
+        :data:`ROLE_GHOST`; algorithms whose replicas behave differently
+        from masters (k-core's hair-trigger replicas) dispatch on it.
+        """
+
+    @abstractmethod
+    def initial_visitors(self, graph: "DistributedGraph", rank: int) -> Iterable[Visitor]:
+        """Visitors rank ``rank`` pushes before the traversal starts."""
+
+    @abstractmethod
+    def finalize(self, graph: "DistributedGraph", states_per_rank: list[list]):
+        """Gather per-rank state lists into the algorithm's result object.
+
+        ``states_per_rank[r][v - state_lo_r]`` is rank ``r``'s state copy
+        for vertex ``v``.  Master copies are authoritative; algorithms that
+        accumulate wherever the data lives (triangle counting) sum across
+        all copies instead.
+        """
+
+    # ------------------------------------------------------------------ #
+    def master_states(self, graph: "DistributedGraph", states_per_rank: list[list]):
+        """Iterate ``(vertex, master_state)`` over all vertices."""
+        for rank, states in enumerate(states_per_rank):
+            part = graph.partitions[rank]
+            for v in graph.masters_on(rank):
+                yield int(v), states[int(v) - part.state_lo]

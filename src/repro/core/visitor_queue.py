@@ -1,0 +1,208 @@
+"""Per-rank distributed visitor queue — Algorithm 1 of the paper.
+
+Each simulated rank owns one :class:`VisitorQueueRank` holding:
+
+* its partition's CSR slice (optionally behind a paged external-memory
+  view),
+* the per-vertex state copies for its contiguous state range,
+* an optional ghost table,
+* a local min-heap priority queue of visitors, and
+* a mailbox endpoint on the routed aggregation network.
+
+The three procedures map one-to-one onto Algorithm 1:
+
+``push(visitor)``
+    Ghost filter (``pre_visit`` on locally stored ghost state), then
+    ``mailbox.send(min_owner(vertex), visitor)``.
+
+``check_mailbox(envelopes)``
+    For every arriving visitor: ``pre_visit`` against the local state copy;
+    on success queue it locally **and forward it to the next replica** when
+    ``rank < max_owner(vertex)`` — the chain that stitches split adjacency
+    lists back together.  "The replicas are kept loosely consistent because
+    visitors are first sent to the master and then forwarded to the chain
+    of replicas in an ordered manner."
+
+``process(budget)``
+    Pop up to ``budget`` visitors from the local priority queue and run
+    their ``visit``; the heap key is ``(priority, tie, seq)`` where ``tie``
+    is the vertex id under the Section V-A locality ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_VISITOR
+from repro.core.visitor import ROLE_MASTER, ROLE_REPLICA, Visitor
+from repro.runtime.trace import RankCounters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.visitor import AsyncAlgorithm
+    from repro.graph.distributed import DistributedGraph
+    from repro.graph.ghosts import GhostTable
+    from repro.memory.backing import PagedCSR
+
+
+class VisitorQueueRank:
+    """One rank's slice of the distributed asynchronous visitor queue."""
+
+    def __init__(
+        self,
+        rank: int,
+        graph: "DistributedGraph",
+        algorithm: "AsyncAlgorithm",
+        mailbox: Mailbox,
+        *,
+        ghost_table: "GhostTable | None" = None,
+        paged_csr: "PagedCSR | None" = None,
+        locality_ordering: bool = True,
+        state_pager=None,
+    ) -> None:
+        self.rank = rank
+        self.graph = graph
+        self.algorithm = algorithm
+        self.mailbox = mailbox
+        self.ghost_table = ghost_table
+        self.paged_csr = paged_csr
+        self.locality_ordering = locality_ordering
+        #: optional fully-external mode: (cache, state_bytes) charging a
+        #: page touch per vertex-state access (semi-external leaves state
+        #: in DRAM and this None — the paper's design).
+        self.state_pager = state_pager
+        self.counters = RankCounters()
+
+        part = graph.partitions[rank]
+        self.state_lo = part.state_lo
+        degrees = graph.global_out_degrees
+        min_owners = graph.min_owners
+        self.states: list = [
+            algorithm.make_state(
+                v,
+                int(degrees[v]),
+                ROLE_MASTER if int(min_owners[v]) == rank else ROLE_REPLICA,
+            )
+            for v in range(part.state_lo, part.state_hi + 1)
+        ]
+        self._heap: list[tuple[int, int, int, Visitor]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Graph context exposed to visitors
+    # ------------------------------------------------------------------ #
+    _STATE_NAMESPACE = 2  # page-cache namespace for vertex state
+
+    def state_of(self, v: int):
+        """This rank's state copy for vertex ``v``."""
+        idx = v - self.state_lo
+        if self.state_pager is not None:
+            cache, state_bytes = self.state_pager
+            offset = idx * state_bytes
+            cache.access_range(offset, offset + state_bytes,
+                               namespace=self._STATE_NAMESPACE)
+        return self.states[idx]
+
+    def out_edges(self, v: int) -> np.ndarray:
+        """This rank's slice of ``v``'s adjacency list (page-metered when
+        the graph lives on NVRAM)."""
+        if self.paged_csr is not None:
+            part = self.graph.partitions[self.rank]
+            if part.holds_vertex(v):
+                arr = self.paged_csr.neighbors(v)
+            else:
+                arr = _EMPTY
+        else:
+            arr = self.graph.out_edges_local(self.rank, v)
+        self.counters.edges_scanned += len(arr)
+        return arr
+
+    def has_local_edge(self, v: int, w: int) -> bool:
+        """Membership test ``w in out_edges(v)`` restricted to the local
+        slice (the triangle-counting closing-edge check)."""
+        part = self.graph.partitions[self.rank]
+        if not part.holds_vertex(v):
+            return False
+        if self.paged_csr is not None:
+            found = self.paged_csr.has_edge(v, w)
+            self.counters.edges_scanned += max(1, part.csr.degree(v).bit_length())
+            return found
+        self.counters.edges_scanned += max(1, part.csr.degree(v).bit_length())
+        return part.csr.has_edge(v, w)
+
+    @property
+    def num_local_states(self) -> int:
+        return len(self.states)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+    def push(self, visitor: Visitor) -> None:
+        """Algorithm 1, PUSH: ghost filter, then send to the master."""
+        self.counters.pushes += 1
+        vertex = visitor.vertex
+        master = self.graph.min_owner(vertex)
+        if self.ghost_table is not None and self.ghost_table.has_local_ghost(vertex):
+            ghost = self.ghost_table.local_ghost(vertex)
+            self.counters.previsits += 1
+            if not visitor.pre_visit(ghost):
+                self.ghost_table.filter_hits += 1
+                self.counters.ghost_filtered += 1
+                return
+            self.ghost_table.filter_passes += 1
+        self.mailbox.send(master, KIND_VISITOR, visitor, self.algorithm.visitor_bytes)
+
+    def check_mailbox(self, visitors: list[Visitor]) -> None:
+        """Algorithm 1, CHECK_MAILBOX: pre-visit arrivals, queue locally,
+        forward along the replica chain."""
+        for visitor in visitors:
+            vertex = visitor.vertex
+            self.counters.previsits += 1
+            if visitor.pre_visit(self.state_of(vertex)):
+                self._enqueue_local(visitor)
+                if self.rank < self.graph.max_owner(vertex):
+                    # forwards to next replica
+                    self.mailbox.send(
+                        self.rank + 1, KIND_VISITOR, visitor, self.algorithm.visitor_bytes
+                    )
+
+    def _enqueue_local(self, visitor: Visitor) -> None:
+        self._seq += 1
+        tie = visitor.vertex if self.locality_ordering else self._seq
+        heapq.heappush(self._heap, (visitor.priority, tie, self._seq, visitor))
+
+    def process(self, budget: int) -> int:
+        """Run up to ``budget`` queued visitors; returns how many ran."""
+        executed = 0
+        heap = self._heap
+        while heap and executed < budget:
+            _, _, _, visitor = heapq.heappop(heap)
+            self.counters.visits += 1
+            visitor.visit(self)
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------ #
+    def locally_quiet(self) -> bool:
+        """True when this rank's local visitor queue is empty (envelopes in
+        flight are covered by the send/receive counts)."""
+        return not self._heap
+
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def sync_mailbox_counters(self) -> None:
+        """Mirror mailbox counters into this rank's trace counters."""
+        c = self.counters
+        mb = self.mailbox
+        c.visitors_sent = mb.visitors_sent
+        c.visitors_received = mb.visitors_received
+        c.packets_sent = mb.packets_sent
+        c.bytes_sent = mb.bytes_sent
+        c.envelopes_forwarded = mb.envelopes_forwarded
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when an edge list or CSR structure cannot be built as requested."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a partitioning request is invalid (e.g. more partitions than edges)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing topology cannot be constructed or a route is invalid."""
+
+
+class CommunicationError(ReproError):
+    """Raised on mailbox / network protocol violations."""
+
+
+class TraversalError(ReproError):
+    """Raised when an asynchronous traversal cannot run or fails an internal invariant."""
+
+
+class TerminationError(TraversalError):
+    """Raised when the quiescence detector reaches an inconsistent state."""
+
+
+class MemorySystemError(ReproError):
+    """Raised on invalid page-cache or device configuration."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a machine model or engine configuration is invalid."""

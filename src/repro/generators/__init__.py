@@ -1,0 +1,29 @@
+"""Synthetic graph generators used in the paper's evaluation (Section VII-A).
+
+Three models are provided, mirroring the paper exactly:
+
+* :func:`repro.generators.rmat.rmat_edges` — Graph500 v1.2 RMAT generator.
+* :func:`repro.generators.preferential_attachment.preferential_attachment_edges`
+  — Barabási–Albert with an optional *random rewire* step that interpolates
+  between a PA graph and a random graph.
+* :func:`repro.generators.small_world.small_world_edges` — Watts–Strogatz
+  graphs with uniform degree and a controllable diameter via rewiring.
+
+After generation, vertex labels should be uniformly permuted (the paper does
+this "to destroy any locality artifacts from the generators"); see
+:func:`repro.generators.permute.permute_labels`.
+"""
+
+from repro.generators.graph500 import Graph500Config
+from repro.generators.permute import permute_labels
+from repro.generators.preferential_attachment import preferential_attachment_edges
+from repro.generators.rmat import rmat_edges
+from repro.generators.small_world import small_world_edges
+
+__all__ = [
+    "Graph500Config",
+    "rmat_edges",
+    "preferential_attachment_edges",
+    "small_world_edges",
+    "permute_labels",
+]

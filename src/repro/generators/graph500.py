@@ -1,0 +1,56 @@
+"""Graph500 benchmark problem configuration (v1.2 specification).
+
+The Graph500 problem is parameterised by *scale* and *edgefactor*:
+``num_vertices = 2**scale`` and ``num_edges = edgefactor * num_vertices``.
+The reference edgefactor is 16 ("the majority of vertices will have a low
+degree (fewer than 16 for Graph500)").  The RMAT initiator probabilities are
+A=0.57, B=0.19, C=0.19, D=0.05.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Graph500 v1.2 RMAT initiator matrix probabilities.
+RMAT_A = 0.57
+RMAT_B = 0.19
+RMAT_C = 0.19
+RMAT_D = 0.05
+
+#: Graph500 reference edge factor (average directed edges per vertex).
+DEFAULT_EDGEFACTOR = 16
+
+
+@dataclass(frozen=True)
+class Graph500Config:
+    """A Graph500 problem instance descriptor.
+
+    ``scale`` is the base-2 logarithm of the vertex count.  The benchmark's
+    own terminology is used throughout the harness (e.g. "scale 36 is a
+    graph with over 1 trillion edges" — Table II).
+    """
+
+    scale: int
+    edgefactor: int = DEFAULT_EDGEFACTOR
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+        if self.edgefactor < 1:
+            raise ValueError(f"edgefactor must be >= 1, got {self.edgefactor}")
+
+    @property
+    def num_vertices(self) -> int:
+        """``2**scale`` vertices."""
+        return 1 << self.scale
+
+    @property
+    def num_edges(self) -> int:
+        """``edgefactor * 2**scale`` directed generator edges."""
+        return self.edgefactor << self.scale
+
+    @property
+    def csr_bytes(self) -> int:
+        """Approximate bytes of an undirected CSR image (8-byte ids, both
+        directions), used for external-memory footprint estimates."""
+        return 2 * self.num_edges * 8 + (self.num_vertices + 1) * 8

@@ -1,0 +1,115 @@
+"""Compressed-sparse-row adjacency storage.
+
+"The underlying storage of each edge list partition is flexible; we choose
+to store each local partition as a *compressed sparse row*."
+
+A :class:`CSR` stores adjacency for a *contiguous vertex range*
+``[vertex_base, vertex_base + num_rows)``, which is exactly what an edge
+list partition needs: partition ``i`` holds rows for the sources appearing
+in its edge slice.  Row targets are sorted ascending so membership tests
+(the closing-edge check of triangle counting) are ``O(log d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.types import VID_DTYPE
+
+
+@dataclass(frozen=True)
+class CSR:
+    """CSR adjacency over global vertex ids ``vertex_base + row``."""
+
+    row_ptr: np.ndarray  # int64, len num_rows + 1
+    cols: np.ndarray  # int64, len num_edges, sorted within each row
+    vertex_base: int = 0
+
+    def __post_init__(self) -> None:
+        rp = np.ascontiguousarray(self.row_ptr, dtype=VID_DTYPE)
+        cols = np.ascontiguousarray(self.cols, dtype=VID_DTYPE)
+        object.__setattr__(self, "row_ptr", rp)
+        object.__setattr__(self, "cols", cols)
+        if rp.ndim != 1 or rp.size < 1:
+            raise GraphConstructionError("row_ptr must be a non-empty 1-D array")
+        if rp[0] != 0 or rp[-1] != cols.size:
+            raise GraphConstructionError(
+                f"row_ptr must start at 0 and end at num_edges ({cols.size}), "
+                f"got [{rp[0]}, {rp[-1]}]"
+            )
+        if np.any(np.diff(rp) < 0):
+            raise GraphConstructionError("row_ptr must be non-decreasing")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        vertex_base: int = 0,
+        num_rows: int | None = None,
+        sort_rows: bool = True,
+    ) -> CSR:
+        """Build CSR from edges whose sources lie in
+        ``[vertex_base, vertex_base + num_rows)``."""
+        src = np.asarray(src, dtype=VID_DTYPE)
+        dst = np.asarray(dst, dtype=VID_DTYPE)
+        local = src - vertex_base
+        if num_rows is None:
+            num_rows = int(local.max(initial=-1)) + 1
+        if local.size and (local.min() < 0 or local.max() >= num_rows):
+            raise GraphConstructionError(
+                f"edge sources outside row range [{vertex_base}, {vertex_base + num_rows})"
+            )
+        counts = np.bincount(local, minlength=num_rows)
+        row_ptr = np.zeros(num_rows + 1, dtype=VID_DTYPE)
+        np.cumsum(counts, out=row_ptr[1:])
+        if sort_rows:
+            order = np.lexsort((dst, local))
+        else:
+            order = np.argsort(local, kind="stable")
+        return cls(row_ptr=row_ptr, cols=dst[order], vertex_base=vertex_base)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of vertex rows stored."""
+        return int(self.row_ptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored (directed) edges."""
+        return int(self.cols.size)
+
+    def row_range(self, v: int) -> tuple[int, int]:
+        """``(start, stop)`` indices into :attr:`cols` for vertex ``v``."""
+        r = v - self.vertex_base
+        if r < 0 or r >= self.num_rows:
+            raise IndexError(f"vertex {v} outside CSR range "
+                             f"[{self.vertex_base}, {self.vertex_base + self.num_rows})")
+        return int(self.row_ptr[r]), int(self.row_ptr[r + 1])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the adjacency row of global vertex ``v``."""
+        lo, hi = self.row_range(v)
+        return self.cols[lo:hi]
+
+    def degree(self, v: int) -> int:
+        """Local out-degree of ``v`` (only this partition's slice)."""
+        lo, hi = self.row_range(v)
+        return hi - lo
+
+    def has_edge(self, v: int, w: int) -> bool:
+        """Binary-search membership test ``(v, w) in E`` (rows are sorted)."""
+        lo, hi = self.row_range(v)
+        idx = int(np.searchsorted(self.cols[lo:hi], w))
+        return idx < (hi - lo) and int(self.cols[lo + idx]) == w
+
+    def nbytes(self) -> int:
+        """Approximate resident size in bytes (used by the external-memory
+        footprint accounting)."""
+        return int(self.row_ptr.nbytes + self.cols.nbytes)

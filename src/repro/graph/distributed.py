@@ -1,0 +1,225 @@
+"""The distributed graph facade traversed by the visitor-queue framework.
+
+A :class:`DistributedGraph` owns ``p`` :class:`LocalPartition` objects, each
+holding a CSR over one slice of the globally source-sorted edge list (edge
+list partitioning) or one contiguous vertex block (the 1D baseline), plus
+the owner directories (``min_owner`` / ``max_owner``) and per-partition
+ghost candidate sets.
+
+Both partitioning strategies present the same interface, so the same
+visitor-queue code runs against either — that is what makes the Figure 12
+comparison (edge list partitioning vs 1D) a pure data-layout experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.csr import CSR
+from repro.graph.edge_list import EdgeList
+from repro.graph.ghosts import select_ghost_candidates
+from repro.graph.locator import LocatorDirectory
+from repro.graph.partition_1d import OneDPartitioning
+from repro.graph.partition_edge_list import EdgeListPartitioning
+from repro.types import VID_DTYPE
+
+
+@dataclass(frozen=True)
+class LocalPartition:
+    """Everything one simulated rank stores."""
+
+    rank: int
+    #: CSR over this partition's edge slice; rows cover the state range.
+    csr: CSR
+    #: Inclusive vertex range whose algorithm state this rank stores.
+    state_lo: int
+    state_hi: int
+    #: Half-open slice of the global sorted edge list held here.
+    edge_lo: int
+    edge_hi: int
+    #: Locally-selected high in-degree targets eligible for ghosting.
+    ghost_candidates: np.ndarray = field(repr=False)
+
+    @property
+    def num_state_vertices(self) -> int:
+        """Number of vertex-state slots (master + replica + homed)."""
+        return self.state_hi - self.state_lo + 1
+
+    @property
+    def num_local_edges(self) -> int:
+        return self.edge_hi - self.edge_lo
+
+    def holds_vertex(self, v: int) -> bool:
+        """True when this rank stores state for ``v``."""
+        return self.state_lo <= v <= self.state_hi
+
+
+class DistributedGraph:
+    """A graph partitioned across ``p`` simulated ranks.
+
+    Build with :meth:`build`; the constructor is internal.
+    """
+
+    def __init__(
+        self,
+        *,
+        edges: EdgeList,
+        strategy: str,
+        partitions: list[LocalPartition],
+        min_owners: np.ndarray,
+        max_owners: np.ndarray,
+        elp: EdgeListPartitioning | None = None,
+        oned: OneDPartitioning | None = None,
+    ) -> None:
+        self.edges = edges
+        self.strategy = strategy
+        self.partitions = partitions
+        self.min_owners = min_owners
+        self.max_owners = max_owners
+        self.elp = elp
+        self.oned = oned
+        self.global_out_degrees = edges.out_degrees()
+        self.locator_directory = (
+            LocatorDirectory.from_partitioning(elp) if elp is not None else None
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        edges: EdgeList,
+        num_partitions: int,
+        *,
+        strategy: str = "edge_list",
+        num_ghosts: int = 0,
+    ) -> DistributedGraph:
+        """Partition ``edges`` across ``num_partitions`` ranks.
+
+        ``strategy`` is ``"edge_list"`` (the paper's layout) or ``"1d"``
+        (the baseline).  ``num_ghosts`` is the per-partition ghost budget
+        ("all other BFS experiments in this work use 256 ghost vertices per
+        partition"); ghost *candidates* are selected here, ghost *state* is
+        created per traversal by algorithms that declare ghost usage.
+        """
+        if strategy not in ("edge_list", "1d"):
+            raise PartitioningError(f"unknown partitioning strategy {strategy!r}")
+        sorted_edges = edges.sorted_by_source()
+        src, dst = sorted_edges.src, sorted_edges.dst
+        p = num_partitions
+
+        if strategy == "edge_list":
+            elp = EdgeListPartitioning.build(sorted_edges, p)
+            oned = None
+            min_owners, max_owners = elp.min_owners, elp.max_owners
+            slices = [elp.edge_slice(r) for r in range(p)]
+            ranges = [elp.state_range(r) for r in range(p)]
+        else:
+            oned = OneDPartitioning.build(sorted_edges.num_vertices, p)
+            elp = None
+            owners = oned.owner(np.arange(sorted_edges.num_vertices, dtype=VID_DTYPE))
+            min_owners = owners.astype(VID_DTYPE)
+            max_owners = min_owners
+            ranges = []
+            slices = []
+            for r in range(p):
+                vlo, vhi = oned.vertex_range(r)
+                ranges.append((vlo, vhi - 1))
+                lo = int(np.searchsorted(src, vlo, side="left"))
+                hi = int(np.searchsorted(src, vhi, side="left"))
+                slices.append((lo, hi))
+
+        partitions = []
+        for r in range(p):
+            edge_lo, edge_hi = slices[r]
+            state_lo, state_hi = ranges[r]
+            csr = CSR.from_edges(
+                src[edge_lo:edge_hi],
+                dst[edge_lo:edge_hi],
+                vertex_base=state_lo,
+                num_rows=state_hi - state_lo + 1,
+            )
+            ghost_candidates = select_ghost_candidates(
+                dst[edge_lo:edge_hi],
+                num_ghosts=num_ghosts,
+                rank=r,
+                min_owners=min_owners,
+            )
+            partitions.append(
+                LocalPartition(
+                    rank=r,
+                    csr=csr,
+                    state_lo=state_lo,
+                    state_hi=state_hi,
+                    edge_lo=edge_lo,
+                    edge_hi=edge_hi,
+                    ghost_candidates=ghost_candidates,
+                )
+            )
+        return cls(
+            edges=sorted_edges,
+            strategy=strategy,
+            partitions=partitions,
+            min_owners=min_owners,
+            max_owners=max_owners,
+            elp=elp,
+            oned=oned,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self.edges.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.edges.num_edges
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def min_owner(self, v: int) -> int:
+        """Master rank for ``v`` (visitors are always sent here first)."""
+        return int(self.min_owners[v])
+
+    def max_owner(self, v: int) -> int:
+        """Last replica rank in ``v``'s forwarding chain."""
+        return int(self.max_owners[v])
+
+    def is_split(self, v: int) -> bool:
+        """True when ``v``'s adjacency list spans multiple partitions."""
+        return self.min_owners[v] < self.max_owners[v]
+
+    def degree(self, v: int) -> int:
+        """Global out-degree of ``v`` (== undirected degree on a
+        symmetrized simple graph)."""
+        return int(self.global_out_degrees[v])
+
+    def out_edges_local(self, rank: int, v: int) -> np.ndarray:
+        """This rank's slice of ``v``'s adjacency list (possibly empty).
+
+        For edge list partitioning, the union of the slices over
+        ``min_owner(v) .. max_owner(v)`` is exactly ``v``'s adjacency list;
+        for 1D the single owner holds the whole list.
+        """
+        part = self.partitions[rank]
+        if not part.holds_vertex(v):
+            return _EMPTY
+        return part.csr.neighbors(v)
+
+    def masters_on(self, rank: int) -> np.ndarray:
+        """Vertices mastered by ``rank`` (used to seed whole-graph
+        traversals such as k-core and triangle counting)."""
+        part = self.partitions[rank]
+        rng = np.arange(part.state_lo, part.state_hi + 1, dtype=VID_DTYPE)
+        return rng[self.min_owners[rng] == rank]
+
+    def replica_ranks(self, v: int) -> range:
+        """The contiguous chain of ranks storing state for ``v``."""
+        return range(self.min_owner(v), self.max_owner(v) + 1)
+
+
+_EMPTY = np.empty(0, dtype=VID_DTYPE)

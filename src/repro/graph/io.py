@@ -1,0 +1,86 @@
+"""Edge-list file I/O.
+
+Two formats:
+
+* **binary** (``.npz``): NumPy-archived ``src``/``dst`` arrays plus the
+  vertex count and a sorted flag — lossless and fast, the natural format
+  for checkpointing a prepared (permuted, symmetrized, sorted) graph so
+  the one-off preparation cost is paid once.
+* **text**: one ``u v`` pair per line (``#`` comments allowed) — the
+  lowest common denominator used by most public graph datasets.  "In many
+  graph file formats the edge list is already sorted" (§III-A1);
+  :func:`load_text_edges` preserves file order and detects sortedness so
+  a pre-sorted file skips the global sort.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.edge_list import EdgeList
+from repro.types import VID_DTYPE
+
+
+def save_binary_edges(edges: EdgeList, path: str | Path) -> None:
+    """Write an edge list as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        src=edges.src,
+        dst=edges.dst,
+        num_vertices=np.int64(edges.num_vertices),
+        sorted_by_src=np.bool_(edges.sorted_by_src),
+    )
+
+
+def load_binary_edges(path: str | Path) -> EdgeList:
+    """Read an edge list written by :func:`save_binary_edges`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        try:
+            src = archive["src"]
+            dst = archive["dst"]
+            n = int(archive["num_vertices"])
+            sorted_flag = bool(archive["sorted_by_src"])
+        except KeyError as exc:
+            raise GraphConstructionError(
+                f"{path} is not a repro edge-list archive (missing {exc})"
+            ) from None
+    return EdgeList(src=src, dst=dst, num_vertices=n, sorted_by_src=sorted_flag)
+
+
+def save_text_edges(edges: EdgeList, path: str | Path) -> None:
+    """Write one ``u v`` pair per line with a header comment."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# {edges.num_vertices} vertices, {edges.num_edges} edges\n")
+        np.savetxt(fh, np.column_stack([edges.src, edges.dst]), fmt="%d")
+
+
+def load_text_edges(path: str | Path, *, num_vertices: int | None = None) -> EdgeList:
+    """Read a whitespace-separated ``u v`` file (``#`` comments skipped).
+
+    File order is preserved; if the sources happen to be non-decreasing the
+    result is flagged sorted, so edge-list partitioning skips the re-sort.
+    """
+    path = Path(path)
+    with warnings.catch_warnings():
+        # an all-comment/empty file is a legitimate empty edge list, not a
+        # condition to warn about
+        warnings.filterwarnings("ignore", message=".*input contained no data.*")
+        data = np.loadtxt(path, dtype=VID_DTYPE, comments="#", ndmin=2)
+    if data.size == 0:
+        empty = np.empty(0, dtype=VID_DTYPE)
+        return EdgeList(src=empty, dst=empty.copy(), num_vertices=num_vertices or 0)
+    if data.shape[1] != 2:
+        raise GraphConstructionError(
+            f"{path}: expected 2 columns per line, got {data.shape[1]}"
+        )
+    src, dst = data[:, 0].copy(), data[:, 1].copy()
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    is_sorted = bool(np.all(src[1:] >= src[:-1])) if src.size > 1 else True
+    return EdgeList(src=src, dst=dst, num_vertices=num_vertices, sorted_by_src=is_sorted)

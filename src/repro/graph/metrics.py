@@ -1,0 +1,54 @@
+"""Partition-quality metrics (Figure 2 and the Section VIII-A critique)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edge_list import EdgeList
+from repro.graph.partition_1d import OneDPartitioning
+from repro.graph.partition_2d import TwoDBlockPartitioning
+from repro.graph.partition_edge_list import EdgeListPartitioning
+from repro.utils.stats import imbalance
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Edge-balance summary for one (graph, strategy, p) combination."""
+
+    strategy: str
+    num_partitions: int
+    edge_imbalance: float
+    max_edges: int
+    mean_edges: float
+
+    @classmethod
+    def from_counts(cls, strategy: str, counts: np.ndarray) -> PartitionQuality:
+        return cls(
+            strategy=strategy,
+            num_partitions=int(counts.size),
+            edge_imbalance=imbalance(counts),
+            max_edges=int(counts.max(initial=0)),
+            mean_edges=float(counts.mean()) if counts.size else 0.0,
+        )
+
+
+def quality_1d(edges: EdgeList, num_partitions: int) -> PartitionQuality:
+    """Edge imbalance of 1D block partitioning (Figure 2's '1D' series)."""
+    counts = OneDPartitioning.build(edges.num_vertices, num_partitions).edge_counts(edges)
+    return PartitionQuality.from_counts("1d", counts)
+
+
+def quality_2d(edges: EdgeList, num_partitions: int) -> PartitionQuality:
+    """Edge imbalance of 2D block partitioning (Figure 2's '2D' series)."""
+    counts = TwoDBlockPartitioning.build(edges.num_vertices, num_partitions).edge_counts(edges)
+    return PartitionQuality.from_counts("2d", counts)
+
+
+def quality_edge_list(edges: EdgeList, num_partitions: int) -> PartitionQuality:
+    """Edge imbalance of edge list partitioning (exactly balanced by
+    construction, so imbalance is 1.0 up to rounding of ``m / p``)."""
+    sorted_edges = edges.sorted_by_source()
+    counts = EdgeListPartitioning.build(sorted_edges, num_partitions).edge_counts()
+    return PartitionQuality.from_counts("edge_list", counts)

@@ -1,0 +1,62 @@
+"""1D block partitioning — the baseline the paper improves on.
+
+"The simplest partitioning is 1D, where each partition receives an equal
+number of vertices and their associated adjacency list.  In 1D, the
+adjacency list of a vertex is assigned to a single partition.  This simple
+partitioning leads to significant data imbalance ... because a single hub's
+adjacency list can exceed the average edge count per partition."
+
+Vertices are split into ``p`` contiguous blocks of (nearly) equal vertex
+count; partition ``i`` owns vertices ``[i * n // p, (i+1) * n // p)`` and
+every out-edge of those vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.edge_list import EdgeList
+from repro.types import VID_DTYPE
+
+
+@dataclass(frozen=True)
+class OneDPartitioning:
+    """Assignment of vertices (and their adjacency lists) to ``p`` blocks."""
+
+    num_vertices: int
+    num_partitions: int
+    #: vertex_bounds[i] .. vertex_bounds[i+1] is partition i's vertex range.
+    vertex_bounds: np.ndarray
+
+    @classmethod
+    def build(cls, num_vertices: int, num_partitions: int) -> OneDPartitioning:
+        """Create equal-vertex-count blocks."""
+        if num_partitions < 1:
+            raise PartitioningError(f"need at least 1 partition, got {num_partitions}")
+        if num_vertices < num_partitions:
+            raise PartitioningError(
+                f"cannot split {num_vertices} vertices into {num_partitions} non-empty blocks"
+            )
+        bounds = (np.arange(num_partitions + 1, dtype=VID_DTYPE) * num_vertices) // num_partitions
+        return cls(
+            num_vertices=num_vertices, num_partitions=num_partitions, vertex_bounds=bounds
+        )
+
+    def owner(self, v: np.ndarray | int):
+        """Rank owning vertex ``v`` (vectorised)."""
+        out = np.searchsorted(self.vertex_bounds, np.asarray(v), side="right") - 1
+        out = np.minimum(out, self.num_partitions - 1)
+        return int(out) if out.ndim == 0 else out.astype(VID_DTYPE)
+
+    def vertex_range(self, rank: int) -> tuple[int, int]:
+        """Half-open vertex range ``[lo, hi)`` owned by ``rank``."""
+        return int(self.vertex_bounds[rank]), int(self.vertex_bounds[rank + 1])
+
+    def edge_counts(self, edges: EdgeList) -> np.ndarray:
+        """Edges per partition — the distribution whose imbalance Figure 2
+        (and Figure 12's memory blow-up) is about."""
+        owners = self.owner(edges.src)
+        return np.bincount(owners, minlength=self.num_partitions).astype(VID_DTYPE)

@@ -1,0 +1,94 @@
+"""2D block (adjacency-matrix) partitioning — the second baseline.
+
+"Recent work has advocated the use of 2D partitioning, where each partition
+receives a 2D block of the adjacency matrix.  In effect, this partitions the
+hub's adjacency list across O(sqrt(p)) partitions, and significantly
+improves data balance" (Figure 2).  Section VIII-A describes its drawbacks —
+hypersparse blocks once ``sqrt(p) > degree(g)`` and ``O(V / sqrt(p))``
+per-partition algorithm state — which :func:`hypersparsity_report`
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.edge_list import EdgeList
+from repro.types import VID_DTYPE
+
+
+def grid_shape(num_partitions: int) -> tuple[int, int]:
+    """Most-square factorisation ``r * c == num_partitions`` with ``r <= c``."""
+    if num_partitions < 1:
+        raise PartitioningError(f"need at least 1 partition, got {num_partitions}")
+    r = int(np.sqrt(num_partitions))
+    while r >= 1:
+        if num_partitions % r == 0:
+            return r, num_partitions // r
+        r -= 1
+    return 1, num_partitions  # pragma: no cover - unreachable (r=1 divides)
+
+
+@dataclass(frozen=True)
+class TwoDBlockPartitioning:
+    """Checkerboard decomposition of the adjacency matrix into ``r x c`` blocks."""
+
+    num_vertices: int
+    rows: int
+    cols: int
+
+    @classmethod
+    def build(cls, num_vertices: int, num_partitions: int) -> TwoDBlockPartitioning:
+        """Create an ``r x c`` grid (most-square factorisation of ``p``)."""
+        r, c = grid_shape(num_partitions)
+        if num_vertices < max(r, c):
+            raise PartitioningError(
+                f"cannot split {num_vertices} vertices across a {r}x{c} grid"
+            )
+        return cls(num_vertices=num_vertices, rows=r, cols=c)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.rows * self.cols
+
+    def block_of(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Linear block index for each edge ``(src, dst)`` (vectorised)."""
+        n = self.num_vertices
+        br = np.minimum((np.asarray(src) * self.rows) // n, self.rows - 1)
+        bc = np.minimum((np.asarray(dst) * self.cols) // n, self.cols - 1)
+        return (br * self.cols + bc).astype(VID_DTYPE)
+
+    def edge_counts(self, edges: EdgeList) -> np.ndarray:
+        """Edges per block — the Figure 2 comparison series."""
+        blocks = self.block_of(edges.src, edges.dst)
+        return np.bincount(blocks, minlength=self.num_partitions).astype(VID_DTYPE)
+
+    def state_words_per_partition(self) -> int:
+        """Per-partition algorithm-state footprint in vertex-state words.
+
+        Every block row must hold state for its ``V / r`` source vertices
+        (and symmetrically ``V / c`` targets); the paper's scaling-wall
+        argument is that this is ``O(V / sqrt(p))`` instead of ``O(V / p)``.
+        """
+        return int(np.ceil(self.num_vertices / self.rows) + np.ceil(self.num_vertices / self.cols))
+
+
+def hypersparsity_report(edges: EdgeList, partitioning: TwoDBlockPartitioning) -> dict:
+    """Quantify Section VIII-A's hypersparsity critique for one graph.
+
+    A block is *hypersparse* when it holds fewer edges than source vertices
+    (``edges_in_block < V / r``).
+    """
+    counts = partitioning.edge_counts(edges)
+    rows_vertices = partitioning.num_vertices / partitioning.rows
+    hypersparse = int(np.count_nonzero(counts < rows_vertices))
+    return {
+        "num_blocks": int(counts.size),
+        "hypersparse_blocks": hypersparse,
+        "hypersparse_fraction": hypersparse / counts.size,
+        "vertices_per_block_row": rows_vertices,
+        "mean_edges_per_block": float(counts.mean()) if counts.size else 0.0,
+    }

@@ -1,0 +1,81 @@
+"""Subgraph extraction utilities.
+
+Real workflows trim a raw graph before traversal: Graph500-style studies
+search inside the giant connected component, k-core analyses iterate on
+extracted cores, and scaling studies sample vertex subsets.  These helpers
+produce *relabelled* :class:`EdgeList` instances (compact vertex ids) plus
+the mapping back to the original ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edge_list import EdgeList
+from repro.reference.components import component_labels
+from repro.types import VID_DTYPE
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An extracted, relabelled subgraph."""
+
+    edges: EdgeList
+    #: original_ids[new_id] -> vertex id in the source graph
+    original_ids: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return self.edges.num_vertices
+
+    def to_original(self, new_ids: np.ndarray) -> np.ndarray:
+        """Map compact ids back to the source graph's ids."""
+        return self.original_ids[np.asarray(new_ids)]
+
+
+def induced_subgraph(edges: EdgeList, vertices: np.ndarray) -> Subgraph:
+    """The subgraph induced by ``vertices`` (both endpoints must be kept).
+
+    Vertices are relabelled ``0..len(vertices)-1`` in ascending original-id
+    order; duplicate inputs are collapsed.
+    """
+    keep = np.unique(np.asarray(vertices, dtype=VID_DTYPE))
+    if keep.size and (keep[0] < 0 or keep[-1] >= edges.num_vertices):
+        raise ValueError("subgraph vertices out of range")
+    mask = np.zeros(edges.num_vertices, dtype=bool)
+    mask[keep] = True
+    edge_mask = mask[edges.src] & mask[edges.dst]
+    relabel = np.full(edges.num_vertices, -1, dtype=VID_DTYPE)
+    relabel[keep] = np.arange(keep.size, dtype=VID_DTYPE)
+    return Subgraph(
+        edges=EdgeList(
+            src=relabel[edges.src[edge_mask]],
+            dst=relabel[edges.dst[edge_mask]],
+            num_vertices=int(keep.size),
+        ),
+        original_ids=keep,
+    )
+
+
+def largest_component(edges: EdgeList) -> Subgraph:
+    """The giant connected component, relabelled compactly.
+
+    Uses the sequential reference component labelling (the operation is a
+    preprocessing step, not part of the traversal under study).
+    """
+    if edges.num_vertices == 0:
+        return Subgraph(edges=edges, original_ids=np.empty(0, dtype=VID_DTYPE))
+    labels = component_labels(edges)
+    values, counts = np.unique(labels, return_counts=True)
+    giant = values[np.argmax(counts)]
+    return induced_subgraph(edges, np.flatnonzero(labels == giant))
+
+
+def kcore_subgraph(edges: EdgeList, k: int) -> Subgraph:
+    """The k-core as an extracted subgraph (reference peeling)."""
+    from repro.reference.kcore import kcore_members
+
+    members = np.flatnonzero(kcore_members(edges, k))
+    return induced_subgraph(edges, members)

@@ -1,0 +1,21 @@
+"""Simulated memory hierarchy: DRAM, NVRAM devices and the user-space page cache.
+
+Stands in for the paper's Fusion-io / SATA-SSD NAND Flash and the custom
+user-space page cache of Section II-B ("designed to support a high level of
+concurrent I/O requests, both for cache hits and misses, and interfaces
+with NVRAM using direct I/O").  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.memory.backing import PagedCSR
+from repro.memory.device import MemoryDevice, dram, fusion_io, sata_ssd
+from repro.memory.page_cache import PageCache
+
+__all__ = [
+    "MemoryDevice",
+    "dram",
+    "fusion_io",
+    "sata_ssd",
+    "PageCache",
+    "PagedCSR",
+]

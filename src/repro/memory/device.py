@@ -1,0 +1,92 @@
+"""NVRAM / DRAM device models.
+
+The defining property the paper exploits is that NAND Flash delivers good
+throughput only under *high concurrency*: "high levels of concurrent I/O
+are required to achieve optimal performance from NVRAM devices; this is the
+underlying motivation for designing highly concurrent asynchronous graph
+traversals."  A device is therefore characterised by three numbers: random
+page-read latency, sustained bandwidth, and the number of outstanding I/Os
+it can service in parallel.
+
+A batch of ``misses`` page faults issued together (as an asynchronous
+traversal does naturally) costs::
+
+    ceil(misses / io_parallelism) * read_latency_us
+        + misses * page_size / bandwidth
+
+A synchronous traversal would issue the same misses one at a time and pay
+``misses * read_latency_us`` — the gap the asynchronous design exists to
+close (see ``benchmarks/bench_ablation_concurrency.py``).
+
+Latency/bandwidth figures are order-of-magnitude characteristics of the
+devices named in Table II (enterprise PCIe Fusion-io, commodity SATA SSD,
+circa 2012), not measurements of any specific product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import MemorySystemError
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """A storage device characterised for the cost model."""
+
+    name: str
+    #: Latency of one random page read, microseconds.
+    read_latency_us: float
+    #: Sustained read bandwidth, bytes per microsecond (== MB/s).
+    bandwidth_bytes_per_us: float
+    #: Concurrent outstanding reads the device services at full rate.
+    io_parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.read_latency_us < 0:
+            raise MemorySystemError(f"negative latency for {self.name}")
+        if self.bandwidth_bytes_per_us <= 0:
+            raise MemorySystemError(f"non-positive bandwidth for {self.name}")
+        if self.io_parallelism < 1:
+            raise MemorySystemError(f"io_parallelism must be >= 1 for {self.name}")
+
+    def batch_read_us(self, num_pages: int, page_size: int, *, concurrency: int | None = None) -> float:
+        """Time to read ``num_pages`` random pages issued as one batch.
+
+        ``concurrency`` caps the overlap (defaults to the device limit); a
+        fully synchronous caller passes 1.
+        """
+        if num_pages == 0:
+            return 0.0
+        overlap = self.io_parallelism if concurrency is None else max(1, min(concurrency, self.io_parallelism))
+        waves = ceil(num_pages / overlap)
+        return waves * self.read_latency_us + num_pages * page_size / self.bandwidth_bytes_per_us
+
+
+def dram() -> MemoryDevice:
+    """Main memory as a 'device' (used when the page cache backs DRAM-resident
+    data, e.g. for unit tests; DRAM-only runs normally bypass paging)."""
+    return MemoryDevice(
+        name="dram", read_latency_us=0.1, bandwidth_bytes_per_us=10_000.0, io_parallelism=64
+    )
+
+
+def fusion_io() -> MemoryDevice:
+    """Enterprise PCIe NAND Flash — the *per-rank share* of one card.
+
+    A Hyperion-DIT node runs 8 ranks against a single Fusion-io drive, so
+    each rank sees roughly 1/8 of the card's ~1.2 GB/s bandwidth and queue
+    depth; latency is the card's random-read latency.
+    """
+    return MemoryDevice(
+        name="fusion-io", read_latency_us=60.0, bandwidth_bytes_per_us=200.0, io_parallelism=10
+    )
+
+
+def sata_ssd() -> MemoryDevice:
+    """Commodity SATA SSD, per-rank share (Trestles' storage; "our approach
+    is not limited to enterprise class NVRAM")."""
+    return MemoryDevice(
+        name="sata-ssd", read_latency_us=160.0, bandwidth_bytes_per_us=30.0, io_parallelism=4
+    )

@@ -1,0 +1,26 @@
+"""Sequential reference implementations.
+
+Independent, simple, vectorised single-process algorithms used to validate
+the distributed asynchronous results.  They share no code with the
+distributed framework (beyond :class:`EdgeList`/:class:`CSR`), so agreement
+between the two is meaningful evidence of correctness; the tests
+additionally validate these references against ``networkx``.
+"""
+
+from repro.reference.bfs import bfs_levels
+from repro.reference.components import component_labels
+from repro.reference.kcore import core_numbers, kcore_members
+from repro.reference.pagerank import pagerank_scores
+from repro.reference.sssp import sssp_distances
+from repro.reference.triangles import total_triangles, triangles_per_max_vertex
+
+__all__ = [
+    "bfs_levels",
+    "core_numbers",
+    "kcore_members",
+    "total_triangles",
+    "triangles_per_max_vertex",
+    "component_labels",
+    "sssp_distances",
+    "pagerank_scores",
+]

@@ -1,0 +1,27 @@
+"""Reference SSSP via SciPy Dijkstra with the same hash-derived weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import dijkstra
+
+from repro.algorithms.sssp import edge_weight
+from repro.graph.edge_list import EdgeList
+
+
+def sssp_distances(
+    edges: EdgeList, source: int, *, max_weight: int = 16, salt: int = 0
+) -> np.ndarray:
+    """Shortest-path distances from ``source`` using the identical
+    deterministic edge weights as :class:`SSSPAlgorithm`."""
+    n = edges.num_vertices
+    weights = np.array(
+        [
+            edge_weight(int(u), int(v), max_weight=max_weight, salt=salt)
+            for u, v in zip(edges.src, edges.dst)
+        ],
+        dtype=np.float64,
+    )
+    a = sp.csr_matrix((weights, (edges.src, edges.dst)), shape=(n, n))
+    return dijkstra(a, directed=True, indices=source)

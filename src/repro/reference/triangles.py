@@ -1,0 +1,54 @@
+"""Reference triangle counting via sparse matrix algebra.
+
+For a simple undirected graph with adjacency matrix A, the total triangle
+count is ``sum((A @ A) * A) / 6``.  The per-vertex variant counts, for each
+vertex ``v``, the edges among its *lower-id* neighbours — which is exactly
+the distributed algorithm's "largest member" attribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.edge_list import EdgeList
+from repro.types import VID_DTYPE
+
+
+def _adjacency(edges: EdgeList) -> sp.csr_matrix:
+    n = edges.num_vertices
+    data = np.ones(edges.num_edges, dtype=np.int64)
+    a = sp.csr_matrix((data, (edges.src, edges.dst)), shape=(n, n))
+    a.data[:] = 1  # collapse any duplicates defensively
+    return a
+
+
+def total_triangles(edges: EdgeList) -> int:
+    """Total triangles in a simple undirected edge list."""
+    if edges.num_edges == 0:
+        return 0
+    a = _adjacency(edges)
+    paths2 = (a @ a).multiply(a)
+    return int(paths2.sum()) // 6
+
+
+def triangles_per_max_vertex(edges: EdgeList) -> np.ndarray:
+    """Per-vertex counts matching the distributed algorithm's convention:
+    ``out[v]`` = number of triangles whose *largest* member is ``v``."""
+    n = edges.num_vertices
+    out = np.zeros(n, dtype=VID_DTYPE)
+    if edges.num_edges == 0:
+        return out
+    mask = edges.src < edges.dst
+    lo, hi = edges.src[mask], edges.dst[mask]
+    # Row v of a_lower lists v's neighbours with smaller ids.
+    a_lower = sp.csr_matrix((np.ones(lo.size, dtype=np.int64), (hi, lo)), shape=(n, n))
+    a_full = _adjacency(edges)
+    indptr, indices = a_lower.indptr, a_lower.indices
+    for v in range(n):
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        if nbrs.size < 2:
+            continue
+        sub = a_full[nbrs][:, nbrs]  # undirected edges among lower neighbours
+        out[v] = int(sub.sum()) // 2
+    return out

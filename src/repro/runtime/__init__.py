@@ -1,0 +1,34 @@
+"""Simulated distributed-machine runtime.
+
+The engine executes the real visitor-queue / mailbox / termination code on
+``p`` simulated ranks and advances a simulated clock using a
+:class:`repro.runtime.costmodel.MachineModel`.  Tick duration is the
+*maximum* per-rank cost in that tick — the critical path — which is what
+surfaces partition imbalance and communication hotspots in simulated TEPS
+the same way they surface on real hardware.
+"""
+
+from repro.runtime.costmodel import (
+    EngineConfig,
+    MachineModel,
+    bgp_intrepid,
+    hyperion_dit,
+    laptop,
+    leviathan,
+    trestles,
+)
+from repro.runtime.engine import SimulationEngine
+from repro.runtime.trace import RankCounters, TraversalStats
+
+__all__ = [
+    "MachineModel",
+    "EngineConfig",
+    "bgp_intrepid",
+    "hyperion_dit",
+    "trestles",
+    "leviathan",
+    "laptop",
+    "SimulationEngine",
+    "RankCounters",
+    "TraversalStats",
+]

@@ -1,0 +1,219 @@
+"""Machine cost models and engine configuration.
+
+A :class:`MachineModel` maps the engine's measured events (visitor
+executions, pre-visits, edge scans, packets, bytes, page-cache activity) to
+simulated microseconds.  The presets are *profiles* of the machines in the
+paper's evaluation — relative magnitudes chosen to reflect each system's
+character (BG/P: slow cores, fast balanced torus; Hyperion: fast x86 cores,
+commodity fabric, NAND Flash under the graph) — not measurements.  All
+paper-vs-measured comparisons in EXPERIMENTS.md are therefore about curve
+*shapes* and ratios, never absolute TEPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.memory.device import MemoryDevice, dram, fusion_io, sata_ssd
+
+#: Storage placement of the graph's CSR image.
+STORAGE_DRAM = "dram"
+STORAGE_NVRAM = "nvram"
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost parameters of one simulated cluster (all times in microseconds)."""
+
+    name: str
+    #: Fixed CPU cost of executing one visitor's ``visit``.
+    visit_us: float
+    #: CPU cost of one ``pre_visit`` evaluation (ghost, master or replica).
+    previsit_us: float
+    #: CPU + DRAM cost per adjacency entry scanned.
+    edge_scan_us: float
+    #: Software overhead per aggregated packet injected into the network.
+    packet_overhead_us: float
+    #: Wire cost per payload byte.
+    byte_us: float
+    #: Latency of one network hop (a tick with traffic lasts at least this).
+    hop_latency_us: float
+    #: Floor on tick duration (scheduler / polling quantum).
+    min_tick_us: float
+    #: Where the CSR lives: :data:`STORAGE_DRAM` or :data:`STORAGE_NVRAM`.
+    storage: str = STORAGE_DRAM
+    #: Backing device when ``storage == "nvram"``.
+    device: MemoryDevice | None = None
+    #: Page size of the user-space page cache.
+    page_size: int = 4096
+    #: Page-cache capacity per rank, bytes (NVRAM mode only).
+    cache_bytes_per_rank: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.storage not in (STORAGE_DRAM, STORAGE_NVRAM):
+            raise ConfigurationError(f"unknown storage {self.storage!r}")
+        if self.storage == STORAGE_NVRAM and self.device is None:
+            raise ConfigurationError("NVRAM storage requires a device model")
+        for field_name in ("visit_us", "previsit_us", "edge_scan_us", "packet_overhead_us",
+                           "byte_us", "hop_latency_us", "min_tick_us"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    @property
+    def cache_pages_per_rank(self) -> int:
+        """Page-cache capacity in pages."""
+        return max(1, self.cache_bytes_per_rank // self.page_size)
+
+    def with_storage(self, storage: str, *, device: MemoryDevice | None = None,
+                     cache_bytes_per_rank: int | None = None) -> MachineModel:
+        """A copy of this model with different graph-data placement."""
+        kwargs = {"storage": storage}
+        if device is not None:
+            kwargs["device"] = device
+        if cache_bytes_per_rank is not None:
+            kwargs["cache_bytes_per_rank"] = cache_bytes_per_rank
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution knobs of the simulation engine."""
+
+    #: Max visitors a rank executes per tick (batching quantum).  Larger
+    #: budgets batch more I/O and amortise per-tick latency, at the cost of
+    #: coarser asynchrony.
+    visitor_budget: int = 64
+    #: Envelopes per aggregation buffer before an eager flush.
+    aggregation_size: int = 16
+    #: Run the counting quiescence detector (Algorithm 1's global_empty);
+    #: when False the engine uses its omniscient oracle instead.
+    use_termination_detector: bool = True
+    #: Tie-break equal-priority visitors by vertex id (the Section V-A
+    #: external-memory locality optimisation); False tie-breaks by arrival.
+    locality_ordering: bool = True
+    #: Abort the traversal after this many ticks (safety net).
+    max_ticks: int = 5_000_000
+    #: Cap on concurrent page-cache misses per tick (None = device limit).
+    io_concurrency: int | None = None
+    #: Record a per-tick timeline (queue depths, in-flight packets, work)
+    #: into the traversal stats — for debugging and the timeline example.
+    trace_timeline: bool = False
+    #: NVRAM machines only: page *vertex state* through the cache as well
+    #: (fully-external memory).  The default False is the paper's
+    #: *semi-external* design — vertex state in DRAM, edges on flash —
+    #: whose superiority §VIII-A argues and the ablation measures.
+    page_vertex_state: bool = False
+
+    def __post_init__(self) -> None:
+        if self.visitor_budget < 1:
+            raise ConfigurationError("visitor_budget must be >= 1")
+        if self.aggregation_size < 1:
+            raise ConfigurationError("aggregation_size must be >= 1")
+        if self.max_ticks < 1:
+            raise ConfigurationError("max_ticks must be >= 1")
+
+
+# ---------------------------------------------------------------------- #
+# Machine profiles
+# ---------------------------------------------------------------------- #
+def laptop() -> MachineModel:
+    """A fast, flat, in-memory profile for tests and quickstarts."""
+    return MachineModel(
+        name="laptop",
+        visit_us=0.2,
+        previsit_us=0.05,
+        edge_scan_us=0.01,
+        packet_overhead_us=1.0,
+        byte_us=0.001,
+        hop_latency_us=1.0,
+        min_tick_us=0.5,
+    )
+
+
+def bgp_intrepid() -> MachineModel:
+    """IBM BG/P Intrepid profile: slow PowerPC 450 cores, low-latency
+    balanced 3D torus (Figures 5, 6, 7, 10, 11, 12, 13)."""
+    return MachineModel(
+        name="bgp-intrepid",
+        visit_us=1.2,
+        previsit_us=0.3,
+        edge_scan_us=0.08,
+        packet_overhead_us=3.0,
+        byte_us=0.0026,  # ~375 MB/s per link
+        hop_latency_us=2.5,
+        min_tick_us=1.0,
+    )
+
+
+def hyperion_dit(
+    storage: str = STORAGE_DRAM, *, cache_bytes_per_rank: int = 256 * 1024,
+    page_size: int = 4096,
+) -> MachineModel:
+    """Hyperion-DIT profile: 8-core x86 nodes, 24 GB DRAM, node-local
+    Fusion-io NAND Flash (Figures 8, 9; Table II rows 1-2)."""
+    return MachineModel(
+        name=f"hyperion-dit-{storage}",
+        visit_us=0.35,
+        previsit_us=0.08,
+        edge_scan_us=0.02,
+        packet_overhead_us=2.0,
+        byte_us=0.001,  # ~1 GB/s IB-ish per rank share
+        hop_latency_us=3.0,
+        min_tick_us=1.0,
+        storage=storage,
+        device=fusion_io() if storage == STORAGE_NVRAM else None,
+        page_size=page_size,
+        cache_bytes_per_rank=cache_bytes_per_rank,
+    )
+
+
+def trestles(*, cache_bytes_per_rank: int = 256 * 1024, page_size: int = 4096) -> MachineModel:
+    """SDSC Trestles profile: commodity SATA SSDs (Table II row 3)."""
+    return MachineModel(
+        name="trestles",
+        visit_us=0.35,
+        previsit_us=0.08,
+        edge_scan_us=0.02,
+        packet_overhead_us=2.5,
+        byte_us=0.0015,
+        hop_latency_us=3.5,
+        min_tick_us=1.0,
+        storage=STORAGE_NVRAM,
+        device=sata_ssd(),
+        page_size=page_size,
+        cache_bytes_per_rank=cache_bytes_per_rank,
+    )
+
+
+def leviathan(*, cache_bytes_per_rank: int = 1024 * 1024, page_size: int = 4096) -> MachineModel:
+    """LLNL Leviathan profile: one fat node, 40 cores, 12 TB Fusion-io; no
+    inter-node network, so hop latency is shared-memory cheap — but every
+    rank contends for the *same* flash cards, so the per-rank device share
+    has a fraction of a dedicated card's bandwidth and queue depth
+    (Table II row 4: single-node trails the distributed NVRAM systems)."""
+    shared_fusion_io = MemoryDevice(
+        name="fusion-io-shared",
+        read_latency_us=60.0,
+        bandwidth_bytes_per_us=150.0,  # one card's 1.2 GB/s split 8 ways
+        io_parallelism=6,
+    )
+    return MachineModel(
+        name="leviathan",
+        visit_us=0.35,
+        previsit_us=0.08,
+        edge_scan_us=0.02,
+        packet_overhead_us=0.3,
+        byte_us=0.0002,
+        hop_latency_us=0.3,
+        min_tick_us=0.5,
+        storage=STORAGE_NVRAM,
+        device=shared_fusion_io,
+        page_size=page_size,
+        cache_bytes_per_rank=cache_bytes_per_rank,
+    )
+
+
+def dram_reference() -> MemoryDevice:
+    """Convenience re-export of the DRAM device model."""
+    return dram()

@@ -1,0 +1,287 @@
+"""The discrete-event simulation engine.
+
+Executes the *real* Algorithm-1 code (push / check_mailbox / local priority
+queues / replica forwarding / counting quiescence detection) on ``p``
+simulated ranks, advancing a simulated clock.
+
+One **tick** is the engine's scheduling quantum: every rank drains its
+arrived packets, executes up to ``visitor_budget`` visitors, and flushes
+its aggregation buffers; packets flushed in tick ``t`` arrive at their next
+hop in tick ``t + 1``.  Tick duration is::
+
+    max( per-rank cost this tick ...,  min_tick,  hop latency if traffic )
+
+i.e. the **critical path**: a rank hammered by a hub hotspot, or stalled on
+page-cache misses, stretches the tick for everyone — which is precisely how
+imbalance and hotspots cost wall-clock time on a real machine, and what
+makes the paper's mitigations (edge list partitioning, ghosts, routing,
+locality ordering) show up in simulated TEPS.
+"""
+
+from __future__ import annotations
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_CONTROL, KIND_VISITOR
+from repro.comm.network import Network
+from repro.comm.routing import Topology, make_topology
+from repro.comm.termination import LocalSnapshot, QuiescenceDetector
+from repro.core.visitor import ROLE_GHOST, AsyncAlgorithm
+from repro.core.visitor_queue import VisitorQueueRank
+from repro.errors import TerminationError, TraversalError
+from repro.graph.distributed import DistributedGraph
+from repro.graph.ghosts import GhostTable
+from repro.memory.backing import PagedCSR
+from repro.memory.page_cache import PageCache
+from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
+from repro.runtime.trace import TickSample, TraversalStats
+
+
+class SimulationEngine:
+    """Run one asynchronous traversal on a simulated distributed machine."""
+
+    def __init__(
+        self,
+        graph: DistributedGraph,
+        algorithm: AsyncAlgorithm,
+        machine: MachineModel,
+        *,
+        topology: Topology | str = "direct",
+        config: EngineConfig | None = None,
+        page_caches: list[PageCache] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.machine = machine
+        self.config = config or EngineConfig()
+        p = graph.num_partitions
+        self.topology = (
+            topology if isinstance(topology, Topology) else make_topology(topology, p)
+        )
+        if self.topology.num_ranks != p:
+            raise TraversalError(
+                f"topology covers {self.topology.num_ranks} ranks, graph has {p}"
+            )
+
+        self.network = Network(p)
+        self.mailboxes = [
+            Mailbox(r, self.topology, self.network, aggregation_size=self.config.aggregation_size)
+            for r in range(p)
+        ]
+
+        self.caches: list[PageCache | None] = [None] * p
+        paged: list[PagedCSR | None] = [None] * p
+        if machine.storage == STORAGE_NVRAM:
+            if page_caches is not None and len(page_caches) != p:
+                raise TraversalError(
+                    f"page_caches must have one cache per rank ({p}), got {len(page_caches)}"
+                )
+            for r in range(p):
+                # Caller-provided caches stay warm across traversals,
+                # modelling Graph500's repeated BFS runs over a persistent
+                # user-space page cache.
+                cache = page_caches[r] if page_caches is not None else PageCache(
+                    capacity_pages=machine.cache_pages_per_rank,
+                    page_size=machine.page_size,
+                    device=machine.device,
+                )
+                self.caches[r] = cache
+                paged[r] = PagedCSR(graph.partitions[r].csr, cache)
+
+        algorithm.bind(graph)
+        self.ranks: list[VisitorQueueRank] = []
+        for r in range(p):
+            ghost_table = None
+            if algorithm.uses_ghosts and graph.partitions[r].ghost_candidates.size:
+                ghost_table = GhostTable(
+                    graph.partitions[r].ghost_candidates,
+                    lambda v: algorithm.make_state(v, graph.degree(v), ROLE_GHOST),
+                )
+            state_pager = None
+            if self.config.page_vertex_state and self.caches[r] is not None:
+                # fully-external mode: vertex state shares the rank's page
+                # cache with the CSR (one DRAM budget), 16 bytes per state.
+                state_pager = (self.caches[r], 16)
+            self.ranks.append(
+                VisitorQueueRank(
+                    r,
+                    graph,
+                    algorithm,
+                    self.mailboxes[r],
+                    ghost_table=ghost_table,
+                    paged_csr=paged[r],
+                    locality_ordering=self.config.locality_ordering,
+                    state_pager=state_pager,
+                )
+            )
+
+        self.detectors: list[QuiescenceDetector] | None = None
+        if self.config.use_termination_detector:
+            self.detectors = [
+                QuiescenceDetector(r, p, self.mailboxes[r], self._make_snapshot_fn(r))
+                for r in range(p)
+            ]
+
+    # ------------------------------------------------------------------ #
+    def _make_snapshot_fn(self, r: int):
+        mailbox = self.mailboxes[r]
+        rank = self.ranks[r]
+        return lambda: LocalSnapshot(
+            sent=mailbox.visitors_sent,
+            received=mailbox.visitors_received,
+            quiet=rank.locally_quiet(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> tuple[list[list], TraversalStats]:
+        """Seed, traverse to global quiescence, return (states, stats)."""
+        p = self.graph.num_partitions
+        m = self.machine
+        cfg = self.config
+        stats = TraversalStats(
+            algorithm=self.algorithm.name,
+            machine=m.name,
+            topology=self.topology.name,
+            num_ranks=p,
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            used_detector=self.detectors is not None,
+        )
+
+        # Warm (caller-provided) caches carry statistics from earlier
+        # traversals; report per-run deltas.
+        cache_base = [
+            (c.hits, c.misses) if c is not None else (0, 0) for c in self.caches
+        ]
+        for c in self.caches:
+            if c is not None:
+                c.drain_epoch_us()  # discard any epoch residue defensively
+
+        for r in range(p):
+            for visitor in self.algorithm.initial_visitors(self.graph, r):
+                self.ranks[r].push(visitor)
+
+        # Previous cumulative counter snapshots for per-tick cost deltas.
+        prev = [[0, 0, 0, 0, 0] for _ in range(p)]  # previsits, visits, edges, packets, bytes
+
+        ticks = 0
+        time_us = 0.0
+        last_total_visits = 0
+        while True:
+            arrivals = self.network.advance()
+            had_traffic = any(arrivals)
+            control_events = [0] * p
+            for r in range(p):
+                envelopes = self.mailboxes[r].receive(arrivals[r])
+                if envelopes:
+                    visitors = [e.payload for e in envelopes if e.kind == KIND_VISITOR]
+                    if visitors:
+                        self.ranks[r].check_mailbox(visitors)
+                    if self.detectors is not None:
+                        for e in envelopes:
+                            if e.kind == KIND_CONTROL:
+                                control_events[r] += 1
+                                self.detectors[r].handle(e.payload)
+                self.ranks[r].process(cfg.visitor_budget)
+
+            if self.detectors is not None and not self.detectors[0].terminated:
+                self.detectors[0].maybe_start_wave()
+
+            for mb in self.mailboxes:
+                mb.flush()
+
+            # ---- charge simulated time ---------------------------------
+            tick_cost = 0.0
+            for r in range(p):
+                c = self.ranks[r].counters
+                mb = self.mailboxes[r]
+                d_pre = c.previsits - prev[r][0]
+                d_vis = c.visits - prev[r][1]
+                d_edges = c.edges_scanned - prev[r][2]
+                d_pkts = mb.packets_sent - prev[r][3]
+                d_bytes = mb.bytes_sent - prev[r][4]
+                prev[r] = [c.previsits, c.visits, c.edges_scanned, mb.packets_sent, mb.bytes_sent]
+                cost = (
+                    (d_pre + control_events[r]) * m.previsit_us
+                    + d_vis * m.visit_us
+                    + d_edges * m.edge_scan_us
+                    + d_pkts * m.packet_overhead_us
+                    + d_bytes * m.byte_us
+                )
+                cache = self.caches[r]
+                if cache is not None:
+                    cost += cache.drain_epoch_us(concurrency=cfg.io_concurrency)
+                tick_cost = max(tick_cost, cost)
+            tick_time = max(tick_cost, m.min_tick_us)
+            if had_traffic or not self.network.idle():
+                tick_time = max(tick_time, m.hop_latency_us)
+            time_us += tick_time
+            ticks += 1
+
+            if cfg.trace_timeline:
+                visits_now = sum(rk.counters.visits for rk in self.ranks)
+                stats.timeline.append(
+                    TickSample(
+                        tick=ticks,
+                        time_us=time_us,
+                        queued_visitors=sum(rk.queue_length() for rk in self.ranks),
+                        packets_in_flight=self.network.packets_in_flight(),
+                        visits_this_tick=visits_now - last_total_visits,
+                    )
+                )
+                last_total_visits = visits_now
+
+            # ---- stop? -------------------------------------------------
+            if self.detectors is not None:
+                if all(d.terminated for d in self.detectors):
+                    self._assert_truly_done()
+                    break
+            else:
+                if self._oracle_done():
+                    break
+            if ticks >= cfg.max_ticks:
+                raise TraversalError(
+                    f"traversal exceeded max_ticks={cfg.max_ticks} "
+                    f"(queued visitors: {[rk.queue_length() for rk in self.ranks]})"
+                )
+
+        for r in range(p):
+            rank = self.ranks[r]
+            rank.sync_mailbox_counters()
+            cache = self.caches[r]
+            if cache is not None:
+                rank.counters.cache_hits = cache.hits - cache_base[r][0]
+                rank.counters.cache_misses = cache.misses - cache_base[r][1]
+            stats.ranks.append(rank.counters)
+        stats.ticks = ticks
+        stats.time_us = time_us
+        if self.detectors is not None:
+            stats.termination_waves = self.detectors[0].waves_participated
+        return [rank.states for rank in self.ranks], stats
+
+    # ------------------------------------------------------------------ #
+    def _oracle_done(self) -> bool:
+        """Omniscient global-emptiness check (engine-internal)."""
+        return (
+            self.network.idle()
+            and all(rk.locally_quiet() for rk in self.ranks)
+            and not any(mb.has_buffered() for mb in self.mailboxes)
+        )
+
+    def _assert_truly_done(self) -> None:
+        """Cross-check the detector against global truth.
+
+        The counting quiescence protocol must never announce termination
+        while visitor work remains; this is the safety invariant the tests
+        lean on.  Control traffic may still be in flight (the termination
+        broadcast itself), so only visitor work is checked.
+        """
+        if not all(rk.locally_quiet() for rk in self.ranks):
+            raise TerminationError("detector fired with visitors still queued")
+        for mb in self.mailboxes:
+            if mb.has_buffered():
+                for buf in list(mb._buffers.values()) + [mb._local]:
+                    if any(e.kind == KIND_VISITOR for e in buf):
+                        raise TerminationError("detector fired with visitors buffered")
+        for pkt in self.network._sent_this_tick:
+            if any(e.kind == KIND_VISITOR for e in pkt.envelopes):
+                raise TerminationError("detector fired with visitors in flight")

@@ -1,0 +1,131 @@
+"""Traversal statistics: per-rank counters and the aggregate trace.
+
+Every quantity the cost model charges is first *measured* here; the
+benchmark harness reports both the simulated time and the raw counts, so a
+reader can always decompose a TEPS number into its mechanical causes
+(visitors, messages, cache misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RankCounters:
+    """Cumulative event counts for one simulated rank."""
+
+    visits: int = 0
+    previsits: int = 0
+    pushes: int = 0
+    ghost_filtered: int = 0
+    edges_scanned: int = 0
+    visitors_sent: int = 0
+    visitors_received: int = 0
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    envelopes_forwarded: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    busy_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class TickSample:
+    """One entry of the optional per-tick timeline."""
+
+    tick: int
+    time_us: float  # cumulative simulated time at tick end
+    queued_visitors: int  # sum of local queue depths across ranks
+    packets_in_flight: int
+    visits_this_tick: int
+
+
+@dataclass
+class TraversalStats:
+    """Aggregate outcome of one simulated traversal."""
+
+    algorithm: str
+    machine: str
+    topology: str
+    num_ranks: int
+    num_vertices: int
+    num_edges: int
+    ticks: int = 0
+    time_us: float = 0.0
+    termination_waves: int = 0
+    used_detector: bool = True
+    ranks: list[RankCounters] = field(default_factory=list)
+    #: Per-tick samples, populated when ``EngineConfig.trace_timeline``.
+    timeline: list[TickSample] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def _sum(self, attr: str):
+        return sum(getattr(r, attr) for r in self.ranks)
+
+    @property
+    def total_visits(self) -> int:
+        return self._sum("visits")
+
+    @property
+    def total_previsits(self) -> int:
+        return self._sum("previsits")
+
+    @property
+    def total_pushes(self) -> int:
+        return self._sum("pushes")
+
+    @property
+    def total_ghost_filtered(self) -> int:
+        return self._sum("ghost_filtered")
+
+    @property
+    def total_edges_scanned(self) -> int:
+        return self._sum("edges_scanned")
+
+    @property
+    def total_visitors_sent(self) -> int:
+        return self._sum("visitors_sent")
+
+    @property
+    def total_packets(self) -> int:
+        return self._sum("packets_sent")
+
+    @property
+    def total_bytes(self) -> int:
+        return self._sum("bytes_sent")
+
+    @property
+    def total_cache_hits(self) -> int:
+        return self._sum("cache_hits")
+
+    @property
+    def total_cache_misses(self) -> int:
+        return self._sum("cache_misses")
+
+    @property
+    def time_seconds(self) -> float:
+        return self.time_us * 1e-6
+
+    def cache_hit_rate(self) -> float:
+        """Cumulative page-cache hit rate across ranks (1.0 for DRAM runs)."""
+        total = self.total_cache_hits + self.total_cache_misses
+        return self.total_cache_hits / total if total else 1.0
+
+    def visit_imbalance(self) -> float:
+        """Max/mean of per-rank visitor executions — the hotspot metric
+        ghosts exist to reduce."""
+        counts = np.array([r.visits for r in self.ranks], dtype=np.float64)
+        mean = counts.mean() if counts.size else 0.0
+        return float(counts.max() / mean) if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        """Single-line human-readable digest (examples / harness output)."""
+        return (
+            f"{self.algorithm} on {self.machine}/{self.topology} p={self.num_ranks}: "
+            f"{self.time_us / 1e6:.4f}s sim, {self.ticks} ticks, "
+            f"{self.total_visits} visits, {self.total_packets} packets, "
+            f"hit-rate {self.cache_hit_rate():.3f}"
+        )

@@ -1,0 +1,28 @@
+"""Shared type aliases and dtype constants.
+
+Vertex identifiers are 64-bit signed integers throughout, matching the
+paper's target scale (2^36 vertices and beyond).  All edge arrays use
+:data:`VID_DTYPE` so that indices, degrees and prefix sums never overflow at
+the scales exercised by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+
+#: Vertex identifier (a non-negative integer < ``num_vertices``).
+VertexId: TypeAlias = int
+
+#: A partition / MPI-style rank identifier in ``[0, p)``.
+Rank: TypeAlias = int
+
+#: NumPy dtype used for vertex ids, edge indices and degrees.
+VID_DTYPE = np.int64
+
+#: NumPy dtype used for compact per-vertex algorithm state (BFS levels, ...).
+LEVEL_DTYPE = np.int64
+
+#: Sentinel for "unreached / infinity" in integer level arrays.
+UNREACHED = np.iinfo(np.int64).max

@@ -1,0 +1,12 @@
+"""Small shared utilities: RNG handling, statistics, identifier bit-packing."""
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.stats import describe, imbalance, log2_histogram
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "imbalance",
+    "describe",
+    "log2_histogram",
+]

@@ -1,0 +1,80 @@
+"""Statistics helpers used by the partition-quality and hub-growth analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def imbalance(counts: np.ndarray | list[int]) -> float:
+    """Load imbalance of a distribution: ``max / mean``.
+
+    This is the metric plotted in Figure 2 of the paper ("imbalance computed
+    for the distribution of edges per partition").  A perfectly balanced
+    partitioning has imbalance 1.0; a partitioning where one partition holds
+    double its fair share has imbalance 2.0.  An all-zero (or empty)
+    distribution is defined to be perfectly balanced.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    mean = arr.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a distribution."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} sum={self.total:.6g} mean={self.mean:.6g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} p99={self.p99:.6g} max={self.maximum:.6g}"
+        )
+
+
+def describe(values: np.ndarray | list[float]) -> Summary:
+    """Summarise ``values`` (used in reports and traces)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(arr.size),
+        total=float(arr.sum()),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p99=float(np.percentile(arr, 99)),
+    )
+
+
+def log2_histogram(values: np.ndarray) -> dict[int, int]:
+    """Histogram of ``values`` into power-of-two buckets.
+
+    Bucket ``b`` counts entries ``v`` with ``2**b <= v < 2**(b+1)``; zeros go
+    into bucket ``-1``.  Used to summarise scale-free degree distributions,
+    whose interesting structure lives in the tail.
+    """
+    arr = np.asarray(values)
+    out: dict[int, int] = {}
+    zeros = int(np.count_nonzero(arr == 0))
+    if zeros:
+        out[-1] = zeros
+    positive = arr[arr > 0]
+    if positive.size:
+        buckets = np.floor(np.log2(positive.astype(np.float64))).astype(np.int64)
+        for b, c in zip(*np.unique(buckets, return_counts=True)):
+            out[int(b)] = int(c)
+    return out

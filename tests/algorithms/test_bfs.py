@@ -1,0 +1,134 @@
+"""Tests for asynchronous BFS (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import BFSAlgorithm, bfs
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.generators.rmat import rmat_edges
+from repro.generators.small_world import small_world_edges
+from repro.reference.bfs import bfs_levels
+from repro.types import UNREACHED
+
+
+class TestSmallGraphs:
+    def test_path(self, path_graph):
+        g = DistributedGraph.build(path_graph, 2)
+        r = bfs(g, 0)
+        assert list(r.data.levels) == [0, 1, 2, 3, 4]
+        assert r.data.max_level == 4
+
+    def test_triangle(self, triangle_graph):
+        g = DistributedGraph.build(triangle_graph, 2)
+        r = bfs(g, 0)
+        assert list(r.data.levels) == [0, 1, 1, 2, 2]
+
+    def test_star_from_hub(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4)
+        r = bfs(g, 0)
+        assert r.data.levels[0] == 0
+        assert np.all(r.data.levels[1:] == 1)
+
+    def test_star_from_leaf(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4)
+        r = bfs(g, 5)
+        assert r.data.levels[5] == 0
+        assert r.data.levels[0] == 1
+        assert r.data.levels[1] == 2
+
+    def test_disconnected_unreached(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 3)], 5).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = bfs(g, 0)
+        assert r.data.levels[0] == 0 and r.data.levels[1] == 1
+        assert r.data.levels[2] == UNREACHED
+        assert r.data.levels[4] == UNREACHED
+        assert r.data.num_reached == 2
+
+
+class TestParents:
+    def test_parent_levels_consistent(self, rmat_small, rmat_small_graph):
+        s = int(rmat_small.src[0])
+        r = bfs(rmat_small_graph, s)
+        levels, parents = r.data.levels, r.data.parents
+        assert parents[s] == s  # source self-parent convention
+        for v in range(rmat_small.num_vertices):
+            if v == s or levels[v] == UNREACHED:
+                continue
+            p = int(parents[v])
+            assert levels[p] == levels[v] - 1  # a valid BFS tree edge
+            # the parent edge actually exists in the graph
+            lo = np.searchsorted(rmat_small.src, p, "left")
+            hi = np.searchsorted(rmat_small.src, p, "right")
+            assert v in rmat_small.dst[lo:hi]
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16])
+    def test_rmat_all_partition_counts(self, rmat_small, p):
+        g = DistributedGraph.build(rmat_small, p, num_ghosts=4)
+        s = int(rmat_small.src[0])
+        r = bfs(g, s)
+        assert np.array_equal(r.data.levels, bfs_levels(rmat_small, s))
+
+    @pytest.mark.parametrize("topology", ["direct", "2d", "3d"])
+    def test_rmat_all_topologies(self, rmat_small, topology):
+        g = DistributedGraph.build(rmat_small, 8, num_ghosts=4)
+        s = int(rmat_small.src[1])
+        r = bfs(g, s, topology=topology)
+        assert np.array_equal(r.data.levels, bfs_levels(rmat_small, s))
+
+    def test_ghosts_do_not_change_result(self, rmat_small):
+        s = int(rmat_small.src[2])
+        ref = bfs_levels(rmat_small, s)
+        for ng in (0, 1, 16, 256):
+            g = DistributedGraph.build(rmat_small, 8, num_ghosts=ng)
+            assert np.array_equal(bfs(g, s).data.levels, ref)
+
+    def test_1d_strategy(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8, strategy="1d")
+        s = int(rmat_small.src[0])
+        assert np.array_equal(bfs(g, s).data.levels, bfs_levels(rmat_small, s))
+
+    def test_small_world(self):
+        src, dst = small_world_edges(256, 4, rewire_probability=0.1, seed=3)
+        edges = EdgeList.from_arrays(src, dst, 256).simple_undirected()
+        g = DistributedGraph.build(edges, 8, num_ghosts=8)
+        assert np.array_equal(bfs(g, 7).data.levels, bfs_levels(edges, 7))
+
+
+class TestDirectedBFS:
+    def test_directed_edges_respected(self):
+        # 0 -> 1 -> 2 with no reverse edges: BFS from 2 reaches nothing else
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], 3).sorted_by_source()
+        g = DistributedGraph.build(el, 1)
+        r = bfs(g, 2)
+        assert r.data.num_reached == 1
+
+
+class TestValidation:
+    def test_negative_source(self):
+        with pytest.raises(ValueError):
+            BFSAlgorithm(-1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=2, max_size=80
+    ),
+    p=st.integers(min_value=1, max_value=4),
+    source=st.integers(0, 15),
+)
+def test_bfs_matches_reference_property(pairs, p, source):
+    """Property: on arbitrary undirected graphs, any partition count and
+    ghost budget, async BFS levels equal the sequential reference."""
+    edges = EdgeList.from_pairs(pairs, num_vertices=16).simple_undirected()
+    if edges.num_edges < p:
+        return
+    g = DistributedGraph.build(edges, p, num_ghosts=2)
+    got = bfs(g, source).data.levels
+    assert np.array_equal(got, bfs_levels(edges, source))

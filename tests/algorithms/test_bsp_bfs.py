@@ -1,0 +1,78 @@
+"""Tests for the level-synchronous (BSP) BFS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.bsp_bfs import bsp_bfs
+from repro.bench.harness import build_sw_graph
+from repro.graph.distributed import DistributedGraph
+from repro.reference.bfs import bfs_levels
+from repro.runtime.costmodel import bgp_intrepid
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_matches_reference(self, rmat_small, p):
+        g = DistributedGraph.build(rmat_small, p)
+        s = int(rmat_small.src[0])
+        result = bsp_bfs(g, s)
+        assert np.array_equal(result.levels, bfs_levels(rmat_small, s))
+
+    def test_supersteps_equal_depth(self, rmat_small, rmat_small_graph):
+        s = int(rmat_small.src[0])
+        result = bsp_bfs(rmat_small_graph, s)
+        # one superstep per level plus the final empty-frontier check round
+        assert result.max_level <= result.num_supersteps <= result.max_level + 1
+
+    def test_agrees_with_async(self, rmat_small, rmat_small_graph):
+        s = int(rmat_small.src[1])
+        sync = bsp_bfs(rmat_small_graph, s)
+        async_result = bfs(rmat_small_graph, s)
+        assert np.array_equal(sync.levels, async_result.data.levels)
+
+
+class TestAsynchronyAblation:
+    """The paper's core architectural claim, as a measurable comparison:
+    per-level barriers hurt when the diameter is high."""
+
+    def test_async_wins_on_high_diameter(self):
+        edges, graph = build_sw_graph(
+            2048, 4, rewire=0.005, num_partitions=16, num_ghosts=16, seed=4
+        )
+        machine = bgp_intrepid()
+        s = 0
+        sync = bsp_bfs(graph, s, machine=machine)
+        # direct routing: single-hop messages, the latency-minimal config
+        asy = bfs(graph, s, machine=machine, topology="direct")
+        assert sync.max_level > 10  # genuinely deep
+        # barrier-per-level makes BSP pay ~depth * barrier latency
+        assert asy.stats.time_us < sync.time_us
+
+    def test_async_advantage_grows_with_depth(self):
+        """The deeper the graph, the more barriers BSP pays — the async
+        advantage (time ratio) must widen from a shallow random graph to a
+        near-ring lattice."""
+        machine = bgp_intrepid()
+        ratios = []
+        for rewire in (1.0, 0.0):
+            _, graph = build_sw_graph(
+                2048, 4, rewire=rewire, num_partitions=16, num_ghosts=16, seed=4
+            )
+            sync = bsp_bfs(graph, 0, machine=machine)
+            asy = bfs(graph, 0, machine=machine, topology="direct")
+            ratios.append(sync.time_us / asy.stats.time_us)
+        assert ratios[1] > ratios[0]
+
+    def test_barrier_cost_scales_with_depth(self):
+        machine = bgp_intrepid()
+        shallow_edges, shallow = build_sw_graph(
+            2048, 4, rewire=1.0, num_partitions=8, seed=4
+        )
+        deep_edges, deep = build_sw_graph(
+            2048, 4, rewire=0.005, num_partitions=8, seed=4
+        )
+        t_shallow = bsp_bfs(shallow, 0, machine=machine)
+        t_deep = bsp_bfs(deep, 0, machine=machine)
+        assert t_deep.num_supersteps > t_shallow.num_supersteps
+        assert t_deep.time_us > t_shallow.time_us

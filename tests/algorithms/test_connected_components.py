@@ -1,0 +1,63 @@
+"""Tests for asynchronous connected components (extension algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_components import connected_components
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.reference.components import component_labels
+
+
+class TestSmallGraphs:
+    def test_single_component(self, path_graph):
+        g = DistributedGraph.build(path_graph, 2)
+        r = connected_components(g)
+        assert r.data.num_components == 1
+        assert np.all(r.data.labels == 0)
+
+    def test_two_components(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 3)], 4).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = connected_components(g)
+        assert r.data.num_components == 2
+        assert list(r.data.labels) == [0, 0, 2, 2]
+
+    def test_isolated_vertices_self_labeled(self):
+        el = EdgeList.from_pairs([(0, 1)], 4).simple_undirected()
+        g = DistributedGraph.build(el, 1)
+        r = connected_components(g)
+        assert list(r.data.labels) == [0, 0, 2, 3]
+        assert r.data.component_sizes() == {0: 2, 2: 1, 3: 1}
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_rmat(self, rmat_small, p):
+        g = DistributedGraph.build(rmat_small, p, num_ghosts=8)
+        got = connected_components(g).data.labels
+        assert np.array_equal(got, component_labels(rmat_small))
+
+    def test_ghosts_do_not_change_result(self, rmat_small):
+        ref = component_labels(rmat_small)
+        for ng in (0, 32):
+            g = DistributedGraph.build(rmat_small, 8, num_ghosts=ng)
+            assert np.array_equal(connected_components(g).data.labels, ref)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 13), st.integers(0, 13)), min_size=1, max_size=60
+    ),
+    p=st.integers(min_value=1, max_value=4),
+)
+def test_cc_matches_reference_property(pairs, p):
+    edges = EdgeList.from_pairs(pairs, num_vertices=14).simple_undirected()
+    if edges.num_edges < p:
+        return
+    g = DistributedGraph.build(edges, p, num_ghosts=2)
+    got = connected_components(g).data.labels
+    assert np.array_equal(got, component_labels(edges))

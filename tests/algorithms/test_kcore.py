@@ -1,0 +1,119 @@
+"""Tests for asynchronous K-Core decomposition (Algorithms 4 and 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.algorithms.kcore import KCoreAlgorithm, kcore
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.reference.kcore import kcore_members
+
+
+class TestSmallGraphs:
+    def test_path_has_no_2core(self, path_graph):
+        g = DistributedGraph.build(path_graph, 2)
+        r = kcore(g, 2)
+        assert r.data.core_size == 0
+
+    def test_triangle_is_2core(self, triangle_graph):
+        g = DistributedGraph.build(triangle_graph, 2)
+        r = kcore(g, 2)
+        assert r.data.core_size == 5  # both triangles survive
+
+    def test_clique_survives_its_degree(self):
+        n = 6
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        el = EdgeList.from_pairs(pairs, n).simple_undirected()
+        g = DistributedGraph.build(el, 3)
+        assert kcore(g, n - 1).data.core_size == n
+        assert kcore(g, n).data.core_size == 0
+
+    def test_clique_with_pendant(self):
+        """A pendant vertex peels off without destroying the clique — the
+        cascade must stop at the clique boundary."""
+        pairs = [(i, j) for i in range(4) for j in range(i + 1, 4)] + [(0, 4)]
+        el = EdgeList.from_pairs(pairs, 5).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = kcore(g, 3)
+        assert list(r.data.members()) == [0, 1, 2, 3]
+
+    def test_cascade(self):
+        """Removing one low-degree vertex triggers recursive removals."""
+        # chain of diamonds that unravels entirely for k=2 once the tail goes
+        pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]
+        el = EdgeList.from_pairs(pairs, 5).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = kcore(g, 2)
+        assert set(r.data.members()) == {0, 1, 2}
+
+    def test_star_k2_empty(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4)
+        assert kcore(g, 2).data.core_size == 0
+
+
+class TestSplitHubs:
+    def test_hub_split_across_partitions(self):
+        """The hair-trigger replica mechanism: a split hub must still peel
+        correctly and notify every neighbour exactly once."""
+        # hub 0 connected to 16 leaves; leaves pairwise chained so k=2
+        pairs = [(0, i) for i in range(1, 17)]
+        pairs += [(i, i + 1) for i in range(1, 16)]
+        el = EdgeList.from_pairs(pairs, 17).simple_undirected()
+        split_seen = False
+        for p in (2, 4, 8):
+            g = DistributedGraph.build(el, p)
+            split_seen = split_seen or g.is_split(0)
+            got = kcore(g, 3).data.alive
+            ref = kcore_members(el, 3)
+            assert np.array_equal(got, ref), f"p={p}"
+        # at the finer partitionings the hub's adjacency really was split
+        assert split_seen
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p", [1, 3, 8, 16])
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_rmat(self, rmat_small, p, k):
+        g = DistributedGraph.build(rmat_small, p)
+        got = kcore(g, k).data.alive
+        assert np.array_equal(got, kcore_members(rmat_small, k))
+
+    def test_against_networkx(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8)
+        nxg = nx.Graph(list(zip(rmat_small.src.tolist(), rmat_small.dst.tolist())))
+        nxg.add_nodes_from(range(rmat_small.num_vertices))
+        core = nx.core_number(nxg)
+        for k in (2, 4):
+            got = kcore(g, k).data.alive
+            expected = np.array(
+                [core.get(v, 0) >= k for v in range(rmat_small.num_vertices)]
+            )
+            assert np.array_equal(got, expected)
+
+
+class TestValidation:
+    def test_k_zero(self):
+        with pytest.raises(ValueError):
+            KCoreAlgorithm(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 13), st.integers(0, 13)), min_size=2, max_size=70
+    ),
+    p=st.integers(min_value=1, max_value=4),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_kcore_matches_reference_property(pairs, p, k):
+    """Property: arbitrary undirected graphs, any partitioning, any k."""
+    edges = EdgeList.from_pairs(pairs, num_vertices=14).simple_undirected()
+    if edges.num_edges < p:
+        return
+    g = DistributedGraph.build(edges, p)
+    got = kcore(g, k).data.alive
+    assert np.array_equal(got, kcore_members(edges, k))

@@ -1,0 +1,96 @@
+"""Tests for asynchronous SSSP (extension algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sssp import SSSPAlgorithm, edge_weight, sssp
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.reference.sssp import sssp_distances
+from repro.types import UNREACHED
+from repro.algorithms.bfs import bfs
+
+
+class TestEdgeWeight:
+    def test_symmetric(self):
+        assert edge_weight(3, 9) == edge_weight(9, 3)
+
+    def test_range(self):
+        for u in range(20):
+            for v in range(20):
+                w = edge_weight(u, v, max_weight=7)
+                assert 1 <= w <= 7
+
+    def test_salt_changes_weights(self):
+        weights_a = [edge_weight(0, v, salt=0) for v in range(50)]
+        weights_b = [edge_weight(0, v, salt=1) for v in range(50)]
+        assert weights_a != weights_b
+
+    def test_deterministic(self):
+        assert edge_weight(5, 6) == edge_weight(5, 6)
+
+
+class TestSmallGraphs:
+    def test_path_distances(self, path_graph):
+        g = DistributedGraph.build(path_graph, 2)
+        r = sssp(g, 0)
+        ref = sssp_distances(path_graph, 0)
+        assert np.allclose(r.data.distances, ref)
+
+    def test_unit_weights_equal_bfs(self, rmat_small, rmat_small_graph):
+        s = int(rmat_small.src[0])
+        d = sssp(rmat_small_graph, s, unit_weights=True).data.distances
+        levels = bfs(rmat_small_graph, s).data.levels
+        reached = levels != UNREACHED
+        assert np.array_equal(d[reached].astype(np.int64), levels[reached])
+        assert np.all(np.isinf(d[~reached]))
+
+    def test_unreachable_infinite(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 3)], 4).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = sssp(g, 0)
+        assert np.isinf(r.data.distances[2])
+        assert r.data.num_reached == 2
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_rmat(self, rmat_small, p):
+        g = DistributedGraph.build(rmat_small, p, num_ghosts=8)
+        s = int(rmat_small.src[0])
+        got = sssp(g, s, max_weight=8).data.distances
+        ref = sssp_distances(rmat_small, s, max_weight=8)
+        assert np.allclose(got, ref, equal_nan=True)
+
+    def test_salt_consistency(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 4)
+        s = int(rmat_small.src[1])
+        got = sssp(g, s, max_weight=5, salt=9).data.distances
+        ref = sssp_distances(rmat_small, s, max_weight=5, salt=9)
+        assert np.allclose(got, ref, equal_nan=True)
+
+
+class TestValidation:
+    def test_negative_source(self):
+        with pytest.raises(ValueError):
+            SSSPAlgorithm(-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=2, max_size=50
+    ),
+    p=st.integers(min_value=1, max_value=3),
+    source=st.integers(0, 11),
+)
+def test_sssp_matches_dijkstra_property(pairs, p, source):
+    edges = EdgeList.from_pairs(pairs, num_vertices=12).simple_undirected()
+    if edges.num_edges < p:
+        return
+    g = DistributedGraph.build(edges, p, num_ghosts=2)
+    got = sssp(g, source, max_weight=4).data.distances
+    ref = sssp_distances(edges, source, max_weight=4)
+    assert np.allclose(got, ref, equal_nan=True)

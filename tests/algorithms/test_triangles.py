@@ -1,0 +1,95 @@
+"""Tests for asynchronous triangle counting (Algorithms 6 and 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.algorithms.triangles import triangle_count
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.reference.triangles import total_triangles, triangles_per_max_vertex
+
+
+class TestSmallGraphs:
+    def test_single_triangle(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 2), (0, 2)], 3).simple_undirected()
+        g = DistributedGraph.build(el, 2)
+        r = triangle_count(g)
+        assert r.data.total == 1
+        # counted at the largest member
+        assert list(r.data.per_vertex) == [0, 0, 1]
+
+    def test_two_shared_triangles(self, triangle_graph):
+        g = DistributedGraph.build(triangle_graph, 2)
+        r = triangle_count(g)
+        assert r.data.total == 2
+
+    def test_path_no_triangles(self, path_graph):
+        g = DistributedGraph.build(path_graph, 2)
+        assert triangle_count(g).data.total == 0
+
+    def test_star_no_triangles(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4)
+        assert triangle_count(g).data.total == 0
+
+    def test_k5_has_ten(self):
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        el = EdgeList.from_pairs(pairs, 5).simple_undirected()
+        g = DistributedGraph.build(el, 3)
+        r = triangle_count(g)
+        assert r.data.total == 10
+        # vertex v is the max of C(v, 2) triangles in a clique
+        assert list(r.data.per_vertex) == [0, 0, 1, 3, 6]
+
+
+class TestSplitHubs:
+    def test_triangles_through_split_hub(self):
+        """Closing edges may live on any replica's slice; increments must
+        land exactly once regardless of the partitioning."""
+        # wheel: hub 0 + cycle 1..12; every spoke pair is a triangle
+        n = 13
+        pairs = [(0, i) for i in range(1, n)]
+        pairs += [(i, i % (n - 1) + 1) for i in range(1, n)]
+        el = EdgeList.from_pairs(pairs, n).simple_undirected()
+        expected = total_triangles(el)
+        for p in (1, 2, 4, 8):
+            g = DistributedGraph.build(el, p)
+            assert triangle_count(g).data.total == expected, f"p={p}"
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p", [1, 4, 8, 16])
+    def test_rmat_total(self, rmat_small, p):
+        g = DistributedGraph.build(rmat_small, p)
+        assert triangle_count(g).data.total == total_triangles(rmat_small)
+
+    def test_rmat_per_vertex(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8)
+        got = triangle_count(g).data.per_vertex
+        assert np.array_equal(got, triangles_per_max_vertex(rmat_small))
+
+    def test_against_networkx(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8)
+        nxg = nx.Graph(list(zip(rmat_small.src.tolist(), rmat_small.dst.tolist())))
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert triangle_count(g).data.total == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=2, max_size=60
+    ),
+    p=st.integers(min_value=1, max_value=4),
+)
+def test_triangles_match_reference_property(pairs, p):
+    edges = EdgeList.from_pairs(pairs, num_vertices=12).simple_undirected()
+    if edges.num_edges < p:
+        return
+    g = DistributedGraph.build(edges, p)
+    r = triangle_count(g)
+    assert r.data.total == total_triangles(edges)
+    assert np.array_equal(r.data.per_vertex, triangles_per_max_vertex(edges))

@@ -1,0 +1,75 @@
+"""Tests for wedge-sampling approximate triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.wedge_sampling import (
+    sample_triangle_estimate,
+    total_wedge_count,
+)
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.reference.triangles import total_triangles
+
+
+class TestWedgeCount:
+    def test_triangle(self):
+        # K3: each vertex has degree 2 -> 1 wedge each
+        assert total_wedge_count(np.array([2, 2, 2])) == 3
+
+    def test_star(self):
+        # hub degree 4 -> C(4,2)=6 wedges; leaves contribute none
+        assert total_wedge_count(np.array([4, 1, 1, 1, 1])) == 6
+
+    def test_empty(self):
+        assert total_wedge_count(np.array([], dtype=np.int64)) == 0
+
+
+class TestEstimator:
+    def test_clique_exact(self):
+        """In a clique every wedge is closed, so the estimate is exact
+        regardless of sampling noise."""
+        n = 8
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        el = EdgeList.from_pairs(pairs, n).simple_undirected()
+        g = DistributedGraph.build(el, 4)
+        est = sample_triangle_estimate(g, samples=500, seed=0)
+        assert est.closure_fraction == 1.0
+        assert est.estimate == pytest.approx(total_triangles(el))
+
+    def test_triangle_free_zero(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4)
+        est = sample_triangle_estimate(g, samples=300, seed=0)
+        assert est.closure_fraction == 0.0
+        assert est.estimate == 0.0
+
+    def test_no_wedges(self):
+        el = EdgeList.from_pairs([(0, 1)], 2).simple_undirected()
+        g = DistributedGraph.build(el, 1)
+        est = sample_triangle_estimate(g, samples=100, seed=0)
+        assert est.total_wedges == 0
+        assert est.estimate == 0.0
+
+    def test_estimate_within_error_bars(self, rmat_small, rmat_small_graph):
+        exact = total_triangles(rmat_small)
+        est = sample_triangle_estimate(rmat_small_graph, samples=20_000, seed=7)
+        assert abs(est.estimate - exact) < 5 * max(est.std_error, exact * 0.02)
+
+    def test_more_samples_tighter(self, rmat_small_graph):
+        few = sample_triangle_estimate(rmat_small_graph, samples=500, seed=1)
+        many = sample_triangle_estimate(rmat_small_graph, samples=20_000, seed=1)
+        assert many.std_error < few.std_error
+
+    def test_deterministic(self, rmat_small_graph):
+        a = sample_triangle_estimate(rmat_small_graph, samples=1000, seed=3)
+        b = sample_triangle_estimate(rmat_small_graph, samples=1000, seed=3)
+        assert a.estimate == b.estimate
+
+    def test_checks_distributed_across_ranks(self, rmat_small_graph):
+        est = sample_triangle_estimate(rmat_small_graph, samples=2000, seed=2)
+        assert est.checks_per_rank.sum() >= 2000  # one or more per sample
+        assert np.count_nonzero(est.checks_per_rank) > 1
+
+    def test_invalid_samples(self, rmat_small_graph):
+        with pytest.raises(ValueError):
+            sample_triangle_estimate(rmat_small_graph, samples=0)

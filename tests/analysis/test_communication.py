@@ -1,0 +1,61 @@
+"""Tests for the communication-density analysis."""
+
+import numpy as np
+
+from repro.analysis.communication import communication_profile
+from repro.bench.harness import build_rmat_graph
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+
+
+class TestStructure:
+    def test_single_rank_no_cut(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 1)
+        profile = communication_profile(g)
+        assert profile.cut_edges == 0
+        assert profile.communicating_pairs == 0
+        assert profile.cut_fraction == 0.0
+
+    def test_counts_bounded(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8)
+        profile = communication_profile(g)
+        assert 0 < profile.cut_edges <= rmat_small.num_edges
+        assert 0 < profile.communicating_pairs <= 8 * 7
+        assert 0.0 < profile.pair_density <= 1.0
+
+    def test_ring_is_sparse_cut(self):
+        """A ring partitioned into contiguous blocks cuts only the block
+        boundaries — the easy case where no routing is needed."""
+        n = 64
+        el = EdgeList.from_pairs(
+            [(i, (i + 1) % n) for i in range(n)], n
+        ).simple_undirected()
+        g = DistributedGraph.build(el, 8)
+        profile = communication_profile(g)
+        assert profile.cut_fraction < 0.15
+
+    def test_scale_free_is_dense(self):
+        """The paper's motivating case: a permuted scale-free graph has a
+        polynomial cut and near-all-to-all communicating pairs."""
+        _, g = build_rmat_graph(10, num_partitions=16, seed=3)
+        profile = communication_profile(g)
+        assert profile.cut_fraction > 0.5
+        assert profile.pair_density > 0.9  # effectively all-to-all
+
+    def test_hotspot_visible(self):
+        """A single huge hub concentrates incoming cut edges on its master
+        rank — the hotspot ghosts exist to dissipate."""
+        n = 128
+        pairs = [(i, 0) for i in range(1, n)]
+        el = EdgeList.from_pairs(pairs, n).simple_undirected()
+        g = DistributedGraph.build(el, 8)
+        profile = communication_profile(g)
+        hub_master = g.min_owner(0)
+        in_cut = profile.in_cut_per_rank
+        assert in_cut[hub_master] == in_cut.max()
+        assert in_cut[hub_master] > 3 * np.mean(in_cut)
+
+    def test_totals_consistent(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 8)
+        profile = communication_profile(g)
+        assert profile.in_cut_per_rank.sum() == profile.cut_edges

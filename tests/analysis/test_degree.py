@@ -1,0 +1,80 @@
+"""Tests for degree-distribution analysis and the power-law fit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degree import (
+    degree_histogram_report,
+    fit_power_law,
+    tail_heaviness,
+)
+from repro.generators.preferential_attachment import preferential_attachment_edges
+from repro.generators.rmat import rmat_edges
+from repro.generators.small_world import small_world_edges
+from repro.graph.edge_list import EdgeList
+
+
+def _degrees(src, dst, n):
+    return EdgeList.from_arrays(src, dst, n).degrees()
+
+
+class TestPowerLawFit:
+    def test_synthetic_power_law_recovered(self):
+        """Sampling from an exact discrete power law recovers alpha."""
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        d = np.arange(4, 5000)
+        probs = d.astype(np.float64) ** -alpha
+        probs /= probs.sum()
+        sample = rng.choice(d, size=50_000, p=probs)
+        fit = fit_power_law(sample, d_min=4)
+        assert fit.alpha == pytest.approx(alpha, abs=0.1)
+
+    def test_ba_exponent_near_three(self):
+        """Pure preferential attachment is the textbook alpha ~= 3 case."""
+        src, dst = preferential_attachment_edges(20_000, 4, seed=1)
+        fit = fit_power_law(_degrees(src, dst, 20_000), d_min=8)
+        assert 2.3 < fit.alpha < 3.7
+
+    def test_rewiring_steepens_tail(self):
+        """Full rewiring (random graph) has a much steeper effective tail
+        than pure PA — the Figure 11 mechanism in exponent form."""
+        n = 8192
+        src, dst = preferential_attachment_edges(n, 4, seed=2)
+        pa_fit = fit_power_law(_degrees(src, dst, n), d_min=8)
+        src, dst = preferential_attachment_edges(n, 4, rewire_probability=1.0, seed=2)
+        random_fit = fit_power_law(_degrees(src, dst, n), d_min=8)
+        assert random_fit.alpha > pa_fit.alpha + 0.5
+
+    def test_empty_tail(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1, 1, 1]), d_min=4)
+
+    def test_bad_dmin(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([5, 6]), d_min=1)
+
+
+class TestTailHeaviness:
+    def test_scale_free_vs_uniform(self):
+        scale = 12
+        src, dst = rmat_edges(scale, 16 << scale, seed=3)
+        rmat_tail = tail_heaviness(_degrees(src, dst, 1 << scale))
+        src, dst = small_world_edges(1 << scale, 16, seed=3)
+        sw_tail = tail_heaviness(_degrees(src, dst, 1 << scale))
+        assert rmat_tail > 3 * sw_tail
+        assert sw_tail < 0.03  # uniform degree: top 1% holds ~1%
+
+    def test_empty(self):
+        assert tail_heaviness(np.array([])) == 0.0
+
+
+class TestHistogramReport:
+    def test_contains_buckets(self):
+        report = degree_histogram_report(np.array([0, 1, 2, 3, 9]))
+        assert "[2, 4)" in report
+        assert "[8, 16)" in report
+        assert report.splitlines()[0].startswith("degree-range")
+
+    def test_empty(self):
+        assert "empty" in degree_histogram_report(np.array([]))

@@ -1,0 +1,45 @@
+"""Tests for hub-growth analysis (Figure 1)."""
+
+import numpy as np
+
+from repro.analysis.hubs import hub_growth_curve, hub_stats, rmat_degree_counts
+
+
+class TestHubStats:
+    def test_basic(self):
+        degrees = np.array([1, 1, 100, 2000])
+        s = hub_stats(degrees, thresholds=(100, 1000))
+        assert s.max_degree == 2000
+        assert s.edges_at_threshold[100] == 2100
+        assert s.edges_at_threshold[1000] == 2000
+        assert s.num_edges == 2102
+
+    def test_empty(self):
+        s = hub_stats(np.array([], dtype=np.int64))
+        assert s.max_degree == 0
+        assert s.num_vertices == 0
+
+
+class TestDegreeCounts:
+    def test_totals(self):
+        degrees = rmat_degree_counts(8, 16, seed=0)
+        assert degrees.sum() == 2 * 16 * 256  # each edge contributes 2
+
+    def test_chunking_consistent(self):
+        a = rmat_degree_counts(8, 16, seed=0, chunk_size=1 << 20)
+        b = rmat_degree_counts(8, 16, seed=0, chunk_size=1 << 20)
+        assert np.array_equal(a, b)
+
+
+class TestGrowthCurve:
+    def test_figure1_shape(self):
+        """The paper's claim at reproduction scale: the max-degree hub and
+        the threshold-edge series all grow with scale, while the mean
+        degree stays constant."""
+        curve = hub_growth_curve((8, 10, 12), thresholds=(32,), seed=0)
+        max_degrees = [s.max_degree for s in curve]
+        hub_edges = [s.edges_at_threshold[32] for s in curve]
+        assert max_degrees[0] < max_degrees[1] < max_degrees[2]
+        assert hub_edges[0] < hub_edges[1] < hub_edges[2]
+        mean_degrees = [s.num_edges / s.num_vertices for s in curve]
+        assert all(abs(m - mean_degrees[0]) < 1e-9 for m in mean_degrees)

@@ -1,0 +1,84 @@
+"""Tests for the Section VI-D parallel-round bounds.
+
+Beyond arithmetic checks, the bounds are validated as *invariants* against
+the simulator: measured ticks (a constant-factor proxy for parallel rounds)
+must not exceed the corresponding bound by more than a small constant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.kcore import kcore
+from repro.algorithms.triangles import triangle_count
+from repro.analysis.rounds import (
+    bfs_round_bound,
+    kcore_round_bound,
+    triangle_round_bound,
+)
+from repro.graph.distributed import DistributedGraph
+from repro.runtime.costmodel import EngineConfig
+from repro.types import UNREACHED
+
+
+class TestFormulas:
+    def test_bfs_ghosts_reduce_hub_term(self):
+        without = bfs_round_bound(10, 1000, 8, max_in_degree=500)
+        with_g = bfs_round_bound(10, 1000, 8, max_in_degree=500, with_ghosts=True)
+        assert without - with_g == 500 - 8
+
+    def test_kcore_always_pays_hub_term(self):
+        assert kcore_round_bound(10, 1000, 8, 500) == 10 + 125 + 500
+
+    def test_triangle_quadratic_in_degree(self):
+        small = triangle_round_bound(1000, 8, max_out_degree=4, max_in_degree=4)
+        big = triangle_round_bound(1000, 8, max_out_degree=64, max_in_degree=64)
+        assert big > 10 * small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bfs_round_bound(1, 10, 0, 1)
+        with pytest.raises(ValueError):
+            triangle_round_bound(-1, 2, 1, 1)
+
+
+class TestBoundsHoldInSimulation:
+    """Measured work per processor stays within a constant factor of the
+    analytical bounds (the simulator's tick count is a lower-granularity
+    proxy: each tick executes up to visitor_budget visitors per rank)."""
+
+    CONFIG = EngineConfig(visitor_budget=1, use_termination_detector=False)
+
+    def _props(self, edges):
+        d_out = int(edges.out_degrees().max())
+        d_in = int(edges.in_degrees().max())
+        return d_out, d_in
+
+    def test_bfs_ticks_within_bound(self, rmat_small, rmat_small_graph):
+        s = int(rmat_small.src[0])
+        r = bfs(rmat_small_graph, s, config=self.CONFIG)
+        levels = r.data.levels
+        diameter = int(levels[levels != UNREACHED].max())
+        _, d_in = self._props(rmat_small)
+        bound = bfs_round_bound(
+            diameter, rmat_small.num_edges, rmat_small_graph.num_partitions, d_in
+        )
+        assert r.stats.ticks <= 8 * bound
+
+    def test_kcore_ticks_within_bound(self, rmat_small, rmat_small_graph):
+        r = kcore(rmat_small_graph, 4, config=self.CONFIG)
+        _, d_in = self._props(rmat_small)
+        # diameter proxied by n (safe upper bound for the critical path)
+        bound = kcore_round_bound(
+            rmat_small.num_vertices, rmat_small.num_edges,
+            rmat_small_graph.num_partitions, d_in,
+        )
+        assert r.stats.ticks <= 8 * bound
+
+    def test_triangle_ticks_within_bound(self, rmat_small, rmat_small_graph):
+        r = triangle_count(rmat_small_graph, config=self.CONFIG)
+        d_out, d_in = self._props(rmat_small)
+        bound = triangle_round_bound(
+            rmat_small.num_edges, rmat_small_graph.num_partitions, d_out, d_in
+        )
+        assert r.stats.ticks <= 8 * bound

@@ -1,0 +1,36 @@
+"""Tests for TEPS accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.teps import bfs_traversed_edges, gteps, mteps, teps
+from repro.graph.edge_list import EdgeList
+from repro.types import UNREACHED
+
+
+class TestTraversedEdges:
+    def test_full_coverage(self, path_graph):
+        levels = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        # 4 undirected edges, all reached
+        assert bfs_traversed_edges(path_graph, levels) == 4
+
+    def test_partial_coverage(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 3)], 4).simple_undirected()
+        levels = np.array([0, 1, UNREACHED, UNREACHED], dtype=np.int64)
+        assert bfs_traversed_edges(el, levels) == 1
+
+    def test_directed_convention(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], 3).sorted_by_source()
+        levels = np.array([0, 1, 2], dtype=np.int64)
+        assert bfs_traversed_edges(el, levels, undirected=False) == 2
+
+
+class TestUnits:
+    def test_scaling(self):
+        assert teps(1_000_000, 1_000_000) == pytest.approx(1e6)  # 1M edges / 1s
+        assert mteps(1_000_000, 1_000_000) == pytest.approx(1.0)
+        assert gteps(1_000_000_000, 1_000_000) == pytest.approx(1.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            teps(10, 0.0)

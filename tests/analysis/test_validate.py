@@ -1,0 +1,84 @@
+"""Tests for the Graph500-style BFS validator."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.analysis.validate import validate_bfs
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.types import UNREACHED
+
+
+def _run(edges, source, p=4, **kwargs):
+    g = DistributedGraph.build(edges, p, **kwargs)
+    r = bfs(g, source)
+    return r.data.levels, r.data.parents
+
+
+class TestValidOutputs:
+    def test_real_bfs_validates(self, rmat_small):
+        s = int(rmat_small.src[0])
+        levels, parents = _run(rmat_small, s, p=8, num_ghosts=8)
+        report = validate_bfs(rmat_small, s, levels, parents)
+        assert report.valid, report.errors
+
+    def test_path(self, path_graph):
+        levels, parents = _run(path_graph, 0, p=2)
+        assert validate_bfs(path_graph, 0, levels, parents).valid
+
+    def test_disconnected(self):
+        el = EdgeList.from_pairs([(0, 1), (3, 4)], 5).simple_undirected()
+        levels, parents = _run(el, 0, p=2)
+        assert validate_bfs(el, 0, levels, parents).valid
+
+
+class TestCorruptionsDetected:
+    @pytest.fixture
+    def good(self, path_graph):
+        levels, parents = _run(path_graph, 0, p=2)
+        return path_graph, levels.copy(), parents.copy()
+
+    def test_wrong_source_level(self, good):
+        edges, levels, parents = good
+        levels[0] = 3
+        assert not validate_bfs(edges, 0, levels, parents).valid
+
+    def test_wrong_source_parent(self, good):
+        edges, levels, parents = good
+        parents[0] = 2
+        assert not validate_bfs(edges, 0, levels, parents).valid
+
+    def test_level_skip(self, good):
+        edges, levels, parents = good
+        levels[4] = 9  # path vertex jumped levels
+        report = validate_bfs(edges, 0, levels, parents)
+        assert not report.valid
+
+    def test_nonexistent_tree_edge(self, good):
+        edges, levels, parents = good
+        parents[4] = 0  # (0, 4) is not an edge of the path
+        levels[4] = 1
+        report = validate_bfs(edges, 0, levels, parents)
+        assert not report.valid
+        assert any("does not exist" in e or "spans" in e for e in report.errors)
+
+    def test_unreached_parent(self, good):
+        edges, levels, parents = good
+        parents[2] = 4
+        levels[4] = UNREACHED
+        assert not validate_bfs(edges, 0, levels, parents).valid
+
+    def test_missed_vertex(self, good):
+        edges, levels, parents = good
+        levels[4] = UNREACHED  # reachable but claimed unreached
+        parents[4] = -1
+        report = validate_bfs(edges, 0, levels, parents)
+        assert not report.valid
+        assert any("missed" in e for e in report.errors)
+
+    def test_error_cap(self, good):
+        edges, levels, parents = good
+        levels[1:] = 7  # everything broken
+        report = validate_bfs(edges, 0, levels, parents, max_errors=2)
+        assert len(report.errors) <= 2

@@ -1,0 +1,142 @@
+"""Smoke tests: every experiment driver runs at miniature scale and
+produces well-formed rows and a printable report.
+
+The full-size qualitative assertions live in ``benchmarks/``; these tests
+exist so a broken driver fails fast in the unit suite.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+
+
+def _check(rows, report, required_keys):
+    assert rows, "experiment produced no rows"
+    for key in required_keys:
+        assert key in rows[0], f"missing column {key}"
+    assert isinstance(report, str) and "\n" in report
+
+
+def test_fig01():
+    rows, report = E.fig01_hub_growth(scales=(6, 8), thresholds=(8,))
+    _check(rows, report, ["scale", "max_degree", "edges_deg>=8"])
+
+
+def test_fig02():
+    rows, report = E.fig02_partition_imbalance(
+        vertices_per_partition=64, partition_counts=(4, 16)
+    )
+    _check(rows, report, ["imbalance_1d", "imbalance_2d", "imbalance_edge_list"])
+
+
+def test_fig05():
+    rows, report = E.fig05_bfs_weak_scaling(
+        vertices_per_rank=32, ranks=(2, 4), num_sources=1
+    )
+    _check(rows, report, ["teps", "p", "time_us"])
+
+
+def test_fig06():
+    rows, report = E.fig06_kcore_weak_scaling(
+        vertices_per_rank=32, ranks=(2, 4), ks=(2,)
+    )
+    _check(rows, report, ["k", "core_size", "time_us"])
+
+
+def test_fig07():
+    rows, report = E.fig07_triangle_weak_scaling(
+        vertices_per_rank=16, ranks=(2,), degree=4, rewires=(0.0, 0.2)
+    )
+    _check(rows, report, ["rewire", "triangles", "time_us"])
+
+
+def test_fig08():
+    rows, report = E.fig08_em_bfs_weak_scaling(
+        vertices_per_rank=64, ranks=(2, 4), num_sources=1
+    )
+    _check(rows, report, ["teps", "cache_hit_rate"])
+
+
+def test_fig09():
+    rows, report = E.fig09_nvram_data_scaling(
+        base_scale=6, num_ranks=2, factors=(1, 2), num_sources=1
+    )
+    _check(rows, report, ["factor", "storage", "teps_vs_dram"])
+    assert rows[0]["storage"] == "dram"
+
+
+def test_fig10():
+    rows, report = E.fig10_diameter_effect(
+        num_vertices=256, degree=4, rewires=(1.0, 0.1), num_ranks=4, num_sources=1
+    )
+    _check(rows, report, ["max_level", "teps"])
+
+
+def test_fig11():
+    rows, report = E.fig11_degree_effect(
+        num_vertices=128, edges_per_vertex=3, rewires=(0.0, 1.0), num_ranks=4
+    )
+    _check(rows, report, ["max_degree", "triangles", "time_us"])
+
+
+def test_fig12():
+    rows, report = E.fig12_elp_vs_1d(
+        vertices_per_rank=32, ranks=(2, 4), num_sources=1
+    )
+    _check(rows, report, ["strategy", "max_partition_edges", "teps"])
+    assert {r["strategy"] for r in rows} == {"edge_list", "1d"}
+
+
+def test_fig13():
+    rows, report = E.fig13_ghost_sweep(
+        scale=7, num_ranks=4, ghost_counts=(0, 4), num_sources=1
+    )
+    _check(rows, report, ["ghosts", "improvement_pct"])
+    assert rows[0]["improvement_pct"] == 0.0
+
+
+def test_table2():
+    rows, report = E.table2_graph500_nvram(
+        base_scale=6, nvram_extra_scale=1, num_sources=1
+    )
+    _check(rows, report, ["machine_name", "storage", "mteps"])
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("ablation_routing", dict(scale=7, num_ranks=4, num_sources=1)),
+        ("ablation_locality_ordering", dict(scale=7, num_ranks=2, num_sources=1)),
+        ("ablation_aggregation", dict(scale=7, num_ranks=4, sizes=(1, 8), num_sources=1)),
+        ("ablation_termination", dict(scale=7, num_ranks=4, num_sources=1)),
+        ("ablation_io_concurrency", dict(scale=7, num_ranks=2, concurrencies=(1, 8), num_sources=1)),
+    ],
+)
+def test_ablations(name, kwargs):
+    rows, report = getattr(E, name)(**kwargs)
+    assert rows and isinstance(report, str)
+
+
+def test_ablation_memory_mode_smoke():
+    rows, report = E.ablation_semi_vs_full_external(
+        scale=7, num_ranks=2, cache_bytes_per_rank=4096, num_sources=1
+    )
+    assert {r["memory_mode"] for r in rows} == {"semi-external", "fully-external"}
+    assert isinstance(report, str)
+
+
+def test_extension_strong_scaling_smoke():
+    rows, report = E.extension_strong_scaling(
+        scale=7, ranks=(2, 4), num_sources=1
+    )
+    assert rows[0]["speedup"] == 1.0
+    assert isinstance(report, str)
+
+
+def test_extension_pagerank_smoke():
+    rows, report = E.extension_pagerank_convergence(
+        scale=7, num_ranks=2, thresholds=(1e-2,)
+    )
+    assert rows[0]["l1_error"] >= 0
+    assert isinstance(report, str)

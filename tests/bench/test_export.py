@@ -1,0 +1,38 @@
+"""Tests for CSV export of experiment rows."""
+
+import pytest
+
+from repro.bench.export import load_csv_rows, rows_to_csv
+
+
+class TestRoundTrip:
+    def test_basic(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = tmp_path / "rows.csv"
+        cols = rows_to_csv(rows, path)
+        assert cols == ["a", "b"]
+        loaded = load_csv_rows(path)
+        assert loaded[0]["a"] == "1"
+        assert loaded[1]["b"] == "4.5"
+
+    def test_ragged_rows(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "extra": "x"}]
+        path = tmp_path / "ragged.csv"
+        cols = rows_to_csv(rows, path)
+        assert cols == ["a", "extra"]
+        loaded = load_csv_rows(path)
+        assert loaded[0]["extra"] == ""
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], tmp_path / "никогда.csv")
+
+    def test_experiment_rows_export(self, tmp_path):
+        from repro.bench.experiments import fig01_hub_growth
+
+        rows, _ = fig01_hub_growth(scales=(6, 8), thresholds=(8,))
+        path = tmp_path / "fig01.csv"
+        rows_to_csv(rows, path)
+        loaded = load_csv_rows(path)
+        assert len(loaded) == 2
+        assert "max_degree" in loaded[0]

@@ -1,0 +1,100 @@
+"""Tests for the Graph500-style run harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.graph500 import run_graph500
+from repro.bench.harness import build_rmat_graph
+from repro.errors import TraversalError
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.runtime.costmodel import hyperion_dit, laptop
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    return build_rmat_graph(8, num_partitions=4, num_ghosts=8, seed=9)
+
+
+class TestRun:
+    def test_basic_run(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=8, seed=1)
+        assert run.num_searches == 8
+        assert run.all_validated
+        assert run.teps_values.shape == (8,)
+        assert np.all(run.teps_values > 0)
+
+    def test_statistics_ordering(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=8, seed=1)
+        assert run.min_teps <= run.harmonic_mean_teps <= run.max_teps
+        assert run.min_teps <= run.median_teps <= run.max_teps
+
+    def test_sources_non_isolated(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=8, seed=2)
+        degrees = edges.out_degrees()
+        assert np.all(degrees[run.sources] > 0)
+
+    def test_deterministic(self, small_setup):
+        edges, graph = small_setup
+        a = run_graph500(edges, graph, num_searches=4, seed=5)
+        b = run_graph500(edges, graph, num_searches=4, seed=5)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.teps_values, b.teps_values)
+
+    def test_summary(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=4, seed=1)
+        assert "harmonic mean" in run.summary()
+
+    def test_invalid_searches(self, small_setup):
+        edges, graph = small_setup
+        with pytest.raises(ValueError):
+            run_graph500(edges, graph, num_searches=0)
+
+    def test_no_sources(self):
+        el = EdgeList.from_pairs([], num_vertices=4)
+        # a graph with no edges cannot be partitioned; emulate via tiny graph
+        el2 = EdgeList.from_pairs([(0, 1)], 4).simple_undirected()
+        graph = DistributedGraph.build(el2, 1)
+        run = run_graph500(el2, graph, num_searches=2, seed=0)
+        assert set(run.sources) <= {0, 1}
+        del el
+
+
+class TestNVRAMWarmCache:
+    def test_later_searches_benefit_from_warm_cache(self, small_setup):
+        edges, graph = small_setup
+        machine = hyperion_dit("nvram", cache_bytes_per_rank=1 << 20, page_size=256)
+        run = run_graph500(edges, graph, num_searches=6, seed=3, machine=machine)
+        # the big cache retains the whole graph: after the first search the
+        # rest run from DRAM and are consistently faster
+        assert np.median(run.times_us[1:]) < run.times_us[0]
+
+    def test_dram_machine_works(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=3, machine=laptop())
+        assert run.all_validated
+
+
+class TestSSSPKernel:
+    def test_sssp_kernel_runs(self, small_setup):
+        edges, graph = small_setup
+        run = run_graph500(edges, graph, num_searches=3, kernel="sssp", seed=4)
+        assert run.all_validated
+        assert np.all(run.teps_values > 0)
+
+    def test_unknown_kernel(self, small_setup):
+        edges, graph = small_setup
+        with pytest.raises(ValueError):
+            run_graph500(edges, graph, num_searches=1, kernel="bc")
+
+    def test_sssp_slower_than_bfs(self, small_setup):
+        """SSSP's label corrections cost more visitors than plain BFS on
+        the same sources."""
+        edges, graph = small_setup
+        b = run_graph500(edges, graph, num_searches=3, kernel="bfs", seed=6)
+        s = run_graph500(edges, graph, num_searches=3, kernel="sssp", seed=6)
+        assert s.times_us.mean() > b.times_us.mean()

@@ -1,0 +1,90 @@
+"""Tests for the benchmark harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    build_pa_graph,
+    build_rmat_graph,
+    build_sw_graph,
+    make_page_caches,
+    mean_over_sources,
+    pick_bfs_source,
+    run_bfs_trial,
+)
+from repro.graph.edge_list import EdgeList
+from repro.runtime.costmodel import hyperion_dit, laptop
+
+
+class TestBuilders:
+    def test_rmat(self):
+        edges, graph = build_rmat_graph(7, num_partitions=4, num_ghosts=4)
+        assert graph.num_partitions == 4
+        assert edges.num_vertices == 128
+        # simple undirected: in-degrees match out-degrees
+        assert np.array_equal(edges.out_degrees(), edges.in_degrees())
+
+    def test_pa(self):
+        edges, graph = build_pa_graph(200, 3, rewire=0.2, num_partitions=4)
+        assert edges.num_vertices == 200
+        assert graph.strategy == "edge_list"
+
+    def test_sw(self):
+        edges, graph = build_sw_graph(128, 4, rewire=0.1, num_partitions=4)
+        assert edges.num_vertices == 128
+
+    def test_1d_strategy_passthrough(self):
+        _, graph = build_rmat_graph(7, num_partitions=4, strategy="1d")
+        assert graph.strategy == "1d"
+
+
+class TestSourcePicking:
+    def test_degree_requirement(self):
+        el = EdgeList.from_pairs([(0, 1)], 5).simple_undirected()
+        for seed in range(10):
+            s = pick_bfs_source(el, seed=seed)
+            assert s in (0, 1)
+
+    def test_deterministic(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 3), (4, 0)], 5).simple_undirected()
+        assert pick_bfs_source(el, seed=3) == pick_bfs_source(el, seed=3)
+
+    def test_no_eligible_source(self):
+        el = EdgeList.from_pairs([], num_vertices=3)
+        with pytest.raises(ValueError):
+            pick_bfs_source(el)
+
+
+class TestTrials:
+    def test_row_fields(self):
+        edges, graph = build_rmat_graph(7, num_partitions=4, num_ghosts=4)
+        row = run_bfs_trial(edges, graph, machine=laptop())
+        for key in ("teps", "time_us", "reached", "traversed_edges", "p",
+                    "visit_imbalance", "cache_hit_rate"):
+            assert key in row
+        assert row["p"] == 4
+        assert row["teps"] > 0
+
+    def test_mean_over_sources(self):
+        edges, graph = build_rmat_graph(7, num_partitions=4)
+        row = mean_over_sources(edges, graph, num_sources=3, machine=laptop())
+        assert row["num_sources"] == 3
+        assert row["time_us"] > 0
+
+
+class TestPageCaches:
+    def test_none_for_dram(self):
+        assert make_page_caches(laptop(), 4) is None
+
+    def test_created_for_nvram(self):
+        caches = make_page_caches(hyperion_dit("nvram"), 4)
+        assert len(caches) == 4
+
+    def test_warm_cache_improves_hit_rate(self):
+        edges, graph = build_rmat_graph(8, num_partitions=4, num_ghosts=4)
+        machine = hyperion_dit("nvram", cache_bytes_per_rank=1 << 20, page_size=256)
+        cold = run_bfs_trial(edges, graph, machine=machine, seed=1)
+        warm_row = mean_over_sources(
+            edges, graph, num_sources=1, seed=1, machine=machine, warm_cache=True
+        )
+        assert warm_row["cache_hit_rate"] > cold["cache_hit_rate"]

@@ -1,0 +1,40 @@
+"""Tests for the cProfile wrapper."""
+
+from repro.bench.profiling import profile_call
+
+
+def _busywork():
+    total = 0
+    for i in range(20_000):
+        total += i * i
+    return total
+
+
+class TestProfileCall:
+    def test_returns_result(self):
+        report = profile_call(_busywork)
+        assert report.result == _busywork()
+
+    def test_measures_something(self):
+        report = profile_call(_busywork)
+        assert report.total_calls >= 1
+        assert report.host_seconds >= 0.0
+
+    def test_hotspots_named(self):
+        report = profile_call(_busywork)
+        assert report.hotspots
+        assert any("_busywork" in name for name, _ in report.hotspots)
+
+    def test_summary_format(self):
+        report = profile_call(_busywork)
+        text = report.summary(top=3)
+        assert "host time" in text
+        assert text.count("\n") <= 3
+
+    def test_profiles_a_traversal(self, rmat_small, rmat_small_graph):
+        from repro.algorithms.bfs import bfs
+
+        report = profile_call(lambda: bfs(rmat_small_graph, int(rmat_small.src[0])))
+        assert report.result.data.num_reached > 0
+        # the engine loop should be visible among the hotspots
+        assert any("engine" in name or "run" in name for name, _ in report.hotspots)

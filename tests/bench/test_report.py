@@ -1,0 +1,32 @@
+"""Tests for the report table formatter."""
+
+from repro.bench.report import format_table
+
+
+def test_alignment_and_header():
+    rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.25}]
+    out = format_table(rows, ["a", ("b", ".2f")])
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "b"]
+    assert "100" in lines[3]
+    assert "0.25" in lines[3]
+
+
+def test_title():
+    out = format_table([{"x": 1}], ["x"], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_missing_key_renders_dash():
+    out = format_table([{"x": 1}], ["x", "missing"])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_empty_rows():
+    out = format_table([], ["a", "b"])
+    assert "a" in out and "b" in out
+
+
+def test_format_spec_ignored_for_strings():
+    out = format_table([{"name": "abc"}], [("name", ".2f")])
+    assert "abc" in out

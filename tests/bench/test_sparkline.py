@@ -1,0 +1,51 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.sparkline import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_single(self):
+        assert len(sparkline([1.0])) == 1
+
+    def test_order_reflected(self):
+        up = sparkline([0, 10])
+        down = sparkline([10, 0])
+        assert up == down[::-1]
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["x", "y"], [0.0, 4.0])
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "long-label"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")

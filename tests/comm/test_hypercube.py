@@ -1,0 +1,78 @@
+"""Tests for the hypercube routing topology (related-work comparison)."""
+
+import pytest
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_VISITOR
+from repro.comm.network import Network
+from repro.comm.routing import HypercubeTopology, make_topology
+from repro.errors import RoutingError
+
+
+class TestStructure:
+    def test_channels_are_log_p(self):
+        topo = HypercubeTopology(16)
+        for r in range(16):
+            assert len(topo.channels(r)) == 4
+            for c in topo.channels(r):
+                assert bin(r ^ c).count("1") == 1  # single-bit neighbours
+
+    def test_hops_bounded_by_log_p(self):
+        topo = HypercubeTopology(32)
+        for s in range(32):
+            for d in range(32):
+                if s != d:
+                    route = topo.route(s, d)
+                    assert route[-1] == d
+                    assert len(route) == bin(s ^ d).count("1")
+
+    def test_power_of_two_required(self):
+        with pytest.raises(RoutingError):
+            HypercubeTopology(12)
+
+    def test_factory(self):
+        assert make_topology("hypercube", 8).name == "hypercube"
+
+    def test_single_rank(self):
+        topo = HypercubeTopology(1)
+        assert topo.dimensions == 0
+
+
+class TestDelivery:
+    def test_all_pairs_deliver(self):
+        p = 16
+        net = Network(p)
+        topo = HypercubeTopology(p)
+        boxes = [Mailbox(r, topo, net) for r in range(p)]
+        for s in range(p):
+            for d in range(p):
+                if s != d:
+                    boxes[s].send(d, KIND_VISITOR, (s, d), 8)
+        for b in boxes:
+            b.flush()
+        delivered = {r: [] for r in range(p)}
+        for _ in range(3 * topo.dimensions):
+            arrivals = net.advance()
+            for r, box in enumerate(boxes):
+                for env in box.receive(arrivals[r]):
+                    delivered[r].append(env.payload)
+            for b in boxes:
+                b.flush()
+            if net.idle() and not any(b.has_buffered() for b in boxes):
+                break
+        for d in range(p):
+            assert {pair[0] for pair in delivered[d]} == set(range(p)) - {d}
+
+
+class TestTraversalIntegration:
+    def test_bfs_over_hypercube(self, rmat_small):
+        import numpy as np
+
+        from repro.algorithms.bfs import bfs
+        from repro.graph.distributed import DistributedGraph
+        from repro.reference.bfs import bfs_levels
+
+        g = DistributedGraph.build(rmat_small, 8, num_ghosts=4)
+        s = int(rmat_small.src[0])
+        r = bfs(g, s, topology="hypercube")
+        assert np.array_equal(r.data.levels, bfs_levels(rmat_small, s))

@@ -1,0 +1,139 @@
+"""Tests for the routed, aggregating mailbox."""
+
+import pytest
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_CONTROL, KIND_VISITOR
+from repro.comm.network import Network
+from repro.comm.routing import DirectTopology, Grid2DTopology
+from repro.errors import CommunicationError
+
+
+def _fabric(p, topo_cls=DirectTopology, agg=16, **topo_kwargs):
+    net = Network(p)
+    topo = topo_cls(p, **topo_kwargs)
+    boxes = [Mailbox(r, topo, net, aggregation_size=agg) for r in range(p)]
+    return net, boxes
+
+
+def _pump(net, boxes, max_ticks=10):
+    """Run delivery ticks until the fabric drains; returns {rank: payloads}."""
+    delivered = {r: [] for r in range(len(boxes))}
+    for _ in range(max_ticks):
+        arrivals = net.advance()
+        for r, box in enumerate(boxes):
+            for env in box.receive(arrivals[r]):
+                delivered[r].append(env.payload)
+        for box in boxes:
+            box.flush()
+        if net.idle() and not any(b.has_buffered() for b in boxes):
+            break
+    return delivered
+
+
+class TestDirectDelivery:
+    def test_simple_send(self):
+        net, boxes = _fabric(2)
+        boxes[0].send(1, KIND_VISITOR, "hello", 8)
+        boxes[0].flush()
+        delivered = _pump(net, boxes)
+        assert delivered[1] == ["hello"]
+
+    def test_local_send_short_circuits(self):
+        net, boxes = _fabric(2)
+        boxes[0].send(0, KIND_VISITOR, "self", 8)
+        delivered = _pump(net, boxes)
+        assert delivered[0] == ["self"]
+        assert net.total_packets == 0  # never touched the wire
+
+    def test_counters(self):
+        net, boxes = _fabric(2)
+        boxes[0].send(1, KIND_VISITOR, "a", 8)
+        boxes[0].send(1, KIND_CONTROL, "c", 8)
+        boxes[0].flush()
+        _pump(net, boxes)
+        assert boxes[0].visitors_sent == 1  # control not counted
+        assert boxes[1].visitors_received == 1
+
+
+class TestAggregation:
+    def test_eager_flush_at_threshold(self):
+        net, boxes = _fabric(2, agg=3)
+        for i in range(3):
+            boxes[0].send(1, KIND_VISITOR, i, 8)
+        # threshold reached -> packet already on the wire without flush()
+        assert net.total_packets == 1
+
+    def test_small_batches_wait_for_flush(self):
+        net, boxes = _fabric(2, agg=10)
+        boxes[0].send(1, KIND_VISITOR, 0, 8)
+        assert net.total_packets == 0
+        assert boxes[0].has_buffered()
+        boxes[0].flush()
+        assert net.total_packets == 1
+
+    def test_aggregation_reduces_packets(self):
+        """The aggregation claim: same messages, fewer packets."""
+        net1, boxes1 = _fabric(2, agg=1)
+        net16, boxes16 = _fabric(2, agg=16)
+        for boxes, net in ((boxes1, net1), (boxes16, net16)):
+            for i in range(16):
+                boxes[0].send(1, KIND_VISITOR, i, 8)
+            boxes[0].flush()
+        assert net1.total_packets == 16
+        assert net16.total_packets == 1
+
+    def test_invalid_aggregation_size(self):
+        net = Network(2)
+        with pytest.raises(CommunicationError):
+            Mailbox(0, DirectTopology(2), net, aggregation_size=0)
+
+
+class Test2DRouting:
+    def test_two_hop_delivery(self):
+        """Figure 4's example through the real mailbox: 11 -> 5 via 9."""
+        net, boxes = _fabric(16, Grid2DTopology, shape=(4, 4))
+        boxes[11].send(5, KIND_VISITOR, "routed", 8)
+        boxes[11].flush()
+        delivered = _pump(net, boxes)
+        assert delivered[5] == ["routed"]
+        assert boxes[9].envelopes_forwarded == 1  # transited rank 9
+
+    def test_transit_reaggregates(self):
+        """Envelopes from different row peers bound for the same final
+        destination merge at the intermediate hop into one packet — the
+        O(sqrt(p)) aggregation gain."""
+        net, boxes = _fabric(16, Grid2DTopology, shape=(4, 4), agg=16)
+        # 8, 10 and 11 share row 2; all send to rank 5 (column 1)
+        for sender in (8, 10, 11):
+            boxes[sender].send(5, KIND_VISITOR, sender, 8)
+        for b in boxes:
+            b.flush()
+        delivered = _pump(net, boxes)
+        assert sorted(delivered[5]) == [8, 10, 11]
+        # rank 9 forwarded all three envelopes in a single packet
+        assert boxes[9].envelopes_forwarded == 3
+        assert boxes[9].packets_sent == 1
+
+    def test_all_pairs_deliver(self):
+        net, boxes = _fabric(16, Grid2DTopology, shape=(4, 4))
+        for s in range(16):
+            for d in range(16):
+                if s != d:
+                    boxes[s].send(d, KIND_VISITOR, (s, d), 8)
+        for b in boxes:
+            b.flush()
+        delivered = _pump(net, boxes, max_ticks=20)
+        for d in range(16):
+            senders = {pair[0] for pair in delivered[d]}
+            assert senders == set(range(16)) - {d}
+
+
+class TestProtocolErrors:
+    def test_wrong_hop_packet_rejected(self):
+        from repro.comm.message import Envelope, Packet
+
+        net, boxes = _fabric(2)
+        bad = Packet(src=0, hop_dest=0, envelopes=[Envelope(1, KIND_VISITOR, "x", 8)])
+        with pytest.raises(CommunicationError):
+            boxes[1].receive([bad])

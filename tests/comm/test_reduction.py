@@ -1,0 +1,42 @@
+"""Tests for the simulated tree all-reduce."""
+
+import operator
+
+import pytest
+
+from repro.comm.reduction import tree_allreduce
+
+
+class TestValues:
+    def test_sum(self):
+        out = tree_allreduce([1, 2, 3, 4], operator.add)
+        assert out.value == 10
+
+    def test_max(self):
+        out = tree_allreduce([5, 9, 2], max)
+        assert out.value == 9
+
+    def test_single_rank(self):
+        out = tree_allreduce([42], operator.add)
+        assert out.value == 42
+        assert out.levels == 0
+        assert out.time_us == 0.0
+        assert out.messages == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_allreduce([], operator.add)
+
+
+class TestCostModel:
+    def test_levels_log2(self):
+        assert tree_allreduce([0] * 8, operator.add).levels == 3
+        assert tree_allreduce([0] * 9, operator.add).levels == 4
+
+    def test_time_scales_with_latency(self):
+        a = tree_allreduce([0] * 16, operator.add, hop_latency_us=1.0)
+        b = tree_allreduce([0] * 16, operator.add, hop_latency_us=2.0)
+        assert b.time_us == pytest.approx(2 * a.time_us)
+
+    def test_message_count(self):
+        assert tree_allreduce([0] * 5, operator.add).messages == 8

@@ -1,0 +1,66 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# No example database: property tests stay stateless and the repo stays
+# free of .hypothesis/ artifacts.
+settings.register_profile("repro", database=None, deadline=None)
+settings.load_profile("repro")
+
+from repro.generators.rmat import rmat_edges
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+
+
+@pytest.fixture
+def figure3_edges() -> EdgeList:
+    """The paper's Figure 3 worked example: 8 vertices, 16 edges."""
+    src = [0, 1, 1, 2, 2, 2, 2, 2, 2, 3, 4, 5, 5, 6, 7, 7]
+    dst = [1, 0, 2, 1, 3, 4, 5, 6, 7, 2, 2, 2, 7, 2, 2, 5]
+    return EdgeList.from_arrays(np.array(src), np.array(dst), 8).sorted_by_source()
+
+
+@pytest.fixture
+def path_graph() -> EdgeList:
+    """Undirected path 0-1-2-3-4 (diameter 4, no triangles)."""
+    return EdgeList.from_pairs(
+        [(i, i + 1) for i in range(4)], num_vertices=5
+    ).simple_undirected()
+
+
+@pytest.fixture
+def triangle_graph() -> EdgeList:
+    """Two triangles sharing vertex 2: {0,1,2} and {2,3,4}."""
+    return EdgeList.from_pairs(
+        [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)], num_vertices=5
+    ).simple_undirected()
+
+
+@pytest.fixture
+def star_graph() -> EdgeList:
+    """Star with hub 0 and 16 leaves — the minimal hub stress case."""
+    return EdgeList.from_pairs(
+        [(0, i) for i in range(1, 17)], num_vertices=17
+    ).simple_undirected()
+
+
+@pytest.fixture(scope="session")
+def rmat_small() -> EdgeList:
+    """A scale-8 RMAT graph, permuted and simplified (session-cached)."""
+    src, dst = rmat_edges(8, 16 << 8, seed=42)
+    return EdgeList.from_arrays(src, dst, 1 << 8).permuted(seed=43).simple_undirected()
+
+
+@pytest.fixture(scope="session")
+def rmat_small_graph(rmat_small: EdgeList) -> DistributedGraph:
+    """The scale-8 RMAT graph partitioned over 8 ranks with ghosts."""
+    return DistributedGraph.build(rmat_small, 8, num_ghosts=8)
+
+
+def make_graph(edges: EdgeList, p: int, **kwargs) -> DistributedGraph:
+    """Helper used by many tests."""
+    return DistributedGraph.build(edges, p, **kwargs)

@@ -1,0 +1,88 @@
+"""Tests for the run_traversal entry point and TraversalResult."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFSAlgorithm
+from repro.core.traversal import run_traversal
+from repro.errors import TraversalError
+from repro.graph.distributed import DistributedGraph
+from repro.memory.device import fusion_io
+from repro.memory.page_cache import PageCache
+from repro.runtime.costmodel import hyperion_dit, laptop
+
+
+class TestDefaults:
+    def test_default_machine_is_laptop(self, rmat_small, rmat_small_graph):
+        r = run_traversal(rmat_small_graph, BFSAlgorithm(0))
+        assert r.stats.machine == "laptop"
+        assert r.stats.topology == "direct"
+
+    def test_time_property(self, rmat_small_graph):
+        r = run_traversal(rmat_small_graph, BFSAlgorithm(0))
+        assert r.time_us == r.stats.time_us
+        assert r.time_us > 0
+
+    def test_result_is_frozen(self, rmat_small_graph):
+        r = run_traversal(rmat_small_graph, BFSAlgorithm(0))
+        with pytest.raises(AttributeError):
+            r.data = None
+
+
+class TestPageCachePlumbing:
+    def test_wrong_cache_count_rejected(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 4)
+        machine = hyperion_dit("nvram")
+        caches = [
+            PageCache(capacity_pages=4, page_size=256, device=fusion_io())
+            for _ in range(2)  # wrong: graph has 4 ranks
+        ]
+        with pytest.raises(TraversalError):
+            run_traversal(g, BFSAlgorithm(0), machine=machine, page_caches=caches)
+
+    def test_caches_ignored_on_dram(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 4)
+        caches = [
+            PageCache(capacity_pages=4, page_size=256, device=fusion_io())
+            for _ in range(4)
+        ]
+        r = run_traversal(g, BFSAlgorithm(0), machine=laptop(), page_caches=caches)
+        assert all(c.hits + c.misses == 0 for c in caches)
+        assert r.stats.total_cache_misses == 0
+
+    def test_provided_caches_used(self, rmat_small):
+        g = DistributedGraph.build(rmat_small, 4)
+        machine = hyperion_dit("nvram", cache_bytes_per_rank=8192, page_size=256)
+        caches = [
+            PageCache(
+                capacity_pages=machine.cache_pages_per_rank,
+                page_size=machine.page_size,
+                device=machine.device,
+            )
+            for _ in range(4)
+        ]
+        run_traversal(g, BFSAlgorithm(0), machine=machine, page_caches=caches)
+        assert sum(c.misses for c in caches) > 0
+
+
+class TestStatsIdentity:
+    def test_metadata(self, rmat_small, rmat_small_graph):
+        r = run_traversal(rmat_small_graph, BFSAlgorithm(0), topology="2d")
+        s = r.stats
+        assert s.algorithm == "bfs"
+        assert s.num_ranks == rmat_small_graph.num_partitions
+        assert s.num_vertices == rmat_small.num_vertices
+        assert s.num_edges == rmat_small.num_edges
+        assert len(s.ranks) == s.num_ranks
+
+    def test_detector_flag_recorded(self, rmat_small_graph):
+        from repro.runtime.costmodel import EngineConfig
+
+        with_det = run_traversal(rmat_small_graph, BFSAlgorithm(0))
+        without = run_traversal(
+            rmat_small_graph, BFSAlgorithm(0),
+            config=EngineConfig(use_termination_detector=False),
+        )
+        assert with_det.stats.used_detector
+        assert not without.stats.used_detector
+        assert without.stats.termination_waves == 0

@@ -1,0 +1,73 @@
+"""Tests for the visitor base class and AsyncAlgorithm helpers."""
+
+import numpy as np
+
+from repro.core.visitor import (
+    ROLE_GHOST,
+    ROLE_MASTER,
+    ROLE_REPLICA,
+    AsyncAlgorithm,
+    Visitor,
+)
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+
+
+class TestVisitorDefaults:
+    def test_accepts_everything(self):
+        v = Visitor(3)
+        assert v.vertex == 3
+        assert v.pre_visit(object()) is True
+        assert v.priority == 0
+
+    def test_visit_is_noop(self):
+        Visitor(0).visit(None)  # must not raise
+
+    def test_slots_no_dict(self):
+        v = Visitor(0)
+        assert not hasattr(v, "__dict__")
+
+
+class TestRoles:
+    def test_distinct(self):
+        assert len({ROLE_MASTER, ROLE_REPLICA, ROLE_GHOST}) == 3
+
+
+class _Recorder(AsyncAlgorithm):
+    name = "recorder"
+
+    def make_state(self, vertex, degree, role):
+        return (vertex, degree, role)
+
+    def initial_visitors(self, graph, rank):
+        return []
+
+    def finalize(self, graph, states_per_rank):
+        return states_per_rank
+
+
+class TestMasterStates:
+    def test_iterates_each_vertex_once(self, figure3_edges):
+        graph = DistributedGraph.build(figure3_edges, 4)
+        algo = _Recorder()
+        states_per_rank = [
+            [algo.make_state(v, graph.degree(v),
+                             ROLE_MASTER if graph.min_owner(v) == r else ROLE_REPLICA)
+             for v in range(p.state_lo, p.state_hi + 1)]
+            for r, p in enumerate(graph.partitions)
+        ]
+        seen = sorted(v for v, _ in algo.master_states(graph, states_per_rank))
+        assert seen == list(range(8))
+
+    def test_yields_master_copies(self, figure3_edges):
+        graph = DistributedGraph.build(figure3_edges, 4)
+        algo = _Recorder()
+        states_per_rank = [
+            [algo.make_state(v, graph.degree(v),
+                             ROLE_MASTER if graph.min_owner(v) == r else ROLE_REPLICA)
+             for v in range(p.state_lo, p.state_hi + 1)]
+            for r, p in enumerate(graph.partitions)
+        ]
+        for v, state in algo.master_states(graph, states_per_rank):
+            assert state[0] == v
+            assert state[2] == ROLE_MASTER

@@ -1,0 +1,49 @@
+"""Tests for label permutation."""
+
+import numpy as np
+import pytest
+
+from repro.generators.permute import permute_labels
+
+
+def test_degree_multiset_preserved():
+    src = np.array([0, 0, 1, 2, 3])
+    dst = np.array([1, 2, 2, 3, 0])
+    new_src, new_dst = permute_labels(src, dst, 4, seed=0)
+    old_deg = np.sort(np.bincount(src, minlength=4) + np.bincount(dst, minlength=4))
+    new_deg = np.sort(
+        np.bincount(new_src, minlength=4) + np.bincount(new_dst, minlength=4)
+    )
+    assert np.array_equal(old_deg, new_deg)
+
+
+def test_permutation_returned_and_consistent():
+    src = np.array([0, 1, 2])
+    dst = np.array([1, 2, 0])
+    new_src, new_dst, perm = permute_labels(src, dst, 3, seed=1, return_permutation=True)
+    assert np.array_equal(new_src, perm[src])
+    assert np.array_equal(new_dst, perm[dst])
+    assert np.array_equal(np.sort(perm), np.arange(3))
+
+
+def test_deterministic():
+    src = np.arange(10) % 5
+    dst = (np.arange(10) + 1) % 5
+    a = permute_labels(src, dst, 5, seed=9)
+    b = permute_labels(src, dst, 5, seed=9)
+    assert np.array_equal(a[0], b[0])
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        permute_labels(np.array([5]), np.array([0]), 3)
+
+
+def test_negative_vertices_rejected():
+    with pytest.raises(ValueError):
+        permute_labels(np.array([0]), np.array([0]), -1)
+
+
+def test_empty():
+    src, dst = permute_labels(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 4, seed=0)
+    assert src.size == 0

@@ -1,0 +1,68 @@
+"""Tests for the preferential-attachment generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators.preferential_attachment import preferential_attachment_edges
+
+
+class TestStructure:
+    def test_edge_count(self):
+        m = 4
+        n = 100
+        src, dst = preferential_attachment_edges(n, m, seed=0)
+        clique = (m + 1) * m // 2
+        assert src.size == clique + (n - m - 1) * m
+
+    def test_range(self):
+        src, dst = preferential_attachment_edges(200, 3, seed=1)
+        assert src.min() >= 0 and max(src.max(), dst.max()) < 200
+
+    def test_deterministic(self):
+        a = preferential_attachment_edges(300, 5, seed=4)
+        b = preferential_attachment_edges(300, 5, seed=4)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_targets_precede_sources(self):
+        # growth edges always attach to already-existing vertices
+        src, dst = preferential_attachment_edges(500, 2, seed=2)
+        growth = src >= 3  # past the seed clique
+        assert np.all(dst[growth] < src[growth])
+
+
+class TestHubStructure:
+    def test_pa_has_hubs(self):
+        src, dst = preferential_attachment_edges(4096, 8, seed=7)
+        deg = np.bincount(src, minlength=4096) + np.bincount(dst, minlength=4096)
+        assert deg.max() > 8 * deg.mean()
+
+    def test_rewire_shrinks_hubs(self):
+        """The Figure 11 mechanism: rewiring toward random shrinks the max
+        degree monotonically (statistically, with fixed seed)."""
+        maxima = []
+        for rewire in (0.0, 0.5, 1.0):
+            src, dst = preferential_attachment_edges(
+                4096, 8, rewire_probability=rewire, seed=7
+            )
+            deg = np.bincount(src, minlength=4096) + np.bincount(dst, minlength=4096)
+            maxima.append(int(deg.max()))
+        assert maxima[0] > maxima[1] > maxima[2]
+
+    def test_full_rewire_near_uniform(self):
+        src, dst = preferential_attachment_edges(4096, 8, rewire_probability=1.0, seed=3)
+        deg_in = np.bincount(dst, minlength=4096)
+        assert deg_in.max() < 6 * max(deg_in.mean(), 1)
+
+
+class TestValidation:
+    def test_m_zero(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(10, 0)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(3, 3)
+
+    def test_bad_rewire(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(10, 2, rewire_probability=1.5)

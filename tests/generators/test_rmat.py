@@ -1,0 +1,103 @@
+"""Tests for the Graph500 RMAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators.graph500 import RMAT_A, RMAT_B, RMAT_C, RMAT_D
+from repro.generators.rmat import rmat_edge_chunks, rmat_edges
+
+
+class TestBasics:
+    def test_shapes_and_range(self):
+        src, dst = rmat_edges(8, 1000, seed=0)
+        assert src.shape == dst.shape == (1000,)
+        assert src.dtype == np.int64 and dst.dtype == np.int64
+        assert src.min() >= 0 and src.max() < 256
+        assert dst.min() >= 0 and dst.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(10, 5000, seed=77)
+        b = rmat_edges(10, 5000, seed=77)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seeds_differ(self):
+        a = rmat_edges(10, 5000, seed=1)
+        b = rmat_edges(10, 5000, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_zero_edges(self):
+        src, dst = rmat_edges(5, 0, seed=0)
+        assert src.size == 0 and dst.size == 0
+
+    def test_graph500_params_sum_to_one(self):
+        assert abs(RMAT_A + RMAT_B + RMAT_C + RMAT_D - 1.0) < 1e-12
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+
+    def test_negative_edges(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, -1)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.5, b=0.5, c=0.5, d=0.5)
+
+
+class TestChunking:
+    def test_chunked_stream_deterministic(self):
+        a = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=700))
+        b = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=700))
+        for (s1, d1), (s2, d2) in zip(a, b):
+            assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+
+    def test_chunked_total_and_range(self):
+        chunks = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=700))
+        total = sum(s.size for s, _ in chunks)
+        assert total == 3000
+        assert all(s.max() < 512 and t.max() < 512 for s, t in chunks)
+
+    def test_single_chunk_matches_rmat_edges(self):
+        full = rmat_edges(9, 3000, seed=5)
+        (chunk,) = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=3000))
+        assert np.array_equal(chunk[0], full[0]) and np.array_equal(chunk[1], full[1])
+
+    def test_chunk_sizes(self):
+        chunks = list(rmat_edge_chunks(6, 1000, seed=0, chunk_size=300))
+        sizes = [s.size for s, _ in chunks]
+        assert sizes == [300, 300, 300, 100]
+
+
+class TestScaleFreeShape:
+    """Statistical sanity: the Graph500 initiator produces a skewed
+    degree distribution with hubs, unlike a uniform random graph."""
+
+    def test_skewed_degrees(self):
+        scale = 12
+        src, dst = rmat_edges(scale, 16 << scale, seed=3)
+        degrees = np.bincount(src, minlength=1 << scale) + np.bincount(
+            dst, minlength=1 << scale
+        )
+        mean = degrees.mean()
+        assert degrees.max() > 10 * mean  # a genuine hub exists
+        # majority of vertices below the mean (power-law mass concentration)
+        assert np.count_nonzero(degrees < mean) > degrees.size * 0.5
+
+    def test_uniform_initiator_is_not_skewed(self):
+        scale = 12
+        src, dst = rmat_edges(scale, 16 << scale, a=0.25, b=0.25, c=0.25, d=0.25, seed=3)
+        degrees = np.bincount(src, minlength=1 << scale) + np.bincount(
+            dst, minlength=1 << scale
+        )
+        assert degrees.max() < 5 * degrees.mean()
+
+    def test_hub_grows_with_scale(self):
+        maxima = []
+        for scale in (10, 12, 14):
+            src, dst = rmat_edges(scale, 16 << scale, seed=9)
+            deg = np.bincount(src, minlength=1 << scale)
+            maxima.append(int(deg.max()))
+        assert maxima[0] < maxima[1] < maxima[2]

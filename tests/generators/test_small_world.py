@@ -1,0 +1,65 @@
+"""Tests for the small-world (Watts–Strogatz) generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators.small_world import small_world_edges
+from repro.graph.edge_list import EdgeList
+from repro.reference.bfs import bfs_levels
+from repro.types import UNREACHED
+
+
+class TestLattice:
+    def test_edge_count(self):
+        src, dst = small_world_edges(100, 6, seed=0)
+        assert src.size == 100 * 3
+
+    def test_zero_rewire_is_ring(self):
+        src, dst = small_world_edges(10, 2, rewire_probability=0.0)
+        assert np.array_equal(src, np.arange(10))
+        assert np.array_equal(dst, (np.arange(10) + 1) % 10)
+
+    def test_uniform_degree_at_zero_rewire(self):
+        src, dst = small_world_edges(64, 8, rewire_probability=0.0)
+        deg = np.bincount(src, minlength=64) + np.bincount(dst, minlength=64)
+        assert np.all(deg == 8)
+
+    def test_deterministic(self):
+        a = small_world_edges(128, 4, rewire_probability=0.3, seed=5)
+        b = small_world_edges(128, 4, rewire_probability=0.3, seed=5)
+        assert np.array_equal(a[1], b[1])
+
+
+class TestDiameterControl:
+    """The Figure 10 mechanism: less rewiring -> larger diameter."""
+
+    @staticmethod
+    def _bfs_depth(n, degree, rewire, seed=0):
+        src, dst = small_world_edges(n, degree, rewire_probability=rewire, seed=seed)
+        edges = EdgeList.from_arrays(src, dst, n).simple_undirected()
+        levels = bfs_levels(edges, 0)
+        return int(levels[levels != UNREACHED].max())
+
+    def test_rewire_reduces_depth(self):
+        deep = self._bfs_depth(1024, 4, 0.0)
+        mid = self._bfs_depth(1024, 4, 0.1)
+        shallow = self._bfs_depth(1024, 4, 1.0)
+        assert deep > mid > shallow
+
+    def test_ring_depth_exact(self):
+        # ring lattice with degree 2: depth from 0 is n // 2
+        assert self._bfs_depth(64, 2, 0.0) == 32
+
+
+class TestValidation:
+    def test_odd_degree(self):
+        with pytest.raises(ValueError):
+            small_world_edges(10, 3)
+
+    def test_degree_too_large(self):
+        with pytest.raises(ValueError):
+            small_world_edges(4, 4)
+
+    def test_bad_rewire(self):
+        with pytest.raises(ValueError):
+            small_world_edges(10, 2, rewire_probability=-0.1)

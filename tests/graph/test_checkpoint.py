@@ -1,0 +1,68 @@
+"""Tests for partitioned-graph checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.bench.harness import build_rmat_graph
+from repro.errors import GraphConstructionError
+from repro.graph.checkpoint import load_distributed_graph, save_distributed_graph
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_rmat_graph(8, num_partitions=8, num_ghosts=8, seed=17)
+
+
+class TestRoundTrip:
+    def test_structure_identical(self, built, tmp_path):
+        _, graph = built
+        path = tmp_path / "graph.ckpt.npz"
+        save_distributed_graph(graph, path)
+        loaded = load_distributed_graph(path)
+        assert loaded.num_partitions == graph.num_partitions
+        assert loaded.strategy == graph.strategy
+        assert np.array_equal(loaded.edges.src, graph.edges.src)
+        assert np.array_equal(loaded.min_owners, graph.min_owners)
+        assert np.array_equal(loaded.max_owners, graph.max_owners)
+        for a, b in zip(loaded.partitions, graph.partitions):
+            assert (a.state_lo, a.state_hi) == (b.state_lo, b.state_hi)
+            assert (a.edge_lo, a.edge_hi) == (b.edge_lo, b.edge_hi)
+            assert np.array_equal(a.csr.cols, b.csr.cols)
+            assert np.array_equal(a.ghost_candidates, b.ghost_candidates)
+
+    def test_traversal_identical(self, built, tmp_path):
+        edges, graph = built
+        path = tmp_path / "graph.ckpt.npz"
+        save_distributed_graph(graph, path)
+        loaded = load_distributed_graph(path)
+        s = int(edges.src[0])
+        original = bfs(graph, s)
+        reloaded = bfs(loaded, s)
+        assert np.array_equal(original.data.levels, reloaded.data.levels)
+        assert original.stats.time_us == reloaded.stats.time_us
+
+    def test_1d_strategy_roundtrip(self, tmp_path):
+        _, graph = build_rmat_graph(7, num_partitions=4, strategy="1d", seed=3)
+        path = tmp_path / "oned.npz"
+        save_distributed_graph(graph, path)
+        assert load_distributed_graph(path).strategy == "1d"
+
+
+class TestValidation:
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.arange(4))
+        with pytest.raises(GraphConstructionError):
+            load_distributed_graph(path)
+
+    def test_future_version_rejected(self, built, tmp_path):
+        _, graph = built
+        path = tmp_path / "v999.npz"
+        save_distributed_graph(graph, path)
+        with np.load(path) as a:
+            data = dict(a)
+        data["format_version"] = np.int64(999)
+        np.savez(path, **data)
+        with pytest.raises(GraphConstructionError):
+            load_distributed_graph(path)

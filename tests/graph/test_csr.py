@@ -1,0 +1,98 @@
+"""Tests for CSR adjacency storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import CSR
+
+
+class TestBuild:
+    def test_basic(self):
+        csr = CSR.from_edges(np.array([0, 0, 1]), np.array([2, 1, 0]), num_rows=3)
+        assert csr.num_rows == 3
+        assert csr.num_edges == 3
+        assert list(csr.neighbors(0)) == [1, 2]  # rows sorted
+        assert list(csr.neighbors(1)) == [0]
+        assert list(csr.neighbors(2)) == []
+
+    def test_vertex_base(self):
+        csr = CSR.from_edges(
+            np.array([10, 10, 11]), np.array([5, 3, 7]), vertex_base=10, num_rows=2
+        )
+        assert list(csr.neighbors(10)) == [3, 5]
+        assert list(csr.neighbors(11)) == [7]
+
+    def test_unsorted_rows_option(self):
+        csr = CSR.from_edges(
+            np.array([0, 0]), np.array([2, 1]), num_rows=1, sort_rows=False
+        )
+        assert list(csr.neighbors(0)) == [2, 1]
+
+    def test_empty(self):
+        csr = CSR.from_edges(np.array([], dtype=np.int64), np.array([], dtype=np.int64), num_rows=4)
+        assert csr.num_edges == 0
+        assert all(csr.degree(v) == 0 for v in range(4))
+
+    def test_source_out_of_range(self):
+        with pytest.raises(GraphConstructionError):
+            CSR.from_edges(np.array([5]), np.array([0]), num_rows=3)
+
+
+class TestValidation:
+    def test_bad_row_ptr_start(self):
+        with pytest.raises(GraphConstructionError):
+            CSR(row_ptr=np.array([1, 2]), cols=np.array([0, 0]))
+
+    def test_bad_row_ptr_end(self):
+        with pytest.raises(GraphConstructionError):
+            CSR(row_ptr=np.array([0, 1]), cols=np.array([0, 0]))
+
+    def test_decreasing_row_ptr(self):
+        with pytest.raises(GraphConstructionError):
+            CSR(row_ptr=np.array([0, 2, 1, 3]), cols=np.array([0, 0, 0]))
+
+
+class TestQueries:
+    def test_degree(self):
+        csr = CSR.from_edges(np.array([0, 0, 0, 2]), np.array([1, 2, 3, 0]), num_rows=3)
+        assert csr.degree(0) == 3
+        assert csr.degree(1) == 0
+        assert csr.degree(2) == 1
+
+    def test_has_edge(self):
+        csr = CSR.from_edges(np.array([0, 0, 1]), np.array([3, 7, 2]), num_rows=2)
+        assert csr.has_edge(0, 3)
+        assert csr.has_edge(0, 7)
+        assert not csr.has_edge(0, 5)
+        assert csr.has_edge(1, 2)
+        assert not csr.has_edge(1, 3)
+
+    def test_out_of_range_vertex(self):
+        csr = CSR.from_edges(np.array([0]), np.array([1]), num_rows=1)
+        with pytest.raises(IndexError):
+            csr.neighbors(5)
+        with pytest.raises(IndexError):
+            csr.neighbors(-1)
+
+    def test_nbytes_positive(self):
+        csr = CSR.from_edges(np.array([0]), np.array([1]), num_rows=1)
+        assert csr.nbytes() == csr.row_ptr.nbytes + csr.cols.nbytes
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=100
+    )
+)
+def test_csr_roundtrip_property(pairs):
+    """CSR preserves exactly the multiset of edges."""
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    csr = CSR.from_edges(src, dst, num_rows=16)
+    rebuilt = sorted(
+        (v, int(w)) for v in range(16) for w in csr.neighbors(v)
+    )
+    assert rebuilt == sorted(zip(src.tolist(), dst.tolist()))

@@ -1,0 +1,78 @@
+"""Tests for the simulated distributed sample sort."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.generators.rmat import rmat_edges
+from repro.graph.dist_sort import sample_sort_edges
+from repro.graph.edge_list import EdgeList
+from repro.runtime.costmodel import laptop
+
+
+def _rmat(scale=9, seed=0):
+    src, dst = rmat_edges(scale, 16 << scale, seed=seed)
+    return EdgeList.from_arrays(src, dst, 1 << scale).permuted(seed=seed + 1)
+
+
+class TestCorrectness:
+    def test_result_is_globally_sorted(self):
+        edges = _rmat()
+        result = sample_sort_edges(edges, 8, laptop())
+        assert result.edges.sorted_by_src
+        assert np.all(np.diff(result.edges.src) >= 0)
+
+    def test_matches_sequential_sort(self):
+        edges = _rmat()
+        result = sample_sort_edges(edges, 8, laptop())
+        expected = edges.sorted_by_source()
+        assert np.array_equal(result.edges.src, expected.src)
+        assert np.array_equal(result.edges.dst, expected.dst)
+
+    def test_single_rank(self):
+        edges = _rmat(scale=7)
+        result = sample_sort_edges(edges, 1, laptop())
+        assert result.exchange_bytes == 0 or result.bucket_imbalance == 1.0
+        assert result.edges.sorted_by_src
+
+    def test_empty(self):
+        edges = EdgeList.from_pairs([], num_vertices=4)
+        result = sample_sort_edges(edges, 4, laptop())
+        assert result.time_us == 0.0
+
+
+class TestCostModel:
+    def test_time_positive(self):
+        result = sample_sort_edges(_rmat(), 8, laptop())
+        assert result.time_us > 0
+
+    def test_more_ranks_cheaper_critical_path(self):
+        """With more ranks each local slice shrinks, so the per-rank sort
+        term of the critical path drops."""
+        edges = _rmat(scale=11)
+        t4 = sample_sort_edges(edges, 4, laptop()).time_us
+        t32 = sample_sort_edges(edges, 32, laptop()).time_us
+        assert t32 < t4
+
+    def test_splitter_count(self):
+        result = sample_sort_edges(_rmat(), 8, laptop())
+        assert result.splitters.size == 7
+
+    def test_sampling_quality(self):
+        """Oversampled splitters give reasonable bucket balance on a
+        permuted scale-free graph."""
+        result = sample_sort_edges(_rmat(scale=11), 16, laptop(), oversample=16)
+        assert result.bucket_imbalance < 3.0
+
+    def test_deterministic(self):
+        edges = _rmat()
+        a = sample_sort_edges(edges, 8, laptop(), seed=5)
+        b = sample_sort_edges(edges, 8, laptop(), seed=5)
+        assert a.time_us == b.time_us
+        assert np.array_equal(a.splitters, b.splitters)
+
+
+class TestValidation:
+    def test_zero_ranks(self):
+        with pytest.raises(PartitioningError):
+            sample_sort_edges(_rmat(scale=6), 0, laptop())

@@ -1,0 +1,44 @@
+"""Property tests for the distributed sample sort."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dist_sort import sample_sort_edges
+from repro.graph.edge_list import EdgeList
+from repro.runtime.costmodel import laptop
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31)), min_size=1, max_size=150
+    ),
+    p=st.integers(min_value=1, max_value=6),
+    seed=st.integers(0, 10),
+)
+def test_sample_sort_equals_sequential_sort(pairs, p, seed):
+    """For arbitrary edge lists, rank counts and sampling seeds, the
+    distributed sort's output is bit-identical to a sequential stable sort."""
+    edges = EdgeList.from_pairs(pairs, num_vertices=32)
+    result = sample_sort_edges(edges, p, laptop(), seed=seed)
+    expected = edges.sorted_by_source()
+    assert np.array_equal(result.edges.src, expected.src)
+    assert np.array_equal(result.edges.dst, expected.dst)
+    assert result.time_us >= 0.0
+    assert result.splitters.size == p - 1 or edges.num_edges == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31)), min_size=4, max_size=150
+    ),
+    p=st.integers(min_value=2, max_value=6),
+)
+def test_exchange_bounded_by_edges(pairs, p):
+    """The all-to-all never moves more than every edge once."""
+    edges = EdgeList.from_pairs(pairs, num_vertices=32)
+    result = sample_sort_edges(edges, p, laptop())
+    assert 0 <= result.exchange_bytes <= edges.num_edges * 16
+    assert result.bucket_imbalance >= 1.0 - 1e-12

@@ -1,0 +1,135 @@
+"""Tests for the DistributedGraph facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+
+
+class TestBuildEdgeList:
+    def test_figure3(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert g.num_partitions == 4
+        assert g.num_vertices == 8
+        assert g.num_edges == 16
+        assert g.strategy == "edge_list"
+
+    def test_adjacency_slices_union(self, figure3_edges):
+        """The union of per-rank slices is exactly each vertex's full
+        adjacency list — the key property replica forwarding relies on."""
+        g = DistributedGraph.build(figure3_edges, 4)
+        for v in range(8):
+            gathered = np.concatenate(
+                [g.out_edges_local(r, v) for r in range(4)]
+            )
+            lo = np.searchsorted(figure3_edges.src, v, "left")
+            hi = np.searchsorted(figure3_edges.src, v, "right")
+            expected = np.sort(figure3_edges.dst[lo:hi])
+            assert np.array_equal(np.sort(gathered), expected)
+
+    def test_slices_come_from_owner_chain_only(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        for v in range(8):
+            for r in range(4):
+                edges_here = g.out_edges_local(r, v).size
+                if not g.min_owner(v) <= r <= g.max_owner(v):
+                    assert edges_here == 0
+
+    def test_masters_partition_vertices(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        all_masters = np.concatenate([g.masters_on(r) for r in range(4)])
+        assert np.array_equal(np.sort(all_masters), np.arange(8))
+
+    def test_degree(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert g.degree(2) == 6
+        assert g.degree(0) == 1
+
+    def test_is_split(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert g.is_split(2) and g.is_split(5)
+        assert not g.is_split(0)
+
+    def test_replica_ranks(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert list(g.replica_ranks(2)) == [0, 1, 2]
+        assert list(g.replica_ranks(0)) == [0]
+
+    def test_locator_directory_present(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert g.locator_directory is not None
+        assert g.locator_directory.min_owner(5) == 2
+
+
+class TestBuild1D:
+    def test_min_equals_max_owner(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4, strategy="1d")
+        assert np.array_equal(g.min_owners, g.max_owners)
+        assert g.locator_directory is None
+
+    def test_full_adjacency_on_single_rank(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4, strategy="1d")
+        for v in range(8):
+            r = g.min_owner(v)
+            lo = np.searchsorted(figure3_edges.src, v, "left")
+            hi = np.searchsorted(figure3_edges.src, v, "right")
+            assert g.out_edges_local(r, v).size == hi - lo
+
+    def test_unknown_strategy(self, figure3_edges):
+        with pytest.raises(PartitioningError):
+            DistributedGraph.build(figure3_edges, 4, strategy="3d")
+
+
+class TestGhostCandidates:
+    def test_populated_for_remote_hubs(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4, num_ghosts=4)
+        hub = int(np.argmax(star_graph.out_degrees()))
+        # partitions holding many leaf->hub edges but not mastering the hub
+        # should select it as a ghost candidate
+        found = any(
+            hub in g.partitions[r].ghost_candidates
+            for r in range(4)
+            if g.min_owner(hub) != r
+        )
+        assert found
+
+    def test_zero_budget_gives_empty(self, star_graph):
+        g = DistributedGraph.build(star_graph, 4, num_ghosts=0)
+        assert all(p.ghost_candidates.size == 0 for p in g.partitions)
+
+
+class TestLocalPartition:
+    def test_counts(self, figure3_edges):
+        g = DistributedGraph.build(figure3_edges, 4)
+        assert sum(p.num_local_edges for p in g.partitions) == 16
+        for p in g.partitions:
+            assert p.num_state_vertices == p.state_hi - p.state_lo + 1
+            assert p.holds_vertex(p.state_lo)
+            assert not p.holds_vertex(p.state_hi + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=4, max_size=60
+    ),
+    p=st.integers(min_value=1, max_value=4),
+)
+def test_adjacency_union_property(pairs, p):
+    """For arbitrary graphs and partition counts, per-rank adjacency slices
+    union to the full adjacency with no duplication."""
+    el = EdgeList.from_pairs(pairs, num_vertices=12).simple_undirected()
+    if el.num_edges < p:
+        return
+    g = DistributedGraph.build(el, p)
+    for v in range(12):
+        gathered = np.concatenate(
+            [g.out_edges_local(r, v) for r in range(p)]
+        ) if p else np.array([])
+        lo = np.searchsorted(el.src, v, "left")
+        hi = np.searchsorted(el.src, v, "right")
+        assert np.array_equal(np.sort(gathered), np.sort(el.dst[lo:hi]))

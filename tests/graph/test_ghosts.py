@@ -1,0 +1,88 @@
+"""Tests for ghost-vertex selection and tables."""
+
+import numpy as np
+import pytest
+
+from repro.graph.ghosts import GhostTable, select_ghost_candidates
+
+
+def _owners(n, value=99):
+    """min_owners array where nothing is locally mastered by rank 0."""
+    return np.full(n, value, dtype=np.int64)
+
+
+class TestSelection:
+    def test_top_k_by_local_indegree(self):
+        targets = np.array([5, 5, 5, 3, 3, 7])
+        got = select_ghost_candidates(
+            targets, num_ghosts=2, rank=0, min_owners=_owners(8)
+        )
+        assert list(got) == [5, 3]  # 7 appears once -> ineligible
+
+    def test_min_local_indegree_filter(self):
+        targets = np.array([1, 2, 3])  # all singletons
+        got = select_ghost_candidates(
+            targets, num_ghosts=3, rank=0, min_owners=_owners(4)
+        )
+        assert got.size == 0
+
+    def test_local_masters_excluded(self):
+        targets = np.array([4, 4, 4, 6, 6])
+        owners = _owners(8)
+        owners[4] = 0  # rank 0 masters vertex 4 -> no ghost needed
+        got = select_ghost_candidates(targets, num_ghosts=4, rank=0, min_owners=owners)
+        assert list(got) == [6]
+
+    def test_budget_respected(self):
+        targets = np.repeat(np.arange(10), 3)
+        got = select_ghost_candidates(
+            targets, num_ghosts=4, rank=0, min_owners=_owners(10)
+        )
+        assert got.size == 4
+
+    def test_deterministic_tie_break(self):
+        targets = np.array([2, 2, 9, 9, 5, 5])
+        got = select_ghost_candidates(
+            targets, num_ghosts=2, rank=0, min_owners=_owners(10)
+        )
+        assert list(got) == [2, 5]  # equal counts -> ascending vertex id
+
+    def test_zero_budget(self):
+        got = select_ghost_candidates(
+            np.array([1, 1]), num_ghosts=0, rank=0, min_owners=_owners(2)
+        )
+        assert got.size == 0
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            select_ghost_candidates(
+                np.array([1]), num_ghosts=-1, rank=0, min_owners=_owners(2)
+            )
+
+    def test_empty_targets(self):
+        got = select_ghost_candidates(
+            np.array([], dtype=np.int64), num_ghosts=5, rank=0, min_owners=_owners(2)
+        )
+        assert got.size == 0
+
+
+class TestGhostTable:
+    def test_lookup(self):
+        table = GhostTable(np.array([3, 7]), lambda v: {"id": v})
+        assert len(table) == 2
+        assert table.has_local_ghost(3)
+        assert not table.has_local_ghost(4)
+        assert table.local_ghost(7) == {"id": 7}
+
+    def test_state_is_per_vertex(self):
+        table = GhostTable(np.array([1, 2]), lambda v: [v])
+        table.local_ghost(1).append(99)
+        assert table.local_ghost(2) == [2]
+
+    def test_vertices_sorted(self):
+        table = GhostTable(np.array([9, 1, 5]), lambda v: None)
+        assert table.vertices() == [1, 5, 9]
+
+    def test_filter_counters_start_zero(self):
+        table = GhostTable(np.array([1]), lambda v: None)
+        assert table.filter_hits == 0 and table.filter_passes == 0

@@ -1,0 +1,92 @@
+"""Tests for edge-list file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.edge_list import EdgeList
+from repro.graph.io import (
+    load_binary_edges,
+    load_text_edges,
+    save_binary_edges,
+    save_text_edges,
+)
+
+
+@pytest.fixture
+def edges():
+    return EdgeList.from_pairs([(0, 1), (2, 0), (1, 2), (3, 3)], 5)
+
+
+class TestBinary:
+    def test_roundtrip(self, edges, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_binary_edges(edges, path)
+        loaded = load_binary_edges(path)
+        assert np.array_equal(loaded.src, edges.src)
+        assert np.array_equal(loaded.dst, edges.dst)
+        assert loaded.num_vertices == 5
+        assert loaded.sorted_by_src == edges.sorted_by_src
+
+    def test_sorted_flag_preserved(self, edges, tmp_path):
+        path = tmp_path / "sorted.npz"
+        save_binary_edges(edges.sorted_by_source(), path)
+        assert load_binary_edges(path).sorted_by_src
+
+    def test_bad_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(GraphConstructionError):
+            load_binary_edges(path)
+
+
+class TestText:
+    def test_roundtrip(self, edges, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_text_edges(edges, path)
+        loaded = load_text_edges(path, num_vertices=5)
+        assert np.array_equal(loaded.src, edges.src)
+        assert np.array_equal(loaded.dst, edges.dst)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n0 1\n# middle\n1 2\n")
+        loaded = load_text_edges(path)
+        assert loaded.num_edges == 2
+        assert loaded.num_vertices == 3
+
+    def test_sortedness_detected(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("0 5\n1 3\n1 0\n4 2\n")
+        assert load_text_edges(path).sorted_by_src
+        path.write_text("4 2\n0 5\n")
+        assert not load_text_edges(path).sorted_by_src
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        loaded = load_text_edges(path, num_vertices=3)
+        assert loaded.num_edges == 0
+        assert loaded.num_vertices == 3
+
+    def test_bad_columns(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphConstructionError):
+            load_text_edges(path)
+
+
+class TestEndToEnd:
+    def test_saved_graph_traverses(self, tmp_path):
+        from repro.algorithms.bfs import bfs
+        from repro.graph.distributed import DistributedGraph
+        from repro.reference.bfs import bfs_levels
+
+        el = EdgeList.from_pairs(
+            [(i, (i + 1) % 16) for i in range(16)], 16
+        ).simple_undirected()
+        path = tmp_path / "ring.npz"
+        save_binary_edges(el, path)
+        loaded = load_binary_edges(path)
+        g = DistributedGraph.build(loaded, 4)
+        assert np.array_equal(bfs(g, 0).data.levels, bfs_levels(el, 0))

@@ -1,0 +1,31 @@
+"""Tests for the locator directory (owner-in-identifier representation)."""
+
+from repro.graph.locator import LocatorDirectory
+from repro.graph.partition_edge_list import EdgeListPartitioning
+
+
+def test_directory_matches_partitioning(figure3_edges):
+    elp = EdgeListPartitioning.build(figure3_edges, 4)
+    directory = LocatorDirectory.from_partitioning(elp)
+    for v in range(8):
+        assert directory.min_owner(v) == elp.min_owner(v)
+        assert directory.max_owner(v) == elp.max_owner(v)
+
+
+def test_locator_decoding_matches_directory(figure3_edges):
+    """The paper's chosen representation: owners decodable from the
+    identifier alone, no directory access."""
+    elp = EdgeListPartitioning.build(figure3_edges, 4)
+    directory = LocatorDirectory.from_partitioning(elp)
+    for v in range(8):
+        loc = directory.locator(v)
+        assert directory.vertex(loc) == v
+        assert directory.min_owner_from_locator(loc) == elp.min_owner(v)
+        assert directory.max_owner_from_locator(loc) == elp.max_owner(v)
+
+
+def test_locators_distinct(figure3_edges):
+    elp = EdgeListPartitioning.build(figure3_edges, 4)
+    directory = LocatorDirectory.from_partitioning(elp)
+    locators = {directory.locator(v) for v in range(8)}
+    assert len(locators) == 8

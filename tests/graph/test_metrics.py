@@ -1,0 +1,57 @@
+"""Tests for partition-quality metrics (the Figure 2 machinery)."""
+
+import numpy as np
+
+from repro.generators.rmat import rmat_edges
+from repro.graph.edge_list import EdgeList
+from repro.graph.metrics import quality_1d, quality_2d, quality_edge_list
+
+
+def _rmat(scale=10, seed=0):
+    src, dst = rmat_edges(scale, 16 << scale, seed=seed)
+    return EdgeList.from_arrays(src, dst, 1 << scale).permuted(seed=seed + 1)
+
+
+class TestEdgeListQuality:
+    def test_exact_balance(self):
+        q = quality_edge_list(_rmat(), 16)
+        assert q.edge_imbalance < 1.001
+        assert q.strategy == "edge_list"
+
+    def test_accepts_unsorted_input(self):
+        el = EdgeList.from_pairs([(3, 0), (1, 2), (0, 1), (2, 3)], 4)
+        q = quality_edge_list(el, 2)
+        assert q.num_partitions == 2
+
+
+class TestComparativeShape:
+    """The Figure 2 ordering on a scale-free graph."""
+
+    def test_1d_worst_edge_list_best(self):
+        edges = _rmat(scale=12)
+        p = 64
+        q1 = quality_1d(edges, p)
+        q2 = quality_2d(edges, p)
+        qe = quality_edge_list(edges, p)
+        assert qe.edge_imbalance <= q2.edge_imbalance
+        assert q2.edge_imbalance <= q1.edge_imbalance
+
+    def test_1d_imbalance_grows_with_p(self):
+        """Weak-scaling shape: fixing the graph, more partitions make the
+        hub mass a bigger fraction of each fair share."""
+        edges = _rmat(scale=12)
+        i8 = quality_1d(edges, 8).edge_imbalance
+        i128 = quality_1d(edges, 128).edge_imbalance
+        assert i128 > i8
+
+
+class TestCounts:
+    def test_totals(self):
+        import pytest
+
+        edges = _rmat(scale=9)
+        for q in (quality_1d(edges, 8), quality_2d(edges, 8), quality_edge_list(edges, 8)):
+            # every strategy accounts for exactly the input edges
+            assert q.mean_edges * q.num_partitions == pytest.approx(edges.num_edges)
+            assert q.max_edges > 0
+            assert np.isfinite(q.edge_imbalance)

@@ -1,0 +1,62 @@
+"""Tests for 1D block partitioning (the baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph.edge_list import EdgeList
+from repro.graph.partition_1d import OneDPartitioning
+
+
+class TestBuild:
+    def test_even_blocks(self):
+        part = OneDPartitioning.build(8, 4)
+        assert [part.vertex_range(r) for r in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8),
+        ]
+
+    def test_uneven_blocks_cover_everything(self):
+        part = OneDPartitioning.build(10, 3)
+        ranges = [part.vertex_range(r) for r in range(3)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_too_many_partitions(self):
+        with pytest.raises(PartitioningError):
+            OneDPartitioning.build(2, 3)
+
+    def test_zero_partitions(self):
+        with pytest.raises(PartitioningError):
+            OneDPartitioning.build(4, 0)
+
+
+class TestOwner:
+    def test_scalar_and_vector(self):
+        part = OneDPartitioning.build(8, 4)
+        assert part.owner(0) == 0
+        assert part.owner(7) == 3
+        assert list(part.owner(np.array([0, 2, 5, 7]))) == [0, 1, 2, 3]
+
+    def test_owner_matches_range(self):
+        part = OneDPartitioning.build(100, 7)
+        for v in range(100):
+            r = part.owner(v)
+            lo, hi = part.vertex_range(r)
+            assert lo <= v < hi
+
+
+class TestEdgeCounts:
+    def test_hub_concentration(self):
+        """The paper's 1D pathology: one hub's whole adjacency list lands on
+        a single partition."""
+        el = EdgeList.from_pairs([(0, i) for i in range(1, 16)], 16)
+        part = OneDPartitioning.build(16, 4)
+        counts = part.edge_counts(el)
+        assert counts[0] == 15
+        assert counts[1] == counts[2] == counts[3] == 0
+
+    def test_total_preserved(self):
+        el = EdgeList.from_pairs([(i % 8, (i + 3) % 8) for i in range(40)], 8)
+        counts = OneDPartitioning.build(8, 4).edge_counts(el)
+        assert counts.sum() == 40

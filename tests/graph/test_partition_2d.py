@@ -1,0 +1,93 @@
+"""Tests for 2D block partitioning and the hypersparsity critique."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.generators.rmat import rmat_edges
+from repro.graph.edge_list import EdgeList
+from repro.graph.partition_2d import (
+    TwoDBlockPartitioning,
+    grid_shape,
+    hypersparsity_report,
+)
+from repro.utils.stats import imbalance
+
+
+class TestGridShape:
+    def test_perfect_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert grid_shape(8) == (2, 4)
+
+    def test_prime(self):
+        assert grid_shape(7) == (1, 7)
+
+    def test_one(self):
+        assert grid_shape(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(PartitioningError):
+            grid_shape(0)
+
+
+class TestBlockAssignment:
+    def test_corners(self):
+        part = TwoDBlockPartitioning.build(8, 4)  # 2x2 grid
+        blocks = part.block_of(np.array([0, 0, 7, 7]), np.array([0, 7, 0, 7]))
+        assert list(blocks) == [0, 1, 2, 3]
+
+    def test_total_preserved(self):
+        el = EdgeList.from_pairs([(i % 8, (i * 3) % 8) for i in range(50)], 8)
+        part = TwoDBlockPartitioning.build(8, 4)
+        assert part.edge_counts(el).sum() == 50
+
+
+class TestHubSplitting:
+    def test_2d_splits_hub_rows(self):
+        """The paper's Figure 2 mechanism: a hub's adjacency spreads over
+        the sqrt(p) blocks of its row, so 2D imbalance << 1D imbalance."""
+        n = 64
+        pairs = [(0, i) for i in range(1, n)]  # hub 0
+        pairs += [(i, (i + 1) % n) for i in range(1, n)]
+        el = EdgeList.from_pairs(pairs, n)
+        part2d = TwoDBlockPartitioning.build(n, 16)
+        counts2d = part2d.edge_counts(el)
+        from repro.graph.partition_1d import OneDPartitioning
+
+        counts1d = OneDPartitioning.build(n, 16).edge_counts(el)
+        assert imbalance(counts2d) < imbalance(counts1d)
+
+
+class TestStateFootprint:
+    def test_state_words_scale(self):
+        """Section VIII-A: per-partition state is O(V / sqrt(p)) for 2D
+        (vs O(V / p) for 1D/edge-list) — the 'scaling wall' argument."""
+        n = 1 << 16
+        p16 = TwoDBlockPartitioning.build(n, 16)
+        p64 = TwoDBlockPartitioning.build(n, 64)
+        # quadrupling p only halves the per-partition state
+        assert p64.state_words_per_partition() == pytest.approx(
+            p16.state_words_per_partition() / 2, rel=0.01
+        )
+
+
+class TestHypersparsity:
+    def test_sparse_graph_goes_hypersparse(self):
+        """Section VIII-A: blocks become hypersparse (fewer edges than
+        vertices) once sqrt(p) exceeds the average degree."""
+        scale = 10
+        src, dst = rmat_edges(scale, 4 << scale, seed=0)  # avg degree 4
+        el = EdgeList.from_arrays(src, dst, 1 << scale)
+        part = TwoDBlockPartitioning.build(1 << scale, 64)  # sqrt(p)=8 > 4
+        report = hypersparsity_report(el, part)
+        assert report["hypersparse_fraction"] > 0.5
+
+    def test_dense_enough_graph_is_fine(self):
+        scale = 10
+        src, dst = rmat_edges(scale, 64 << scale, seed=0)  # avg degree 64
+        el = EdgeList.from_arrays(src, dst, 1 << scale)
+        part = TwoDBlockPartitioning.build(1 << scale, 16)  # sqrt(p)=4 << 64
+        report = hypersparsity_report(el, part)
+        assert report["hypersparse_fraction"] < 0.2

@@ -1,0 +1,174 @@
+"""Tests for edge list partitioning — Section III-A1 and Figure 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.generators.rmat import rmat_edges
+from repro.graph.edge_list import EdgeList
+from repro.graph.partition_edge_list import EdgeListPartitioning
+from repro.utils import bitpack
+
+
+class TestPaperFigure3Example:
+    """The exact worked example from the paper's Figure 3."""
+
+    def test_owner_operations(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        # "min_owner(2) = 0, max_owner(2) = 2, min_owner(5) = 2,
+        #  max_owner(5) = 3"
+        assert elp.min_owner(2) == 0
+        assert elp.max_owner(2) == 2
+        assert elp.min_owner(5) == 2
+        assert elp.max_owner(5) == 3
+
+    def test_even_split(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        assert list(elp.edge_counts()) == [4, 4, 4, 4]
+
+    def test_split_vertices(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        assert set(elp.split_vertices().tolist()) == {2, 5}
+
+    def test_validate_passes(self, figure3_edges):
+        EdgeListPartitioning.build(figure3_edges, 4).validate(figure3_edges)
+
+    def test_binary_search_variant_agrees(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        for v in range(8):
+            assert elp.min_owner_by_search(v, figure3_edges.src) == elp.min_owner(v)
+
+
+class TestEdgeBalance:
+    def test_perfect_balance_divisible(self):
+        el = EdgeList.from_pairs([(i // 4, (i + 1) % 8) for i in range(32)], 8)
+        elp = EdgeListPartitioning.build(el.sorted_by_source(), 8)
+        assert list(elp.edge_counts()) == [4] * 8
+
+    def test_near_balance_indivisible(self):
+        el = EdgeList.from_pairs([(i % 5, (i + 1) % 5) for i in range(13)], 5)
+        elp = EdgeListPartitioning.build(el.sorted_by_source(), 4)
+        counts = elp.edge_counts()
+        assert counts.sum() == 13
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_hub_split_across_all(self):
+        """One vertex owning every edge is split across all partitions —
+        the pathology that breaks 1D but not edge list partitioning."""
+        el = EdgeList.from_pairs([(0, i) for i in range(1, 17)], 17)
+        elp = EdgeListPartitioning.build(el.sorted_by_source(), 4)
+        assert list(elp.edge_counts()) == [4, 4, 4, 4]
+        assert elp.min_owner(0) == 0
+        assert elp.max_owner(0) == 3
+
+
+class TestStateRanges:
+    def test_ranges_cover_all_vertices(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        covered = set()
+        for r in range(4):
+            lo, hi = elp.state_range(r)
+            covered.update(range(lo, hi + 1))
+        assert covered == set(range(8))
+
+    def test_partition0_covers_leading_isolated_vertices(self):
+        # vertices 0..2 have no out-edges; they are homed to partition 0
+        el = EdgeList.from_pairs([(3, 0), (3, 1), (4, 0), (5, 1)], 6)
+        elp = EdgeListPartitioning.build(el.sorted_by_source(), 2)
+        lo, hi = elp.state_range(0)
+        assert lo == 0
+        assert elp.min_owner(0) == 0
+        assert elp.max_owner(0) == 0
+
+    def test_trailing_isolated_vertices_homed_last(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], 5)
+        elp = EdgeListPartitioning.build(el.sorted_by_source(), 2)
+        assert elp.min_owner(4) == 1
+        lo, hi = elp.state_range(1)
+        assert hi == 4
+
+
+class TestLocators:
+    def test_locators_roundtrip(self, figure3_edges):
+        elp = EdgeListPartitioning.build(figure3_edges, 4)
+        locators = elp.locators()
+        for v in range(8):
+            assert bitpack.vertex_of(int(locators[v])) == v
+            assert bitpack.min_owner_of(int(locators[v])) == elp.min_owner(v)
+            assert bitpack.max_owner_of(int(locators[v])) == elp.max_owner(v)
+
+
+class TestValidation:
+    def test_unsorted_rejected(self):
+        el = EdgeList.from_pairs([(3, 0), (1, 0), (2, 0)], 4)
+        with pytest.raises(PartitioningError):
+            EdgeListPartitioning.build(el, 2)
+
+    def test_too_many_partitions(self):
+        el = EdgeList.from_pairs([(0, 1)], 2).sorted_by_source()
+        with pytest.raises(PartitioningError):
+            EdgeListPartitioning.build(el, 2)
+
+    def test_zero_partitions(self, figure3_edges):
+        with pytest.raises(PartitioningError):
+            EdgeListPartitioning.build(figure3_edges, 0)
+
+
+class TestInvariantsRMAT:
+    """Structural invariants on a realistic scale-free instance."""
+
+    @pytest.fixture(scope="class")
+    def elp_and_edges(self):
+        src, dst = rmat_edges(9, 16 << 9, seed=11)
+        edges = EdgeList.from_arrays(src, dst, 1 << 9).permuted(seed=12)
+        edges = edges.simple_undirected()
+        return EdgeListPartitioning.build(edges, 16), edges
+
+    def test_validate(self, elp_and_edges):
+        elp, edges = elp_and_edges
+        elp.validate(edges)
+
+    def test_split_count_bounded_by_p(self, elp_and_edges):
+        # "The global number of partitioned adjacency lists is bounded by
+        # O(p), where each partition contains at most two split lists."
+        elp, _ = elp_and_edges
+        assert elp.split_vertices().size <= elp.num_partitions
+
+    def test_owner_ranges_consistent(self, elp_and_edges):
+        elp, edges = elp_and_edges
+        src = edges.src
+        for v in range(0, edges.num_vertices, 7):
+            lo = np.searchsorted(src, v, side="left")
+            hi = np.searchsorted(src, v, side="right")
+            if lo < hi:
+                # every rank in [min, max] holds at least one edge of v
+                for rank in range(elp.min_owner(v), elp.max_owner(v) + 1):
+                    elo, ehi = elp.edge_slice(rank)
+                    assert np.any(src[elo:ehi] == v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), min_size=4, max_size=120
+    ),
+    p=st.integers(min_value=1, max_value=4),
+)
+def test_partitioning_invariants_property(pairs, p):
+    """Property test: for arbitrary sorted edge lists, the partitioning
+    tiles the edges, owners are consistent, and validate() passes."""
+    el = EdgeList.from_pairs(pairs, num_vertices=20).sorted_by_source()
+    if el.num_edges < p:
+        return
+    elp = EdgeListPartitioning.build(el, p)
+    elp.validate(el)
+    assert int(elp.edge_counts().sum()) == el.num_edges
+    out_deg = el.out_degrees()
+    for v in range(20):
+        assert 0 <= elp.min_owner(v) <= elp.max_owner(v) < p
+        if out_deg[v] == 0:
+            assert elp.min_owner(v) == elp.max_owner(v)
+        lo, hi = elp.state_range(elp.min_owner(v))
+        assert lo <= v <= hi  # master stores v's state

@@ -1,0 +1,89 @@
+"""Tests for subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edge_list import EdgeList
+from repro.graph.subgraph import induced_subgraph, kcore_subgraph, largest_component
+
+
+class TestInducedSubgraph:
+    def test_basic(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, np.array([0, 1, 2]))
+        assert sub.num_vertices == 3
+        assert sub.edges.num_edges == 6  # the first triangle, both directions
+
+    def test_relabelling_compact(self):
+        el = EdgeList.from_pairs([(2, 7), (7, 9)], 10).simple_undirected()
+        sub = induced_subgraph(el, np.array([2, 7, 9]))
+        assert sub.num_vertices == 3
+        assert set(sub.edges.src.tolist()) <= {0, 1, 2}
+        assert list(sub.original_ids) == [2, 7, 9]
+
+    def test_to_original(self):
+        el = EdgeList.from_pairs([(2, 7)], 10).simple_undirected()
+        sub = induced_subgraph(el, np.array([2, 7]))
+        assert list(sub.to_original(np.array([0, 1]))) == [2, 7]
+
+    def test_crossing_edges_dropped(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], 3).simple_undirected()
+        sub = induced_subgraph(el, np.array([0, 1]))
+        assert sub.edges.num_edges == 2  # only 0<->1 survives
+
+    def test_duplicates_collapsed(self):
+        el = EdgeList.from_pairs([(0, 1)], 2).simple_undirected()
+        sub = induced_subgraph(el, np.array([0, 0, 1, 1]))
+        assert sub.num_vertices == 2
+
+    def test_out_of_range(self):
+        el = EdgeList.from_pairs([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            induced_subgraph(el, np.array([5]))
+
+    def test_empty_selection(self):
+        el = EdgeList.from_pairs([(0, 1)], 2).simple_undirected()
+        sub = induced_subgraph(el, np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        assert sub.edges.num_edges == 0
+
+
+class TestLargestComponent:
+    def test_picks_giant(self):
+        # component A: 0-1-2 (3 vertices); component B: 3-4 (2 vertices)
+        el = EdgeList.from_pairs([(0, 1), (1, 2), (3, 4)], 5).simple_undirected()
+        sub = largest_component(el)
+        assert sub.num_vertices == 3
+        assert set(sub.original_ids.tolist()) == {0, 1, 2}
+
+    def test_connected_graph_unchanged_count(self, path_graph):
+        sub = largest_component(path_graph)
+        assert sub.num_vertices == path_graph.num_vertices
+        assert sub.edges.num_edges == path_graph.num_edges
+
+    def test_traversable(self):
+        """The extracted giant component feeds straight into the framework
+        and is fully reachable."""
+        from repro.algorithms.bfs import bfs
+        from repro.graph.distributed import DistributedGraph
+
+        el = EdgeList.from_pairs(
+            [(i, i + 1) for i in range(20)] + [(30, 31)], 32
+        ).simple_undirected()
+        sub = largest_component(el)
+        g = DistributedGraph.build(sub.edges, 4)
+        r = bfs(g, 0)
+        assert r.data.num_reached == sub.num_vertices
+
+
+class TestKCoreSubgraph:
+    def test_extracts_core(self):
+        # 4-clique with a pendant: 3-core is the clique
+        pairs = [(i, j) for i in range(4) for j in range(i + 1, 4)] + [(0, 4)]
+        el = EdgeList.from_pairs(pairs, 5).simple_undirected()
+        sub = kcore_subgraph(el, 3)
+        assert sub.num_vertices == 4
+        assert sub.edges.num_edges == 12  # K4 both directions
+
+    def test_empty_core(self, path_graph):
+        sub = kcore_subgraph(path_graph, 2)
+        assert sub.num_vertices == 0

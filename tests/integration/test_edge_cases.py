@@ -1,0 +1,143 @@
+"""Edge-case integration tests: degenerate graphs and extreme configs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.kcore import kcore
+from repro.algorithms.sssp import sssp
+from repro.algorithms.triangles import triangle_count
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+from repro.runtime.costmodel import EngineConfig, hyperion_dit
+from repro.types import UNREACHED
+
+
+class TestSingleEdgeGraph:
+    @pytest.fixture
+    def g(self):
+        el = EdgeList.from_pairs([(0, 1)], 2).simple_undirected()
+        return DistributedGraph.build(el, 1)
+
+    def test_bfs(self, g):
+        r = bfs(g, 0)
+        assert list(r.data.levels) == [0, 1]
+
+    def test_kcore(self, g):
+        assert kcore(g, 1).data.core_size == 2
+        assert kcore(g, 2).data.core_size == 0
+
+    def test_triangles(self, g):
+        assert triangle_count(g).data.total == 0
+
+    def test_cc(self, g):
+        assert connected_components(g).data.num_components == 1
+
+    def test_sssp(self, g):
+        r = sssp(g, 1)
+        assert np.isfinite(r.data.distances).all()
+
+
+class TestSelfLoopHeavyInput:
+    def test_pipeline_strips_loops(self):
+        el = EdgeList.from_pairs(
+            [(0, 0), (1, 1), (0, 1), (1, 2), (2, 2)], 3
+        ).simple_undirected()
+        assert el.num_edges == 4  # (0,1),(1,0),(1,2),(2,1)
+        g = DistributedGraph.build(el, 2)
+        r = bfs(g, 0)
+        assert list(r.data.levels) == [0, 1, 2]
+
+
+class TestMultiEdgeInput:
+    def test_dedup_keeps_one(self):
+        el = EdgeList.from_pairs(
+            [(0, 1)] * 5 + [(1, 2)] * 3, 3
+        ).simple_undirected()
+        assert el.num_edges == 4
+        g = DistributedGraph.build(el, 2)
+        assert triangle_count(g).data.total == 0
+
+
+class TestIsolatedVertexBlocks:
+    def test_leading_and_trailing_isolated(self):
+        """Vertices 0-2 and 7-9 have no edges at all."""
+        el = EdgeList.from_pairs([(3, 4), (4, 5), (5, 6)], 10).simple_undirected()
+        g = DistributedGraph.build(el, 3)
+        r = bfs(g, 3)
+        assert r.data.num_reached == 4
+        assert r.data.levels[0] == UNREACHED
+        assert r.data.levels[9] == UNREACHED
+        cc = connected_components(g)
+        assert cc.data.num_components == 7  # one path + 6 singletons
+
+
+class TestExtremePartitionCounts:
+    def test_p_equals_m(self):
+        """One edge per partition: every multi-edge vertex is split."""
+        el = EdgeList.from_pairs([(0, 1), (1, 2), (2, 3)], 4).simple_undirected()
+        g = DistributedGraph.build(el, el.num_edges)  # p = 6
+        r = bfs(g, 0)
+        assert list(r.data.levels) == [0, 1, 2, 3]
+
+    def test_star_fully_split(self, star_graph):
+        p = star_graph.num_edges  # 32 partitions, 1 edge each
+        g = DistributedGraph.build(star_graph, p)
+        assert g.max_owner(0) - g.min_owner(0) >= 10  # hub spans many ranks
+        r = bfs(g, 0)
+        assert r.data.num_reached == 17
+
+
+class TestExtremeEngineConfigs:
+    def test_budget_one(self, rmat_small, rmat_small_graph):
+        from repro.reference.bfs import bfs_levels
+
+        r = bfs(
+            rmat_small_graph, int(rmat_small.src[0]),
+            config=EngineConfig(visitor_budget=1, use_termination_detector=False),
+        )
+        assert np.array_equal(
+            r.data.levels, bfs_levels(rmat_small, int(rmat_small.src[0]))
+        )
+
+    def test_aggregation_one(self, rmat_small, rmat_small_graph):
+        from repro.reference.bfs import bfs_levels
+
+        r = bfs(
+            rmat_small_graph, int(rmat_small.src[0]),
+            config=EngineConfig(aggregation_size=1),
+        )
+        assert np.array_equal(
+            r.data.levels, bfs_levels(rmat_small, int(rmat_small.src[0]))
+        )
+
+    def test_io_concurrency_ignored_on_dram(self, rmat_small, rmat_small_graph):
+        a = bfs(rmat_small_graph, 0, config=EngineConfig(io_concurrency=1))
+        b = bfs(rmat_small_graph, 0, config=EngineConfig(io_concurrency=None))
+        assert a.stats.time_us == b.stats.time_us
+
+    def test_tiny_cache_still_correct(self, rmat_small):
+        from repro.reference.bfs import bfs_levels
+
+        g = DistributedGraph.build(rmat_small, 4)
+        machine = hyperion_dit("nvram", cache_bytes_per_rank=4096, page_size=256)
+        r = bfs(g, int(rmat_small.src[0]), machine=machine)
+        assert np.array_equal(
+            r.data.levels, bfs_levels(rmat_small, int(rmat_small.src[0]))
+        )
+        assert r.stats.cache_hit_rate() < 1.0
+
+
+class TestSourceEdgeCases:
+    def test_isolated_source(self):
+        el = EdgeList.from_pairs([(1, 2)], 4).simple_undirected()
+        g = DistributedGraph.build(el, 1)
+        r = bfs(g, 3)  # no edges at all
+        assert r.data.num_reached == 1
+        assert r.data.levels[3] == 0
+
+    def test_last_vertex_source(self, rmat_small, rmat_small_graph):
+        source = rmat_small.num_vertices - 1
+        r = bfs(rmat_small_graph, source)
+        assert r.data.levels[source] == 0

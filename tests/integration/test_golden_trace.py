@@ -1,0 +1,50 @@
+"""Golden-trace regression pin.
+
+The simulator is fully deterministic, so one fixed configuration's
+aggregate trace can be pinned exactly.  If any of these numbers move, the
+engine's *semantics* changed (message counts, ghost filtering, scheduling
+or the clock) — which must be a conscious decision, not an accident.
+Update the constants only when such a change is intended, and say why in
+the commit.
+"""
+
+from repro.algorithms.bfs import bfs
+from repro.bench.harness import build_rmat_graph
+
+# configuration under pin
+_SCALE = 9
+_RANKS = 8
+_GHOSTS = 32
+_SEED = 2024
+_SOURCE = 100
+
+# golden aggregates (recorded from the current engine)
+GOLDEN = {
+    "visits": 534,
+    "visitors_sent": 6235,
+    "ghost_filtered": 3338,
+    "packets": 570,
+    "ticks": 22,
+    "time_us": 288.592,
+    "reached": 458,
+    "max_level": 4,
+}
+
+
+def test_golden_trace():
+    edges, graph = build_rmat_graph(
+        _SCALE, num_partitions=_RANKS, num_ghosts=_GHOSTS, seed=_SEED
+    )
+    result = bfs(graph, _SOURCE, topology="2d")
+    stats = result.stats
+    got = {
+        "visits": stats.total_visits,
+        "visitors_sent": stats.total_visitors_sent,
+        "ghost_filtered": stats.total_ghost_filtered,
+        "packets": stats.total_packets,
+        "ticks": stats.ticks,
+        "time_us": round(stats.time_us, 3),
+        "reached": result.data.num_reached,
+        "max_level": result.data.max_level,
+    }
+    assert got == GOLDEN

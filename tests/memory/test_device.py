@@ -1,0 +1,61 @@
+"""Tests for NVRAM / DRAM device models."""
+
+import pytest
+
+from repro.errors import MemorySystemError
+from repro.memory.device import MemoryDevice, dram, fusion_io, sata_ssd
+
+
+class TestBatchRead:
+    def test_zero_pages_free(self):
+        assert fusion_io().batch_read_us(0, 4096) == 0.0
+
+    def test_single_page(self):
+        dev = MemoryDevice("d", read_latency_us=10.0, bandwidth_bytes_per_us=1000.0,
+                           io_parallelism=8)
+        assert dev.batch_read_us(1, 1000) == pytest.approx(10.0 + 1.0)
+
+    def test_concurrency_amortises_latency(self):
+        """The Section II-B claim: concurrent I/O hides NVRAM latency."""
+        dev = MemoryDevice("d", read_latency_us=100.0, bandwidth_bytes_per_us=1e9,
+                           io_parallelism=32)
+        batched = dev.batch_read_us(32, 4096)
+        sequential = dev.batch_read_us(32, 4096, concurrency=1)
+        assert sequential == pytest.approx(32 * batched, rel=0.01)
+
+    def test_concurrency_capped_by_device(self):
+        dev = MemoryDevice("d", read_latency_us=10.0, bandwidth_bytes_per_us=1e9,
+                           io_parallelism=4)
+        assert dev.batch_read_us(8, 64, concurrency=100) == dev.batch_read_us(8, 64)
+
+    def test_waves(self):
+        dev = MemoryDevice("d", read_latency_us=10.0, bandwidth_bytes_per_us=1e12,
+                           io_parallelism=4)
+        # 9 pages at parallelism 4 -> 3 latency waves
+        assert dev.batch_read_us(9, 1) == pytest.approx(30.0, abs=0.1)
+
+
+class TestPresets:
+    def test_ordering(self):
+        """DRAM << Fusion-io << SATA SSD in random-read latency, matching
+        Table II's performance ordering."""
+        assert dram().read_latency_us < fusion_io().read_latency_us
+        assert fusion_io().read_latency_us < sata_ssd().read_latency_us
+
+    def test_enterprise_flash_beats_commodity(self):
+        pages = 64
+        assert fusion_io().batch_read_us(pages, 4096) < sata_ssd().batch_read_us(pages, 4096)
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(MemorySystemError):
+            MemoryDevice("x", read_latency_us=-1, bandwidth_bytes_per_us=1, io_parallelism=1)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(MemorySystemError):
+            MemoryDevice("x", read_latency_us=1, bandwidth_bytes_per_us=0, io_parallelism=1)
+
+    def test_zero_parallelism(self):
+        with pytest.raises(MemorySystemError):
+            MemoryDevice("x", read_latency_us=1, bandwidth_bytes_per_us=1, io_parallelism=0)

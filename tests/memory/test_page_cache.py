@@ -1,0 +1,134 @@
+"""Tests for the user-space page cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemorySystemError
+from repro.memory.device import MemoryDevice
+from repro.memory.page_cache import HIT_COST_US, PageCache
+
+
+def _cache(capacity=4, page_size=64):
+    dev = MemoryDevice("t", read_latency_us=100.0, bandwidth_bytes_per_us=1e6,
+                       io_parallelism=8)
+    return PageCache(capacity_pages=capacity, page_size=page_size, device=dev)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = _cache(capacity=2)
+        c.access(0)
+        c.access(1)
+        c.access(2)  # evicts 0
+        assert c.evictions == 1
+        assert c.access(1) is True   # still resident
+        assert c.access(0) is False  # was evicted
+
+    def test_touch_refreshes_lru(self):
+        c = _cache(capacity=2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 0 becomes MRU
+        c.access(2)  # evicts 1, not 0
+        assert c.access(0) is True
+        assert c.access(1) is False
+
+    def test_resident_bounded(self):
+        c = _cache(capacity=3)
+        for i in range(10):
+            c.access(i)
+        assert c.resident_pages == 3
+
+
+class TestAccessRange:
+    def test_page_span(self):
+        c = _cache(capacity=10, page_size=64)
+        c.access_range(0, 100)  # pages 0 and 1
+        assert c.misses == 2
+
+    def test_exact_boundary(self):
+        c = _cache(capacity=10, page_size=64)
+        c.access_range(0, 64)  # exactly page 0
+        assert c.misses == 1
+
+    def test_empty_range(self):
+        c = _cache()
+        c.access_range(10, 10)
+        assert c.hits + c.misses == 0
+
+    def test_namespaces_do_not_collide(self):
+        c = _cache(capacity=10, page_size=64)
+        c.access_range(0, 64, namespace=0)
+        c.access_range(0, 64, namespace=1)
+        assert c.misses == 2  # distinct pages despite same byte offsets
+
+
+class TestEpochCharging:
+    def test_epoch_resets(self):
+        c = _cache()
+        c.access(0)
+        c.access(0)
+        cost = c.drain_epoch_us()
+        assert cost > 0
+        assert c.drain_epoch_us() == 0.0  # drained
+
+    def test_hit_cost(self):
+        c = _cache()
+        c.access(0)
+        c.drain_epoch_us()
+        c.access(0)  # pure hit epoch
+        assert c.drain_epoch_us() == pytest.approx(HIT_COST_US)
+
+    def test_concurrency_reduces_cost(self):
+        c1, c2 = _cache(capacity=64), _cache(capacity=64)
+        for i in range(16):
+            c1.access(i)
+            c2.access(i)
+        async_cost = c1.drain_epoch_us()
+        sync_cost = c2.drain_epoch_us(concurrency=1)
+        assert sync_cost > 4 * async_cost
+
+    def test_cumulative_stats_survive_drain(self):
+        c = _cache()
+        c.access(0)
+        c.drain_epoch_us()
+        assert c.misses == 1
+
+
+class TestHitRate:
+    def test_initial_one(self):
+        assert _cache().hit_rate() == 1.0
+
+    def test_ratio(self):
+        c = _cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate() == pytest.approx(2 / 3)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_full_capacity_never_evicts(self, accesses):
+        """A cache holding the whole working set only takes cold misses."""
+        c = _cache(capacity=8)
+        for page in accesses:
+            c.access(page)
+        assert c.evictions == 0
+        assert c.misses == len(set(accesses))
+
+
+class TestValidation:
+    def test_zero_capacity(self):
+        with pytest.raises(MemorySystemError):
+            PageCache(capacity_pages=0, page_size=64, device=_cache().device)
+
+    def test_tiny_page(self):
+        with pytest.raises(MemorySystemError):
+            PageCache(capacity_pages=4, page_size=4, device=_cache().device)

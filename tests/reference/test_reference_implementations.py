@@ -1,0 +1,116 @@
+"""Validate the sequential references against networkx / scipy.
+
+The distributed algorithms are tested against these references, so the
+references themselves are grounded in a third-party implementation here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.graph.edge_list import EdgeList
+from repro.reference.bfs import bfs_levels
+from repro.reference.components import component_labels
+from repro.reference.kcore import core_numbers
+from repro.reference.triangles import total_triangles, triangles_per_max_vertex
+from repro.types import UNREACHED
+
+
+def _nx_graph(edges: EdgeList) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(edges.num_vertices))
+    g.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+    return g
+
+
+def random_edges(seed, n=24, m=80):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return EdgeList.from_arrays(src, dst, n).simple_undirected()
+
+
+class TestBFSReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vs_networkx(self, seed):
+        edges = random_edges(seed)
+        nxg = _nx_graph(edges)
+        levels = bfs_levels(edges, 0)
+        nx_levels = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(edges.num_vertices):
+            if v in nx_levels:
+                assert levels[v] == nx_levels[v]
+            else:
+                assert levels[v] == UNREACHED
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(random_edges(0), 999)
+
+    def test_empty_graph(self):
+        edges = EdgeList.from_pairs([], num_vertices=3)
+        levels = bfs_levels(edges, 1)
+        assert levels[1] == 0
+        assert levels[0] == UNREACHED
+
+
+class TestKCoreReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_core_numbers_vs_networkx(self, seed):
+        edges = random_edges(seed)
+        nxg = _nx_graph(edges)
+        expected = nx.core_number(nxg)
+        got = core_numbers(edges)
+        for v in range(edges.num_vertices):
+            assert got[v] == expected.get(v, 0)
+
+    def test_empty(self):
+        assert core_numbers(EdgeList.from_pairs([], num_vertices=0)).size == 0
+
+
+class TestTriangleReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_total_vs_networkx(self, seed):
+        edges = random_edges(seed)
+        nxg = _nx_graph(edges)
+        assert total_triangles(edges) == sum(nx.triangles(nxg).values()) // 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_per_vertex_sums_to_total(self, seed):
+        edges = random_edges(seed)
+        per_vertex = triangles_per_max_vertex(edges)
+        assert int(per_vertex.sum()) == total_triangles(edges)
+
+    def test_empty(self):
+        edges = EdgeList.from_pairs([], num_vertices=4)
+        assert total_triangles(edges) == 0
+        assert triangles_per_max_vertex(edges).sum() == 0
+
+
+class TestComponentsReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vs_networkx(self, seed):
+        edges = random_edges(seed)
+        nxg = _nx_graph(edges)
+        got = component_labels(edges)
+        for comp in nx.connected_components(nxg):
+            labels = {int(got[v]) for v in comp}
+            assert labels == {min(comp)}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=50
+    )
+)
+def test_kcore_hierarchy_property(pairs):
+    """Core numbers are monotone: the (k+1)-core is a subset of the k-core."""
+    edges = EdgeList.from_pairs(pairs, num_vertices=12).simple_undirected()
+    cores = core_numbers(edges)
+    degrees = edges.out_degrees()
+    assert np.all(cores <= degrees)
+    assert np.all(cores >= 0)

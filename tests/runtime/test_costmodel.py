@@ -1,0 +1,91 @@
+"""Tests for machine models and engine configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.costmodel import (
+    STORAGE_DRAM,
+    STORAGE_NVRAM,
+    EngineConfig,
+    MachineModel,
+    bgp_intrepid,
+    hyperion_dit,
+    laptop,
+    leviathan,
+    trestles,
+)
+
+
+class TestPresets:
+    def test_all_construct(self):
+        for m in (laptop(), bgp_intrepid(), hyperion_dit(), trestles(), leviathan()):
+            assert m.visit_us >= 0
+
+    def test_hyperion_storage_variants(self):
+        dram = hyperion_dit("dram")
+        nvram = hyperion_dit("nvram")
+        assert dram.storage == STORAGE_DRAM and dram.device is None
+        assert nvram.storage == STORAGE_NVRAM and nvram.device is not None
+
+    def test_bgp_slower_cores_than_hyperion(self):
+        # PowerPC 450 vs x86: the profile must reflect it
+        assert bgp_intrepid().visit_us > hyperion_dit().visit_us
+
+    def test_nvram_presets_have_devices(self):
+        assert trestles().device.name == "sata-ssd"
+        # Leviathan's 4 ranks contend for one shared card
+        assert leviathan().device.name == "fusion-io-shared"
+
+
+class TestModelValidation:
+    def test_nvram_requires_device(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                name="x", visit_us=1, previsit_us=1, edge_scan_us=1,
+                packet_overhead_us=1, byte_us=1, hop_latency_us=1, min_tick_us=1,
+                storage=STORAGE_NVRAM, device=None,
+            )
+
+    def test_unknown_storage(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                name="x", visit_us=1, previsit_us=1, edge_scan_us=1,
+                packet_overhead_us=1, byte_us=1, hop_latency_us=1, min_tick_us=1,
+                storage="tape",
+            )
+
+    def test_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                name="x", visit_us=-1, previsit_us=1, edge_scan_us=1,
+                packet_overhead_us=1, byte_us=1, hop_latency_us=1, min_tick_us=1,
+            )
+
+    def test_cache_pages(self):
+        m = hyperion_dit("nvram", cache_bytes_per_rank=8192)
+        assert m.cache_pages_per_rank == 8192 // m.page_size or m.cache_pages_per_rank >= 1
+
+    def test_with_storage(self):
+        m = hyperion_dit("dram").with_storage(
+            STORAGE_NVRAM, device=trestles().device, cache_bytes_per_rank=4096
+        )
+        assert m.storage == STORAGE_NVRAM
+        assert m.cache_bytes_per_rank == 4096
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        cfg = EngineConfig()
+        assert cfg.visitor_budget >= 1
+
+    def test_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(visitor_budget=0)
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(aggregation_size=0)
+
+    def test_bad_max_ticks(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(max_ticks=0)

@@ -1,0 +1,53 @@
+"""Tests for traversal statistics containers."""
+
+import pytest
+
+from repro.runtime.trace import RankCounters, TraversalStats
+
+
+def _stats(visits_per_rank):
+    s = TraversalStats(
+        algorithm="bfs", machine="m", topology="direct", num_ranks=len(visits_per_rank),
+        num_vertices=10, num_edges=20,
+    )
+    for v in visits_per_rank:
+        s.ranks.append(RankCounters(visits=v, cache_hits=v, cache_misses=1))
+    return s
+
+
+class TestAggregation:
+    def test_totals(self):
+        s = _stats([3, 5])
+        assert s.total_visits == 8
+        assert s.total_cache_hits == 8
+        assert s.total_cache_misses == 2
+
+    def test_hit_rate(self):
+        s = _stats([8, 0])
+        assert s.cache_hit_rate() == pytest.approx(8 / 10)
+
+    def test_hit_rate_no_accesses(self):
+        s = TraversalStats(
+            algorithm="a", machine="m", topology="t", num_ranks=1,
+            num_vertices=1, num_edges=1,
+        )
+        assert s.cache_hit_rate() == 1.0
+
+    def test_visit_imbalance(self):
+        assert _stats([4, 4]).visit_imbalance() == 1.0
+        assert _stats([8, 0]).visit_imbalance() == 2.0
+
+    def test_visit_imbalance_empty(self):
+        s = _stats([0, 0])
+        assert s.visit_imbalance() == 1.0
+
+    def test_time_seconds(self):
+        s = _stats([1])
+        s.time_us = 2_000_000.0
+        assert s.time_seconds == 2.0
+
+    def test_summary_contains_key_fields(self):
+        s = _stats([1, 2])
+        s.time_us = 10.0
+        text = s.summary()
+        assert "bfs" in text and "p=2" in text

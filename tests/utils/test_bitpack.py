@@ -1,0 +1,76 @@
+"""Tests for locator bit-packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bitpack
+
+
+class TestScalarRoundTrip:
+    def test_simple(self):
+        loc = bitpack.pack(12345, 7, 9)
+        assert bitpack.vertex_of(loc) == 12345
+        assert bitpack.min_owner_of(loc) == 7
+        assert bitpack.max_owner_of(loc) == 9
+        assert bitpack.span_of(loc) == 2
+
+    def test_zero(self):
+        loc = bitpack.pack(0, 0, 0)
+        assert loc == 0
+        assert bitpack.vertex_of(loc) == 0
+
+    def test_extremes(self):
+        loc = bitpack.pack(bitpack.MAX_VERTEX, bitpack.MAX_OWNER, bitpack.MAX_OWNER)
+        assert bitpack.vertex_of(loc) == bitpack.MAX_VERTEX
+        assert bitpack.min_owner_of(loc) == bitpack.MAX_OWNER
+
+    def test_span_clamped(self):
+        # spans beyond the 8-bit field clamp rather than corrupt
+        loc = bitpack.pack(5, 0, bitpack.MAX_SPAN + 100)
+        assert bitpack.span_of(loc) == bitpack.MAX_SPAN
+        assert bitpack.vertex_of(loc) == 5
+
+
+class TestValidation:
+    def test_negative_vertex(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(-1, 0, 0)
+
+    def test_vertex_too_big(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(bitpack.MAX_VERTEX + 1, 0, 0)
+
+    def test_owner_too_big(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(0, bitpack.MAX_OWNER + 1, bitpack.MAX_OWNER + 1)
+
+    def test_max_below_min(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(0, 5, 4)
+
+
+class TestVectorised:
+    def test_arrays(self):
+        v = np.array([0, 10, 999])
+        lo = np.array([0, 1, 2])
+        hi = np.array([0, 3, 2])
+        packed = bitpack.pack(v, lo, hi)
+        assert np.array_equal(bitpack.vertex_of(packed), v)
+        assert np.array_equal(bitpack.min_owner_of(packed), lo)
+        assert np.array_equal(bitpack.max_owner_of(packed), hi)
+
+    @given(
+        st.integers(min_value=0, max_value=bitpack.MAX_VERTEX),
+        st.integers(min_value=0, max_value=bitpack.MAX_OWNER),
+        st.integers(min_value=0, max_value=bitpack.MAX_SPAN),
+    )
+    def test_roundtrip_property(self, vertex, owner, span):
+        max_owner = min(owner + span, bitpack.MAX_OWNER + bitpack.MAX_SPAN)
+        loc = bitpack.pack(vertex, owner, owner + span)
+        assert bitpack.vertex_of(loc) == vertex
+        assert bitpack.min_owner_of(loc) == owner
+        assert bitpack.max_owner_of(loc) == owner + span
+        assert loc >= 0  # stays in the positive int64 range
+        del max_owner

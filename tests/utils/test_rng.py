@@ -1,0 +1,57 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+
+def test_int_seed_is_deterministic():
+    a = resolve_rng(123).random(8)
+    b = resolve_rng(123).random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    assert not np.array_equal(resolve_rng(1).random(8), resolve_rng(2).random(8))
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert resolve_rng(gen) is gen
+
+
+def test_none_gives_generator():
+    assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+def test_spawn_count_and_independence():
+    children = spawn_rngs(5, 4)
+    assert len(children) == 4
+    draws = [c.random(16) for c in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_spawn_deterministic():
+    a = [g.random(4) for g in spawn_rngs(9, 3)]
+    b = [g.random(4) for g in spawn_rngs(9, 3)]
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_spawn_zero():
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_from_generator():
+    gen = np.random.default_rng(11)
+    children = spawn_rngs(gen, 2)
+    assert len(children) == 2
+    assert not np.array_equal(children[0].random(8), children[1].random(8))

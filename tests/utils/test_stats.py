@@ -1,0 +1,72 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import describe, imbalance, log2_histogram
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance([5, 5, 5, 5]) == 1.0
+
+    def test_one_heavy(self):
+        # one partition holds double its fair share
+        assert imbalance([2, 1, 1, 0]) == 2.0
+
+    def test_empty(self):
+        assert imbalance([]) == 1.0
+
+    def test_all_zero(self):
+        assert imbalance([0, 0, 0]) == 1.0
+
+    def test_single(self):
+        assert imbalance([7]) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=64))
+    def test_at_least_one(self, counts):
+        assert imbalance(counts) >= 1.0 - 1e-12
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=64))
+    def test_at_most_p(self, counts):
+        # max/mean <= p when mean > 0
+        assert imbalance(counts) <= len(counts) + 1e-9
+
+
+class TestDescribe:
+    def test_empty(self):
+        s = describe([])
+        assert s.count == 0 and s.total == 0.0
+
+    def test_basic(self):
+        s = describe([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.total == 10.0
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_str_contains_fields(self):
+        assert "mean" in str(describe([1.0]))
+
+
+class TestLog2Histogram:
+    def test_zeros_bucket(self):
+        assert log2_histogram(np.array([0, 0, 1]))[-1] == 2
+
+    def test_powers(self):
+        h = log2_histogram(np.array([1, 2, 3, 4, 7, 8]))
+        assert h[0] == 1  # [1, 2)
+        assert h[1] == 2  # [2, 4): 2, 3
+        assert h[2] == 2  # [4, 8): 4, 7
+        assert h[3] == 1  # [8, 16): 8
+
+    def test_empty(self):
+        assert log2_histogram(np.array([], dtype=np.int64)) == {}
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=128))
+    def test_total_preserved(self, values):
+        h = log2_histogram(np.array(values, dtype=np.int64))
+        assert sum(h.values()) == len(values)
