@@ -1,0 +1,150 @@
+"""Wall-clock benchmark of the vectorized batch fast path.
+
+Runs the same BFS traversal through the object path and the batch path,
+checks the two produce identical results and traversal stats (the batch
+path's defining contract), and reports the host wall-clock speedup.
+
+Usage::
+
+    python benchmarks/bench_wallclock_hotpath.py             # full: scale 16, p=16
+    python benchmarks/bench_wallclock_hotpath.py --smoke     # CI: scale 12, p=8
+    python benchmarks/bench_wallclock_hotpath.py --smoke --check \
+        --baseline BENCH_hotpath.json                        # regression gate
+
+The JSON written next to the repo root (``BENCH_hotpath.json``) records the
+measured speedup; ``--check`` fails (exit 1) when the current speedup falls
+more than 25% below the baseline's, a machine-independent regression gate
+(both paths run on the same host, so their *ratio* transfers between
+machines in a way absolute seconds do not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs
+from repro.bench.harness import build_rmat_graph, pick_bfs_source
+from repro.runtime.costmodel import laptop
+
+#: Tolerated relative drop in speedup before --check fails.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _stats_key(stats):
+    return (
+        stats.ticks,
+        stats.time_us,
+        stats.termination_waves,
+        tuple(
+            (c.visits, c.previsits, c.pushes, c.ghost_filtered, c.edges_scanned,
+             c.visitors_sent, c.visitors_received, c.packets_sent, c.bytes_sent,
+             c.envelopes_forwarded)
+            for c in stats.ranks
+        ),
+    )
+
+
+def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
+                  seed: int = 2024) -> dict:
+    """Time both paths on one RMAT BFS; returns the result record."""
+    edges, graph = build_rmat_graph(
+        scale, num_partitions=partitions, num_ghosts=ghosts,
+        strategy="edge_list", seed=seed,
+    )
+    source = pick_bfs_source(edges, seed=seed)
+    machine = laptop()
+
+    results = {}
+    timings = {}
+    for label, batch in (("object", False), ("batch", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = bfs(graph, source, machine=machine, batch=batch)
+            best = min(best, time.perf_counter() - t0)
+        results[label] = res
+        timings[label] = best
+
+    obj, bat = results["object"], results["batch"]
+    stats_equal = _stats_key(obj.stats) == _stats_key(bat.stats)
+    data_equal = (np.array_equal(obj.data.levels, bat.data.levels)
+                  and np.array_equal(obj.data.parents, bat.data.parents))
+    speedup = timings["object"] / timings["batch"]
+    return {
+        "algorithm": "bfs",
+        "machine": "laptop",
+        "scale": scale,
+        "partitions": partitions,
+        "ghosts": ghosts,
+        "source": source,
+        "repeats": repeats,
+        "object_seconds": round(timings["object"], 4),
+        "batch_seconds": round(timings["batch"], 4),
+        "speedup": round(speedup, 3),
+        "stats_equal": stats_equal,
+        "data_equal": data_equal,
+        "visits": sum(c.visits for c in obj.stats.ranks),
+        "ticks": obj.stats.ticks,
+        "simulated_time_us": obj.stats.time_us,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small/fast configuration for CI (scale 12, p=8)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when speedup regresses >25%% vs --baseline")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON for --check (default: the "
+                        "committed file matching this run's mode)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="where to write the result JSON (default: the "
+                        "mode's baseline file at the repo root; suppressed "
+                        "in --check runs)")
+    args = parser.parse_args(argv)
+    root = Path(__file__).resolve().parent.parent
+    default_json = root / ("BENCH_hotpath_smoke.json" if args.smoke
+                           else "BENCH_hotpath.json")
+
+    if args.smoke:
+        record = run_benchmark(scale=12, partitions=8, ghosts=64, repeats=2)
+    else:
+        record = run_benchmark(scale=16, partitions=16, ghosts=256, repeats=3)
+    record["mode"] = "smoke" if args.smoke else "full"
+
+    print(f"object path: {record['object_seconds']:.3f}s   "
+          f"batch path: {record['batch_seconds']:.3f}s   "
+          f"speedup: {record['speedup']:.2f}x")
+    if not (record["stats_equal"] and record["data_equal"]):
+        print("FAIL: batch path diverged from the object path "
+              f"(stats_equal={record['stats_equal']}, "
+              f"data_equal={record['data_equal']})", file=sys.stderr)
+        return 1
+
+    if args.check:
+        baseline = json.loads(Path(args.baseline or default_json).read_text())
+        floor = baseline["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        print(f"baseline speedup {baseline['speedup']:.2f}x "
+              f"({baseline['mode']}), regression floor {floor:.2f}x")
+        if record["speedup"] < floor:
+            print(f"FAIL: speedup {record['speedup']:.2f}x regressed below "
+                  f"{floor:.2f}x", file=sys.stderr)
+            return 1
+        print("OK: no wall-clock regression")
+        return 0
+
+    out = Path(args.output) if args.output else default_json
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

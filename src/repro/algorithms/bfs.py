@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchStateArrays, VisitorBatch
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
-from repro.types import LEVEL_DTYPE, UNREACHED
+from repro.types import LEVEL_DTYPE, UNREACHED, VID_DTYPE
 
 _INF = float("inf")
 
@@ -93,6 +94,8 @@ class BFSAlgorithm(AsyncAlgorithm):
     name = "bfs"
     uses_ghosts = True
     visitor_bytes = 24  # vertex + length + parent, 8 bytes each
+    supports_batch = True
+    payload_dtype = np.int64  # lengths ride the wire as integers
 
     def __init__(self, source: int) -> None:
         if source < 0:
@@ -116,6 +119,40 @@ class BFSAlgorithm(AsyncAlgorithm):
             if state.length != _INF:
                 levels[v] = int(state.length)
                 parents[v] = state.parent
+        return BFSResult(source=self.source, levels=levels, parents=parents)
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+        n = vertices.size
+        return BatchStateArrays(
+            values=np.full(n, _INF, dtype=np.float64),
+            parents=np.full(n, -1, dtype=np.int64),
+        )
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        if rank != graph.min_owner(self.source):
+            return None
+        return VisitorBatch(
+            np.array([self.source], dtype=VID_DTYPE),
+            np.array([0], dtype=self.payload_dtype),
+            np.array([self.source], dtype=np.int64),
+        )
+
+    def expand_batch(self, vertices, payloads, lens, targets):
+        return np.repeat(payloads + 1, lens), np.repeat(vertices, lens)
+
+    def finalize_batch(self, graph: DistributedGraph, arrays_per_rank: list) -> BFSResult:
+        n = graph.num_vertices
+        levels = np.full(n, UNREACHED, dtype=LEVEL_DTYPE)
+        parents = np.full(n, -1, dtype=LEVEL_DTYPE)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            masters = np.asarray(graph.masters_on(rank))
+            vals = arrays.values[masters - lo]
+            reached = np.isfinite(vals)
+            mv = masters[reached]
+            levels[mv] = vals[reached].astype(LEVEL_DTYPE)
+            parents[mv] = arrays.parents[masters - lo][reached]
         return BFSResult(source=self.source, levels=levels, parents=parents)
 
 

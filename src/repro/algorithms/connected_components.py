@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchStateArrays, VisitorBatch
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
@@ -82,6 +83,8 @@ class ConnectedComponentsAlgorithm(AsyncAlgorithm):
     name = "connected_components"
     uses_ghosts = True  # monotonic min filter
     visitor_bytes = 16
+    supports_batch = True
+    payload_dtype = np.int64  # labels are vertex ids
 
     def make_state(self, vertex: int, degree: int, role: str) -> CCState:
         return CCState()
@@ -94,6 +97,28 @@ class ConnectedComponentsAlgorithm(AsyncAlgorithm):
         labels = np.full(graph.num_vertices, -1, dtype=VID_DTYPE)
         for v, state in self.master_states(graph, states_per_rank):
             labels[v] = state.label if state.label != _UNSET else v
+        return CCResult(labels=labels)
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+        return BatchStateArrays(values=np.full(vertices.size, _UNSET, dtype=np.int64))
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        masters = np.asarray(graph.masters_on(rank), dtype=VID_DTYPE)
+        if masters.size == 0:
+            return None
+        return VisitorBatch(masters, masters.astype(self.payload_dtype), None)
+
+    def expand_batch(self, vertices, payloads, lens, targets):
+        return np.repeat(payloads, lens), None
+
+    def finalize_batch(self, graph: DistributedGraph, arrays_per_rank: list) -> CCResult:
+        labels = np.full(graph.num_vertices, -1, dtype=VID_DTYPE)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            masters = np.asarray(graph.masters_on(rank))
+            vals = arrays.values[masters - lo]
+            labels[masters] = np.where(vals != _UNSET, vals, masters)
         return CCResult(labels=labels)
 
 

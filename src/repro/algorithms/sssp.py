@@ -18,9 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchStateArrays, VisitorBatch
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
+from repro.types import VID_DTYPE
 
 _INF = float("inf")
 _MIX_A = 0x9E3779B1
@@ -97,6 +99,8 @@ class SSSPAlgorithm(AsyncAlgorithm):
     name = "sssp"
     uses_ghosts = True  # monotonic min filter, ghost-safe like BFS
     visitor_bytes = 32
+    supports_batch = True
+    payload_dtype = np.float64
 
     def __init__(self, source: int, *, max_weight: int = 16, salt: int = 0,
                  unit_weights: bool = False) -> None:
@@ -120,6 +124,46 @@ class SSSPAlgorithm(AsyncAlgorithm):
         for v, state in self.master_states(graph, states_per_rank):
             distances[v] = state.distance
             parents[v] = state.parent
+        return SSSPResult(source=self.source, distances=distances, parents=parents)
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+        n = vertices.size
+        return BatchStateArrays(
+            values=np.full(n, np.inf, dtype=np.float64),
+            parents=np.full(n, -1, dtype=np.int64),
+        )
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        if rank != graph.min_owner(self.source):
+            return None
+        return VisitorBatch(
+            np.array([self.source], dtype=VID_DTYPE),
+            np.array([0.0], dtype=self.payload_dtype),
+            np.array([self.source], dtype=np.int64),
+        )
+
+    def expand_batch(self, vertices, payloads, lens, targets):
+        # Vectorized edge_weight(): int64 wraparound keeps the same low
+        # 61 bits as arbitrary-precision Python ints, and ``& _MASK``
+        # re-establishes a non-negative value before the modulo — so the
+        # weights are bit-identical to the scalar hash.
+        u = np.repeat(vertices, lens)
+        a = np.minimum(u, targets)
+        b = np.maximum(u, targets)
+        h = ((a * _MIX_A) ^ (b * _MIX_B) ^ (self.salt * 0xC2B2AE35)) & _MASK
+        weights = 1 + (h % self.max_weight)
+        return np.repeat(payloads, lens) + weights, u
+
+    def finalize_batch(self, graph: DistributedGraph, arrays_per_rank: list) -> SSSPResult:
+        n = graph.num_vertices
+        distances = np.full(n, np.inf, dtype=np.float64)
+        parents = np.full(n, -1, dtype=np.int64)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            masters = np.asarray(graph.masters_on(rank))
+            distances[masters] = arrays.values[masters - lo]
+            parents[masters] = arrays.parents[masters - lo]
         return SSSPResult(source=self.source, distances=distances, parents=parents)
 
 

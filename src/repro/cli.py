@@ -9,6 +9,7 @@ Commands
 ``pagerank``     Run asynchronous residual-push PageRank.
 ``graph500``     Run a Graph500-style submission (N validated searches).
 ``experiment``   Regenerate one paper figure/table by name.
+``profile``      cProfile a traversal and print the host-time hotspots.
 
 Every command prints the simulated performance trace; sizes default to
 laptop scale.  Examples::
@@ -18,6 +19,7 @@ laptop scale.  Examples::
     python -m repro bfs --scale 10 -p 8 --machine bgp
     python -m repro triangles --scale 9 -p 8 --approximate --samples 20000
     python -m repro experiment fig13
+    python -m repro profile bfs --scale 12 -p 16 --batch
 """
 
 from __future__ import annotations
@@ -164,6 +166,28 @@ def _cmd_graph500(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.algorithms.connected_components import connected_components
+    from repro.algorithms.sssp import sssp
+    from repro.bench.profiling import profile_call
+
+    edges, graph = _build_graph(args)
+    machine = _MACHINES[args.machine]()
+    kwargs = dict(machine=machine, topology=args.topology, batch=args.batch)
+    if args.algorithm == "cc":
+        fn = lambda: connected_components(graph, **kwargs)  # noqa: E731
+    else:
+        source = (
+            args.source if args.source is not None else pick_bfs_source(edges, seed=args.seed)
+        )
+        runner = bfs if args.algorithm == "bfs" else sssp
+        fn = lambda: runner(graph, source, **kwargs)  # noqa: E731
+    report = profile_call(fn, top=args.top)
+    print(report.result.stats.summary())
+    print(report.summary(top=args.top))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.bench import experiments as experiments_module
 
@@ -241,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
     g5.add_argument("--searches", type=int, default=16)
     g5.add_argument("--kernel", choices=["bfs", "sssp"], default="bfs")
     g5.set_defaults(func=_cmd_graph500)
+
+    pf = sub.add_parser("profile", help="cProfile a traversal; print the "
+                        "top cumulative host-time hotspots")
+    pf.add_argument("algorithm", choices=["bfs", "sssp", "cc"])
+    _add_graph_args(pf)
+    pf.add_argument("--source", type=int, default=None,
+                    help="bfs/sssp source (default: harness pick)")
+    pf.add_argument("--top", type=int, default=20,
+                    help="hotspot lines to print (default 20)")
+    pf.add_argument("--batch", action="store_true",
+                    help="profile the vectorized batch fast path")
+    pf.set_defaults(func=_cmd_profile)
 
     e = sub.add_parser("experiment", help="regenerate a paper figure/table")
     e.add_argument("name", help="e.g. fig13 or table2 (prefix match)")

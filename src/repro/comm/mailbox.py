@@ -22,6 +22,8 @@ visitor send/receive totals used by quiescence detection.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.comm.message import KIND_VISITOR, Envelope, Packet
 from repro.comm.network import Network
 from repro.comm.routing import Topology
@@ -46,6 +48,9 @@ class Mailbox:
         self.network = network
         self.aggregation_size = aggregation_size
         self._buffers: dict[int, list[Envelope]] = {}
+        #: logical message count per hop buffer (an envelope contributes
+        #: ``count`` — batch envelopes stand for many messages).
+        self._buffer_counts: dict[int, int] = {}
         self._local: list[Envelope] = []
         # next-hop lookup table for this rank (hot path: one list index
         # instead of a routing-method call per enqueued envelope)
@@ -53,6 +58,7 @@ class Mailbox:
             topology.next_hop(rank, dest) if dest != rank else rank
             for dest in range(topology.num_ranks)
         ]
+        self._hop_np = np.asarray(self._hop_row, dtype=np.int64)
         # --- counters ---------------------------------------------------
         #: visitor envelopes originated or forwarded from this rank
         #: (the "visitor send count" of the quiescence algorithm).
@@ -77,15 +83,98 @@ class Mailbox:
             return
         self._enqueue(env)
 
+    def send_batch(self, dest: int, batch, size_bytes: int) -> None:
+        """Queue a :class:`~repro.core.batch.VisitorBatch` of N visitors for
+        ``dest`` as one envelope of logical count N.
+
+        Counter and wire accounting are identical to N consecutive
+        :meth:`send` calls (``size_bytes`` is the per-visitor payload
+        size); aggregation splits the batch at packet boundaries.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        env = Envelope(dest=dest, kind=KIND_VISITOR, payload=batch,
+                       size_bytes=size_bytes, count=n)
+        self.visitors_sent += n
+        if dest == self.rank:
+            self._local.append(env)
+            return
+        self._enqueue(env)
+
+    def send_stream(self, dests: np.ndarray, batch, size_bytes: int) -> None:
+        """Queue a mixed-destination :class:`VisitorBatch` stream: visitor
+        ``i`` of ``batch`` goes to rank ``dests[i]``.
+
+        Exactly equivalent to N :meth:`send` calls in stream order.  Hop
+        buffers are independent — only the *within-hop* logical message
+        order determines packet composition and per-receiver arrival order
+        — so the stream is stably grouped by next hop and each hop group
+        enqueued contiguously (one envelope per destination run; on a
+        direct topology that is one envelope per destination).
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.visitors_sent += n
+        hops = self._hop_np[dests]
+        uniq_hops = np.unique(hops)
+        for h in uniq_hops.tolist():
+            if uniq_hops.size == 1:
+                sub, sub_dests = batch, dests
+            else:
+                m = hops == h
+                sub, sub_dests = batch.take(m), dests[m]
+            if h == self.rank:  # loopback: next_hop is self only for self
+                self._local.append(
+                    Envelope(self.rank, KIND_VISITOR, sub, size_bytes, len(sub))
+                )
+                continue
+            cuts = np.flatnonzero(sub_dests[1:] != sub_dests[:-1]) + 1
+            if cuts.size == 0:
+                self._enqueue(
+                    Envelope(int(sub_dests[0]), KIND_VISITOR, sub, size_bytes, len(sub))
+                )
+                continue
+            bounds = [0, *cuts.tolist(), len(sub)]
+            for i in range(len(bounds) - 1):
+                lo, hi = bounds[i], bounds[i + 1]
+                self._enqueue(
+                    Envelope(int(sub_dests[lo]), KIND_VISITOR,
+                             sub.slice(lo, hi), size_bytes, hi - lo)
+                )
+
     def _enqueue(self, env: Envelope) -> None:
         hop = self._hop_row[env.dest]
-        buf = self._buffers.setdefault(hop, [])
-        buf.append(env)
-        if len(buf) >= self.aggregation_size:
+        agg = self.aggregation_size
+        buffered = self._buffer_counts.get(hop, 0)
+        if env.count == 1:  # object-path / control fast path
+            self._buffers.setdefault(hop, []).append(env)
+            if buffered + 1 >= agg:
+                self._flush_hop(hop)
+            else:
+                self._buffer_counts[hop] = buffered + 1
+            return
+        # Batch envelopes are split so packet boundaries fall at exactly
+        # the logical-message counts the object path would produce: a
+        # buffer flushes the moment it reaches ``aggregation_size``
+        # messages, mid-batch if necessary.
+        while env is not None:
+            space = agg - buffered
+            if env.count < space:
+                self._buffers.setdefault(hop, []).append(env)
+                self._buffer_counts[hop] = buffered + env.count
+                return
+            head, tail = _split_envelope(env, space)
+            self._buffers.setdefault(hop, []).append(head)
+            self._buffer_counts[hop] = agg
             self._flush_hop(hop)
+            buffered = 0
+            env = tail
 
     def _flush_hop(self, hop: int) -> None:
         buf = self._buffers.pop(hop, None)
+        self._buffer_counts.pop(hop, None)
         if not buf:
             return
         pkt = Packet(src=self.rank, hop_dest=hop, envelopes=buf)
@@ -117,14 +206,14 @@ class Mailbox:
                 if env.dest == self.rank:
                     delivered.append(env)
                 else:
-                    self.envelopes_forwarded += 1
+                    self.envelopes_forwarded += env.count
                     self._enqueue(env)
         if self._local:
             delivered.extend(self._local)
             self._local = []
         for env in delivered:
             if env.kind == KIND_VISITOR:
-                self.visitors_received += 1
+                self.visitors_received += env.count
         return delivered
 
     # ------------------------------------------------------------------ #
@@ -132,3 +221,27 @@ class Mailbox:
         """True when unflushed envelopes are sitting in aggregation buffers
         or the local loopback queue."""
         return bool(self._local) or any(self._buffers.values())
+
+    def buffered_visitor_count(self) -> int:
+        """Logical visitor messages sitting in unflushed aggregation
+        buffers or the local loopback queue (quiescence cross-checks)."""
+        total = 0
+        for buf in self._buffers.values():
+            for env in buf:
+                if env.kind == KIND_VISITOR:
+                    total += env.count
+        for env in self._local:
+            if env.kind == KIND_VISITOR:
+                total += env.count
+        return total
+
+
+def _split_envelope(env: Envelope, k: int) -> tuple[Envelope, Envelope | None]:
+    """Split a batch envelope into its first ``k`` visitors and the rest."""
+    if env.count <= k:
+        return env, None
+    head, tail = env.payload.split(k)
+    return (
+        Envelope(env.dest, env.kind, head, env.size_bytes, k),
+        Envelope(env.dest, env.kind, tail, env.size_bytes, env.count - k),
+    )

@@ -25,17 +25,26 @@ PACKET_HEADER_BYTES = 32
 
 @dataclass(slots=True)
 class Envelope:
-    """One logical message: ``payload`` bound for rank ``dest``."""
+    """One logical message: ``payload`` bound for rank ``dest``.
+
+    ``count`` is the number of logical messages the envelope stands for:
+    1 for ordinary object-path envelopes and control messages, N when the
+    payload is a :class:`~repro.core.batch.VisitorBatch` carrying N
+    visitors.  ``size_bytes`` is always the *per-message* payload size, so
+    wire accounting is identical whether N messages travel as N envelopes
+    or as one batch envelope.
+    """
 
     dest: int
     kind: int
     payload: object
     size_bytes: int
+    count: int = 1
 
     @property
     def wire_bytes(self) -> int:
         """Bytes this envelope occupies inside a packet."""
-        return self.size_bytes + ENVELOPE_HEADER_BYTES
+        return self.count * (self.size_bytes + ENVELOPE_HEADER_BYTES)
 
 
 @dataclass(slots=True)

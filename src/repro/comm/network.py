@@ -9,7 +9,7 @@ the trade-off Section III-B describes.
 
 from __future__ import annotations
 
-from repro.comm.message import Packet
+from repro.comm.message import KIND_VISITOR, Packet
 from repro.errors import CommunicationError
 
 
@@ -48,6 +48,16 @@ class Network:
     def packets_in_flight(self) -> int:
         """Packets sent but not yet handed to a mailbox."""
         return len(self._sent_this_tick)
+
+    def visitor_envelopes_in_flight(self) -> int:
+        """Logical visitor messages inside in-flight packets (quiescence
+        cross-checks; control traffic is excluded)."""
+        return sum(
+            env.count
+            for pkt in self._sent_this_tick
+            for env in pkt.envelopes
+            if env.kind == KIND_VISITOR
+        )
 
     def idle(self) -> bool:
         """True when no packet is anywhere in the fabric."""

@@ -1,0 +1,257 @@
+"""Struct-of-arrays visitor batches for the vectorized fast path.
+
+The object path moves one heap-allocated :class:`~repro.core.visitor.Visitor`
+per logical message and evaluates ``pre_visit`` one method call at a time.
+For algorithms whose per-vertex state is flat and numeric and whose
+``pre_visit`` is the strict improve-or-drop filter (BFS, SSSP, connected
+components), the same semantics can be executed over whole frontiers at
+once: a :class:`VisitorBatch` carries ``vertices`` / ``payloads`` /
+``parents`` as parallel numpy arrays, per-vertex state lives in
+:class:`BatchStateArrays`, and the pre-visit of N arrivals becomes one
+masked compare-and-update.
+
+Equivalence contract
+--------------------
+Everything here is *sequentially equivalent* to the object path: applying
+:meth:`BatchStateArrays.previsit` to a batch produces exactly the mask and
+state mutations that N consecutive ``pre_visit`` calls would, including the
+case where several visitors in one batch target the same vertex (the first
+improving payload wins; later equal payloads are dropped).  That is what
+lets the engine's batch mode promise bit-identical states and
+:class:`~repro.runtime.trace.TraversalStats` to the object path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import VID_DTYPE
+
+
+class VisitorBatch:
+    """A frontier slice: N visitors as parallel arrays (one Python object).
+
+    ``payloads`` doubles as the heap priority (the batch path requires
+    ``Visitor.priority == payload``, which holds for BFS length, SSSP
+    distance and CC label).  ``parents`` is optional auxiliary state
+    (BFS/SSSP parent pointers; CC has none).
+    """
+
+    __slots__ = ("vertices", "payloads", "parents")
+
+    def __init__(
+        self,
+        vertices: np.ndarray,
+        payloads: np.ndarray,
+        parents: np.ndarray | None = None,
+    ) -> None:
+        self.vertices = vertices
+        self.payloads = payloads
+        self.parents = parents
+
+    def __len__(self) -> int:
+        return int(self.vertices.size)
+
+    # -------------------------------------------------------------- #
+    def take(self, mask: np.ndarray) -> "VisitorBatch":
+        """Sub-batch of the rows where ``mask`` is true (order preserved)."""
+        return VisitorBatch(
+            self.vertices[mask],
+            self.payloads[mask],
+            self.parents[mask] if self.parents is not None else None,
+        )
+
+    def slice(self, lo: int, hi: int) -> "VisitorBatch":
+        """Contiguous sub-batch ``[lo, hi)`` (views, no copies)."""
+        return VisitorBatch(
+            self.vertices[lo:hi],
+            self.payloads[lo:hi],
+            self.parents[lo:hi] if self.parents is not None else None,
+        )
+
+    def split(self, k: int) -> tuple["VisitorBatch", "VisitorBatch"]:
+        """Split into the first ``k`` visitors and the rest (both views)."""
+        return self.slice(0, k), self.slice(k, len(self))
+
+    @classmethod
+    def concat(cls, batches: list["VisitorBatch"]) -> "VisitorBatch":
+        """Concatenate in order (visitor order == arrival order)."""
+        if len(batches) == 1:
+            return batches[0]
+        parents = None
+        if batches[0].parents is not None:
+            parents = np.concatenate([b.parents for b in batches])
+        return cls(
+            np.concatenate([b.vertices for b in batches]),
+            np.concatenate([b.payloads for b in batches]),
+            parents,
+        )
+
+
+class BatchStateArrays:
+    """Array-backed per-vertex state for one rank (or one ghost table).
+
+    ``values`` is the monotonic compare key (BFS length, SSSP distance, CC
+    label); ``parents`` the optional tree pointer.  Row ``i`` holds the
+    state of the ``i``-th vertex of the block this object was built for —
+    callers translate vertex ids to row indices.
+    """
+
+    __slots__ = ("values", "parents")
+
+    def __init__(self, values: np.ndarray, parents: np.ndarray | None = None) -> None:
+        self.values = values
+        self.parents = parents
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    # -------------------------------------------------------------- #
+    def previsit(
+        self,
+        idx: np.ndarray,
+        payloads: np.ndarray,
+        parents: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Sequentially-equivalent batched strict improve-or-drop.
+
+        For each position ``i`` in order: pass iff ``payloads[i]`` is
+        strictly below the current value of row ``idx[i]``; a pass writes
+        the payload (and parent) back before the next position is
+        evaluated.  Returns the pass mask.
+
+        The all-distinct case (no vertex appears twice in the batch) is
+        fully vectorized; positions belonging to repeated vertices fall
+        back to an exact scalar walk so within-batch races resolve exactly
+        as the object path would.
+        """
+        n = idx.size
+        values = self.values
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if n == 1:
+            i = idx[0]
+            ok = bool(payloads[0] < values[i])
+            if ok:
+                values[i] = payloads[0]
+                if parents is not None and self.parents is not None:
+                    self.parents[i] = parents[0]
+            return np.array([ok])
+        # Strict test against the pre-batch state.  Values only decrease,
+        # so a position failing here fails sequentially too — this mask is
+        # exact everywhere except where a vertex repeats among the
+        # survivors (an earlier in-batch improvement may kill a later
+        # arrival that beat the pre-batch value).
+        mask = payloads < values[idx]
+        if not mask.any():
+            return mask
+        viable = np.flatnonzero(mask)
+        vidx = idx[viable]
+        _, inverse, counts = np.unique(vidx, return_inverse=True, return_counts=True)
+        dup = counts[inverse] > 1
+        if not dup.any():
+            values[vidx] = payloads[viable]
+            if parents is not None and self.parents is not None:
+                self.parents[vidx] = parents[viable]
+            return mask
+        uni_pos = viable[~dup]
+        values[idx[uni_pos]] = payloads[uni_pos]
+        if parents is not None and self.parents is not None:
+            self.parents[idx[uni_pos]] = parents[uni_pos]
+        # Exact sequential resolution for the surviving repeats, walked in
+        # plain Python (python scalars beat numpy scalar indexing ~10x);
+        # Python int/float comparisons are exact, so semantics are
+        # unchanged.  Repeated and unique survivor vertices are disjoint
+        # sets, so the vectorized update above cannot race with this walk.
+        dpos = viable[dup]
+        dvert = idx[dpos].tolist()
+        dpay = payloads[dpos].tolist()
+        dval = values[idx[dpos]].tolist()
+        dpar = parents[dpos].tolist() if parents is not None else None
+        cur: dict = {}
+        cur_par: dict = {}
+        out = []
+        for k, j in enumerate(dvert):
+            c = cur.get(j)
+            if c is None:
+                c = dval[k]
+            p = dpay[k]
+            if p < c:
+                out.append(True)
+                cur[j] = p
+                if dpar is not None:
+                    cur_par[j] = dpar[k]
+            else:
+                out.append(False)
+                if j not in cur:
+                    cur[j] = c
+        mask[dpos] = out
+        if cur:
+            keys = np.fromiter(cur.keys(), dtype=np.int64, count=len(cur))
+            values[keys] = np.fromiter(cur.values(), dtype=values.dtype, count=len(cur))
+        if cur_par and self.parents is not None:
+            keys = np.fromiter(cur_par.keys(), dtype=np.int64, count=len(cur_par))
+            self.parents[keys] = np.fromiter(
+                cur_par.values(), dtype=self.parents.dtype, count=len(cur_par)
+            )
+        return mask
+
+
+class GhostArrayTable:
+    """Array-backed ghost filter (the batch twin of
+    :class:`~repro.graph.ghosts.GhostTable`).
+
+    Ghost state is the same monotonic value array; lookup is a binary
+    search over the sorted ghosted-vertex array.  Ghost parents are never
+    read by any ``finalize``, so only values are stored.
+    """
+
+    __slots__ = ("vertices", "state", "filter_hits", "filter_passes")
+
+    def __init__(self, vertices: np.ndarray, state: BatchStateArrays) -> None:
+        order = np.argsort(vertices)
+        self.vertices = np.ascontiguousarray(vertices[order], dtype=VID_DTYPE)
+        self.state = BatchStateArrays(state.values[order], None)
+        #: visitors killed by a ghost pre_visit (saved messages).
+        self.filter_hits = 0
+        #: visitors that passed a ghost pre_visit (forwarded to the master).
+        self.filter_passes = 0
+
+    def __len__(self) -> int:
+        return int(self.vertices.size)
+
+    def filter(
+        self, targets: np.ndarray, payloads: np.ndarray
+    ) -> tuple[np.ndarray, int, int]:
+        """Ghost pre-visit over a push batch, in order.
+
+        Returns ``(keep_mask, previsits, filtered)``: non-ghosted targets
+        are always kept; ghosted targets are kept iff their sequentially-
+        equivalent ghost pre_visit passes (which also updates ghost state).
+        """
+        pos = np.searchsorted(self.vertices, targets)
+        pos_c = np.minimum(pos, self.vertices.size - 1)
+        ghosted = self.vertices[pos_c] == targets
+        n_ghosted = int(np.count_nonzero(ghosted))
+        if n_ghosted == 0:
+            return np.ones(targets.size, dtype=bool), 0, 0
+        gmask = self.state.previsit(pos_c[ghosted], payloads[ghosted])
+        keep = np.ones(targets.size, dtype=bool)
+        keep[np.flatnonzero(ghosted)[~gmask]] = False
+        passed = int(np.count_nonzero(gmask))
+        self.filter_hits += n_ghosted - passed
+        self.filter_passes += passed
+        return keep, n_ghosted, n_ghosted - passed
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``
+    without the Python loop (the classic repeat/cumsum expansion)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_ends = np.cumsum(lengths)
+    out = np.repeat(np.asarray(starts, dtype=np.int64), lengths)
+    out += np.arange(total, dtype=np.int64) - np.repeat(seg_ends - lengths, lengths)
+    return out

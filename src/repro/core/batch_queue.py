@@ -1,0 +1,282 @@
+"""Vectorized per-rank visitor queue — the batch twin of
+:class:`~repro.core.visitor_queue.VisitorQueueRank`.
+
+Executes exactly Algorithm 1, but frontier-at-a-time: arrivals are
+:class:`~repro.core.batch.VisitorBatch` objects whose pre-visit is one
+masked compare-and-update, ``visit`` expansion gathers all executing rows'
+adjacency in one indexed read and pushes one batch envelope per
+destination run, and page metering for NVRAM machines goes through
+:meth:`PageCache.access_pages` in bulk.
+
+Equivalence with the object path (the determinism guarantee of
+INTERNALS §6/§7) rests on three ordering facts:
+
+* **Pre-visit** uses :meth:`BatchStateArrays.previsit`, which resolves
+  within-batch races on the same vertex sequentially, and local heap keys
+  are the identical ``(priority, tie, seq)`` triples, so queue contents
+  and pop order match visitor-for-visitor.
+* **Send order**: adjacency rows are expanded in pop order and row targets
+  are destination-monotone (owners are contiguous vertex ranges), so
+  splitting the concatenated push stream at destination changes yields
+  per-hop envelope streams identical to per-visitor ``push`` calls; the
+  mailbox then splits batches at aggregation boundaries so every packet
+  carries the same visitors as the object path's.
+* **Page order**: per executing visitor, state pages then row pages are
+  metered in pop order — the same page-id sequence ``state_of`` /
+  ``out_edges`` would touch — so cache hits, misses and LRU state match.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.mailbox import Mailbox
+from repro.core.batch import GhostArrayTable, VisitorBatch, concat_ranges
+from repro.core.visitor import ROLE_MASTER
+from repro.memory.page_cache import NAMESPACE_SHIFT
+from repro.runtime.trace import RankCounters
+from repro.types import VID_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.visitor import AsyncAlgorithm
+    from repro.graph.distributed import DistributedGraph
+    from repro.memory.backing import PagedCSR
+
+
+class BatchVisitorQueueRank:
+    """One rank's slice of the visitor queue, on the vectorized fast path."""
+
+    _STATE_NAMESPACE = 2  # page-cache namespace for vertex state
+
+    def __init__(
+        self,
+        rank: int,
+        graph: "DistributedGraph",
+        algorithm: "AsyncAlgorithm",
+        mailbox: Mailbox,
+        *,
+        ghost_table: GhostArrayTable | None = None,
+        paged_csr: "PagedCSR | None" = None,
+        locality_ordering: bool = True,
+        state_pager=None,
+    ) -> None:
+        self.rank = rank
+        self.graph = graph
+        self.algorithm = algorithm
+        self.mailbox = mailbox
+        self.ghost_table = ghost_table
+        self.paged_csr = paged_csr
+        self.locality_ordering = locality_ordering
+        self.state_pager = state_pager
+        self.counters = RankCounters()
+
+        part = graph.partitions[rank]
+        self.state_lo = part.state_lo
+        self._csr = part.csr
+        self._min_owners = graph.min_owners
+        self._max_owners = graph.max_owners
+        vertices = np.arange(part.state_lo, part.state_hi + 1, dtype=VID_DTYPE)
+        #: Array-backed state block (the batch twin of ``.states`` lists).
+        self.states = algorithm.make_state_arrays(
+            vertices, graph.global_out_degrees[vertices], ROLE_MASTER
+        )
+        self._heap: list[tuple] = []
+        self._seq = 0
+
+    @property
+    def num_local_states(self) -> int:
+        return len(self.states)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1, batched
+    # ------------------------------------------------------------------ #
+    def push_batch(self, batch: VisitorBatch) -> None:
+        """Algorithm 1, PUSH over a batch: ghost filter, then one batch
+        envelope per destination run toward the masters."""
+        n = len(batch)
+        if n == 0:
+            return
+        self.counters.pushes += n
+        targets, payloads, parents = batch.vertices, batch.payloads, batch.parents
+        if self.ghost_table is not None:
+            keep, previsits, filtered = self.ghost_table.filter(targets, payloads)
+            self.counters.previsits += previsits
+            self.counters.ghost_filtered += filtered
+            if filtered:
+                targets = targets[keep]
+                payloads = payloads[keep]
+                if parents is not None:
+                    parents = parents[keep]
+        self._send_runs(targets, payloads, parents)
+
+    def check_mailbox(self, batches: list[VisitorBatch]) -> None:
+        """Algorithm 1, CHECK_MAILBOX: batched pre-visit of the arrivals,
+        local enqueue of the winners, replica-chain forward."""
+        batch = batches[0] if len(batches) == 1 else VisitorBatch.concat(batches)
+        n = len(batch)
+        if n == 0:
+            return
+        self.counters.previsits += n
+        if self.state_pager is not None:
+            self._meter_state_pages(batch.vertices)
+        mask = self.states.previsit(
+            batch.vertices - self.state_lo, batch.payloads, batch.parents
+        )
+        if not mask.any():
+            return
+        passed = batch.take(mask) if not mask.all() else batch
+        self._enqueue_local(passed)
+        fwd = self.rank < self._max_owners[passed.vertices]
+        if fwd.any():
+            self.mailbox.send_batch(
+                self.rank + 1,
+                passed.take(fwd) if not fwd.all() else passed,
+                self.algorithm.visitor_bytes,
+            )
+
+    def _enqueue_local(self, passed: VisitorBatch) -> None:
+        # Identical heap keys to the object path: (priority, tie, seq),
+        # with the payload standing in for priority and vertex/parent
+        # riding along in place of the visitor object.
+        heap = self._heap
+        seq = self._seq
+        loc = self.locality_ordering
+        vs = passed.vertices.tolist()
+        ps = passed.payloads.tolist()
+        prs = passed.parents.tolist() if passed.parents is not None else None
+        if prs is None:
+            for v, p in zip(vs, ps):
+                seq += 1
+                heapq.heappush(heap, (p, v if loc else seq, seq, v, 0))
+        else:
+            for v, p, pr in zip(vs, ps, prs):
+                seq += 1
+                heapq.heappush(heap, (p, v if loc else seq, seq, v, pr))
+        self._seq = seq
+
+    def process(self, budget: int) -> int:
+        """Pop up to ``budget`` visitors and run their (vectorized) visits."""
+        heap = self._heap
+        if not heap:
+            return 0
+        pop = heapq.heappop
+        vs: list = []
+        ps: list = []
+        executed = 0
+        while heap and executed < budget:
+            entry = pop(heap)
+            ps.append(entry[0])
+            vs.append(entry[3])
+            executed += 1
+        self.counters.visits += executed
+        vertices = np.array(vs, dtype=VID_DTYPE)
+        payloads = np.array(ps, dtype=self.algorithm.payload_dtype)
+        # The Alg. 2 line 13 gate: expand only if the visitor still carries
+        # the vertex's best value (vectorized over the popped run).
+        live = payloads == self.states.values[vertices - self.state_lo]
+        if self.paged_csr is not None or self.state_pager is not None:
+            self._meter_process_pages(vertices, live)
+        if not live.any():
+            return executed
+        live_v = vertices[live]
+        csr = self._csr
+        r = live_v - csr.vertex_base
+        row_lo = csr.row_ptr[r]
+        lens = csr.row_ptr[r + 1] - row_lo
+        total = int(lens.sum())
+        self.counters.edges_scanned += total
+        if total == 0:
+            return executed
+        targets = csr.cols[concat_ranges(row_lo, lens)]
+        out_payloads, out_parents = self.algorithm.expand_batch(
+            live_v, payloads[live], lens, targets
+        )
+        self.counters.pushes += total
+        if self.ghost_table is not None:
+            keep, previsits, filtered = self.ghost_table.filter(targets, out_payloads)
+            self.counters.previsits += previsits
+            self.counters.ghost_filtered += filtered
+            if filtered:
+                targets = targets[keep]
+                out_payloads = out_payloads[keep]
+                if out_parents is not None:
+                    out_parents = out_parents[keep]
+        self._send_runs(targets, out_payloads, out_parents)
+        return executed
+
+    # ------------------------------------------------------------------ #
+    def _send_runs(
+        self,
+        targets: np.ndarray,
+        payloads: np.ndarray,
+        parents: np.ndarray | None,
+    ) -> None:
+        """Hand the whole expansion stream to the mailbox, which groups it
+        by next hop (stably, so per-hop message order — the only order
+        packet composition and arrival order depend on — is exactly the
+        object path's per-visitor push order)."""
+        if targets.size == 0:
+            return
+        self.mailbox.send_stream(
+            self._min_owners[targets],
+            VisitorBatch(targets, payloads, parents),
+            self.algorithm.visitor_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Page metering (NVRAM machines)
+    # ------------------------------------------------------------------ #
+    def _meter_state_pages(self, vertices: np.ndarray) -> None:
+        """Fully-external mode: charge the state-page touches that
+        ``state_of`` would make, one per arrival, in arrival order."""
+        cache, state_bytes = self.state_pager
+        byte_lo = (vertices - self.state_lo) * state_bytes
+        first = byte_lo // cache.page_size
+        lengths = (byte_lo + state_bytes - 1) // cache.page_size - first + 1
+        base = self._STATE_NAMESPACE << NAMESPACE_SHIFT
+        cache.access_pages(concat_ranges(first + base, lengths))
+
+    def _meter_process_pages(self, vertices: np.ndarray, live: np.ndarray) -> None:
+        """Meter the pages of one popped run, in the object path's order:
+        per visitor, its state pages (gate read), then — only when the
+        gate passed — its adjacency row's pages."""
+        nv = vertices.size
+        starts = np.zeros((nv, 3), dtype=np.int64)
+        lengths = np.zeros((nv, 3), dtype=np.int64)
+        cache = None
+        if self.state_pager is not None:
+            cache, state_bytes = self.state_pager
+            byte_lo = (vertices - self.state_lo) * state_bytes
+            first = byte_lo // cache.page_size
+            starts[:, 0] = first + (self._STATE_NAMESPACE << NAMESPACE_SHIFT)
+            lengths[:, 0] = (
+                (byte_lo + state_bytes - 1) // cache.page_size - first + 1
+            )
+        if self.paged_csr is not None and live.any():
+            row_starts, row_lengths = self.paged_csr.row_page_segments(vertices[live])
+            starts[live, 1:] = row_starts
+            lengths[live, 1:] = row_lengths
+            cache = self.paged_csr.cache
+        if cache is not None:
+            cache.access_pages(concat_ranges(starts.ravel(), lengths.ravel()))
+
+    # ------------------------------------------------------------------ #
+    def locally_quiet(self) -> bool:
+        """True when this rank's local visitor queue is empty."""
+        return not self._heap
+
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def sync_mailbox_counters(self) -> None:
+        """Mirror mailbox counters into this rank's trace counters."""
+        c = self.counters
+        mb = self.mailbox
+        c.visitors_sent = mb.visitors_sent
+        c.visitors_received = mb.visitors_received
+        c.packets_sent = mb.packets_sent
+        c.bytes_sent = mb.bytes_sent
+        c.envelopes_forwarded = mb.envelopes_forwarded

@@ -9,7 +9,7 @@ output with the full simulation trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.comm.routing import Topology
 from repro.core.visitor import AsyncAlgorithm
@@ -42,6 +42,7 @@ def run_traversal(
     topology: Topology | str = "direct",
     config: EngineConfig | None = None,
     page_caches: list | None = None,
+    batch: bool | None = None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -63,7 +64,13 @@ def run_traversal(
         objects (NVRAM machines only).  Passing the same caches across
         traversals keeps them *warm*, modelling Graph500's repeated BFS
         runs over a persistent user-space page cache.
+    batch:
+        Override :attr:`EngineConfig.batch` — run the vectorized batch
+        fast path (requires ``algorithm.supports_batch``).  Results and
+        stats are bit-identical to the object path either way.
     """
+    if batch is not None:
+        config = replace(config or EngineConfig(), batch=batch)
     engine = SimulationEngine(
         graph,
         algorithm,
@@ -73,5 +80,8 @@ def run_traversal(
         page_caches=page_caches,
     )
     states_per_rank, stats = engine.run()
-    data = algorithm.finalize(graph, states_per_rank)
+    if engine.batch_mode:
+        data = algorithm.finalize_batch(graph, states_per_rank)
+    else:
+        data = algorithm.finalize(graph, states_per_rank)
     return TraversalResult(data=data, stats=stats)

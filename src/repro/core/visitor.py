@@ -36,7 +36,10 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.batch import BatchStateArrays, VisitorBatch
     from repro.core.visitor_queue import VisitorQueueRank
     from repro.graph.distributed import DistributedGraph
 
@@ -84,6 +87,14 @@ class AsyncAlgorithm(ABC):
     uses_ghosts: bool = False
     #: Serialized visitor size for the byte-cost model.
     visitor_bytes: int = 16
+    #: Whether the algorithm implements the vectorized batch fast path
+    #: (``EngineConfig.batch``).  Requires flat numeric state, a strict
+    #: improve-or-drop ``pre_visit``, ``priority == payload``, and the
+    #: four ``*_batch`` hooks below.  Counting algorithms (k-core,
+    #: triangles) and arbitrary user visitors stay on the object path.
+    supports_batch: bool = False
+    #: Dtype of the batch payload / priority array (the compare key).
+    payload_dtype = np.float64
 
     def bind(self, graph: "DistributedGraph") -> None:
         """Called once by the engine before state construction.
@@ -116,6 +127,50 @@ class AsyncAlgorithm(ABC):
         accumulate wherever the data lives (triangle counting) sum across
         all copies instead.
         """
+
+    # ------------------------------------------------------------------ #
+    # Batch fast path (``supports_batch = True`` implementations only).
+    # Semantics contract: each hook must be the exact vectorization of the
+    # object-path code — ``make_state_arrays`` of N ``make_state`` calls,
+    # ``expand_batch`` of the visitor's ``visit`` expansion loop — so that
+    # the two paths produce bit-identical states and traversal stats.
+    # ------------------------------------------------------------------ #
+    def make_state_arrays(
+        self, vertices: np.ndarray, degrees: np.ndarray, role: str
+    ) -> "BatchStateArrays":
+        """Array-backed state block for ``vertices`` (batch path).
+
+        ``role`` is a single role for the whole block (:data:`ROLE_GHOST`
+        for ghost tables, :data:`ROLE_MASTER` otherwise) — batch-capable
+        algorithms must be role-agnostic, which all the monotonic
+        traversals are.
+        """
+        raise NotImplementedError(f"{self.name} does not support the batch path")
+
+    def initial_batch(self, graph: "DistributedGraph", rank: int) -> "VisitorBatch | None":
+        """Batch twin of :meth:`initial_visitors` (same visitors, same order)."""
+        raise NotImplementedError(f"{self.name} does not support the batch path")
+
+    def expand_batch(
+        self,
+        vertices: np.ndarray,
+        payloads: np.ndarray,
+        lens: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Vectorized ``visit`` expansion for a run of executing visitors.
+
+        ``targets`` is the concatenation of the adjacency rows of
+        ``vertices`` (row ``i`` contributing ``lens[i]`` entries); returns
+        ``(payloads, parents)`` arrays aligned with ``targets`` — exactly
+        the visitors the object path would ``push``, in push order.
+        """
+        raise NotImplementedError(f"{self.name} does not support the batch path")
+
+    def finalize_batch(self, graph: "DistributedGraph", arrays_per_rank: list):
+        """Batch twin of :meth:`finalize` over per-rank
+        :class:`~repro.core.batch.BatchStateArrays`."""
+        raise NotImplementedError(f"{self.name} does not support the batch path")
 
     # ------------------------------------------------------------------ #
     def master_states(self, graph: "DistributedGraph", states_per_rank: list[list]):

@@ -126,11 +126,11 @@ class VisitorQueueRank:
         part = self.graph.partitions[self.rank]
         if not part.holds_vertex(v):
             return False
-        if self.paged_csr is not None:
-            found = self.paged_csr.has_edge(v, w)
-            self.counters.edges_scanned += max(1, part.csr.degree(v).bit_length())
-            return found
+        # Charge the O(log d) binary-search cost once, up front: the page
+        # metering of the paged branch is separate from the scan charge.
         self.counters.edges_scanned += max(1, part.csr.degree(v).bit_length())
+        if self.paged_csr is not None:
+            return self.paged_csr.has_edge(v, w)
         return part.csr.has_edge(v, w)
 
     @property

@@ -10,8 +10,11 @@ CSR rows, which share pages.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graph.csr import CSR
-from repro.memory.page_cache import PageCache
+from repro.memory.page_cache import NAMESPACE_SHIFT, PageCache
+from repro.core.batch import concat_ranges
 
 _NS_ROW_PTR = 0
 _NS_COLS = 1
@@ -45,6 +48,40 @@ class PagedCSR:
         """
         self.neighbors(v)
         return self.csr.has_edge(v, w)
+
+    def row_page_segments(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Page-id segments of the given adjacency rows, in row order.
+
+        Returns ``(starts, lengths)`` of shape ``(n, 2)``: per row, first
+        the row-pointer page range, then the column page range (length 0
+        for empty rows) — the same pages, in the same order, that
+        :meth:`neighbors` touches one row at a time.  Page ids carry their
+        namespace tag so they can be fed straight to
+        :meth:`PageCache.access_pages`.
+        """
+        ps = self.cache.page_size
+        r = vertices - self.csr.vertex_base
+        lo = self.csr.row_ptr[r]
+        hi = self.csr.row_ptr[r + 1]
+        starts = np.empty((r.size, 2), dtype=np.int64)
+        lengths = np.empty((r.size, 2), dtype=np.int64)
+        # row-pointer pair: bytes [r*8, (r+2)*8)
+        first = (r * _ITEM_BYTES) // ps
+        last = ((r + 2) * _ITEM_BYTES - 1) // ps
+        starts[:, 0] = first + (_NS_ROW_PTR << NAMESPACE_SHIFT)
+        lengths[:, 0] = last - first + 1
+        # column range: bytes [lo*8, hi*8), empty rows touch nothing
+        first = (lo * _ITEM_BYTES) // ps
+        last = (hi * _ITEM_BYTES - 1) // ps
+        starts[:, 1] = first + (_NS_COLS << NAMESPACE_SHIFT)
+        lengths[:, 1] = np.where(hi > lo, last - first + 1, 0)
+        return starts, lengths
+
+    def touch_rows(self, vertices: np.ndarray) -> None:
+        """Meter a batch of adjacency rows through the page cache in one
+        :meth:`PageCache.access_pages` call (batch-path fast metering)."""
+        starts, lengths = self.row_page_segments(vertices)
+        self.cache.access_pages(concat_ranges(starts.ravel(), lengths.ravel()))
 
     def data_bytes(self) -> int:
         """Bytes of graph data behind this view (for footprint reports)."""

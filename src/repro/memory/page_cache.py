@@ -17,11 +17,17 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.errors import MemorySystemError
 from repro.memory.device import MemoryDevice
 
 #: DRAM cost of touching one cached page, microseconds.
 HIT_COST_US = 0.05
+
+#: Bit position separating the namespace tag from the page number in a
+#: page id (namespaces are disjoint 16 TiB windows).
+NAMESPACE_SHIFT = 44
 
 
 class PageCache:
@@ -76,9 +82,52 @@ class PageCache:
             return
         first = byte_lo // self.page_size
         last = (byte_hi - 1) // self.page_size
-        base = namespace << 44  # namespaces are disjoint 16 TiB windows
+        base = namespace << NAMESPACE_SHIFT
         for page in range(first, last + 1):
             self.access(base | page)
+
+    def access_pages(self, page_ids: np.ndarray) -> None:
+        """Touch a batch of (namespaced) page ids in order.
+
+        Exactly equivalent to calling :meth:`access` once per id, in
+        sequence — same hit/miss/eviction counts, same final LRU order —
+        but the common no-eviction case is handled in bulk: duplicates are
+        folded with :func:`np.unique`, hit/miss totals are added in one
+        step, and recency is replayed only once per distinct page (final
+        recency among touched pages is their last-occurrence order, which
+        is what sequential touching produces).  Under eviction pressure
+        (the batch could displace one of its own pages mid-stream) the
+        exact per-page walk runs instead.
+        """
+        n = int(page_ids.size)
+        if n == 0:
+            return
+        lru = self._lru
+        uniq = np.unique(page_ids)
+        new = [p for p in uniq.tolist() if p not in lru]
+        if len(lru) + len(new) <= self.capacity_pages:
+            misses = len(new)
+            hits = n - misses
+            self.hits += hits
+            self.epoch_hits += hits
+            self.misses += misses
+            self.epoch_misses += misses
+            if uniq.size == n:  # already in last-occurrence order
+                last_order = page_ids.tolist()
+            else:
+                rev = page_ids[::-1]
+                _, first_in_rev = np.unique(rev, return_index=True)
+                last_order = rev[np.sort(first_in_rev)][::-1].tolist()
+            move = lru.move_to_end
+            for p in last_order:
+                if p in lru:
+                    move(p)
+                else:
+                    lru[p] = None
+            return
+        access = self.access
+        for p in page_ids.tolist():
+            access(p)
 
     # ------------------------------------------------------------------ #
     def drain_epoch_us(self, *, concurrency: int | None = None) -> float:

@@ -104,6 +104,11 @@ class EngineConfig:
     #: *semi-external* design — vertex state in DRAM, edges on flash —
     #: whose superiority §VIII-A argues and the ablation measures.
     page_vertex_state: bool = False
+    #: Run the vectorized batch fast path (SoA visitor batches, array
+    #: pre-visit, batched page metering).  Requires
+    #: ``algorithm.supports_batch``; produces bit-identical states and
+    #: traversal stats to the object path, just faster wall-clock.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.visitor_budget < 1:

@@ -20,11 +20,15 @@ locality ordering) show up in simulated TEPS.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.comm.mailbox import Mailbox
 from repro.comm.message import KIND_CONTROL, KIND_VISITOR
 from repro.comm.network import Network
 from repro.comm.routing import Topology, make_topology
 from repro.comm.termination import LocalSnapshot, QuiescenceDetector
+from repro.core.batch import GhostArrayTable
+from repro.core.batch_queue import BatchVisitorQueueRank
 from repro.core.visitor import ROLE_GHOST, AsyncAlgorithm
 from repro.core.visitor_queue import VisitorQueueRank
 from repro.errors import TerminationError, TraversalError
@@ -88,21 +92,40 @@ class SimulationEngine:
                 paged[r] = PagedCSR(graph.partitions[r].csr, cache)
 
         algorithm.bind(graph)
-        self.ranks: list[VisitorQueueRank] = []
+        #: Whether the vectorized batch fast path is active this run.
+        self.batch_mode = bool(self.config.batch)
+        if self.batch_mode and not algorithm.supports_batch:
+            raise TraversalError(
+                f"algorithm {algorithm.name!r} does not implement the batch "
+                f"fast path; run with batch=False (the default object path)"
+            )
+        rank_cls = BatchVisitorQueueRank if self.batch_mode else VisitorQueueRank
+        self.ranks: list[VisitorQueueRank | BatchVisitorQueueRank] = []
         for r in range(p):
             ghost_table = None
-            if algorithm.uses_ghosts and graph.partitions[r].ghost_candidates.size:
-                ghost_table = GhostTable(
-                    graph.partitions[r].ghost_candidates,
-                    lambda v: algorithm.make_state(v, graph.degree(v), ROLE_GHOST),
-                )
+            candidates = graph.partitions[r].ghost_candidates
+            if algorithm.uses_ghosts and candidates.size:
+                if self.batch_mode:
+                    ghost_table = GhostArrayTable(
+                        candidates,
+                        algorithm.make_state_arrays(
+                            candidates,
+                            graph.global_out_degrees[candidates],
+                            ROLE_GHOST,
+                        ),
+                    )
+                else:
+                    ghost_table = GhostTable(
+                        candidates,
+                        lambda v: algorithm.make_state(v, graph.degree(v), ROLE_GHOST),
+                    )
             state_pager = None
             if self.config.page_vertex_state and self.caches[r] is not None:
                 # fully-external mode: vertex state shares the rank's page
                 # cache with the CSR (one DRAM budget), 16 bytes per state.
                 state_pager = (self.caches[r], 16)
             self.ranks.append(
-                VisitorQueueRank(
+                rank_cls(
                     r,
                     graph,
                     algorithm,
@@ -156,12 +179,20 @@ class SimulationEngine:
             if c is not None:
                 c.drain_epoch_us()  # discard any epoch residue defensively
 
-        for r in range(p):
-            for visitor in self.algorithm.initial_visitors(self.graph, r):
-                self.ranks[r].push(visitor)
+        if self.batch_mode:
+            for r in range(p):
+                seed = self.algorithm.initial_batch(self.graph, r)
+                if seed is not None:
+                    self.ranks[r].push_batch(seed)
+        else:
+            for r in range(p):
+                for visitor in self.algorithm.initial_visitors(self.graph, r):
+                    self.ranks[r].push(visitor)
 
-        # Previous cumulative counter snapshots for per-tick cost deltas.
-        prev = [[0, 0, 0, 0, 0] for _ in range(p)]  # previsits, visits, edges, packets, bytes
+        # Previous / current cumulative counter snapshots for the per-tick
+        # cost deltas, columns: previsits, visits, edges, packets, bytes.
+        prev = np.zeros((p, 5), dtype=np.int64)
+        cur = np.empty((p, 5), dtype=np.int64)
 
         ticks = 0
         time_us = 0.0
@@ -190,27 +221,32 @@ class SimulationEngine:
                 mb.flush()
 
             # ---- charge simulated time ---------------------------------
-            tick_cost = 0.0
+            # Vectorized counter-delta bookkeeping.  The expression below is
+            # elementwise and left-associated exactly like a scalar per-rank
+            # formula would be, so each rank's cost is the bit-identical
+            # IEEE double a scalar loop would compute.
             for r in range(p):
                 c = self.ranks[r].counters
                 mb = self.mailboxes[r]
-                d_pre = c.previsits - prev[r][0]
-                d_vis = c.visits - prev[r][1]
-                d_edges = c.edges_scanned - prev[r][2]
-                d_pkts = mb.packets_sent - prev[r][3]
-                d_bytes = mb.bytes_sent - prev[r][4]
-                prev[r] = [c.previsits, c.visits, c.edges_scanned, mb.packets_sent, mb.bytes_sent]
-                cost = (
-                    (d_pre + control_events[r]) * m.previsit_us
-                    + d_vis * m.visit_us
-                    + d_edges * m.edge_scan_us
-                    + d_pkts * m.packet_overhead_us
-                    + d_bytes * m.byte_us
-                )
+                cur[r, 0] = c.previsits
+                cur[r, 1] = c.visits
+                cur[r, 2] = c.edges_scanned
+                cur[r, 3] = mb.packets_sent
+                cur[r, 4] = mb.bytes_sent
+            delta = cur - prev
+            prev[:] = cur
+            costs = (
+                (delta[:, 0] + np.asarray(control_events)) * m.previsit_us
+                + delta[:, 1] * m.visit_us
+                + delta[:, 2] * m.edge_scan_us
+                + delta[:, 3] * m.packet_overhead_us
+                + delta[:, 4] * m.byte_us
+            )
+            for r in range(p):
                 cache = self.caches[r]
                 if cache is not None:
-                    cost += cache.drain_epoch_us(concurrency=cfg.io_concurrency)
-                tick_cost = max(tick_cost, cost)
+                    costs[r] += cache.drain_epoch_us(concurrency=cfg.io_concurrency)
+            tick_cost = float(costs.max())
             tick_time = max(tick_cost, m.min_tick_us)
             if had_traffic or not self.network.idle():
                 tick_time = max(tick_time, m.hop_latency_us)
@@ -277,11 +313,7 @@ class SimulationEngine:
         """
         if not all(rk.locally_quiet() for rk in self.ranks):
             raise TerminationError("detector fired with visitors still queued")
-        for mb in self.mailboxes:
-            if mb.has_buffered():
-                for buf in list(mb._buffers.values()) + [mb._local]:
-                    if any(e.kind == KIND_VISITOR for e in buf):
-                        raise TerminationError("detector fired with visitors buffered")
-        for pkt in self.network._sent_this_tick:
-            if any(e.kind == KIND_VISITOR for e in pkt.envelopes):
-                raise TerminationError("detector fired with visitors in flight")
+        if any(mb.buffered_visitor_count() for mb in self.mailboxes):
+            raise TerminationError("detector fired with visitors buffered")
+        if self.network.visitor_envelopes_in_flight():
+            raise TerminationError("detector fired with visitors in flight")

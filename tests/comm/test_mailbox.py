@@ -137,3 +137,117 @@ class TestProtocolErrors:
         bad = Packet(src=0, hop_dest=0, envelopes=[Envelope(1, KIND_VISITOR, "x", 8)])
         with pytest.raises(CommunicationError):
             boxes[1].receive([bad])
+
+
+class TestBatchSends:
+    """send_batch / send_stream must be indistinguishable from N
+    individual sends: same packets, bytes, counters and arrival order."""
+
+    @staticmethod
+    def _flatten(payloads):
+        """Delivered payloads -> [(vertex, payload)] in arrival order,
+        whether they arrived as scalars or as VisitorBatch envelopes."""
+        from repro.core.batch import VisitorBatch
+
+        out = []
+        for p in payloads:
+            if isinstance(p, VisitorBatch):
+                out.extend(zip(p.vertices.tolist(), p.payloads.tolist()))
+            else:
+                out.append(p)
+        return out
+
+    def _pump_flat(self, net, boxes, **kw):
+        delivered = _pump(net, boxes, **kw)
+        return {r: self._flatten(v) for r, v in delivered.items()}
+
+    def test_send_batch_matches_individual_sends(self):
+        import numpy as np
+
+        from repro.core.batch import VisitorBatch
+
+        n = 23
+        net_a, boxes_a = _fabric(2, agg=7)
+        net_b, boxes_b = _fabric(2, agg=7)
+        for i in range(n):
+            boxes_a[0].send(1, KIND_VISITOR, (i, i * 10), 8)
+        batch = VisitorBatch(np.arange(n), np.arange(n) * 10)
+        boxes_b[0].send_batch(1, batch, 8)
+        # threshold flushes must fire at the same logical counts
+        assert net_a.total_packets == net_b.total_packets == n // 7
+        for boxes in (boxes_a, boxes_b):
+            boxes[0].flush()
+        got_a = self._pump_flat(net_a, boxes_a)
+        got_b = self._pump_flat(net_b, boxes_b)
+        assert got_a[1] == got_b[1]
+        for attr in ("visitors_sent", "packets_sent", "bytes_sent"):
+            assert getattr(boxes_a[0], attr) == getattr(boxes_b[0], attr)
+        assert boxes_a[1].visitors_received == boxes_b[1].visitors_received == n
+
+    def test_send_stream_matches_individual_sends_2d(self):
+        """Mixed-destination stream over a routed topology: every
+        per-receiver arrival sequence and every counter must match."""
+        import numpy as np
+
+        from repro.core.batch import VisitorBatch
+
+        rng = np.random.default_rng(7)
+        dests = rng.integers(0, 16, size=200)
+        vertices = np.arange(200)
+        payloads = rng.integers(0, 1000, size=200)
+        net_a, boxes_a = _fabric(16, Grid2DTopology, shape=(4, 4), agg=5)
+        net_b, boxes_b = _fabric(16, Grid2DTopology, shape=(4, 4), agg=5)
+        for d, v, p in zip(dests.tolist(), vertices.tolist(), payloads.tolist()):
+            boxes_a[3].send(d, KIND_VISITOR, (v, p), 8)
+        boxes_b[3].send_stream(dests, VisitorBatch(vertices, payloads), 8)
+        for boxes in (boxes_a, boxes_b):
+            for b in boxes:
+                b.flush()
+        got_a = self._pump_flat(net_a, boxes_a, max_ticks=20)
+        got_b = self._pump_flat(net_b, boxes_b, max_ticks=20)
+        assert got_a == got_b
+        assert net_a.total_packets == net_b.total_packets
+        for ba, bb in zip(boxes_a, boxes_b):
+            for attr in ("visitors_sent", "visitors_received", "packets_sent",
+                         "bytes_sent", "envelopes_forwarded"):
+                assert getattr(ba, attr) == getattr(bb, attr), attr
+
+    def test_send_stream_loopback(self):
+        import numpy as np
+
+        from repro.core.batch import VisitorBatch
+
+        net, boxes = _fabric(4)
+        dests = np.array([0, 0, 2])
+        boxes[0].send_stream(dests, VisitorBatch(np.arange(3), np.arange(3)), 8)
+        boxes[0].flush()
+        got = self._pump_flat(net, boxes)
+        assert got[0] == [(0, 0), (1, 1)]
+        assert got[2] == [(2, 2)]
+
+    def test_buffered_visitor_count(self):
+        import numpy as np
+
+        from repro.core.batch import VisitorBatch
+
+        net, boxes = _fabric(2, agg=100)
+        boxes[0].send(1, KIND_VISITOR, "v", 8)
+        boxes[0].send(1, KIND_CONTROL, "c", 8)  # not a visitor
+        boxes[0].send_batch(1, VisitorBatch(np.arange(5), np.arange(5)), 8)
+        boxes[0].send(0, KIND_VISITOR, "self", 8)  # loopback queue
+        assert boxes[0].buffered_visitor_count() == 7
+        boxes[0].flush()
+        assert boxes[0].buffered_visitor_count() == 1  # loopback remains
+        assert net.visitor_envelopes_in_flight() == 6
+
+    def test_visitor_envelopes_in_flight_counts_logical_messages(self):
+        import numpy as np
+
+        from repro.core.batch import VisitorBatch
+
+        net, boxes = _fabric(2)
+        boxes[0].send_batch(1, VisitorBatch(np.arange(9), np.arange(9)), 8)
+        boxes[0].flush()
+        assert net.visitor_envelopes_in_flight() == 9
+        net.advance()
+        assert net.visitor_envelopes_in_flight() == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the SoA batch primitives (VisitorBatch,
+BatchStateArrays.previsit, GhostArrayTable, concat_ranges)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import (
+    BatchStateArrays,
+    GhostArrayTable,
+    VisitorBatch,
+    concat_ranges,
+)
+
+
+def _sequential_previsit(values, parents, idx, payloads, in_parents):
+    """The object path's semantics, spelled out one visitor at a time."""
+    mask = []
+    for k, i in enumerate(idx):
+        ok = payloads[k] < values[i]
+        mask.append(ok)
+        if ok:
+            values[i] = payloads[k]
+            if parents is not None:
+                parents[i] = in_parents[k]
+    return np.asarray(mask, dtype=bool)
+
+
+class TestPrevisit:
+    def _check(self, n_states, idx, payloads, with_parents=True):
+        idx = np.asarray(idx, dtype=np.int64)
+        payloads = np.asarray(payloads, dtype=np.float64)
+        in_parents = np.arange(idx.size, dtype=np.int64) + 100
+        values_a = np.full(n_states, np.inf)
+        values_b = values_a.copy()
+        parents_a = np.full(n_states, -1, dtype=np.int64) if with_parents else None
+        parents_b = parents_a.copy() if with_parents else None
+        ref = _sequential_previsit(values_a, parents_a, idx.tolist(),
+                                   payloads.tolist(), in_parents.tolist())
+        state = BatchStateArrays(values_b, parents_b)
+        got = state.previsit(idx, payloads, in_parents if with_parents else None)
+        assert np.array_equal(ref, got)
+        assert np.array_equal(values_a, values_b)
+        if with_parents:
+            assert np.array_equal(parents_a, parents_b)
+
+    def test_all_distinct(self):
+        self._check(8, [0, 3, 5], [1.0, 2.0, 3.0])
+
+    def test_single_visitor(self):
+        self._check(4, [2], [7.0])
+
+    def test_duplicate_first_wins_on_tie(self):
+        # Two equal payloads for the same vertex: the first writes, the
+        # second is dropped — exactly what back-to-back pre_visit calls do.
+        self._check(4, [1, 1], [5.0, 5.0])
+
+    def test_duplicate_improving_chain(self):
+        self._check(4, [1, 1, 1], [5.0, 3.0, 4.0])
+
+    def test_rejects_against_prior_state(self):
+        values = np.array([2.0, np.inf])
+        state = BatchStateArrays(values)
+        got = state.previsit(np.array([0, 1]), np.array([3.0, 1.0]))
+        assert got.tolist() == [False, True]
+        assert values.tolist() == [2.0, 1.0]
+
+    def test_empty_batch(self):
+        state = BatchStateArrays(np.full(3, np.inf))
+        assert state.previsit(np.empty(0, dtype=np.int64),
+                              np.empty(0)).size == 0
+
+    @given(st.integers(1, 6),
+           st.lists(st.tuples(st.integers(0, 5), st.integers(0, 9)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_random_batches_match_sequential(self, n_states, pairs):
+        idx = [i % n_states for i, _ in pairs]
+        payloads = [float(p) for _, p in pairs]
+        self._check(n_states, idx, payloads)
+
+
+class TestVisitorBatch:
+    def test_split_and_concat_roundtrip(self):
+        b = VisitorBatch(np.arange(7), np.arange(7) * 2.0, np.arange(7) + 50)
+        head, tail = b.split(3)
+        assert len(head) == 3 and len(tail) == 4
+        back = VisitorBatch.concat([head, tail])
+        assert np.array_equal(back.vertices, b.vertices)
+        assert np.array_equal(back.payloads, b.payloads)
+        assert np.array_equal(back.parents, b.parents)
+
+    def test_take_preserves_order(self):
+        b = VisitorBatch(np.arange(5), np.arange(5, dtype=np.float64))
+        sub = b.take(np.array([True, False, True, False, True]))
+        assert sub.vertices.tolist() == [0, 2, 4]
+        assert sub.parents is None
+
+
+class TestGhostFilter:
+    def test_non_ghosted_always_kept(self):
+        table = GhostArrayTable(
+            np.array([10, 20]), BatchStateArrays(np.full(2, np.inf))
+        )
+        keep, previsits, filtered = table.filter(
+            np.array([1, 2, 3]), np.array([1.0, 1.0, 1.0])
+        )
+        assert keep.all() and previsits == 0 and filtered == 0
+
+    def test_ghosted_filtered_on_second_arrival(self):
+        table = GhostArrayTable(
+            np.array([10]), BatchStateArrays(np.full(1, np.inf))
+        )
+        keep, previsits, filtered = table.filter(
+            np.array([10, 10, 5]), np.array([3.0, 3.0, 1.0])
+        )
+        # first arrival at ghost 10 passes and records 3.0; the duplicate
+        # is killed; vertex 5 is not ghosted here
+        assert keep.tolist() == [True, False, True]
+        assert previsits == 2 and filtered == 1
+        assert table.filter_hits == 1 and table.filter_passes == 1
+
+
+class TestConcatRanges:
+    def test_matches_naive(self):
+        starts = np.array([5, 0, 100])
+        lengths = np.array([3, 0, 2])
+        expect = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+        )
+        assert np.array_equal(concat_ranges(starts, lengths), expect)
+
+    def test_all_empty(self):
+        assert concat_ranges(np.array([1, 2]), np.array([0, 0])).size == 0

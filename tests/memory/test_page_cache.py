@@ -132,3 +132,59 @@ class TestValidation:
     def test_tiny_page(self):
         with pytest.raises(MemorySystemError):
             PageCache(capacity_pages=4, page_size=4, device=_cache().device)
+
+
+class TestAccessPages:
+    """access_pages(ids) must be indistinguishable from touching each id
+    with access() in sequence — counters, epoch counters and LRU order."""
+
+    @staticmethod
+    def _snapshot(c):
+        return (c.hits, c.misses, c.evictions, c.epoch_hits, c.epoch_misses,
+                list(c._lru))
+
+    def _both(self, capacity, ids):
+        import numpy as np
+
+        seq, bat = _cache(capacity=capacity), _cache(capacity=capacity)
+        for p in ids:
+            seq.access(p)
+        bat.access_pages(np.asarray(ids, dtype=np.int64))
+        return self._snapshot(seq), self._snapshot(bat)
+
+    def test_no_eviction_with_duplicates(self):
+        a, b = self._both(10, [3, 1, 3, 2, 1, 3])
+        assert a == b
+
+    def test_empty_batch(self):
+        import numpy as np
+
+        c = _cache()
+        c.access_pages(np.empty(0, dtype=np.int64))
+        assert self._snapshot(c) == (0, 0, 0, 0, 0, [])
+
+    def test_eviction_pressure_falls_back_exactly(self):
+        # 6 distinct pages through a 3-page cache: the batch displaces its
+        # own members mid-stream, so order-sensitive evictions must match.
+        a, b = self._both(3, [0, 1, 2, 3, 0, 4, 1, 5, 0])
+        assert a == b
+
+    def test_warm_cache_batch(self):
+        import numpy as np
+
+        seq, bat = _cache(capacity=8), _cache(capacity=8)
+        for c in (seq, bat):
+            for p in (5, 6, 7):
+                c.access(p)
+        ids = [7, 0, 5, 0, 1]
+        for p in ids:
+            seq.access(p)
+        bat.access_pages(np.asarray(ids, dtype=np.int64))
+        assert self._snapshot(seq) == self._snapshot(bat)
+
+    @given(st.integers(2, 8),
+           st.lists(st.integers(0, 11), min_size=1, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_random_streams_match_sequential(self, capacity, ids):
+        a, b = self._both(capacity, ids)
+        assert a == b

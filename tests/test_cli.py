@@ -129,3 +129,18 @@ class TestExperimentCsvExport:
         assert rc == 0
         assert out.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_bfs_smoke(self, capsys):
+        rc = main(["profile", "bfs", "--scale", "7", "-p", "4", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hottest" in out  # profile table present
+        assert "visits" in out   # traversal summary present
+
+    def test_profile_cc_batch(self, capsys):
+        rc = main(["profile", "cc", "--scale", "7", "-p", "4", "--batch",
+                   "--top", "5"])
+        assert rc == 0
+        assert "hottest" in capsys.readouterr().out
