@@ -2,7 +2,10 @@
 
 Runs the same BFS traversal through the object path and the batch path,
 checks the two produce identical results and traversal stats (the batch
-path's defining contract), and reports the host wall-clock speedup.
+path's defining contract), and reports the host wall-clock speedup.  Also
+reports — never gates — the reliable-delivery transport's no-fault
+overhead (host time, simulated time and protocol bytes vs the plain
+fabric).
 
 Usage::
 
@@ -76,7 +79,25 @@ def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
     data_equal = (np.array_equal(obj.data.levels, bat.data.levels)
                   and np.array_equal(obj.data.parents, bat.data.parents))
     speedup = timings["object"] / timings["batch"]
+
+    # Reliable-delivery no-fault tax, report-only (never gated): the same
+    # traversal through the exactly-once transport, fault-free.
+    best_rel = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rel = bfs(graph, source, machine=machine, reliable=True)
+        best_rel = min(best_rel, time.perf_counter() - t0)
+    reliable = {
+        "reliable_seconds": round(best_rel, 4),
+        "reliable_host_overhead": round(best_rel / timings["object"], 3),
+        "reliable_sim_overhead": round(
+            rel.stats.time_us / obj.stats.time_us, 4
+        ),
+        "reliable_overhead_bytes": rel.stats.reliable_overhead_bytes,
+        "reliable_ack_packets": rel.stats.ack_packets,
+    }
     return {
+        **reliable,
         "algorithm": "bfs",
         "machine": "laptop",
         "scale": scale,
@@ -122,6 +143,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"object path: {record['object_seconds']:.3f}s   "
           f"batch path: {record['batch_seconds']:.3f}s   "
           f"speedup: {record['speedup']:.2f}x")
+    print(f"reliable delivery (no faults, report-only): "
+          f"{record['reliable_seconds']:.3f}s host "
+          f"({record['reliable_host_overhead']:.2f}x object), "
+          f"{record['reliable_sim_overhead']:.4f}x simulated time, "
+          f"{record['reliable_overhead_bytes']} protocol bytes, "
+          f"{record['reliable_ack_packets']} ack packets")
     if not (record["stats_equal"] and record["data_equal"]):
         print("FAIL: batch path diverged from the object path "
               f"(stats_equal={record['stats_equal']}, "

@@ -1,0 +1,131 @@
+"""Seeded chaos gate: faulty runs must match fault-free runs bit-for-bit.
+
+For a small RMAT graph, runs BFS and k-core under several fixed-seed fault
+plans — packet drops, duplications, delays, and a rank crash with
+checkpoint/replay recovery — and diffs every result array and logical
+counter against the fault-free baseline on the same reliable transport.
+Any divergence, or a chaos run that was not actually perturbed (zero
+drops / retransmits / recoveries), fails the gate.
+
+This is the executable form of the INTERNALS §8 invariant: faults may
+change simulated time and wire traffic, never results or logical counts.
+
+Usage::
+
+    python benchmarks/chaos_check.py            # CI gate (exit 1 on any diff)
+    python benchmarks/chaos_check.py --scale 10 # bigger graph, same checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.kcore import kcore
+from repro.bench.harness import build_rmat_graph, pick_bfs_source
+from repro.comm.faults import CrashEvent, FaultPlan
+
+#: The fixed chaos seeds CI replays (never change lightly: the point is a
+#: deterministic gate, not a statistical one).
+CHAOS_SEEDS = (3, 7, 23)
+CRASH = CrashEvent(tick=5, rank=2)
+
+
+def _plans(seed: int) -> list[tuple[str, FaultPlan]]:
+    return [
+        (
+            f"seed={seed} noise",
+            FaultPlan(seed=seed, drop_rate=0.03, duplicate_rate=0.02,
+                      delay_rate=0.05, max_delay=3),
+        ),
+        (
+            f"seed={seed} crash",
+            FaultPlan(seed=seed, drop_rate=0.03, duplicate_rate=0.02,
+                      crashes=(CRASH,)),
+        ),
+    ]
+
+
+def _counters(stats) -> tuple:
+    return (
+        stats.ticks,
+        stats.total_visits,
+        stats.total_previsits,
+        stats.termination_waves,
+        tuple(r.visits for r in stats.ranks),
+        tuple(r.edges_scanned for r in stats.ranks),
+    )
+
+
+def _check(label: str, faulty, baseline, arrays: dict, expect_crash: bool) -> list[str]:
+    problems = []
+    for name, (got, want) in arrays.items():
+        if not np.array_equal(got, want):
+            problems.append(f"{label}: {name} diverged "
+                            f"({int(np.count_nonzero(got != want))} entries)")
+    if _counters(faulty.stats) != _counters(baseline.stats):
+        problems.append(f"{label}: logical counters diverged")
+    if faulty.stats.packets_dropped == 0:
+        problems.append(f"{label}: fault plan injected no drops (dead gate)")
+    if faulty.stats.retransmitted_packets == 0:
+        problems.append(f"{label}: no retransmissions (dead gate)")
+    if expect_crash and faulty.stats.recoveries != 1:
+        problems.append(f"{label}: expected 1 recovery, "
+                        f"saw {faulty.stats.recoveries}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=8)
+    parser.add_argument("-p", "--partitions", type=int, default=8)
+    parser.add_argument("-k", type=int, default=3, help="k-core k")
+    args = parser.parse_args(argv)
+
+    edges, graph = build_rmat_graph(
+        args.scale, num_partitions=args.partitions, num_ghosts=8, seed=17
+    )
+    source = pick_bfs_source(edges, seed=17)
+
+    base_bfs = bfs(graph, source, reliable=True)
+    base_kcore = kcore(graph, args.k, reliable=True)
+    print(f"baselines: bfs {base_bfs.stats.ticks} ticks, "
+          f"kcore {base_kcore.stats.ticks} ticks "
+          f"(scale {args.scale}, p={args.partitions})")
+
+    problems: list[str] = []
+    for seed in CHAOS_SEEDS:
+        for label, plan in _plans(seed):
+            fb = bfs(graph, source, faults=plan)
+            problems += _check(
+                f"bfs {label}", fb, base_bfs,
+                {"levels": (fb.data.levels, base_bfs.data.levels),
+                 "parents": (fb.data.parents, base_bfs.data.parents)},
+                expect_crash=plan.has_crashes,
+            )
+            fk = kcore(graph, args.k, faults=plan)
+            problems += _check(
+                f"kcore {label}", fk, base_kcore,
+                {"alive": (fk.data.alive, base_kcore.data.alive)},
+                expect_crash=plan.has_crashes,
+            )
+            print(f"  {label}: bfs {fb.stats.packets_dropped} dropped / "
+                  f"{fb.stats.retransmitted_packets} retransmits / "
+                  f"{fb.stats.recoveries} recoveries; "
+                  f"kcore {fk.stats.packets_dropped} dropped / "
+                  f"{fk.stats.retransmitted_packets} retransmits / "
+                  f"{fk.stats.recoveries} recoveries")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(CHAOS_SEEDS) * 4} chaos runs bit-identical to baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ laptop scale.  Examples::
     python -m repro generate rmat --scale 12 -o graph.npz
     python -m repro bfs --graph graph.npz -p 16 --ghosts 256 --topology 2d
     python -m repro bfs --scale 10 -p 8 --machine bgp
+    python -m repro bfs --scale 10 -p 8 --faults seed=7,drop=0.02,crash=12:3
     python -m repro triangles --scale 9 -p 8 --approximate --samples 20000
     python -m repro experiment fig13
     python -m repro profile bfs --scale 12 -p 16 --batch
@@ -35,6 +36,7 @@ from repro.algorithms.pagerank import pagerank
 from repro.algorithms.triangles import triangle_count
 from repro.algorithms.wedge_sampling import sample_triangle_estimate
 from repro.analysis.teps import bfs_traversed_edges, mteps
+from repro.comm.faults import FaultPlan
 from repro.bench.harness import pick_bfs_source
 from repro.generators.preferential_attachment import preferential_attachment_edges
 from repro.generators.rmat import rmat_edges
@@ -64,6 +66,31 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", choices=["direct", "2d", "3d", "hypercube"],
                         default="direct")
     parser.add_argument("--machine", choices=sorted(_MACHINES), default="laptop")
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject seeded faults, e.g. "
+             "'seed=7,drop=0.02,dup=0.01,delay=0.05,maxdelay=3,crash=40:2:6' "
+             "(implies reliable delivery; results stay bit-identical)")
+    parser.add_argument(
+        "--reliable", action="store_true",
+        help="run the reliable transport without faults (measures the "
+             "protocol's no-fault overhead)")
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="TICKS",
+        help="ticks between crash-recovery checkpoints (default: 16 "
+             "whenever the fault plan crashes ranks)")
+
+
+def _traversal_kwargs(args) -> dict:
+    """Machine/topology/fault kwargs shared by every traversal command."""
+    kwargs = dict(machine=_MACHINES[args.machine](), topology=args.topology)
+    if args.faults:
+        kwargs["faults"] = FaultPlan.from_spec(args.faults)
+    if args.reliable:
+        kwargs["reliable"] = True
+    if args.checkpoint_interval is not None:
+        kwargs["checkpoint_interval"] = args.checkpoint_interval
+    return kwargs
 
 
 def _build_graph(args) -> tuple[EdgeList, DistributedGraph]:
@@ -108,8 +135,7 @@ def _cmd_generate(args) -> int:
 def _cmd_bfs(args) -> int:
     edges, graph = _build_graph(args)
     source = args.source if args.source is not None else pick_bfs_source(edges, seed=args.seed)
-    result = bfs(graph, source, machine=_MACHINES[args.machine](),
-                 topology=args.topology)
+    result = bfs(graph, source, batch=args.batch, **_traversal_kwargs(args))
     traversed = bfs_traversed_edges(edges, result.data.levels)
     print(result.stats.summary())
     print(f"source {source}: reached {result.data.num_reached} vertices, "
@@ -120,8 +146,7 @@ def _cmd_bfs(args) -> int:
 
 def _cmd_kcore(args) -> int:
     _, graph = _build_graph(args)
-    result = kcore(graph, args.k, machine=_MACHINES[args.machine](),
-                   topology=args.topology)
+    result = kcore(graph, args.k, **_traversal_kwargs(args))
     print(result.stats.summary())
     print(f"{args.k}-core: {result.data.core_size} vertices")
     return 0
@@ -135,8 +160,7 @@ def _cmd_triangles(args) -> int:
               f"(+/- {est.std_error:.0f}, {est.samples} wedge samples, "
               f"closure {est.closure_fraction:.4f})")
     else:
-        result = triangle_count(graph, machine=_MACHINES[args.machine](),
-                                topology=args.topology)
+        result = triangle_count(graph, **_traversal_kwargs(args))
         print(result.stats.summary())
         print(f"triangles: {result.data.total}")
     return 0
@@ -145,7 +169,7 @@ def _cmd_triangles(args) -> int:
 def _cmd_pagerank(args) -> int:
     _, graph = _build_graph(args)
     result = pagerank(graph, damping=args.damping, threshold=args.threshold,
-                      machine=_MACHINES[args.machine](), topology=args.topology)
+                      **_traversal_kwargs(args))
     print(result.stats.summary())
     print("top vertices:")
     for v, score in result.data.top(args.top):
@@ -156,10 +180,16 @@ def _cmd_pagerank(args) -> int:
 def _cmd_graph500(args) -> int:
     from repro.bench.graph500 import run_graph500
 
+    from repro.runtime.costmodel import EngineConfig
+
     edges, graph = _build_graph(args)
+    kwargs = _traversal_kwargs(args)
+    machine = kwargs.pop("machine")
+    topology = kwargs.pop("topology")
     run = run_graph500(
         edges, graph, num_searches=args.searches, kernel=args.kernel,
-        machine=_MACHINES[args.machine](), topology=args.topology,
+        machine=machine, topology=topology,
+        config=EngineConfig(**kwargs) if kwargs else None,
         seed=args.seed,
     )
     print(run.summary())
@@ -172,8 +202,7 @@ def _cmd_profile(args) -> int:
     from repro.bench.profiling import profile_call
 
     edges, graph = _build_graph(args)
-    machine = _MACHINES[args.machine]()
-    kwargs = dict(machine=machine, topology=args.topology, batch=args.batch)
+    kwargs = dict(batch=args.batch, **_traversal_kwargs(args))
     if args.algorithm == "cc":
         fn = lambda: connected_components(graph, **kwargs)  # noqa: E731
     else:
@@ -238,6 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser("bfs", help="asynchronous BFS")
     _add_graph_args(b)
     b.add_argument("--source", type=int, default=None)
+    b.add_argument("--batch", action="store_true",
+                   help="use the vectorized batch fast path")
     b.set_defaults(func=_cmd_bfs)
 
     k = sub.add_parser("kcore", help="k-core decomposition")

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the simulated network fabric.
+
+A :class:`FaultPlan` is an immutable, seed-driven description of how the
+fabric misbehaves: per-transmission packet drop / duplication / delay
+probabilities, plus whole-rank crash events pinned to specific logical
+ticks.  The plan is *data*; the :class:`FaultInjector` is the runtime that
+draws from one :mod:`repro.utils.rng` stream in a fixed per-transmission
+pattern, so the same seed always produces the same fault sequence on the
+same workload — which is what makes chaos runs replayable bit-for-bit and
+lets the fault-equivalence suite diff faulty runs against fault-free ones.
+
+Faults apply to every wire *transmission* (first sends, retransmissions,
+acks alike); the reliable-delivery layer (:mod:`repro.comm.reliable`) is
+what turns the resulting lossy, duplicating fabric back into exactly-once
+in-order logical delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One rank failure: ``rank`` dies at the start of logical tick
+    ``tick``'s delivery phase, stays down for ``down_rounds`` fabric
+    rounds, then restarts (restoring its last checkpoint and replaying
+    its delivery log — see :mod:`repro.runtime.recovery`)."""
+
+    tick: int
+    rank: int
+    down_rounds: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tick < 1:
+            raise ConfigurationError(f"crash tick must be >= 1, got {self.tick}")
+        if self.rank < 0:
+            raise ConfigurationError(f"crash rank must be >= 0, got {self.rank}")
+        if self.down_rounds < 1:
+            raise ConfigurationError(
+                f"down_rounds must be >= 1, got {self.down_rounds}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of fabric misbehaviour.
+
+    ``drop_rate`` / ``duplicate_rate`` / ``delay_rate`` are independent
+    per-transmission probabilities; a delayed transmission arrives
+    ``1..max_delay`` fabric rounds late.  ``crashes`` is a tuple of
+    :class:`CrashEvent`.  A plan with all rates zero and no crashes is a
+    valid no-op (useful for measuring the reliable layer's no-fault tax).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: int = 3
+    crashes: tuple[CrashEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {rate}")
+        if self.max_delay < 1:
+            raise ConfigurationError(f"max_delay must be >= 1, got {self.max_delay}")
+        # normalise list -> tuple so the plan stays hashable/frozen
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def any_faults(self) -> bool:
+        """True when the plan can actually perturb a run."""
+        return bool(
+            self.drop_rate or self.duplicate_rate or self.delay_rate or self.crashes
+        )
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.crashes)
+
+    def crashes_at(self, tick: int) -> list[CrashEvent]:
+        """Crash events scheduled for logical tick ``tick``."""
+        return [ev for ev in self.crashes if ev.tick == tick]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI fault spec mini-language.
+
+        ``SPEC`` is a comma-separated ``key=value`` list::
+
+            seed=7,drop=0.02,dup=0.01,delay=0.05,maxdelay=3,crash=40:2:6
+
+        ``crash`` takes ``tick:rank[:down_rounds]`` and may be repeated by
+        joining events with ``+`` (``crash=40:2+90:1:8``).
+        """
+        kwargs: dict = {}
+        crashes: list[CrashEvent] = []
+        aliases = {
+            "seed": ("seed", int),
+            "drop": ("drop_rate", float),
+            "dup": ("duplicate_rate", float),
+            "delay": ("delay_rate", float),
+            "maxdelay": ("max_delay", int),
+        }
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"fault spec item {item!r} is not key=value"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            if key == "crash":
+                for ev in value.split("+"):
+                    parts = ev.split(":")
+                    if len(parts) not in (2, 3):
+                        raise ConfigurationError(
+                            f"crash event {ev!r} is not tick:rank[:down_rounds]"
+                        )
+                    try:
+                        nums = [int(x) for x in parts]
+                    except ValueError:
+                        raise ConfigurationError(
+                            f"crash event {ev!r} has non-integer fields"
+                        ) from None
+                    crashes.append(CrashEvent(*nums))
+            elif key in aliases:
+                name, conv = aliases[key]
+                try:
+                    kwargs[name] = conv(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault spec {key}={value!r} is not a {conv.__name__}"
+                    ) from None
+            else:
+                raise ConfigurationError(
+                    f"unknown fault spec key {key!r} "
+                    f"(known: {', '.join(sorted(aliases))}, crash)"
+                )
+        return cls(crashes=tuple(crashes), **kwargs)
+
+
+@dataclass
+class FaultDecision:
+    """Outcome of one transmission's fault draws."""
+
+    dropped: bool = False
+    duplicated: bool = False
+    delay: int = 0
+    dup_delay: int = 0
+
+
+class FaultInjector:
+    """Runtime of a :class:`FaultPlan`: one seeded stream, fixed draws.
+
+    Every transmission consumes exactly four uniforms (drop, duplicate,
+    delay?, delay amount) regardless of outcome, so the stream position —
+    and therefore every later decision — depends only on the *number* of
+    transmissions so far, never on earlier fault outcomes' branchings.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = resolve_rng(plan.seed)
+        # cumulative tallies (surfaced via TraversalStats)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def decide(self) -> FaultDecision:
+        """Draw the fault outcome for one wire transmission."""
+        plan = self.plan
+        u = self._rng.random(4)
+        decision = FaultDecision()
+        if u[0] < plan.drop_rate:
+            decision.dropped = True
+            self.dropped += 1
+            return decision
+        if u[1] < plan.duplicate_rate:
+            decision.duplicated = True
+            self.duplicated += 1
+            decision.dup_delay = 1 + int(u[3] * plan.max_delay) % plan.max_delay
+        if u[2] < plan.delay_rate:
+            decision.delay = 1 + int(u[3] * plan.max_delay) % plan.max_delay
+            self.delayed += 1
+        return decision

@@ -217,6 +217,35 @@ class Mailbox:
         return delivered
 
     # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Checkpointable endpoint state (counters + unflushed envelopes).
+
+        Envelopes and visitor payloads are never mutated after construction,
+        so the snapshot shares them and copies only the containers.
+        """
+        return {
+            "buffers": {hop: list(buf) for hop, buf in self._buffers.items()},
+            "buffer_counts": dict(self._buffer_counts),
+            "local": list(self._local),
+            "visitors_sent": self.visitors_sent,
+            "visitors_received": self.visitors_received,
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "envelopes_forwarded": self.envelopes_forwarded,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        self._buffers = {hop: list(buf) for hop, buf in snap["buffers"].items()}
+        self._buffer_counts = dict(snap["buffer_counts"])
+        self._local = list(snap["local"])
+        self.visitors_sent = snap["visitors_sent"]
+        self.visitors_received = snap["visitors_received"]
+        self.packets_sent = snap["packets_sent"]
+        self.bytes_sent = snap["bytes_sent"]
+        self.envelopes_forwarded = snap["envelopes_forwarded"]
+
+    # ------------------------------------------------------------------ #
     def has_buffered(self) -> bool:
         """True when unflushed envelopes are sitting in aggregation buffers
         or the local loopback queue."""

@@ -21,6 +21,13 @@ KIND_CONTROL = 1
 ENVELOPE_HEADER_BYTES = 8
 #: Fixed per-packet header bytes (MPI-style match info).
 PACKET_HEADER_BYTES = 32
+#: Extra per-packet header when reliable delivery is on (sequence number
+#: plus piggybacked cumulative ack).  Charged as transport overhead, not
+#: baked into :attr:`Packet.wire_bytes`, so logical byte counters stay
+#: comparable with unreliable runs.
+RELIABLE_HEADER_BYTES = 12
+#: Wire size of a standalone cumulative-ack packet (header + ack word).
+ACK_PACKET_BYTES = PACKET_HEADER_BYTES + 8
 
 
 @dataclass(slots=True)
@@ -49,12 +56,20 @@ class Envelope:
 
 @dataclass(slots=True)
 class Packet:
-    """A batch of envelopes moving one hop together."""
+    """A batch of envelopes moving one hop together.
+
+    ``seq`` and ``ack`` exist only under reliable delivery
+    (:mod:`repro.comm.reliable`): ``seq`` is the packet's position in its
+    ``(src, hop_dest)`` channel (-1 = unsequenced / plain fabric), ``ack``
+    is a piggybacked cumulative ack for the *reverse* channel (-1 = none).
+    """
 
     src: int
     hop_dest: int
     envelopes: list[Envelope] = field(default_factory=list)
     _cached_wire_bytes: int = -1
+    seq: int = -1
+    ack: int = -1
 
     @property
     def wire_bytes(self) -> int:

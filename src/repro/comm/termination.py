@@ -135,6 +135,35 @@ class QuiescenceDetector:
             self._send(k, (_TERMINATE,))
 
     # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Checkpointable protocol state (everything but the wiring)."""
+        return {
+            "terminated": self.terminated,
+            "wave": self._wave,
+            "pending_children": self._pending_children,
+            "acc_sent": self._acc_sent,
+            "acc_recv": self._acc_recv,
+            "acc_quiet": self._acc_quiet,
+            "wave_active": self._wave_active,
+            "last_totals": self._last_totals,
+            "next_wave_id": self._next_wave_id,
+            "waves_participated": self.waves_participated,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        self.terminated = snap["terminated"]
+        self._wave = snap["wave"]
+        self._pending_children = snap["pending_children"]
+        self._acc_sent = snap["acc_sent"]
+        self._acc_recv = snap["acc_recv"]
+        self._acc_quiet = snap["acc_quiet"]
+        self._wave_active = snap["wave_active"]
+        self._last_totals = snap["last_totals"]
+        self._next_wave_id = snap["next_wave_id"]
+        self.waves_participated = snap["waves_participated"]
+
+    # ------------------------------------------------------------------ #
     def handle(self, payload: tuple) -> None:
         """Process one control message addressed to this rank."""
         tag = payload[0]

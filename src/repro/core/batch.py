@@ -243,6 +243,21 @@ class GhostArrayTable:
         self.filter_passes += passed
         return keep, n_ghosted, n_ghosted - passed
 
+    # -------------------------------------------------------------- #
+    def snapshot_state(self) -> dict:
+        """Checkpointable ghost state (value-array copy)."""
+        return {
+            "values": self.state.values.copy(),
+            "filter_hits": self.filter_hits,
+            "filter_passes": self.filter_passes,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        self.state.values[:] = snap["values"]
+        self.filter_hits = snap["filter_hits"]
+        self.filter_passes = snap["filter_passes"]
+
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``

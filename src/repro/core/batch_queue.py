@@ -28,6 +28,7 @@ INTERNALS §6/§7) rests on three ordering facts:
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import TYPE_CHECKING
 
@@ -262,6 +263,36 @@ class BatchVisitorQueueRank:
             cache = self.paged_csr.cache
         if cache is not None:
             cache.access_pages(concat_ranges(starts.ravel(), lengths.ravel()))
+
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Checkpointable rank state for crash recovery (array copies;
+        heap tuples are immutable and shared)."""
+        snap = {
+            "values": self.states.values.copy(),
+            "parents": (
+                self.states.parents.copy()
+                if self.states.parents is not None
+                else None
+            ),
+            "heap": list(self._heap),
+            "seq": self._seq,
+            "counters": copy.copy(self.counters),
+        }
+        if self.ghost_table is not None:
+            snap["ghosts"] = self.ghost_table.snapshot_state()
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        self.states.values[:] = snap["values"]
+        if self.states.parents is not None and snap["parents"] is not None:
+            self.states.parents[:] = snap["parents"]
+        self._heap = list(snap["heap"])
+        self._seq = snap["seq"]
+        self.counters = copy.copy(snap["counters"])
+        if self.ghost_table is not None:
+            self.ghost_table.restore_state(snap["ghosts"])
 
     # ------------------------------------------------------------------ #
     def locally_quiet(self) -> bool:

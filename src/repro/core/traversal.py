@@ -43,6 +43,9 @@ def run_traversal(
     config: EngineConfig | None = None,
     page_caches: list | None = None,
     batch: bool | None = None,
+    faults=None,
+    reliable: bool | None = None,
+    checkpoint_interval: int | None = None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -68,9 +71,29 @@ def run_traversal(
         Override :attr:`EngineConfig.batch` — run the vectorized batch
         fast path (requires ``algorithm.supports_batch``).  Results and
         stats are bit-identical to the object path either way.
+    faults:
+        Override :attr:`EngineConfig.faults` — a
+        :class:`~repro.comm.faults.FaultPlan` (implies reliable delivery).
+        Vertex states and logical visit counts stay bit-identical to the
+        fault-free run; only simulated time and wire traffic change.
+    reliable:
+        Override :attr:`EngineConfig.reliable` — run the reliable
+        transport without faults (measures the protocol's no-fault tax).
+    checkpoint_interval:
+        Override :attr:`EngineConfig.checkpoint_interval` (ticks between
+        crash-recovery epoch checkpoints).
     """
+    overrides: dict = {}
     if batch is not None:
-        config = replace(config or EngineConfig(), batch=batch)
+        overrides["batch"] = batch
+    if faults is not None:
+        overrides["faults"] = faults
+    if reliable is not None:
+        overrides["reliable"] = reliable
+    if checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = checkpoint_interval
+    if overrides:
+        config = replace(config or EngineConfig(), **overrides)
     engine = SimulationEngine(
         graph,
         algorithm,

@@ -31,6 +31,7 @@ The three procedures map one-to-one onto Algorithm 1:
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import TYPE_CHECKING
 
@@ -184,6 +185,35 @@ class VisitorQueueRank:
             visitor.visit(self)
             executed += 1
         return executed
+
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Checkpointable rank state for crash recovery.
+
+        State objects are mutable (``pre_visit``/``visit`` write them) and
+        are deep-copied; heap entries and the visitor objects inside them
+        are never mutated after construction, so the heap is a shallow
+        container copy sharing the visitors.
+        """
+        snap = {
+            "states": copy.deepcopy(self.states),
+            "heap": list(self._heap),
+            "seq": self._seq,
+            "counters": copy.copy(self.counters),
+        }
+        if self.ghost_table is not None:
+            snap["ghosts"] = self.ghost_table.snapshot_state()
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint (the snapshot
+        itself stays pristine so a later crash can restore it again)."""
+        self.states = copy.deepcopy(snap["states"])
+        self._heap = list(snap["heap"])
+        self._seq = snap["seq"]
+        self.counters = copy.copy(snap["counters"])
+        if self.ghost_table is not None:
+            self.ghost_table.restore_state(snap["ghosts"])
 
     # ------------------------------------------------------------------ #
     def locally_quiet(self) -> bool:

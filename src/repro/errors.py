@@ -29,7 +29,18 @@ class CommunicationError(ReproError):
 
 
 class TraversalError(ReproError):
-    """Raised when an asynchronous traversal cannot run or fails an internal invariant."""
+    """Raised when an asynchronous traversal cannot run or fails an internal
+    invariant.
+
+    ``stats`` optionally carries the partial
+    :class:`~repro.runtime.trace.TraversalStats` gathered up to the failure
+    (populated by the engine's ``max_ticks`` abort so stalled runs can be
+    post-mortemed: per-rank counters, tick count, timeline).
+    """
+
+    def __init__(self, *args, stats=None) -> None:
+        super().__init__(*args)
+        self.stats = stats
 
 
 class TerminationError(TraversalError):

@@ -25,10 +25,14 @@ _FORMAT_VERSION = 1
 
 
 def save_distributed_graph(graph: DistributedGraph, path: str | Path) -> None:
-    """Write a partitioned graph checkpoint (``.npz``)."""
-    num_ghosts = max(
-        (p.ghost_candidates.size for p in graph.partitions), default=0
-    )
+    """Write a partitioned graph checkpoint (``.npz``).
+
+    The persisted ``num_ghosts`` is the build-time *budget*, not the
+    largest materialized candidate set: a graph whose partitions all
+    selected fewer candidates than the budget must still round-trip to the
+    same configuration (a later rebuild on different data would otherwise
+    silently shrink the ghost budget).
+    """
     np.savez_compressed(
         Path(path),
         format_version=np.int64(_FORMAT_VERSION),
@@ -37,7 +41,7 @@ def save_distributed_graph(graph: DistributedGraph, path: str | Path) -> None:
         num_vertices=np.int64(graph.num_vertices),
         num_partitions=np.int64(graph.num_partitions),
         strategy=np.bytes_(graph.strategy.encode()),
-        num_ghosts=np.int64(num_ghosts),
+        num_ghosts=np.int64(graph.num_ghosts),
     )
 
 

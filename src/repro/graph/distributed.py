@@ -73,12 +73,17 @@ class DistributedGraph:
         max_owners: np.ndarray,
         elp: EdgeListPartitioning | None = None,
         oned: OneDPartitioning | None = None,
+        num_ghosts: int = 0,
     ) -> None:
         self.edges = edges
         self.strategy = strategy
         self.partitions = partitions
         self.min_owners = min_owners
         self.max_owners = max_owners
+        #: The build-time per-partition ghost *budget* (checkpointing must
+        #: persist this, not the materialized candidate counts, which can
+        #: all be smaller than the budget on sparse partitions).
+        self.num_ghosts = num_ghosts
         self.elp = elp
         self.oned = oned
         self.global_out_degrees = edges.out_degrees()
@@ -166,6 +171,7 @@ class DistributedGraph:
             max_owners=max_owners,
             elp=elp,
             oned=oned,
+            num_ghosts=num_ghosts,
         )
 
     # ------------------------------------------------------------------ #

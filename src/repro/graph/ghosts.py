@@ -20,6 +20,8 @@ usage (BFS; not k-core, not triangle counting) get a table.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.types import VID_DTYPE
@@ -88,3 +90,19 @@ class GhostTable:
     def vertices(self) -> list[int]:
         """All ghosted vertex ids (deterministic order)."""
         return sorted(self._states)
+
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Checkpointable ghost state (deep copy — ghost state objects are
+        mutated by ``pre_visit``)."""
+        return {
+            "states": copy.deepcopy(self._states),
+            "filter_hits": self.filter_hits,
+            "filter_passes": self.filter_passes,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        self._states = copy.deepcopy(snap["states"])
+        self.filter_hits = snap["filter_hits"]
+        self.filter_passes = snap["filter_passes"]

@@ -49,6 +49,12 @@ class MachineModel:
     page_size: int = 4096
     #: Page-cache capacity per rank, bytes (NVRAM mode only).
     cache_bytes_per_rank: int = 64 * 1024
+    #: Cost per byte of writing an epoch checkpoint (crash recovery).
+    checkpoint_byte_us: float = 0.0002
+    #: Cost per byte of restoring a checkpoint on a restarted rank.
+    restore_byte_us: float = 0.0002
+    #: Fixed cost of one rank restart (process relaunch + rejoin).
+    restart_us: float = 100.0
 
     def __post_init__(self) -> None:
         if self.storage not in (STORAGE_DRAM, STORAGE_NVRAM):
@@ -56,7 +62,8 @@ class MachineModel:
         if self.storage == STORAGE_NVRAM and self.device is None:
             raise ConfigurationError("NVRAM storage requires a device model")
         for field_name in ("visit_us", "previsit_us", "edge_scan_us", "packet_overhead_us",
-                           "byte_us", "hop_latency_us", "min_tick_us"):
+                           "byte_us", "hop_latency_us", "min_tick_us",
+                           "checkpoint_byte_us", "restore_byte_us", "restart_us"):
             if getattr(self, field_name) < 0:
                 raise ConfigurationError(f"{field_name} must be >= 0")
 
@@ -109,6 +116,24 @@ class EngineConfig:
     #: ``algorithm.supports_batch``; produces bit-identical states and
     #: traversal stats to the object path, just faster wall-clock.
     batch: bool = False
+    #: Fault plan for the simulated fabric (``repro.comm.faults.FaultPlan``;
+    #: None = lossless fabric).  Setting a plan implies reliable delivery.
+    faults: object | None = None
+    #: Run the reliable-delivery transport (seq/ack/retransmit/dedup) even
+    #: without faults — used to measure the protocol's no-fault tax.
+    reliable: bool = False
+    #: Ticks between epoch checkpoints for crash recovery.  0 = automatic:
+    #: 16 when the fault plan contains rank crashes, otherwise off.
+    checkpoint_interval: int = 0
+    #: Fabric rounds before an unacked packet is retransmitted (doubles per
+    #: attempt, capped at 64 rounds).
+    retransmit_timeout: int = 4
+    #: Retransmission attempts before the transport declares the fabric
+    #: unrecoverable.
+    retransmit_max_attempts: int = 16
+    #: Safety valve: abort if one tick's delivery cannot complete within
+    #: this many fabric rounds.
+    max_rounds_per_tick: int = 100_000
 
     def __post_init__(self) -> None:
         if self.visitor_budget < 1:
@@ -117,6 +142,33 @@ class EngineConfig:
             raise ConfigurationError("aggregation_size must be >= 1")
         if self.max_ticks < 1:
             raise ConfigurationError("max_ticks must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError("checkpoint_interval must be >= 0")
+        if self.checkpoint_interval > 0 and not self.reliable_active:
+            raise ConfigurationError(
+                "checkpoint_interval requires the reliable transport "
+                "(set reliable=True or provide a fault plan)"
+            )
+        if self.retransmit_max_attempts < 1:
+            raise ConfigurationError("retransmit_max_attempts must be >= 1")
+        if self.max_rounds_per_tick < 1:
+            raise ConfigurationError("max_rounds_per_tick must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reliable_active(self) -> bool:
+        """Whether this run uses the reliable transport (explicitly, or
+        implied by a fault plan)."""
+        return self.reliable or self.faults is not None
+
+    @property
+    def checkpoint_every(self) -> int:
+        """Effective checkpoint interval in ticks (0 = no checkpointing)."""
+        if self.checkpoint_interval > 0:
+            return self.checkpoint_interval
+        if self.faults is not None and getattr(self.faults, "has_crashes", False):
+            return 16
+        return 0
 
 
 # ---------------------------------------------------------------------- #

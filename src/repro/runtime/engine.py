@@ -25,6 +25,7 @@ import numpy as np
 from repro.comm.mailbox import Mailbox
 from repro.comm.message import KIND_CONTROL, KIND_VISITOR
 from repro.comm.network import Network
+from repro.comm.reliable import ReliableTransport
 from repro.comm.routing import Topology, make_topology
 from repro.comm.termination import LocalSnapshot, QuiescenceDetector
 from repro.core.batch import GhostArrayTable
@@ -37,6 +38,7 @@ from repro.graph.ghosts import GhostTable
 from repro.memory.backing import PagedCSR
 from repro.memory.page_cache import PageCache
 from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
+from repro.runtime.recovery import RecoveryManager
 from repro.runtime.trace import TickSample, TraversalStats
 
 
@@ -66,7 +68,20 @@ class SimulationEngine:
                 f"topology covers {self.topology.num_ranks} ranks, graph has {p}"
             )
 
-        self.network = Network(p)
+        #: Plain lossless fabric, or the reliable transport when a fault
+        #: plan or ``reliable=True`` is configured (same interface; the
+        #: mailboxes cannot tell them apart).
+        self.reliable_mode = self.config.reliable_active
+        if self.reliable_mode:
+            self.network: Network | ReliableTransport = ReliableTransport(
+                p,
+                self.config.faults,
+                retransmit_timeout=self.config.retransmit_timeout,
+                max_attempts=self.config.retransmit_max_attempts,
+                max_rounds_per_tick=self.config.max_rounds_per_tick,
+            )
+        else:
+            self.network = Network(p)
         self.mailboxes = [
             Mailbox(r, self.topology, self.network, aggregation_size=self.config.aggregation_size)
             for r in range(p)
@@ -144,6 +159,14 @@ class SimulationEngine:
                 for r in range(p)
             ]
 
+        #: Checkpoint/restart coordinator (crash recovery); present only
+        #: when the reliable transport is on and checkpointing is enabled.
+        self.recovery: RecoveryManager | None = None
+        self._checkpoint_every = self.config.checkpoint_every
+        if self.reliable_mode and self._checkpoint_every:
+            self.recovery = RecoveryManager(self)
+            self.network.recovery = self.recovery
+
     # ------------------------------------------------------------------ #
     def _make_snapshot_fn(self, r: int):
         mailbox = self.mailboxes[r]
@@ -194,31 +217,38 @@ class SimulationEngine:
         prev = np.zeros((p, 5), dtype=np.int64)
         cur = np.empty((p, 5), dtype=np.int64)
 
+        if self.recovery is not None:
+            stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
+            self.recovery.initial_checkpoint()
+        elif self.reliable_mode and cfg.faults is not None:
+            stats.fault_seed = cfg.faults.seed
+
         ticks = 0
         time_us = 0.0
         last_total_visits = 0
         while True:
+            t = ticks + 1
             arrivals = self.network.advance()
+            report = self.network.take_report() if self.reliable_mode else None
             had_traffic = any(arrivals)
             control_events = [0] * p
             for r in range(p):
-                envelopes = self.mailboxes[r].receive(arrivals[r])
-                if envelopes:
-                    visitors = [e.payload for e in envelopes if e.kind == KIND_VISITOR]
-                    if visitors:
-                        self.ranks[r].check_mailbox(visitors)
-                    if self.detectors is not None:
-                        for e in envelopes:
-                            if e.kind == KIND_CONTROL:
-                                control_events[r] += 1
-                                self.detectors[r].handle(e.payload)
-                self.ranks[r].process(cfg.visitor_budget)
+                if self.recovery is not None:
+                    self.recovery.log_arrivals(t, r, arrivals[r])
+                control_events[r] = self._rank_tick(r, arrivals[r])
 
             if self.detectors is not None and not self.detectors[0].terminated:
                 self.detectors[0].maybe_start_wave()
 
             for mb in self.mailboxes:
                 mb.flush()
+
+            checkpoint_costs = None
+            if (
+                self.recovery is not None
+                and t % self._checkpoint_every == 0
+            ):
+                checkpoint_costs = self.recovery.checkpoint(t)
 
             # ---- charge simulated time ---------------------------------
             # Vectorized counter-delta bookkeeping.  The expression below is
@@ -246,10 +276,29 @@ class SimulationEngine:
                 cache = self.caches[r]
                 if cache is not None:
                     costs[r] += cache.drain_epoch_us(concurrency=cfg.io_concurrency)
+            if report is not None:
+                # Reliability tax and recovery time, kept out of the logical
+                # counters: retransmissions and standalone acks pay packet
+                # overhead, all protocol bytes pay wire cost, restarted
+                # ranks pay their restore + replay time.
+                for r in range(p):
+                    extra = (
+                        (report.retrans_packets[r] + report.ack_packets[r])
+                        * m.packet_overhead_us
+                        + (report.retrans_bytes[r] + report.overhead_bytes[r])
+                        * m.byte_us
+                        + report.recovery_us[r]
+                    )
+                    if extra:
+                        costs[r] += extra
+                self._accumulate_report(stats, report)
+            if checkpoint_costs is not None:
+                costs += checkpoint_costs
             tick_cost = float(costs.max())
             tick_time = max(tick_cost, m.min_tick_us)
             if had_traffic or not self.network.idle():
-                tick_time = max(tick_time, m.hop_latency_us)
+                hops = 1 if report is None else max(1, report.data_latency)
+                tick_time = max(tick_time, m.hop_latency_us * hops)
             time_us += tick_time
             ticks += 1
 
@@ -262,6 +311,17 @@ class SimulationEngine:
                         queued_visitors=sum(rk.queue_length() for rk in self.ranks),
                         packets_in_flight=self.network.packets_in_flight(),
                         visits_this_tick=visits_now - last_total_visits,
+                        retransmits=(
+                            sum(report.retrans_packets) if report is not None else 0
+                        ),
+                        faults=(
+                            report.dropped + report.duplicated + report.delayed
+                            if report is not None
+                            else 0
+                        ),
+                        recoveries=(
+                            len(report.recovered) if report is not None else 0
+                        ),
                     )
                 )
                 last_total_visits = visits_now
@@ -275,12 +335,50 @@ class SimulationEngine:
                 if self._oracle_done():
                     break
             if ticks >= cfg.max_ticks:
+                # Attach the partial stats so a stalled run can be
+                # post-mortemed (per-rank counters, tick count, timeline).
+                self._finalize_stats(stats, ticks, time_us, cache_base)
                 raise TraversalError(
                     f"traversal exceeded max_ticks={cfg.max_ticks} "
-                    f"(queued visitors: {[rk.queue_length() for rk in self.ranks]})"
+                    f"(queued visitors: {[rk.queue_length() for rk in self.ranks]})",
+                    stats=stats,
                 )
 
-        for r in range(p):
+        self._finalize_stats(stats, ticks, time_us, cache_base)
+        return [rank.states for rank in self.ranks], stats
+
+    # ------------------------------------------------------------------ #
+    def _rank_tick(self, r: int, packets: list) -> int:
+        """One rank's slice of a tick: drain arrivals, run visitors.
+
+        Shared by the main loop and crash-recovery replay (the recovery
+        manager re-executes logged ticks through this exact code path so
+        replays are behaviour-identical).  Returns the number of control
+        messages handled (charged like pre-visits).
+        """
+        controls = 0
+        envelopes = self.mailboxes[r].receive(packets)
+        if envelopes:
+            visitors = [e.payload for e in envelopes if e.kind == KIND_VISITOR]
+            if visitors:
+                self.ranks[r].check_mailbox(visitors)
+            if self.detectors is not None:
+                for e in envelopes:
+                    if e.kind == KIND_CONTROL:
+                        controls += 1
+                        self.detectors[r].handle(e.payload)
+        self.ranks[r].process(self.config.visitor_budget)
+        return controls
+
+    def _finalize_stats(
+        self,
+        stats: TraversalStats,
+        ticks: int,
+        time_us: float,
+        cache_base: list[tuple[int, int]],
+    ) -> None:
+        """Fold per-rank counters (and recovery totals) into ``stats``."""
+        for r in range(self.graph.num_partitions):
             rank = self.ranks[r]
             rank.sync_mailbox_counters()
             cache = self.caches[r]
@@ -292,7 +390,26 @@ class SimulationEngine:
         stats.time_us = time_us
         if self.detectors is not None:
             stats.termination_waves = self.detectors[0].waves_participated
-        return [rank.states for rank in self.ranks], stats
+        if self.recovery is not None:
+            stats.checkpoints_taken = self.recovery.checkpoints_taken
+            stats.checkpoint_bytes = self.recovery.checkpoint_bytes
+
+    @staticmethod
+    def _accumulate_report(stats: TraversalStats, report) -> None:
+        """Add one tick's transport report to the run totals."""
+        stats.packets_dropped += report.dropped
+        stats.packets_duplicated += report.duplicated
+        stats.packets_delayed += report.delayed
+        stats.duplicates_discarded += report.duplicates_discarded
+        stats.retransmitted_packets += sum(report.retrans_packets)
+        stats.retransmitted_bytes += sum(report.retrans_bytes)
+        stats.ack_packets += sum(report.ack_packets)
+        stats.reliable_overhead_bytes += sum(report.overhead_bytes)
+        stats.transport_rounds += report.rounds
+        stats.crashes += len(report.crashed)
+        stats.recoveries += len(report.recovered)
+        stats.replayed_ticks += report.replayed_ticks
+        stats.recovery_us += sum(report.recovery_us)
 
     # ------------------------------------------------------------------ #
     def _oracle_done(self) -> bool:

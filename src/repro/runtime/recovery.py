@@ -1,0 +1,187 @@
+"""Traversal-level checkpoint/restart for crash recovery.
+
+The :class:`RecoveryManager` implements the coordinated-epoch scheme the
+reliable transport (:mod:`repro.comm.reliable`) leans on when the fault
+plan crashes ranks:
+
+* **Epoch checkpoints.**  Every ``EngineConfig.checkpoint_interval`` ticks
+  (after the tick's flushes, so the snapshot is a clean between-ticks cut)
+  each rank snapshots its restartable state: vertex states, local visitor
+  heap, ghost table, mailbox buffers and counters, quiescence-detector
+  protocol state, and its transport channel state (per-channel sequence
+  counters, receive watermarks, queued-but-untransmitted packets).  The
+  snapshot cost is charged through ``MachineModel.checkpoint_byte_us`` on
+  the checkpoint tick.
+
+* **Delivery logs.**  Between checkpoints, every packet released to a rank
+  is appended to that rank's delivery log (shared references — packets are
+  immutable once released).  Logs are trimmed at each checkpoint.
+
+* **Restore + deterministic replay.**  When a crashed rank restarts, its
+  epoch snapshot is reinstalled in place and the logical ticks between the
+  epoch and the crash are *re-executed* against the logged deliveries —
+  the same inputs, in the same canonical order, from the same state, so
+  the rank deterministically re-derives exactly its pre-crash state,
+  including every counter the quiescence detector counts.  Sends emitted
+  during replay get their original sequence numbers; the transport skips
+  those below the receiver's watermark (already delivered — the restart
+  handshake) and re-queues the rest, which receiver-side dedup makes safe.
+
+Recovery time — fixed restart cost, restore bytes, and the replayed
+compute priced by the ordinary ``MachineModel`` event rates — is returned
+to the transport and charged into the crash tick's per-rank costs.
+
+Page caches are deliberately left warm across a crash: restoring cache
+state would change *other* ranks' simulated timing, and the distortion is
+cost-only (replay I/O lands in the crash tick as recovery time), never
+state-visible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.message import Packet
+from repro.errors import TraversalError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import SimulationEngine
+
+
+class RecoveryManager:
+    """Checkpoint/restart coordinator for one engine run."""
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self.engine = engine
+        p = engine.graph.num_partitions
+        self.epoch_tick = -1  # no checkpoint yet
+        self._snaps: list[dict | None] = [None] * p
+        self._state_bytes = [0] * p
+        self._log: list[dict[int, list[Packet]]] = [{} for _ in range(p)]
+        # cumulative statistics (folded into TraversalStats by the engine)
+        self.checkpoints_taken = 0
+        self.checkpoint_bytes = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------ #
+    def initial_checkpoint(self) -> None:
+        """Epoch 0: taken right after seeding, before the first tick.
+
+        Safe as a recovery point because seeding is rank-local — every
+        initial visitor is pushed on its own rank, so the epoch-0 cut plus
+        the transport's queued-packet snapshot captures the complete
+        pre-tick state.  Charged nowhere (it models job setup, not
+        steady-state checkpoint traffic).
+        """
+        self._take_snapshots(0)
+
+    def checkpoint(self, tick: int) -> np.ndarray:
+        """Snapshot every rank at the end of ``tick``; returns the per-rank
+        simulated cost (bytes x ``checkpoint_byte_us``) to charge into the
+        tick."""
+        costs = self._take_snapshots(tick)
+        self.checkpoints_taken += 1
+        return costs
+
+    def _take_snapshots(self, tick: int) -> np.ndarray:
+        eng = self.engine
+        p = eng.graph.num_partitions
+        costs = np.zeros(p, dtype=np.float64)
+        for r in range(p):
+            snap = {
+                "queue": eng.ranks[r].snapshot_state(),
+                "mailbox": eng.mailboxes[r].snapshot_state(),
+                "transport": eng.network.snapshot_rank(r),
+            }
+            if eng.detectors is not None:
+                snap["detector"] = eng.detectors[r].snapshot_state()
+            self._snaps[r] = snap
+            nbytes = self._estimate_bytes(r)
+            self._state_bytes[r] = nbytes
+            self.checkpoint_bytes += nbytes
+            costs[r] = nbytes * eng.machine.checkpoint_byte_us
+            # log entries at or before the new epoch can never be replayed
+            self._log[r] = {t: v for t, v in self._log[r].items() if t > tick}
+        self.epoch_tick = tick
+        return costs
+
+    def _estimate_bytes(self, r: int) -> int:
+        """Simulated size of one rank's checkpoint image: 16 bytes per
+        vertex state (value + parent), the queued visitors at their wire
+        size, 8 bytes per ghost value, plus a fixed header."""
+        eng = self.engine
+        rank = eng.ranks[r]
+        ghosts = len(rank.ghost_table) if rank.ghost_table is not None else 0
+        return (
+            64
+            + rank.num_local_states * 16
+            + rank.queue_length() * eng.algorithm.visitor_bytes
+            + ghosts * 8
+        )
+
+    # ------------------------------------------------------------------ #
+    def log_arrivals(self, tick: int, rank: int, packets: list[Packet]) -> None:
+        """Record the packets released to ``rank`` on ``tick`` (replay
+        input for a later restart)."""
+        if packets:
+            self._log[rank][tick] = packets
+
+    # ------------------------------------------------------------------ #
+    def restore_and_replay(self, r: int, crash_tick: int) -> tuple[float, int]:
+        """Bring restarted rank ``r`` back to its pre-crash state.
+
+        Reinstalls the epoch snapshot, then re-executes ticks
+        ``epoch_tick+1 .. crash_tick-1`` against the delivery log.  Replay
+        is deterministic, so the rank's vertex states, heap, mailbox and
+        detector counters land bit-identical to the moment before the
+        crash.  Returns ``(simulated_cost_us, ticks_replayed)``.
+        """
+        eng = self.engine
+        snap = self._snaps[r]
+        if snap is None:
+            raise TraversalError(
+                f"rank {r} crashed at tick {crash_tick} with no checkpoint "
+                f"to restore (recovery manager not initialised?)"
+            )
+        eng.ranks[r].restore_state(snap["queue"])
+        eng.mailboxes[r].restore_state(snap["mailbox"])
+        if eng.detectors is not None:
+            eng.detectors[r].restore_state(snap["detector"])
+        eng.network.restore_rank(r, snap["transport"])
+
+        c0 = self._counter_tuple(r)
+        controls = 0
+        replayed = 0
+        log = self._log[r]
+        detectors = eng.detectors
+        for t in range(self.epoch_tick + 1, crash_tick):
+            packets = log.get(t, ())
+            for pkt in packets:
+                eng.network.note_replayed_delivery(r, pkt)
+            controls += eng._rank_tick(r, list(packets))
+            if r == 0 and detectors is not None and not detectors[0].terminated:
+                detectors[0].maybe_start_wave()
+            eng.mailboxes[r].flush()
+            replayed += 1
+        c1 = self._counter_tuple(r)
+
+        m = eng.machine
+        compute_us = (
+            (c1[0] - c0[0] + controls) * m.previsit_us
+            + (c1[1] - c0[1]) * m.visit_us
+            + (c1[2] - c0[2]) * m.edge_scan_us
+            + (c1[3] - c0[3]) * m.packet_overhead_us
+            + (c1[4] - c0[4]) * m.byte_us
+        )
+        cost_us = (
+            m.restart_us + self._state_bytes[r] * m.restore_byte_us + compute_us
+        )
+        self.recoveries += 1
+        return cost_us, replayed
+
+    def _counter_tuple(self, r: int) -> tuple[int, int, int, int, int]:
+        c = self.engine.ranks[r].counters
+        mb = self.engine.mailboxes[r]
+        return (c.previsits, c.visits, c.edges_scanned, mb.packets_sent, mb.bytes_sent)

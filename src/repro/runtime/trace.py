@@ -41,6 +41,10 @@ class TickSample:
     queued_visitors: int  # sum of local queue depths across ranks
     packets_in_flight: int
     visits_this_tick: int
+    # Reliable-delivery / fault-injection activity (zero on plain fabric).
+    retransmits: int = 0
+    faults: int = 0  # drops + duplications + delays injected this tick
+    recoveries: int = 0  # rank restarts completed this tick
 
 
 @dataclass
@@ -60,6 +64,35 @@ class TraversalStats:
     ranks: list[RankCounters] = field(default_factory=list)
     #: Per-tick samples, populated when ``EngineConfig.trace_timeline``.
     timeline: list[TickSample] = field(default_factory=list)
+
+    # --- reliable delivery / fault injection (zero on plain fabric) ----- #
+    #: Seed of the active :class:`~repro.comm.faults.FaultPlan` (None when
+    #: the run used the plain lossless fabric).
+    fault_seed: int | None = None
+    #: Wire transmissions the fault injector dropped / duplicated / delayed.
+    packets_dropped: int = 0
+    packets_duplicated: int = 0
+    packets_delayed: int = 0
+    #: Arriving copies discarded by receiver-side dedup.
+    duplicates_discarded: int = 0
+    #: Timeout-driven retransmissions (packets / wire bytes incl. headers).
+    retransmitted_packets: int = 0
+    retransmitted_bytes: int = 0
+    #: Standalone cumulative-ack packets (piggybacked acks are free).
+    ack_packets: int = 0
+    #: Reliability wire tax: sequence/ack headers plus standalone acks.
+    reliable_overhead_bytes: int = 0
+    #: Total fabric rounds the transport spun (1 per tick when fault-free).
+    transport_rounds: int = 0
+    # --- checkpoint / crash recovery ------------------------------------ #
+    crashes: int = 0
+    recoveries: int = 0
+    #: Logical ticks re-executed from delivery logs during restarts.
+    replayed_ticks: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+    #: Simulated time charged for restarts (restore + replay compute).
+    recovery_us: float = 0.0
 
     # ------------------------------------------------------------------ #
     def _sum(self, attr: str):
@@ -123,9 +156,17 @@ class TraversalStats:
 
     def summary(self) -> str:
         """Single-line human-readable digest (examples / harness output)."""
-        return (
+        line = (
             f"{self.algorithm} on {self.machine}/{self.topology} p={self.num_ranks}: "
             f"{self.time_us / 1e6:.4f}s sim, {self.ticks} ticks, "
             f"{self.total_visits} visits, {self.total_packets} packets, "
             f"hit-rate {self.cache_hit_rate():.3f}"
         )
+        if self.fault_seed is not None:
+            line += (
+                f" | faults seed={self.fault_seed}: "
+                f"{self.packets_dropped} dropped, "
+                f"{self.retransmitted_packets} retransmits, "
+                f"{self.recoveries} recoveries"
+            )
+        return line

@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault plan and injector."""
+
+import pytest
+
+from repro.comm.faults import CrashEvent, FaultDecision, FaultInjector, FaultPlan
+from repro.errors import ConfigurationError
+
+
+class TestFaultPlan:
+    def test_defaults_are_noop(self):
+        plan = FaultPlan()
+        assert not plan.any_faults
+        assert not plan.has_crashes
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_delay=0)
+
+    def test_crash_event_validated(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(tick=0, rank=1)
+        with pytest.raises(ConfigurationError):
+            CrashEvent(tick=1, rank=-1)
+        with pytest.raises(ConfigurationError):
+            CrashEvent(tick=1, rank=0, down_rounds=0)
+
+    def test_crashes_normalised_to_tuple(self):
+        plan = FaultPlan(crashes=[CrashEvent(tick=3, rank=1)])
+        assert isinstance(plan.crashes, tuple)
+        assert plan.has_crashes and plan.any_faults
+
+    def test_crashes_at(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(3, 1), CrashEvent(3, 2), CrashEvent(9, 0))
+        )
+        assert [e.rank for e in plan.crashes_at(3)] == [1, 2]
+        assert plan.crashes_at(4) == []
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "seed=7,drop=0.02,dup=0.01,delay=0.05,maxdelay=4,crash=40:2:6"
+        )
+        assert plan.seed == 7
+        assert plan.drop_rate == 0.02
+        assert plan.duplicate_rate == 0.01
+        assert plan.delay_rate == 0.05
+        assert plan.max_delay == 4
+        assert plan.crashes == (CrashEvent(tick=40, rank=2, down_rounds=6),)
+
+    def test_multiple_crashes(self):
+        plan = FaultPlan.from_spec("crash=40:2+90:1:8")
+        assert plan.crashes == (
+            CrashEvent(tick=40, rank=2),
+            CrashEvent(tick=90, rank=1, down_rounds=8),
+        )
+
+    def test_empty_spec_is_noop(self):
+        assert not FaultPlan.from_spec("").any_faults
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus=1", "drop", "drop=lots", "crash=40", "crash=a:b", "seed=x"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec(spec)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan(seed=5, drop_rate=0.2, duplicate_rate=0.2, delay_rate=0.3)
+        a = [FaultInjector(plan).decide() for _ in range(1)]  # warm check
+        inj1, inj2 = FaultInjector(plan), FaultInjector(plan)
+        seq1 = [inj1.decide() for _ in range(500)]
+        seq2 = [inj2.decide() for _ in range(500)]
+        assert seq1 == seq2
+        assert (inj1.dropped, inj1.duplicated, inj1.delayed) == (
+            inj2.dropped,
+            inj2.duplicated,
+            inj2.delayed,
+        )
+        assert isinstance(a[0], FaultDecision)
+
+    def test_different_seeds_differ(self):
+        def mk(s):
+            inj = FaultInjector(FaultPlan(seed=s, drop_rate=0.2, duplicate_rate=0.2))
+            return [inj.decide() for _ in range(200)]
+
+        assert mk(1) != mk(2)
+
+    def test_zero_rates_never_fault(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        for _ in range(100):
+            d = inj.decide()
+            assert not d.dropped and not d.duplicated and d.delay == 0
+        assert inj.dropped == inj.duplicated == inj.delayed == 0
+
+    def test_rates_roughly_respected(self):
+        inj = FaultInjector(FaultPlan(seed=3, drop_rate=0.5))
+        for _ in range(1000):
+            inj.decide()
+        assert 400 < inj.dropped < 600
+
+    def test_delays_bounded(self):
+        inj = FaultInjector(FaultPlan(seed=3, delay_rate=0.9, max_delay=3))
+        delays = {inj.decide().delay for _ in range(500)}
+        assert delays <= {0, 1, 2, 3}
+        assert max(delays) >= 1

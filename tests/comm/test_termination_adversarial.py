@@ -1,0 +1,174 @@
+"""Adversarial soundness of the counting quiescence detector.
+
+The detector's guarantee is *safety*: it must never announce global
+termination while visitor work remains anywhere — queued locally, buffered
+in a mailbox, or in flight.  Here a seeded adversary delays control and
+visitor packets and permutes delivery order across channels (per-channel
+FIFO is preserved — that is what the fabric, plain or reliable,
+guarantees), while a random workload spawns visitors that create work at
+their destinations.  At every tick where the root has announced
+termination, the system must genuinely be quiet; and once the workload
+dries up, termination must still be reached (liveness under bounded
+delay).
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import KIND_CONTROL, KIND_VISITOR
+from repro.comm.network import Network
+from repro.comm.routing import DirectTopology
+from repro.comm.termination import LocalSnapshot, QuiescenceDetector
+
+
+class AdversarialFabric:
+    """Re-delivers flushed packets with seeded delays and cross-channel
+    permutation.  Per-channel ``(src, dst)`` FIFO order is preserved and
+    no packet is held more than ``max_hold`` ticks past arrival."""
+
+    def __init__(self, num_ranks: int, rng, max_hold: int = 4):
+        self.num_ranks = num_ranks
+        self.rng = rng
+        self.max_hold = max_hold
+        self._channels: dict[tuple[int, int], deque] = {}
+
+    def pending_visitor_count(self) -> int:
+        return sum(
+            env.count
+            for q in self._channels.values()
+            for _, pkt in q
+            for env in pkt.envelopes
+            if env.kind == KIND_VISITOR
+        )
+
+    def exchange(self, arrivals):
+        for pkts in arrivals:
+            for pkt in pkts:
+                ch = (pkt.src, pkt.hop_dest)
+                self._channels.setdefault(ch, deque()).append([0, pkt])
+        groups: dict[int, list[list]] = {r: [] for r in range(self.num_ranks)}
+        for ch in sorted(self._channels):
+            q = self._channels[ch]
+            release = int(self.rng.integers(0, len(q) + 1))
+            if release == 0 and q and q[0][0] >= self.max_hold:
+                release = 1  # bounded delay: the front packet is overdue
+            batch = [q.popleft()[1] for _ in range(release)]
+            if batch:
+                groups[ch[1]].append(batch)
+            for item in q:
+                item[0] += 1
+        out = [[] for _ in range(self.num_ranks)]
+        for r, chunks in groups.items():
+            order = self.rng.permutation(len(chunks))
+            out[r] = [pkt for i in order for pkt in chunks[i]]
+        return out
+
+
+class ChaosHarness:
+    """Random visitor workload over the adversarial fabric."""
+
+    def __init__(self, p: int, seed: int, budget: int = 120):
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+        self.net = Network(p)
+        topo = DirectTopology(p)
+        self.boxes = [Mailbox(r, topo, self.net) for r in range(p)]
+        self.fabric = AdversarialFabric(p, self.rng)
+        self.work = [0] * p
+        self.work[0] = 3  # seed work at the root's rank
+        self.budget = budget  # total visitor sends (guarantees drain)
+        self.detectors = [
+            QuiescenceDetector(r, p, self.boxes[r], self._snapshot_fn(r))
+            for r in range(p)
+        ]
+        # one guaranteed visitor so every example exercises the fabric
+        self.boxes[0].send(p - 1, KIND_VISITOR, "seed", 8)
+
+    def _snapshot_fn(self, r):
+        return lambda: LocalSnapshot(
+            sent=self.boxes[r].visitors_sent,
+            received=self.boxes[r].visitors_received,
+            quiet=self.work[r] == 0,
+        )
+
+    def work_remaining(self) -> bool:
+        outstanding = sum(b.visitors_sent for b in self.boxes) - sum(
+            b.visitors_received for b in self.boxes
+        )
+        return any(self.work) or outstanding > 0
+
+    def tick(self):
+        arrivals = self.fabric.exchange(self.net.advance())
+        for r, box in enumerate(self.boxes):
+            for env in box.receive(arrivals[r]):
+                if env.kind == KIND_CONTROL:
+                    self.detectors[r].handle(env.payload)
+                else:
+                    self.work[r] += 1  # each visitor creates local work
+        for r in range(self.p):
+            if self.work[r]:
+                self.work[r] -= 1
+                if self.budget > 0 and self.rng.random() < 0.7:
+                    dest = int(self.rng.integers(0, self.p))
+                    self.boxes[r].send(dest, KIND_VISITOR, "w", 8)
+                    self.budget -= 1
+        if not self.detectors[0].terminated:
+            self.detectors[0].maybe_start_wave()
+        for box in self.boxes:
+            box.flush()
+
+
+@settings(max_examples=15)
+@given(
+    p=st.sampled_from([2, 3, 5, 8]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_detector_never_fires_with_work_remaining(p, seed):
+    h = ChaosHarness(p, seed)
+    terminated_at = None
+    for t in range(800):
+        h.tick()
+        if h.detectors[0].terminated:
+            # safety: the announcement implies the system is truly quiet
+            assert not h.work_remaining(), (
+                f"detector fired at tick {t} with work remaining (seed={seed})"
+            )
+            assert h.fabric.pending_visitor_count() == 0
+        if all(d.terminated for d in h.detectors):
+            terminated_at = t
+            break
+    # liveness: the workload is finite and delays are bounded
+    assert terminated_at is not None, f"no termination within 800 ticks (seed={seed})"
+    sent = sum(b.visitors_sent for b in h.boxes)
+    recv = sum(b.visitors_received for b in h.boxes)
+    assert sent == recv
+    assert sent > 0  # the workload actually exercised the fabric
+
+
+def test_withheld_visitor_blocks_forever():
+    """Direct adversarial hold: a visitor packet parked past every wave
+    keeps the detector silent no matter how control traffic is permuted."""
+    h = ChaosHarness(2, seed=1, budget=0)
+    h.work = [0, 0]
+    h.boxes[0].send(1, KIND_VISITOR, "parked", 8)
+    h.fabric.max_hold = 10**9  # the adversary never releases visitor data
+    orig_exchange = AdversarialFabric.exchange
+
+    def control_only(self, arrivals):
+        out = orig_exchange(self, arrivals)
+        kept = [[] for _ in range(self.num_ranks)]
+        for r, pkts in enumerate(out):
+            for pkt in pkts:
+                if any(e.kind == KIND_VISITOR for e in pkt.envelopes):
+                    continue  # swallow visitor packets entirely
+                kept[r].append(pkt)
+        return kept
+
+    h.fabric.exchange = control_only.__get__(h.fabric, AdversarialFabric)
+    for _ in range(60):
+        h.tick()
+    assert not any(d.terminated for d in h.detectors)

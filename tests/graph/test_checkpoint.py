@@ -48,6 +48,23 @@ class TestRoundTrip:
         save_distributed_graph(graph, path)
         assert load_distributed_graph(path).strategy == "1d"
 
+    def test_ghost_budget_roundtrips_when_unmaterialized(self, tmp_path):
+        # Regression: the saved num_ghosts must be the build-time *budget*,
+        # not max(materialized candidates).  Build with a budget far larger
+        # than any partition can fill; the loaded graph must carry the same
+        # budget so a later rebuild behaves identically.
+        _, graph = build_rmat_graph(7, num_partitions=4, num_ghosts=10_000, seed=3)
+        assert graph.num_ghosts == 10_000
+        assert all(
+            p.ghost_candidates.size < 10_000 for p in graph.partitions
+        )
+        path = tmp_path / "budget.npz"
+        save_distributed_graph(graph, path)
+        loaded = load_distributed_graph(path)
+        assert loaded.num_ghosts == 10_000
+        for a, b in zip(loaded.partitions, graph.partitions):
+            assert np.array_equal(a.ghost_candidates, b.ghost_candidates)
+
 
 class TestValidation:
     def test_not_a_checkpoint(self, tmp_path):

@@ -1,0 +1,147 @@
+"""The fault-equivalence invariant (the PR's acceptance bar).
+
+For every algorithm x topology x batch-mode combination, a run under an
+adversarial fault plan — packet drops, duplications, delays, plus a rank
+crash with checkpoint/replay recovery — must terminate through the counting
+quiescence detector with vertex states and logical visit counts
+*bit-identical* to the fault-free run on the same reliable transport.
+Faults are allowed to change only simulated time and wire-level traffic.
+
+The baseline is the reliable transport with no faults: the reliable layer
+releases packets in canonical ``(src, seq)`` order (reconstructible across
+crash recovery), which differs from the plain fabric's injection order only
+in same-tick tie-breaks (identical BFS levels, occasionally different but
+equally valid parents); see INTERNALS §8.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.kcore import kcore
+from repro.algorithms.sssp import sssp
+from repro.comm.faults import CrashEvent, FaultPlan
+from repro.generators.rmat import rmat_edges
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
+
+NOISE_PLAN = FaultPlan(
+    seed=7, drop_rate=0.03, duplicate_rate=0.02, delay_rate=0.05, max_delay=3
+)
+CRASH_PLAN = FaultPlan(
+    seed=7,
+    drop_rate=0.03,
+    duplicate_rate=0.02,
+    crashes=(CrashEvent(tick=6, rank=2),),
+)
+
+
+@pytest.fixture(scope="module")
+def graph_and_source():
+    src, dst = rmat_edges(7, 16 << 7, seed=42)
+    edges = EdgeList.from_arrays(src, dst, 1 << 7).permuted(seed=43).simple_undirected()
+    g = DistributedGraph.build(edges, 8, num_ghosts=8)
+    return g, int(edges.src[0])
+
+
+def _result_arrays(algorithm, result):
+    """The algorithm's vertex-state output arrays, by name."""
+    data = result.data
+    if algorithm == "bfs":
+        return {"levels": data.levels, "parents": data.parents}
+    if algorithm == "sssp":
+        return {"distances": data.distances, "parents": data.parents}
+    if algorithm == "cc":
+        return {"labels": data.labels}
+    return {"alive": data.alive}
+
+
+def _run(algorithm, g, s, **kwargs):
+    if algorithm == "bfs":
+        return bfs(g, s, **kwargs)
+    if algorithm == "sssp":
+        return sssp(g, s, **kwargs)
+    if algorithm == "cc":
+        return connected_components(g, **kwargs)
+    return kcore(g, 3, **kwargs)
+
+
+def assert_equivalent(algorithm, faulty, baseline):
+    for name, arr in _result_arrays(algorithm, faulty).items():
+        expected = _result_arrays(algorithm, baseline)[name]
+        assert np.array_equal(arr, expected), f"{name} diverged under faults"
+    fs, bs = faulty.stats, baseline.stats
+    assert fs.ticks == bs.ticks
+    assert fs.total_visits == bs.total_visits
+    assert fs.total_previsits == bs.total_previsits
+    assert [r.visits for r in fs.ranks] == [r.visits for r in bs.ranks]
+    assert [r.edges_scanned for r in fs.ranks] == [
+        r.edges_scanned for r in bs.ranks
+    ]
+    assert fs.termination_waves == bs.termination_waves
+
+
+# kcore is object-path only (no supports_batch); the others run both modes.
+MATRIX = [
+    (alg, topology, batch)
+    for alg in ("bfs", "sssp", "cc", "kcore")
+    for topology in ("direct", "2d")
+    for batch in ((False, True) if alg != "kcore" else (False,))
+]
+
+
+def _ids(case):
+    alg, topology, batch = case
+    return f"{alg}-{topology}-{'batch' if batch else 'object'}"
+
+
+@pytest.mark.parametrize("case", MATRIX, ids=_ids)
+class TestFaultEquivalence:
+    def test_noise_plan(self, case, graph_and_source):
+        alg, topology, batch = case
+        g, s = graph_and_source
+        baseline = _run(alg, g, s, reliable=True, topology=topology, batch=batch)
+        faulty = _run(
+            alg, g, s, faults=NOISE_PLAN, topology=topology, batch=batch
+        )
+        assert_equivalent(alg, faulty, baseline)
+        # the run must actually have been perturbed, and must cost time
+        assert faulty.stats.packets_dropped > 0
+        assert faulty.stats.retransmitted_packets > 0
+        assert faulty.stats.fault_seed == 7
+        assert faulty.stats.time_us > baseline.stats.time_us
+
+    def test_crash_plan(self, case, graph_and_source):
+        alg, topology, batch = case
+        g, s = graph_and_source
+        baseline = _run(alg, g, s, reliable=True, topology=topology, batch=batch)
+        faulty = _run(
+            alg, g, s, faults=CRASH_PLAN, topology=topology, batch=batch
+        )
+        assert_equivalent(alg, faulty, baseline)
+        assert faulty.stats.crashes == 1
+        assert faulty.stats.recoveries == 1
+        assert faulty.stats.replayed_ticks > 0
+        assert faulty.stats.checkpoints_taken > 0
+        assert faulty.stats.recovery_us > 0.0
+
+
+class TestFaultsOnlyStretchTime:
+    def test_wire_traffic_grows_but_logical_counts_do_not(self, graph_and_source):
+        g, s = graph_and_source
+        baseline = bfs(g, s, reliable=True)
+        faulty = bfs(g, s, faults=NOISE_PLAN)
+        assert faulty.stats.total_packets == baseline.stats.total_packets
+        assert faulty.stats.total_bytes == baseline.stats.total_bytes
+        assert faulty.stats.retransmitted_bytes > 0
+        assert faulty.stats.reliable_overhead_bytes > baseline.stats.reliable_overhead_bytes
+
+    def test_same_plan_same_run(self, graph_and_source):
+        g, s = graph_and_source
+        r1 = bfs(g, s, faults=NOISE_PLAN)
+        r2 = bfs(g, s, faults=NOISE_PLAN)
+        assert r1.stats.time_us == r2.stats.time_us
+        assert r1.stats.packets_dropped == r2.stats.packets_dropped
+        assert r1.stats.retransmitted_packets == r2.stats.retransmitted_packets
+        assert np.array_equal(r1.data.parents, r2.data.parents)

@@ -54,6 +54,27 @@ class TestTermination:
         with pytest.raises(TraversalError):
             bfs(g, s, config=EngineConfig(max_ticks=2))
 
+    def test_max_ticks_error_carries_partial_stats(self, graph_and_edges):
+        """A run killed by the tick guard still hands back its trace so the
+        caller can see how far it got (essential for chaos debugging)."""
+        g, edges = graph_and_edges
+        s = int(edges.src[0])
+        with pytest.raises(TraversalError) as excinfo:
+            bfs(g, s, config=EngineConfig(max_ticks=3, trace_timeline=True))
+        stats = excinfo.value.stats
+        assert stats is not None
+        assert stats.ticks == 3
+        assert stats.total_visits > 0
+        assert stats.time_us > 0.0
+        assert len(stats.ranks) == g.num_partitions
+        # a full run's prefix matches the truncated trace
+        full = bfs(g, s, config=EngineConfig(trace_timeline=True))
+        assert full.stats.ticks > 3
+        assert len(stats.timeline) == 3
+        assert [
+            (t.tick, t.visits_this_tick) for t in stats.timeline
+        ] == [(t.tick, t.visits_this_tick) for t in full.stats.timeline[:3]]
+
 
 class TestClock:
     def test_time_positive_and_bounded_below_by_ticks(self, graph_and_edges):

@@ -66,6 +66,55 @@ class TestAlgorithms:
         assert rc == 0
 
 
+class TestFaultFlags:
+    def test_bfs_with_faults(self, capsys):
+        rc = main(["bfs", "--scale", "7", "-p", "4",
+                   "--faults", "seed=7,drop=0.02,dup=0.01,delay=0.03"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults seed=7" in out  # summary line reports the chaos
+
+    def test_bfs_faults_match_fault_free(self, capsys):
+        rc = main(["bfs", "--scale", "7", "-p", "4", "--reliable"])
+        assert rc == 0
+        clean = capsys.readouterr().out
+        rc = main(["bfs", "--scale", "7", "-p", "4",
+                   "--faults", "seed=3,drop=0.05"])
+        assert rc == 0
+        faulty = capsys.readouterr().out
+        # reached/depth are bit-identical under faults; only the simulated
+        # time (and therefore MTEPS) is allowed to differ
+        def result_part(out):
+            line = next(l for l in out.splitlines() if "reached" in l)
+            return line.split(" MTEPS")[0].rsplit(",", 1)[0]
+
+        assert result_part(clean) == result_part(faulty)
+
+    def test_bfs_with_crash(self, capsys):
+        rc = main(["bfs", "--scale", "7", "-p", "4",
+                   "--faults", "seed=7,drop=0.02,crash=5:1",
+                   "--checkpoint-interval", "4"])
+        assert rc == 0
+        assert "recoveries" in capsys.readouterr().out
+
+    def test_kcore_with_faults(self, capsys):
+        rc = main(["kcore", "--scale", "7", "-p", "4", "-k", "3",
+                   "--faults", "seed=2,drop=0.03"])
+        assert rc == 0
+        assert "3-core" in capsys.readouterr().out
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["bfs", "--scale", "7", "-p", "4", "--faults", "bogus=1"])
+
+    def test_bfs_batch_flag(self, capsys):
+        rc = main(["bfs", "--scale", "7", "-p", "4", "--batch"])
+        assert rc == 0
+        assert "MTEPS" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_unknown_name(self, capsys):
         rc = main(["experiment", "nonexistent"])
