@@ -5,7 +5,9 @@ checks the two produce identical results and traversal stats (the batch
 path's defining contract), and reports the host wall-clock speedup.  Also
 reports — never gates — the reliable-delivery transport's no-fault
 overhead (host time, simulated time and protocol bytes vs the plain
-fabric).
+fabric) and the bounded-mailbox ledger's no-pressure overhead (a cap
+high enough that backpressure never engages, measuring pure flow-control
+bookkeeping cost).
 
 Usage::
 
@@ -96,8 +98,26 @@ def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
         "reliable_overhead_bytes": rel.stats.reliable_overhead_bytes,
         "reliable_ack_packets": rel.stats.ack_packets,
     }
+    # Bounded-mailbox no-pressure tax, report-only (never gated): the same
+    # traversal with a cap so generous the credit gate never fires — any
+    # slowdown is pure flow-control bookkeeping (the byte ledger and the
+    # idle spill pager), and simulated time must be bit-identical.
+    best_cap = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cap = bfs(graph, source, machine=machine, mailbox_cap=1 << 30)
+        best_cap = min(best_cap, time.perf_counter() - t0)
+    pressure = {
+        "pressure_seconds": round(best_cap, 4),
+        "pressure_host_overhead": round(best_cap / timings["object"], 3),
+        "pressure_sim_overhead": round(
+            cap.stats.time_us / obj.stats.time_us, 4
+        ),
+        "pressure_bp_stalls": cap.stats.total_bp_stalls,
+    }
     return {
         **reliable,
+        **pressure,
         "algorithm": "bfs",
         "machine": "laptop",
         "scale": scale,
@@ -149,6 +169,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{record['reliable_sim_overhead']:.4f}x simulated time, "
           f"{record['reliable_overhead_bytes']} protocol bytes, "
           f"{record['reliable_ack_packets']} ack packets")
+    print(f"bounded mailbox (no pressure, report-only): "
+          f"{record['pressure_seconds']:.3f}s host "
+          f"({record['pressure_host_overhead']:.2f}x object), "
+          f"{record['pressure_sim_overhead']:.4f}x simulated time, "
+          f"{record['pressure_bp_stalls']} backpressure stalls")
     if not (record["stats_equal"] and record["data_equal"]):
         print("FAIL: batch path diverged from the object path "
               f"(stats_equal={record['stats_equal']}, "

@@ -37,6 +37,8 @@ from repro.algorithms.triangles import triangle_count
 from repro.algorithms.wedge_sampling import sample_triangle_estimate
 from repro.analysis.teps import bfs_traversed_edges, mteps
 from repro.comm.faults import FaultPlan
+from repro.memory.faults import StorageFaultPlan
+from repro.runtime.pressure import StragglerPlan
 from repro.bench.harness import pick_bfs_source
 from repro.generators.preferential_attachment import preferential_attachment_edges
 from repro.generators.rmat import rmat_edges
@@ -79,6 +81,25 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
         "--checkpoint-interval", type=int, default=None, metavar="TICKS",
         help="ticks between crash-recovery checkpoints (default: 16 "
              "whenever the fault plan crashes ranks)")
+    parser.add_argument(
+        "--mailbox-cap", type=int, default=None, metavar="BYTES",
+        help="per-destination cap on mailbox aggregation buffers; overflow "
+             "backpressures the sender and spills to external memory "
+             "(results stay bit-identical)")
+    parser.add_argument(
+        "--queue-spill", type=int, default=None, metavar="N",
+        help="resident pending-visitor limit per rank; overflow pages "
+             "through the external-memory spill log")
+    parser.add_argument(
+        "--storage-faults", metavar="SPEC", default=None,
+        help="inject seeded storage faults, e.g. "
+             "'seed=7,readerr=0.05,spike=0.02,torn=0.01,slow=4,retries=3' "
+             "(needs an NVRAM machine or an active spill)")
+    parser.add_argument(
+        "--stragglers", metavar="SPEC", default=None,
+        help="slow some ranks down, e.g. "
+             "'seed=3,factor=4,fraction=0.25,rebalance=0.5' or "
+             "'ranks=1+5,factor=8' (simulated time only)")
 
 
 def _traversal_kwargs(args) -> dict:
@@ -90,6 +111,14 @@ def _traversal_kwargs(args) -> dict:
         kwargs["reliable"] = True
     if args.checkpoint_interval is not None:
         kwargs["checkpoint_interval"] = args.checkpoint_interval
+    if args.mailbox_cap is not None:
+        kwargs["mailbox_cap"] = args.mailbox_cap
+    if args.queue_spill is not None:
+        kwargs["queue_spill"] = args.queue_spill
+    if args.storage_faults:
+        kwargs["storage_faults"] = StorageFaultPlan.from_spec(args.storage_faults)
+    if args.stragglers:
+        kwargs["stragglers"] = StragglerPlan.from_spec(args.stragglers)
     return kwargs
 
 

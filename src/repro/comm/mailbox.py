@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm.message import KIND_VISITOR, Envelope, Packet
+from repro.comm.message import ENVELOPE_HEADER_BYTES, KIND_VISITOR, Envelope, Packet
 from repro.comm.network import Network
 from repro.comm.routing import Topology
 from repro.errors import CommunicationError
+from repro.memory.spill import NS_MAILBOX
 
 
 class Mailbox:
@@ -40,17 +41,36 @@ class Mailbox:
         network: Network,
         *,
         aggregation_size: int = 16,
+        capacity_bytes: int | None = None,
+        spill=None,
     ) -> None:
         if aggregation_size < 1:
             raise CommunicationError(f"aggregation_size must be >= 1, got {aggregation_size}")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise CommunicationError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
         self.rank = rank
         self.topology = topology
         self.network = network
         self.aggregation_size = aggregation_size
+        #: Per-destination (per next hop) DRAM cap on buffered wire bytes.
+        #: None = unbounded (no backpressure accounting at all).  With a
+        #: cap, bytes beyond it backpressure the producer — each overflow
+        #: message is a credit stall — and overflow wire bytes live in the
+        #: external-memory spill log until the buffer flushes.  The cap is
+        #: pure flow control: it never changes which envelopes go into
+        #: which packet, so logical counters stay bit-identical.
+        self.capacity_bytes = capacity_bytes
+        #: Optional :class:`~repro.memory.spill.SpillPager` charging the
+        #: overflow bytes' device I/O (None = account, don't meter).
+        self.spill = spill
         self._buffers: dict[int, list[Envelope]] = {}
         #: logical message count per hop buffer (an envelope contributes
         #: ``count`` — batch envelopes stand for many messages).
         self._buffer_counts: dict[int, int] = {}
+        #: total buffered wire bytes per hop (DRAM-resident + spilled).
+        self._buffer_bytes: dict[int, int] = {}
+        #: the spilled (beyond-cap) portion of each hop buffer, bytes.
+        self._spill_bytes: dict[int, int] = {}
         self._local: list[Envelope] = []
         # next-hop lookup table for this rank (hot path: one list index
         # instead of a routing-method call per enqueued envelope)
@@ -71,6 +91,15 @@ class Mailbox:
         self.bytes_sent = 0
         #: envelopes re-routed here mid-route (intermediate-hop traffic).
         self.envelopes_forwarded = 0
+        #: logical messages that hit backpressure (landed beyond the cap).
+        self.bp_stalls = 0
+        #: wire bytes spilled to external memory under backpressure.
+        self.bp_spilled_bytes = 0
+        #: spilled bytes read back at flush time.
+        self.bp_unspilled_bytes = 0
+        #: high-water mark of DRAM-resident buffered bytes on any one hop
+        #: (the backpressure invariant: never exceeds ``capacity_bytes``).
+        self.max_resident_bytes = 0
 
     # ------------------------------------------------------------------ #
     def send(self, dest: int, kind: int, payload: object, size_bytes: int) -> None:
@@ -144,12 +173,42 @@ class Mailbox:
                              sub.slice(lo, hi), size_bytes, hi - lo)
                 )
 
+    def _account(self, hop: int, env: Envelope) -> None:
+        """Flow-control accounting for one envelope entering a hop buffer.
+
+        Byte-granular so the object and batch paths agree exactly: the
+        cumulative buffered bytes of a hop determine how much of this
+        envelope lands beyond the cap, independent of envelope boundaries.
+        Overflow bytes go to the spill log; each logical message with
+        bytes beyond the cap counts one credit stall.
+        """
+        per_msg = env.size_bytes + ENVELOPE_HEADER_BYTES
+        pre = self._buffer_bytes.get(hop, 0)
+        post = pre + env.count * per_msg
+        self._buffer_bytes[hop] = post
+        cap = self.capacity_bytes
+        over_pre = pre - cap if pre > cap else 0
+        over_post = post - cap if post > cap else 0
+        spilled = over_post - over_pre
+        if spilled:
+            self._spill_bytes[hop] = self._spill_bytes.get(hop, 0) + spilled
+            self.bp_spilled_bytes += spilled
+            self.bp_stalls += -(-spilled // per_msg)  # ceil division
+            if self.spill is not None:
+                self.spill.spill(NS_MAILBOX, spilled)
+        resident = post - over_post
+        if resident > self.max_resident_bytes:
+            self.max_resident_bytes = resident
+
     def _enqueue(self, env: Envelope) -> None:
         hop = self._hop_row[env.dest]
         agg = self.aggregation_size
+        bounded = self.capacity_bytes is not None
         buffered = self._buffer_counts.get(hop, 0)
         if env.count == 1:  # object-path / control fast path
             self._buffers.setdefault(hop, []).append(env)
+            if bounded:
+                self._account(hop, env)
             if buffered + 1 >= agg:
                 self._flush_hop(hop)
             else:
@@ -163,10 +222,14 @@ class Mailbox:
             space = agg - buffered
             if env.count < space:
                 self._buffers.setdefault(hop, []).append(env)
+                if bounded:
+                    self._account(hop, env)
                 self._buffer_counts[hop] = buffered + env.count
                 return
             head, tail = _split_envelope(env, space)
             self._buffers.setdefault(hop, []).append(head)
+            if bounded:
+                self._account(hop, head)
             self._buffer_counts[hop] = agg
             self._flush_hop(hop)
             buffered = 0
@@ -175,6 +238,15 @@ class Mailbox:
     def _flush_hop(self, hop: int) -> None:
         buf = self._buffers.pop(hop, None)
         self._buffer_counts.pop(hop, None)
+        if self.capacity_bytes is not None:
+            self._buffer_bytes.pop(hop, None)
+            spilled = self._spill_bytes.pop(hop, None)
+            if spilled:
+                # read the overflow back from the spill log before the
+                # packet goes on the wire
+                self.bp_unspilled_bytes += spilled
+                if self.spill is not None:
+                    self.spill.unspill(NS_MAILBOX, spilled)
         if not buf:
             return
         pkt = Packet(src=self.rank, hop_dest=hop, envelopes=buf)
@@ -221,31 +293,72 @@ class Mailbox:
         """Checkpointable endpoint state (counters + unflushed envelopes).
 
         Envelopes and visitor payloads are never mutated after construction,
-        so the snapshot shares them and copies only the containers.
+        so the snapshot shares them and copies only the containers.  The
+        flow-control ledger (per-hop byte totals, spilled portions, credit
+        counters) round-trips with the buffers: restoring buffered
+        multi-hop envelopes without their byte accounting would desynchronise
+        the backpressure ledger on the first replayed flush.
         """
         return {
             "buffers": {hop: list(buf) for hop, buf in self._buffers.items()},
             "buffer_counts": dict(self._buffer_counts),
+            "buffer_bytes": dict(self._buffer_bytes),
+            "spill_bytes": dict(self._spill_bytes),
             "local": list(self._local),
             "visitors_sent": self.visitors_sent,
             "visitors_received": self.visitors_received,
             "packets_sent": self.packets_sent,
             "bytes_sent": self.bytes_sent,
             "envelopes_forwarded": self.envelopes_forwarded,
+            "bp_stalls": self.bp_stalls,
+            "bp_spilled_bytes": self.bp_spilled_bytes,
+            "bp_unspilled_bytes": self.bp_unspilled_bytes,
+            "max_resident_bytes": self.max_resident_bytes,
         }
 
     def restore_state(self, snap: dict) -> None:
-        """Reinstall a :meth:`snapshot_state` checkpoint in place."""
+        """Reinstall a :meth:`snapshot_state` checkpoint in place.
+
+        Any beyond-cap portion of the restored buffers is re-written to
+        the spill log: the pre-crash copy was consumed when the original
+        flush read it back, and the restarted rank's DRAM copy is gone, so
+        without the re-write a replayed flush would read past the log end.
+        (Engine checkpoints are taken post-flush with empty buffers, where
+        this is a no-op; it matters for mid-buffer snapshots.)
+        """
         self._buffers = {hop: list(buf) for hop, buf in snap["buffers"].items()}
         self._buffer_counts = dict(snap["buffer_counts"])
+        self._buffer_bytes = dict(snap["buffer_bytes"])
+        self._spill_bytes = dict(snap["spill_bytes"])
+        if self.spill is not None:
+            for spilled in self._spill_bytes.values():
+                self.spill.spill(NS_MAILBOX, spilled)
         self._local = list(snap["local"])
         self.visitors_sent = snap["visitors_sent"]
         self.visitors_received = snap["visitors_received"]
         self.packets_sent = snap["packets_sent"]
         self.bytes_sent = snap["bytes_sent"]
         self.envelopes_forwarded = snap["envelopes_forwarded"]
+        self.bp_stalls = snap["bp_stalls"]
+        self.bp_spilled_bytes = snap["bp_spilled_bytes"]
+        self.bp_unspilled_bytes = snap["bp_unspilled_bytes"]
+        self.max_resident_bytes = snap["max_resident_bytes"]
 
     # ------------------------------------------------------------------ #
+    def resident_bytes(self, hop: int | None = None) -> int:
+        """DRAM-resident buffered wire bytes on ``hop`` (or the maximum
+        over all hops when None) — the quantity the backpressure invariant
+        bounds by :attr:`capacity_bytes`."""
+        cap = self.capacity_bytes
+
+        def _resident(h: int) -> int:
+            total = self._buffer_bytes.get(h, 0)
+            return total if cap is None or total <= cap else cap
+
+        if hop is not None:
+            return _resident(hop)
+        return max((_resident(h) for h in self._buffer_bytes), default=0)
+
     def has_buffered(self) -> bool:
         """True when unflushed envelopes are sitting in aggregation buffers
         or the local loopback queue."""

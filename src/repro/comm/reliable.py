@@ -69,6 +69,9 @@ class TransportReport:
     duplicated: int = 0
     delayed: int = 0
     duplicates_discarded: int = 0
+    #: data injections deferred a round because the per-channel in-flight
+    #: window was full (bounded-transport flow control).
+    window_stalls: int = 0
     lost_to_down: int = 0
     replay_skipped: int = 0
     replay_resent: int = 0
@@ -106,9 +109,14 @@ class ReliableTransport:
         max_attempts: int = 16,
         backoff_cap: int = 64,
         max_rounds_per_tick: int = 100_000,
+        channel_window: int | None = None,
     ) -> None:
         if num_ranks < 1:
             raise CommunicationError(f"need at least 1 rank, got {num_ranks}")
+        if channel_window is not None and channel_window < 1:
+            raise CommunicationError(
+                f"channel_window must be >= 1, got {channel_window}"
+            )
         if retransmit_timeout < 3:
             # data hop + ack hop + one round of slack: anything shorter
             # retransmits spuriously on a healthy fabric.
@@ -123,6 +131,11 @@ class ReliableTransport:
         self.max_attempts = max_attempts
         self.backoff_cap = backoff_cap
         self.max_rounds = max_rounds_per_tick
+        #: Max unacked data packets per (src, dst) channel; further
+        #: injections wait in the queue until acks free window slots.
+        #: Flow control only: per-channel FIFO release order is unchanged,
+        #: so the logical delivery schedule stays identical.
+        self.channel_window = channel_window
 
         #: Cumulative fabric statistics (wire truth: every transmission,
         #: retransmissions, duplicates and acks included).
@@ -294,6 +307,23 @@ class ReliableTransport:
         due = [item for item in self._queued if item[0] <= now]
         if due:
             self._queued = [item for item in self._queued if item[0] > now]
+        if self.channel_window is not None and due:
+            # credit gate: injections beyond the per-channel window wait a
+            # round for acks to free slots (relative order preserved)
+            inject: list = []
+            injected_now: dict[tuple[int, int], int] = {}
+            for item in due:
+                pkt = item[1]
+                ch = (pkt.src, pkt.hop_dest)
+                outstanding = (len(self._unacked.get(ch, ()))
+                               + injected_now.get(ch, 0))
+                if outstanding < self.channel_window:
+                    inject.append(item)
+                    injected_now[ch] = injected_now.get(ch, 0) + 1
+                else:
+                    rep.window_stalls += 1
+                    self._queued.append((now + 1, pkt))
+            due = inject
         # piggyback owed acks onto departing reverse-direction data
         for _, pkt in due:
             owed = (pkt.hop_dest, pkt.src)  # channel whose receiver is pkt.src

@@ -38,6 +38,7 @@ from repro.comm.mailbox import Mailbox
 from repro.core.batch import GhostArrayTable, VisitorBatch, concat_ranges
 from repro.core.visitor import ROLE_MASTER
 from repro.memory.page_cache import NAMESPACE_SHIFT
+from repro.memory.spill import NS_QUEUE, QUEUE_ENTRY_OVERHEAD_BYTES
 from repro.runtime.trace import RankCounters
 from repro.types import VID_DTYPE
 
@@ -86,6 +87,9 @@ class BatchVisitorQueueRank:
         )
         self._heap: list[tuple] = []
         self._seq = 0
+        #: queue entries currently living in the external spill log
+        #: (tick-granularity ledger; see :meth:`sync_spill`).
+        self._spilled_visitors = 0
 
     @property
     def num_local_states(self) -> int:
@@ -302,6 +306,23 @@ class BatchVisitorQueueRank:
     def queue_length(self) -> int:
         return len(self._heap)
 
+    def sync_spill(self, pager, resident_limit: int) -> None:
+        """Reconcile the external-memory queue overflow with the current
+        queue depth — identical ledger arithmetic to the object path's
+        :meth:`~repro.core.visitor_queue.VisitorQueueRank.sync_spill`, so
+        spill I/O and counters match byte-for-byte across the two paths.
+        """
+        entry_bytes = self.algorithm.visitor_bytes + QUEUE_ENTRY_OVERHEAD_BYTES
+        target = max(0, self.queue_length() - resident_limit)
+        cur = self._spilled_visitors
+        if target > cur:
+            pager.spill(NS_QUEUE, (target - cur) * entry_bytes)
+            self.counters.queue_spilled += target - cur
+        elif target < cur:
+            pager.unspill(NS_QUEUE, (cur - target) * entry_bytes)
+            self.counters.queue_unspilled += cur - target
+        self._spilled_visitors = target
+
     def sync_mailbox_counters(self) -> None:
         """Mirror mailbox counters into this rank's trace counters."""
         c = self.counters
@@ -311,3 +332,5 @@ class BatchVisitorQueueRank:
         c.packets_sent = mb.packets_sent
         c.bytes_sent = mb.bytes_sent
         c.envelopes_forwarded = mb.envelopes_forwarded
+        c.bp_stalls = mb.bp_stalls
+        c.bp_spilled_bytes = mb.bp_spilled_bytes

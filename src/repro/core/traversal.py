@@ -46,6 +46,10 @@ def run_traversal(
     faults=None,
     reliable: bool | None = None,
     checkpoint_interval: int | None = None,
+    mailbox_cap: int | None = None,
+    queue_spill: int | None = None,
+    storage_faults=None,
+    stragglers=None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -82,6 +86,23 @@ def run_traversal(
     checkpoint_interval:
         Override :attr:`EngineConfig.checkpoint_interval` (ticks between
         crash-recovery epoch checkpoints).
+    mailbox_cap:
+        Override :attr:`EngineConfig.mailbox_cap_bytes` — per-destination
+        DRAM cap on mailbox aggregation buffers; overflow backpressures
+        the producer and spills to external memory.  Cost-only: results
+        and logical counters stay bit-identical to the unbounded run.
+    queue_spill:
+        Override :attr:`EngineConfig.queue_spill` — resident pending-
+        visitor limit per rank; overflow pages through the external-memory
+        spill log (the paper's §V-A external queue).  Cost-only.
+    storage_faults:
+        Override :attr:`EngineConfig.storage_faults` — a
+        :class:`~repro.memory.faults.StorageFaultPlan` for the simulated
+        devices.  Cost-only (plus fault counters).
+    stragglers:
+        Override :attr:`EngineConfig.stragglers` — a
+        :class:`~repro.runtime.pressure.StragglerPlan` of per-rank
+        slowdowns.  Cost-only.
     """
     overrides: dict = {}
     if batch is not None:
@@ -92,6 +113,14 @@ def run_traversal(
         overrides["reliable"] = reliable
     if checkpoint_interval is not None:
         overrides["checkpoint_interval"] = checkpoint_interval
+    if mailbox_cap is not None:
+        overrides["mailbox_cap_bytes"] = mailbox_cap
+    if queue_spill is not None:
+        overrides["queue_spill"] = queue_spill
+    if storage_faults is not None:
+        overrides["storage_faults"] = storage_faults
+    if stragglers is not None:
+        overrides["stragglers"] = stragglers
     if overrides:
         config = replace(config or EngineConfig(), **overrides)
     engine = SimulationEngine(

@@ -40,6 +40,7 @@ import numpy as np
 from repro.comm.mailbox import Mailbox
 from repro.comm.message import KIND_VISITOR
 from repro.core.visitor import ROLE_MASTER, ROLE_REPLICA, Visitor
+from repro.memory.spill import NS_QUEUE, QUEUE_ENTRY_OVERHEAD_BYTES
 from repro.runtime.trace import RankCounters
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -91,6 +92,9 @@ class VisitorQueueRank:
         ]
         self._heap: list[tuple[int, int, int, Visitor]] = []
         self._seq = 0
+        #: queue entries currently living in the external spill log
+        #: (tick-granularity ledger; see :meth:`sync_spill`).
+        self._spilled_visitors = 0
 
     # ------------------------------------------------------------------ #
     # Graph context exposed to visitors
@@ -224,6 +228,26 @@ class VisitorQueueRank:
     def queue_length(self) -> int:
         return len(self._heap)
 
+    def sync_spill(self, pager, resident_limit: int) -> None:
+        """Reconcile the external-memory queue overflow with the current
+        queue depth (the paper's §V-A external queue, at tick granularity).
+
+        Entries beyond ``resident_limit`` live in the spill log: growth
+        since the last call is written out, shrinkage read back in, both
+        charged through ``pager``.  Pure cost accounting — pop order and
+        visitor execution are untouched, so results stay bit-identical.
+        """
+        entry_bytes = self.algorithm.visitor_bytes + QUEUE_ENTRY_OVERHEAD_BYTES
+        target = max(0, self.queue_length() - resident_limit)
+        cur = self._spilled_visitors
+        if target > cur:
+            pager.spill(NS_QUEUE, (target - cur) * entry_bytes)
+            self.counters.queue_spilled += target - cur
+        elif target < cur:
+            pager.unspill(NS_QUEUE, (cur - target) * entry_bytes)
+            self.counters.queue_unspilled += cur - target
+        self._spilled_visitors = target
+
     def sync_mailbox_counters(self) -> None:
         """Mirror mailbox counters into this rank's trace counters."""
         c = self.counters
@@ -233,6 +257,8 @@ class VisitorQueueRank:
         c.packets_sent = mb.packets_sent
         c.bytes_sent = mb.bytes_sent
         c.envelopes_forwarded = mb.envelopes_forwarded
+        c.bp_stalls = mb.bp_stalls
+        c.bp_spilled_bytes = mb.bp_spilled_bytes
 
 
 _EMPTY = np.empty(0, dtype=np.int64)

@@ -9,7 +9,9 @@ rationale.
 
 from repro.memory.backing import PagedCSR
 from repro.memory.device import MemoryDevice, dram, fusion_io, sata_ssd
+from repro.memory.faults import StorageFaultInjector, StorageFaultPlan
 from repro.memory.page_cache import PageCache
+from repro.memory.spill import SpillPager
 
 __all__ = [
     "MemoryDevice",
@@ -18,4 +20,7 @@ __all__ = [
     "sata_ssd",
     "PageCache",
     "PagedCSR",
+    "SpillPager",
+    "StorageFaultPlan",
+    "StorageFaultInjector",
 ]

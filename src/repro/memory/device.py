@@ -42,6 +42,11 @@ class MemoryDevice:
     bandwidth_bytes_per_us: float
     #: Concurrent outstanding reads the device services at full rate.
     io_parallelism: int
+    #: Latency of one page write (None = same as read; NAND program
+    #: operations are typically slower than reads).
+    write_latency_us: float | None = None
+    #: Sustained write bandwidth (None = same as read).
+    write_bandwidth_bytes_per_us: float | None = None
 
     def __post_init__(self) -> None:
         if self.read_latency_us < 0:
@@ -50,6 +55,11 @@ class MemoryDevice:
             raise MemorySystemError(f"non-positive bandwidth for {self.name}")
         if self.io_parallelism < 1:
             raise MemorySystemError(f"io_parallelism must be >= 1 for {self.name}")
+        if self.write_latency_us is not None and self.write_latency_us < 0:
+            raise MemorySystemError(f"negative write latency for {self.name}")
+        if (self.write_bandwidth_bytes_per_us is not None
+                and self.write_bandwidth_bytes_per_us <= 0):
+            raise MemorySystemError(f"non-positive write bandwidth for {self.name}")
 
     def batch_read_us(self, num_pages: int, page_size: int, *, concurrency: int | None = None) -> float:
         """Time to read ``num_pages`` random pages issued as one batch.
@@ -62,6 +72,20 @@ class MemoryDevice:
         overlap = self.io_parallelism if concurrency is None else max(1, min(concurrency, self.io_parallelism))
         waves = ceil(num_pages / overlap)
         return waves * self.read_latency_us + num_pages * page_size / self.bandwidth_bytes_per_us
+
+    def batch_write_us(self, num_pages: int, page_size: int, *, concurrency: int | None = None) -> float:
+        """Time to write ``num_pages`` pages issued as one batch (same
+        concurrency model as :meth:`batch_read_us`; used by the external-
+        memory spill path)."""
+        if num_pages == 0:
+            return 0.0
+        latency = self.write_latency_us if self.write_latency_us is not None else self.read_latency_us
+        bw = (self.write_bandwidth_bytes_per_us
+              if self.write_bandwidth_bytes_per_us is not None
+              else self.bandwidth_bytes_per_us)
+        overlap = self.io_parallelism if concurrency is None else max(1, min(concurrency, self.io_parallelism))
+        waves = ceil(num_pages / overlap)
+        return waves * latency + num_pages * page_size / bw
 
 
 def dram() -> MemoryDevice:

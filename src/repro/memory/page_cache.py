@@ -49,6 +49,14 @@ class PageCache:
         # per-epoch (per-tick) counters, drained by the engine
         self.epoch_hits = 0
         self.epoch_misses = 0
+        #: Optional :class:`~repro.memory.faults.StorageFaultInjector`;
+        #: when set, each drained epoch's miss batch is inspected for
+        #: read errors / spikes / torn pages and the extra time charged.
+        self.fault_injector = None
+        #: The last drained epoch's :class:`~repro.memory.faults.
+        #: EpochStorageFaults` (None when fault-free) — read by the engine
+        #: to surface fault counters and escalate permanent failures.
+        self.last_epoch_faults = None
 
     # ------------------------------------------------------------------ #
     def access(self, page_id: int) -> bool:
@@ -134,11 +142,23 @@ class PageCache:
         """Charge and reset the current epoch's accesses.
 
         Returns the simulated time for this epoch: hits at DRAM page cost,
-        misses as one concurrent device batch.
+        misses as one concurrent device batch.  With a
+        :attr:`fault_injector` attached, the miss batch is additionally
+        inspected for storage faults (retries with backoff, latency
+        spikes, torn-page re-reads, degraded bandwidth) whose time is
+        charged on top; the tally lands in :attr:`last_epoch_faults`.
         """
+        misses = self.epoch_misses
         cost = self.epoch_hits * HIT_COST_US + self.device.batch_read_us(
-            self.epoch_misses, self.page_size, concurrency=concurrency
+            misses, self.page_size, concurrency=concurrency
         )
+        self.last_epoch_faults = None
+        if self.fault_injector is not None and misses:
+            faults = self.fault_injector.inspect_epoch(
+                misses, self.device, self.page_size
+            )
+            cost += faults.extra_us
+            self.last_epoch_faults = faults
         self.epoch_hits = 0
         self.epoch_misses = 0
         return cost

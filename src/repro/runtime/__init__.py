@@ -18,6 +18,7 @@ from repro.runtime.costmodel import (
     trestles,
 )
 from repro.runtime.engine import SimulationEngine
+from repro.runtime.pressure import StragglerClock, StragglerPlan
 from repro.runtime.trace import RankCounters, TraversalStats
 
 __all__ = [
@@ -31,4 +32,6 @@ __all__ = [
     "SimulationEngine",
     "RankCounters",
     "TraversalStats",
+    "StragglerPlan",
+    "StragglerClock",
 ]

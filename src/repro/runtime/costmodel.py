@@ -41,6 +41,9 @@ class MachineModel:
     hop_latency_us: float
     #: Floor on tick duration (scheduler / polling quantum).
     min_tick_us: float
+    #: Stall charged per logical message that hits mailbox backpressure
+    #: (one credit round-trip's amortised share; bounded-mailbox runs only).
+    credit_stall_us: float = 1.0
     #: Where the CSR lives: :data:`STORAGE_DRAM` or :data:`STORAGE_NVRAM`.
     storage: str = STORAGE_DRAM
     #: Backing device when ``storage == "nvram"``.
@@ -62,7 +65,7 @@ class MachineModel:
         if self.storage == STORAGE_NVRAM and self.device is None:
             raise ConfigurationError("NVRAM storage requires a device model")
         for field_name in ("visit_us", "previsit_us", "edge_scan_us", "packet_overhead_us",
-                           "byte_us", "hop_latency_us", "min_tick_us",
+                           "byte_us", "hop_latency_us", "min_tick_us", "credit_stall_us",
                            "checkpoint_byte_us", "restore_byte_us", "restart_us"):
             if getattr(self, field_name) < 0:
                 raise ConfigurationError(f"{field_name} must be >= 0")
@@ -134,6 +137,27 @@ class EngineConfig:
     #: Safety valve: abort if one tick's delivery cannot complete within
     #: this many fabric rounds.
     max_rounds_per_tick: int = 100_000
+    # --- resource-pressure knobs (INTERNALS §9) ------------------------ #
+    #: Per-destination (per next hop) DRAM cap on mailbox aggregation
+    #: buffers, bytes.  Overflow backpressures the producer (a credit
+    #: stall per message) and spills to external memory; None = unbounded.
+    mailbox_cap_bytes: int | None = None
+    #: Resident pending-visitor limit per rank; overflow pages through the
+    #: external-memory spill log (the paper's §V-A external queue).
+    #: None = fully DRAM-resident.
+    queue_spill: int | None = None
+    #: Storage fault plan (``repro.memory.faults.StorageFaultPlan``;
+    #: None = healthy devices).
+    storage_faults: object | None = None
+    #: Straggler plan (``repro.runtime.pressure.StragglerPlan``;
+    #: None = uniform rank speeds).
+    stragglers: object | None = None
+    #: Per-channel in-flight window of the reliable transport (max unacked
+    #: packets per (src, dst) pair; None = unbounded).  Requires the
+    #: reliable transport.
+    transport_window: int | None = None
+    #: Dedicated spill-pager cache capacity, pages (per rank).
+    spill_cache_pages: int = 16
 
     def __post_init__(self) -> None:
         if self.visitor_budget < 1:
@@ -153,6 +177,20 @@ class EngineConfig:
             raise ConfigurationError("retransmit_max_attempts must be >= 1")
         if self.max_rounds_per_tick < 1:
             raise ConfigurationError("max_rounds_per_tick must be >= 1")
+        if self.mailbox_cap_bytes is not None and self.mailbox_cap_bytes < 1:
+            raise ConfigurationError("mailbox_cap_bytes must be >= 1")
+        if self.queue_spill is not None and self.queue_spill < 0:
+            raise ConfigurationError("queue_spill must be >= 0")
+        if self.transport_window is not None:
+            if self.transport_window < 1:
+                raise ConfigurationError("transport_window must be >= 1")
+            if not self.reliable_active:
+                raise ConfigurationError(
+                    "transport_window requires the reliable transport "
+                    "(set reliable=True or provide a fault plan)"
+                )
+        if self.spill_cache_pages < 1:
+            raise ConfigurationError("spill_cache_pages must be >= 1")
 
     # ------------------------------------------------------------------ #
     @property
@@ -160,6 +198,12 @@ class EngineConfig:
         """Whether this run uses the reliable transport (explicitly, or
         implied by a fault plan)."""
         return self.reliable or self.faults is not None
+
+    @property
+    def spill_active(self) -> bool:
+        """Whether this run needs a per-rank external-memory spill pager
+        (a bounded mailbox or a resident-limited visitor queue)."""
+        return self.mailbox_cap_bytes is not None or self.queue_spill is not None
 
     @property
     def checkpoint_every(self) -> int:

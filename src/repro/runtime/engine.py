@@ -32,12 +32,21 @@ from repro.core.batch import GhostArrayTable
 from repro.core.batch_queue import BatchVisitorQueueRank
 from repro.core.visitor import ROLE_GHOST, AsyncAlgorithm
 from repro.core.visitor_queue import VisitorQueueRank
-from repro.errors import TerminationError, TraversalError
+from repro.errors import (
+    ConfigurationError,
+    MemorySystemError,
+    TerminationError,
+    TraversalError,
+)
 from repro.graph.distributed import DistributedGraph
 from repro.graph.ghosts import GhostTable
 from repro.memory.backing import PagedCSR
+from repro.memory.device import dram
+from repro.memory.faults import StorageFaultInjector
 from repro.memory.page_cache import PageCache
+from repro.memory.spill import SpillPager
 from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
+from repro.runtime.pressure import StragglerClock
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.trace import TickSample, TraversalStats
 
@@ -79,11 +88,35 @@ class SimulationEngine:
                 retransmit_timeout=self.config.retransmit_timeout,
                 max_attempts=self.config.retransmit_max_attempts,
                 max_rounds_per_tick=self.config.max_rounds_per_tick,
+                channel_window=self.config.transport_window,
             )
         else:
             self.network = Network(p)
+
+        #: Per-rank external-memory spill logs, present only under resource
+        #: pressure (bounded mailboxes or a visitor-queue resident limit).
+        #: Each pager owns its own small page cache so the CSR cache's
+        #: hit/miss counters stay bit-identical to an unpressured run.
+        self.spills: list[SpillPager | None] = [None] * p
+        if self.config.spill_active:
+            spill_device = machine.device if machine.device is not None else dram()
+            self.spills = [
+                SpillPager(
+                    page_size=machine.page_size,
+                    device=spill_device,
+                    cache_pages=self.config.spill_cache_pages,
+                )
+                for _ in range(p)
+            ]
         self.mailboxes = [
-            Mailbox(r, self.topology, self.network, aggregation_size=self.config.aggregation_size)
+            Mailbox(
+                r,
+                self.topology,
+                self.network,
+                aggregation_size=self.config.aggregation_size,
+                capacity_bytes=self.config.mailbox_cap_bytes,
+                spill=self.spills[r],
+            )
             for r in range(p)
         ]
 
@@ -105,6 +138,33 @@ class SimulationEngine:
                 )
                 self.caches[r] = cache
                 paged[r] = PagedCSR(graph.partitions[r].csr, cache)
+
+        #: Storage fault injection: one deterministic per-rank stream shared
+        #: by the rank's CSR cache and spill cache (drained CSR-first, so
+        #: the uniform draws land identically run to run).
+        self.storage_plan = self.config.storage_faults
+        if self.storage_plan is not None and self.storage_plan.any_faults:
+            has_target = any(c is not None for c in self.caches) or any(
+                s is not None for s in self.spills
+            )
+            if not has_target:
+                raise ConfigurationError(
+                    "storage_faults configured but no component performs "
+                    "device I/O (need an NVRAM machine or an active spill "
+                    "pager via mailbox_cap_bytes/queue_spill)"
+                )
+            for r in range(p):
+                injector = StorageFaultInjector(self.storage_plan, r, p)
+                if self.caches[r] is not None:
+                    self.caches[r].fault_injector = injector
+                if self.spills[r] is not None:
+                    self.spills[r].cache.fault_injector = injector
+
+        #: Straggler simulation: seeded per-rank slowdowns applied to tick
+        #: costs (simulated time only — the logical schedule is untouched).
+        self.straggler: StragglerClock | None = None
+        if self.config.stragglers is not None and self.config.stragglers.any_skew:
+            self.straggler = StragglerClock(self.config.stragglers, p)
 
         algorithm.bind(graph)
         #: Whether the vectorized batch fast path is active this run.
@@ -196,11 +256,16 @@ class SimulationEngine:
         # Warm (caller-provided) caches carry statistics from earlier
         # traversals; report per-run deltas.
         cache_base = [
-            (c.hits, c.misses) if c is not None else (0, 0) for c in self.caches
+            (c.hits, c.misses, c.evictions) if c is not None else (0, 0, 0)
+            for c in self.caches
         ]
         for c in self.caches:
             if c is not None:
                 c.drain_epoch_us()  # discard any epoch residue defensively
+        if self.storage_plan is not None and self.storage_plan.any_faults:
+            stats.storage_fault_seed = self.storage_plan.seed
+        if self.straggler is not None:
+            stats.max_slowdown = float(self.straggler.max_slowdown)
 
         if self.batch_mode:
             for r in range(p):
@@ -216,6 +281,13 @@ class SimulationEngine:
         # cost deltas, columns: previsits, visits, edges, packets, bytes.
         prev = np.zeros((p, 5), dtype=np.int64)
         cur = np.empty((p, 5), dtype=np.int64)
+        # Cumulative backpressure stalls already charged (the mailboxes keep
+        # the ledger; the engine charges per-tick deltas into the clock).
+        bp_prev = np.zeros(p, dtype=np.int64)
+        if cfg.trace_timeline:
+            last_cache_hits = sum(c.hits for c in self.caches if c is not None)
+            last_cache_misses = sum(c.misses for c in self.caches if c is not None)
+            last_bp_stalls = 0
 
         if self.recovery is not None:
             stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
@@ -276,6 +348,24 @@ class SimulationEngine:
                 cache = self.caches[r]
                 if cache is not None:
                     costs[r] += cache.drain_epoch_us(concurrency=cfg.io_concurrency)
+                    self._charge_storage_faults(stats, costs, r, cache)
+                spill = self.spills[r]
+                if spill is not None:
+                    if cfg.queue_spill is not None:
+                        self.ranks[r].sync_spill(spill, cfg.queue_spill)
+                    spill_us = spill.drain_epoch_us(concurrency=cfg.io_concurrency)
+                    if spill_us:
+                        costs[r] += spill_us
+                        stats.spill_io_us += spill_us
+                    self._charge_storage_faults(stats, costs, r, spill.cache)
+                if cfg.mailbox_cap_bytes is not None:
+                    stalls = self.mailboxes[r].bp_stalls
+                    bp_delta = stalls - bp_prev[r]
+                    bp_prev[r] = stalls
+                    if bp_delta:
+                        charge = bp_delta * m.credit_stall_us
+                        costs[r] += charge
+                        stats.backpressure_stall_us += charge
             if report is not None:
                 # Reliability tax and recovery time, kept out of the logical
                 # counters: retransmissions and standalone acks pay packet
@@ -294,8 +384,13 @@ class SimulationEngine:
                 self._accumulate_report(stats, report)
             if checkpoint_costs is not None:
                 costs += checkpoint_costs
-            tick_cost = float(costs.max())
-            tick_time = max(tick_cost, m.min_tick_us)
+            if self.straggler is not None:
+                tick_cost = self.straggler.tick_cost(costs)
+                tick_floor = self.straggler.pacing_floor(m.min_tick_us)
+            else:
+                tick_cost = float(costs.max())
+                tick_floor = m.min_tick_us
+            tick_time = max(tick_cost, tick_floor)
             if had_traffic or not self.network.idle():
                 hops = 1 if report is None else max(1, report.data_latency)
                 tick_time = max(tick_time, m.hop_latency_us * hops)
@@ -304,6 +399,9 @@ class SimulationEngine:
 
             if cfg.trace_timeline:
                 visits_now = sum(rk.counters.visits for rk in self.ranks)
+                hits_now = sum(c.hits for c in self.caches if c is not None)
+                misses_now = sum(c.misses for c in self.caches if c is not None)
+                bp_now = sum(mb.bp_stalls for mb in self.mailboxes)
                 stats.timeline.append(
                     TickSample(
                         tick=ticks,
@@ -322,9 +420,15 @@ class SimulationEngine:
                         recoveries=(
                             len(report.recovered) if report is not None else 0
                         ),
+                        cache_hits=hits_now - last_cache_hits,
+                        cache_misses=misses_now - last_cache_misses,
+                        bp_stalls=bp_now - last_bp_stalls,
                     )
                 )
                 last_total_visits = visits_now
+                last_cache_hits = hits_now
+                last_cache_misses = misses_now
+                last_bp_stalls = bp_now
 
             # ---- stop? -------------------------------------------------
             if self.detectors is not None:
@@ -370,12 +474,41 @@ class SimulationEngine:
         self.ranks[r].process(self.config.visitor_budget)
         return controls
 
+    def _charge_storage_faults(self, stats, costs, r: int, cache) -> None:
+        """Fold one cache's epoch fault record into the run stats; escalate
+        permanent read failures to the recovery manager (or fail the run).
+
+        The retry/backoff/degradation time itself is already inside the
+        drain cost; this accumulates the observability counters and charges
+        the replicated-store re-fetch for pages the device gave up on.
+        """
+        faults = cache.last_epoch_faults
+        if faults is None:
+            return
+        stats.storage_retries += faults.retries
+        stats.storage_spikes += faults.spikes
+        stats.torn_pages += faults.torn_pages
+        stats.storage_fault_us += faults.extra_us
+        if faults.permanent_failures:
+            stats.storage_errors += faults.permanent_failures
+            if self.recovery is None:
+                raise MemorySystemError(
+                    f"rank {r}: {faults.permanent_failures} page read(s) "
+                    f"still failing after "
+                    f"{self.storage_plan.max_retries} retries with no "
+                    f"recovery manager to re-fetch them (enable the "
+                    f"reliable transport with checkpointing, or lower "
+                    f"read_error_rate)"
+                )
+            costs[r] += self.recovery.storage_recover(r, faults.permanent_failures)
+            stats.storage_recoveries += faults.permanent_failures
+
     def _finalize_stats(
         self,
         stats: TraversalStats,
         ticks: int,
         time_us: float,
-        cache_base: list[tuple[int, int]],
+        cache_base: list[tuple[int, int, int]],
     ) -> None:
         """Fold per-rank counters (and recovery totals) into ``stats``."""
         for r in range(self.graph.num_partitions):
@@ -385,6 +518,7 @@ class SimulationEngine:
             if cache is not None:
                 rank.counters.cache_hits = cache.hits - cache_base[r][0]
                 rank.counters.cache_misses = cache.misses - cache_base[r][1]
+                rank.counters.cache_evictions = cache.evictions - cache_base[r][2]
             stats.ranks.append(rank.counters)
         stats.ticks = ticks
         stats.time_us = time_us
@@ -393,6 +527,10 @@ class SimulationEngine:
         if self.recovery is not None:
             stats.checkpoints_taken = self.recovery.checkpoints_taken
             stats.checkpoint_bytes = self.recovery.checkpoint_bytes
+        if self.straggler is not None:
+            stats.straggler_stall_us = self.straggler.stall_us
+            stats.rebalanced_us = self.straggler.rebalanced_us
+            stats.max_slowdown = float(self.straggler.max_slowdown)
 
     @staticmethod
     def _accumulate_report(stats: TraversalStats, report) -> None:
@@ -406,6 +544,7 @@ class SimulationEngine:
         stats.ack_packets += sum(report.ack_packets)
         stats.reliable_overhead_bytes += sum(report.overhead_bytes)
         stats.transport_rounds += report.rounds
+        stats.transport_window_stalls += report.window_stalls
         stats.crashes += len(report.crashed)
         stats.recoveries += len(report.recovered)
         stats.replayed_ticks += report.replayed_ticks

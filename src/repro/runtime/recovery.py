@@ -185,3 +185,21 @@ class RecoveryManager:
         c = self.engine.ranks[r].counters
         mb = self.engine.mailboxes[r]
         return (c.previsits, c.visits, c.edges_scanned, mb.packets_sent, mb.bytes_sent)
+
+    # ------------------------------------------------------------------ #
+    def storage_recover(self, r: int, num_pages: int) -> float:
+        """Escalation path for permanent device read failures.
+
+        A page that still fails after the page cache's bounded retries is
+        lost to the local device; the paper's substrate keeps the graph
+        image replicated across the checkpoint store, so the rank re-fetches
+        the page over the network instead of dying.  Returns the simulated
+        cost: one round trip plus the page bytes at checkpoint-restore
+        bandwidth.  Pure cost — the cache already installed the page, so no
+        simulated state changes.
+        """
+        m = self.engine.machine
+        page = self.engine.machine.page_size
+        return num_pages * (
+            2 * m.hop_latency_us + page * (m.restore_byte_us + m.byte_us)
+        )

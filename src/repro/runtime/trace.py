@@ -29,6 +29,15 @@ class RankCounters:
     envelopes_forwarded: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
+    # resource pressure (zero when unconstrained)
+    #: logical messages that hit mailbox backpressure on this rank.
+    bp_stalls: int = 0
+    #: mailbox overflow bytes spilled to external memory.
+    bp_spilled_bytes: int = 0
+    #: pending visitors paged out of / back into the external queue.
+    queue_spilled: int = 0
+    queue_unspilled: int = 0
     busy_us: float = 0.0
 
 
@@ -45,6 +54,10 @@ class TickSample:
     retransmits: int = 0
     faults: int = 0  # drops + duplications + delays injected this tick
     recoveries: int = 0  # rank restarts completed this tick
+    # Memory-pressure activity (zero when unconstrained).
+    cache_hits: int = 0  # page-cache hits across ranks this tick
+    cache_misses: int = 0
+    bp_stalls: int = 0  # messages backpressured this tick
 
 
 @dataclass
@@ -94,6 +107,35 @@ class TraversalStats:
     #: Simulated time charged for restarts (restore + replay compute).
     recovery_us: float = 0.0
 
+    # --- resource pressure (zero when unconstrained; INTERNALS §9) ------ #
+    #: Simulated time charged for credit-stall waits under backpressure.
+    backpressure_stall_us: float = 0.0
+    #: Simulated time charged for spill-log device I/O (writes + reads).
+    spill_io_us: float = 0.0
+    #: Reliable-transport injections deferred by the per-channel window.
+    transport_window_stalls: int = 0
+    #: Seed of the active storage fault plan (None = healthy devices).
+    storage_fault_seed: int | None = None
+    #: Storage fault outcomes: retried reads, latency spikes, torn pages
+    #: (checksum re-reads) and permanent failures.
+    storage_retries: int = 0
+    storage_spikes: int = 0
+    torn_pages: int = 0
+    storage_errors: int = 0
+    #: Pages re-fetched through the recovery manager after permanent
+    #: device failures.
+    storage_recoveries: int = 0
+    #: Simulated time the storage faults added (retries/backoff/spikes/
+    #: re-reads/degraded bandwidth).
+    storage_fault_us: float = 0.0
+    #: Largest per-rank slowdown of the active straggler plan (1.0 = none).
+    max_slowdown: float = 1.0
+    #: Simulated time lost to straggler skew (after rebalance).
+    straggler_stall_us: float = 0.0
+    #: Simulated time work stealing clawed back from the skewed critical
+    #: path.
+    rebalanced_us: float = 0.0
+
     # ------------------------------------------------------------------ #
     def _sum(self, attr: str):
         return sum(getattr(r, attr) for r in self.ranks)
@@ -139,6 +181,22 @@ class TraversalStats:
         return self._sum("cache_misses")
 
     @property
+    def total_cache_evictions(self) -> int:
+        return self._sum("cache_evictions")
+
+    @property
+    def total_bp_stalls(self) -> int:
+        return self._sum("bp_stalls")
+
+    @property
+    def total_bp_spilled_bytes(self) -> int:
+        return self._sum("bp_spilled_bytes")
+
+    @property
+    def total_queue_spilled(self) -> int:
+        return self._sum("queue_spilled")
+
+    @property
     def time_seconds(self) -> float:
         return self.time_us * 1e-6
 
@@ -168,5 +226,22 @@ class TraversalStats:
                 f"{self.packets_dropped} dropped, "
                 f"{self.retransmitted_packets} retransmits, "
                 f"{self.recoveries} recoveries"
+            )
+        if self.total_bp_stalls or self.total_queue_spilled:
+            line += (
+                f" | pressure: {self.total_bp_stalls} bp-stalls, "
+                f"{self.total_bp_spilled_bytes} bytes spilled, "
+                f"{self.total_queue_spilled} visitors paged out"
+            )
+        if self.storage_fault_seed is not None:
+            line += (
+                f" | storage seed={self.storage_fault_seed}: "
+                f"{self.storage_retries} retries, {self.torn_pages} torn, "
+                f"{self.storage_errors} failures"
+            )
+        if self.max_slowdown > 1.0:
+            line += (
+                f" | stragglers x{self.max_slowdown:g}: "
+                f"{self.straggler_stall_us / 1e6:.4f}s stalled"
             )
         return line

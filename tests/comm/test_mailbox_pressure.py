@@ -1,0 +1,175 @@
+"""Bounded-mailbox flow control: the backpressure invariant, the
+byte-granular ledger, and checkpoint round-tripping of flow-control state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import ENVELOPE_HEADER_BYTES, KIND_VISITOR
+from repro.comm.network import Network
+from repro.comm.routing import DirectTopology, Grid2DTopology
+from repro.core.batch import VisitorBatch
+from repro.errors import CommunicationError
+from repro.memory.device import dram
+from repro.memory.spill import NS_MAILBOX, SpillPager
+
+
+def _fabric(p, topo_cls=DirectTopology, agg=16, cap=None, spill=False):
+    net = Network(p)
+    topo = topo_cls(p)
+    pagers = [
+        SpillPager(page_size=64, device=dram()) if spill else None
+        for _ in range(p)
+    ]
+    boxes = [
+        Mailbox(r, topo, net, aggregation_size=agg, capacity_bytes=cap,
+                spill=pagers[r])
+        for r in range(p)
+    ]
+    return net, boxes, pagers
+
+
+def _batch(dests):
+    n = len(dests)
+    return (
+        np.asarray(dests, dtype=np.int64),
+        VisitorBatch(np.arange(n, dtype=np.int64), np.zeros(n, dtype=np.int64)),
+    )
+
+
+class TestBackpressureInvariant:
+    def test_cap_validation(self):
+        net = Network(2)
+        with pytest.raises(CommunicationError):
+            Mailbox(0, DirectTopology(2), net, capacity_bytes=0)
+
+    def test_resident_bytes_never_exceed_cap(self):
+        cap = 50
+        net, boxes, _ = _fabric(2, agg=64, cap=cap)
+        for i in range(40):
+            boxes[0].send(1, KIND_VISITOR, i, 16)
+            assert boxes[0].resident_bytes() <= cap
+        assert boxes[0].max_resident_bytes <= cap
+        assert boxes[0].bp_stalls > 0
+        boxes[0].flush()
+        assert boxes[0].resident_bytes() == 0
+
+    def test_unbounded_mailbox_keeps_zero_counters(self):
+        net, boxes, _ = _fabric(2, agg=64)
+        for i in range(40):
+            boxes[0].send(1, KIND_VISITOR, i, 16)
+        assert boxes[0].bp_stalls == 0
+        assert boxes[0].bp_spilled_bytes == 0
+        assert boxes[0].max_resident_bytes == 0
+
+    def test_ledger_arithmetic(self):
+        # per-message wire size 16 + 8 = 24; cap 60 holds 2.5 messages
+        net, boxes, _ = _fabric(2, agg=64, cap=60)
+        mb = boxes[0]
+        for _ in range(5):
+            mb.send(1, KIND_VISITOR, 0, 16)
+        # 5 * 24 = 120 buffered; 60 beyond the cap; ceil(60/24) = 3 stalls
+        assert mb.bp_spilled_bytes == 60
+        assert mb.bp_stalls == 3
+        assert mb.resident_bytes() == 60
+        mb.flush()
+        assert mb.bp_unspilled_bytes == 60
+
+    def test_spilled_always_read_back_by_flush(self):
+        net, boxes, pagers = _fabric(2, agg=64, cap=40, spill=True)
+        for i in range(30):
+            boxes[0].send(1, KIND_VISITOR, i, 16)
+        boxes[0].flush()
+        assert boxes[0].bp_spilled_bytes == boxes[0].bp_unspilled_bytes > 0
+        assert pagers[0].bytes_spilled == pagers[0].bytes_unspilled
+
+
+class TestObjectBatchLedgerParity:
+    """The byte-granular ledger must be envelope-boundary independent:
+    N object sends and one N-visitor batch produce identical counters."""
+
+    @pytest.mark.parametrize("topo_cls", [DirectTopology, Grid2DTopology])
+    def test_send_batch_matches_n_sends(self, topo_cls):
+        dests = [1, 1, 1, 2, 2, 1, 3, 3, 3, 3, 1, 2] * 3
+        p = 4
+        _, obj_boxes, _ = _fabric(p, topo_cls=topo_cls, agg=8, cap=40)
+        _, bat_boxes, _ = _fabric(p, topo_cls=topo_cls, agg=8, cap=40)
+        for d in dests:
+            obj_boxes[0].send(d, KIND_VISITOR, 0, 16)
+        darr, batch = _batch(dests)
+        bat_boxes[0].send_stream(darr, batch, 16)
+        for name in ("bp_stalls", "bp_spilled_bytes", "max_resident_bytes",
+                     "visitors_sent", "packets_sent", "bytes_sent"):
+            assert getattr(obj_boxes[0], name) == getattr(bat_boxes[0], name), name
+
+    def test_split_batch_spill_matches_whole(self):
+        _, a_boxes, _ = _fabric(2, agg=100, cap=40)
+        _, b_boxes, _ = _fabric(2, agg=100, cap=40)
+        darr, batch = _batch([1] * 20)
+        a_boxes[0].send_batch(1, batch, 16)
+        head, tail = batch.split(7)
+        b_boxes[0].send_batch(1, head, 16)
+        b_boxes[0].send_batch(1, tail, 16)
+        assert a_boxes[0].bp_stalls == b_boxes[0].bp_stalls
+        assert a_boxes[0].bp_spilled_bytes == b_boxes[0].bp_spilled_bytes
+
+
+class TestSnapshotRoundTrip:
+    """Regression: a checkpoint taken while routed envelopes sit in the
+    aggregation buffers must round-trip the flow-control ledger, or the
+    first replayed flush desynchronises backpressure accounting."""
+
+    def _loaded_mailbox(self):
+        # 3x3 grid: rank 0 -> 8 routes through an intermediate hop, so
+        # buffered traffic is genuinely multi-hop.
+        net, boxes, pagers = _fabric(9, topo_cls=Grid2DTopology, agg=64,
+                                     cap=40, spill=True)
+        mb = boxes[0]
+        for i in range(10):
+            mb.send(8, KIND_VISITOR, i, 16)
+        assert mb.has_buffered() and mb.bp_spilled_bytes > 0
+        return net, mb, pagers[0]
+
+    def test_flow_control_state_round_trips(self):
+        _, mb, _ = self._loaded_mailbox()
+        snap = mb.snapshot_state()
+        before = (dict(mb._buffer_bytes), dict(mb._spill_bytes),
+                  mb.bp_stalls, mb.bp_spilled_bytes, mb.bp_unspilled_bytes,
+                  mb.max_resident_bytes)
+        # perturb past the checkpoint, then crash-restore
+        for i in range(20):
+            mb.send(8, KIND_VISITOR, 100 + i, 16)
+        mb.flush()
+        mb.restore_state(snap)
+        after = (dict(mb._buffer_bytes), dict(mb._spill_bytes),
+                 mb.bp_stalls, mb.bp_spilled_bytes, mb.bp_unspilled_bytes,
+                 mb.max_resident_bytes)
+        assert after == before
+
+    def test_replayed_flush_is_consistent_after_restore(self):
+        """After restore, re-running the identical sends and flushing must
+        reproduce the pre-crash ledger exactly — and the unspilled total
+        must match the spilled total once the buffers drain."""
+        net, mb, pager = self._loaded_mailbox()
+        snap = mb.snapshot_state()
+        for i in range(10, 20):
+            mb.send(8, KIND_VISITOR, i, 16)
+        mb.flush()
+        expect = (mb.bp_stalls, mb.bp_spilled_bytes, mb.bp_unspilled_bytes,
+                  mb.packets_sent, mb.bytes_sent)
+        mb.restore_state(snap)
+        for i in range(10, 20):
+            mb.send(8, KIND_VISITOR, i, 16)
+        mb.flush()
+        got = (mb.bp_stalls, mb.bp_spilled_bytes, mb.bp_unspilled_bytes,
+               mb.packets_sent, mb.bytes_sent)
+        assert got == expect
+        assert mb.bp_spilled_bytes == mb.bp_unspilled_bytes
+
+    def test_snapshot_shares_envelopes_not_containers(self):
+        _, mb, _ = self._loaded_mailbox()
+        snap = mb.snapshot_state()
+        n_buffered = sum(len(b) for b in snap["buffers"].values())
+        mb.flush()
+        assert sum(len(b) for b in snap["buffers"].values()) == n_buffered

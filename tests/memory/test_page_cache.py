@@ -188,3 +188,77 @@ class TestAccessPages:
     def test_random_streams_match_sequential(self, capacity, ids):
         a, b = self._both(capacity, ids)
         assert a == b
+
+
+class RecordingPageCache(PageCache):
+    """Records each drained epoch's (hits, misses) for the conservation
+    property below."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.drained = []
+
+    def drain_epoch_us(self, *, concurrency=None):
+        self.drained.append((self.epoch_hits, self.epoch_misses))
+        return super().drain_epoch_us(concurrency=concurrency)
+
+
+class TestEpochConservation:
+    """Every access lands in exactly one drained epoch: the per-tick
+    ``epoch_hits + epoch_misses`` drained by the engine must sum to the
+    cache's cumulative access total — including across warm-cache traversal
+    restarts and crash-recovery replays, which must neither drop nor
+    double-count an epoch."""
+
+    def _graph(self):
+        from repro.generators.rmat import rmat_edges
+        from repro.graph.edge_list import EdgeList
+        from repro.graph.distributed import DistributedGraph
+
+        src, dst = rmat_edges(7, 16 << 7, seed=42)
+        edges = (EdgeList.from_arrays(src, dst, 1 << 7)
+                 .permuted(seed=43).simple_undirected())
+        return DistributedGraph.build(edges, 8, num_ghosts=8)
+
+    def _machine(self):
+        from repro.runtime.costmodel import STORAGE_NVRAM, hyperion_dit
+
+        return hyperion_dit(STORAGE_NVRAM, cache_bytes_per_rank=32 * 1024)
+
+    def _caches(self, machine, p=8):
+        return [
+            RecordingPageCache(capacity_pages=machine.cache_pages_per_rank,
+                               page_size=machine.page_size,
+                               device=machine.device)
+            for _ in range(p)
+        ]
+
+    @staticmethod
+    def _assert_conserved(caches):
+        for c in caches:
+            drained = sum(h + m for h, m in c.drained)
+            assert drained == c.hits + c.misses
+            assert c.epoch_hits == 0 and c.epoch_misses == 0
+
+    def test_sums_across_warm_restarts(self):
+        from repro.algorithms.bfs import bfs
+
+        g = self._graph()
+        machine = self._machine()
+        caches = self._caches(machine)
+        for source in (0, 1, 2):
+            bfs(g, source, machine=machine, page_caches=caches)
+        assert any(c.drained for c in caches)
+        self._assert_conserved(caches)
+
+    def test_sums_across_crash_recovery(self):
+        from repro.algorithms.bfs import bfs
+        from repro.comm.faults import CrashEvent, FaultPlan
+
+        g = self._graph()
+        machine = self._machine()
+        caches = self._caches(machine)
+        plan = FaultPlan(seed=7, crashes=(CrashEvent(tick=6, rank=2),))
+        res = bfs(g, 0, machine=machine, page_caches=caches, faults=plan)
+        assert res.stats.recoveries == 1
+        self._assert_conserved(caches)

@@ -1,0 +1,217 @@
+"""Unit tests for the storage fault plan/injector and the spill pager."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemorySystemError
+from repro.memory.device import MemoryDevice, dram, fusion_io
+from repro.memory.faults import StorageFaultInjector, StorageFaultPlan
+from repro.memory.spill import NS_MAILBOX, NS_QUEUE, SpillPager
+
+
+class TestStorageFaultPlan:
+    def test_defaults_are_noop(self):
+        plan = StorageFaultPlan()
+        assert not plan.any_faults
+
+    def test_any_faults(self):
+        assert StorageFaultPlan(read_error_rate=0.1).any_faults
+        assert StorageFaultPlan(spike_rate=0.1).any_faults
+        assert StorageFaultPlan(torn_rate=0.1).any_faults
+        assert StorageFaultPlan(bandwidth_degradation=2.0).any_faults
+
+    @pytest.mark.parametrize("kwargs", [
+        {"read_error_rate": -0.1},
+        {"read_error_rate": 1.0},
+        {"spike_rate": 1.5},
+        {"torn_rate": -1e-9},
+        {"bandwidth_degradation": 0.5},
+        {"max_retries": 0},
+        {"spike_us": -1.0},
+        {"retry_backoff_us": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StorageFaultPlan(**kwargs)
+
+    def test_from_spec(self):
+        plan = StorageFaultPlan.from_spec(
+            "seed=7,readerr=0.05,spike=0.02,spikeus=800,torn=0.01,"
+            "slow=4,retries=5,backoff=25"
+        )
+        assert plan.seed == 7
+        assert plan.read_error_rate == 0.05
+        assert plan.spike_rate == 0.02
+        assert plan.spike_us == 800.0
+        assert plan.torn_rate == 0.01
+        assert plan.bandwidth_degradation == 4.0
+        assert plan.max_retries == 5
+        assert plan.retry_backoff_us == 25.0
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            StorageFaultPlan.from_spec("bogus=1")
+
+    def test_from_spec_rejects_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            StorageFaultPlan.from_spec("readerr=lots")
+
+
+class TestStorageFaultInjector:
+    PLAN = StorageFaultPlan(
+        seed=11, read_error_rate=0.3, spike_rate=0.2, torn_rate=0.1,
+        max_retries=4,
+    )
+
+    def test_deterministic(self):
+        a = StorageFaultInjector(self.PLAN, 0, 4)
+        b = StorageFaultInjector(self.PLAN, 0, 4)
+        dev = fusion_io()
+        fa = a.inspect_epoch(500, dev, 4096)
+        fb = b.inspect_epoch(500, dev, 4096)
+        assert (fa.retries, fa.spikes, fa.torn_pages, fa.permanent_failures,
+                fa.extra_us) == (fb.retries, fb.spikes, fb.torn_pages,
+                                 fb.permanent_failures, fb.extra_us)
+
+    def test_ranks_draw_independent_streams(self):
+        dev = fusion_io()
+        f0 = StorageFaultInjector(self.PLAN, 0, 4).inspect_epoch(500, dev, 4096)
+        f1 = StorageFaultInjector(self.PLAN, 1, 4).inspect_epoch(500, dev, 4096)
+        assert f0.extra_us != f1.extra_us
+
+    def test_stream_position_depends_only_on_miss_count(self):
+        """Splitting the same misses across epochs must not change the
+        outcome — the invariant that makes fault timing independent of
+        tick boundaries (which differ between machines, never between
+        equivalent runs)."""
+        dev = fusion_io()
+        whole = StorageFaultInjector(self.PLAN, 2, 4)
+        split = StorageFaultInjector(self.PLAN, 2, 4)
+        fw = whole.inspect_epoch(64, dev, 4096)
+        totals = [0, 0, 0, 0]
+        extra = 0.0
+        for n in (10, 30, 1, 23):
+            f = split.inspect_epoch(n, dev, 4096)
+            totals[0] += f.retries
+            totals[1] += f.spikes
+            totals[2] += f.torn_pages
+            totals[3] += f.permanent_failures
+            extra += f.extra_us
+        assert totals == [fw.retries, fw.spikes, fw.torn_pages,
+                          fw.permanent_failures]
+        assert extra == pytest.approx(fw.extra_us)
+
+    def test_zero_misses_consume_no_draws(self):
+        dev = fusion_io()
+        a = StorageFaultInjector(self.PLAN, 0, 4)
+        b = StorageFaultInjector(self.PLAN, 0, 4)
+        for _ in range(5):
+            f = a.inspect_epoch(0, dev, 4096)
+            assert f.extra_us == 0.0
+        assert a.inspect_epoch(100, dev, 4096).extra_us == pytest.approx(
+            b.inspect_epoch(100, dev, 4096).extra_us
+        )
+
+    def test_degradation_only_consumes_no_draws_and_charges_transfer(self):
+        plan = StorageFaultPlan(seed=1, bandwidth_degradation=3.0)
+        dev = fusion_io()
+        inj = StorageFaultInjector(plan, 0, 2)
+        f = inj.inspect_epoch(10, dev, 4096)
+        healthy = 10 * 4096 / dev.bandwidth_bytes_per_us
+        assert f.extra_us == pytest.approx(healthy * 2.0)
+        assert f.retries == f.spikes == f.torn_pages == 0
+
+    def test_retry_costs_and_permanent_failures(self):
+        # error rate so high every read fails to exhaustion
+        plan = StorageFaultPlan(
+            seed=3, read_error_rate=0.99, max_retries=2, retry_backoff_us=50.0
+        )
+        dev = fusion_io()
+        inj = StorageFaultInjector(plan, 0, 1)
+        f = inj.inspect_epoch(200, dev, 4096)
+        assert f.retries > 0
+        assert f.permanent_failures > 0
+        assert f.retries <= 200 * plan.max_retries
+        assert f.extra_us > 0
+        # cumulative tallies mirror the epoch records
+        assert inj.retries == f.retries
+        assert inj.permanent_failures == f.permanent_failures
+
+    def test_spikes_and_torn_pages_charge_time(self):
+        dev = fusion_io()
+        spikes = StorageFaultInjector(
+            StorageFaultPlan(seed=5, spike_rate=0.5, spike_us=700.0), 0, 1
+        ).inspect_epoch(100, dev, 4096)
+        assert spikes.spikes > 0
+        assert spikes.extra_us == pytest.approx(spikes.spikes * 700.0)
+        torn = StorageFaultInjector(
+            StorageFaultPlan(seed=5, torn_rate=0.5), 0, 1
+        ).inspect_epoch(100, dev, 4096)
+        assert torn.torn_pages > 0
+        per_reread = dev.read_latency_us + 4096 / dev.bandwidth_bytes_per_us
+        assert torn.extra_us == pytest.approx(torn.torn_pages * per_reread)
+
+
+class TestDeviceWrites:
+    def test_write_figures_default_to_read_figures(self):
+        dev = fusion_io()
+        assert dev.batch_write_us(7, 4096) == dev.batch_read_us(7, 4096)
+
+    def test_asymmetric_write_model(self):
+        dev = MemoryDevice(
+            name="nand", read_latency_us=60.0, bandwidth_bytes_per_us=200.0,
+            io_parallelism=10, write_latency_us=500.0,
+            write_bandwidth_bytes_per_us=100.0,
+        )
+        assert dev.batch_write_us(10, 4096) == pytest.approx(
+            1 * 500.0 + 10 * 4096 / 100.0
+        )
+        assert dev.batch_write_us(0, 4096) == 0.0
+
+    def test_write_field_validation(self):
+        with pytest.raises(MemorySystemError):
+            MemoryDevice(name="x", read_latency_us=1.0,
+                         bandwidth_bytes_per_us=1.0, io_parallelism=1,
+                         write_latency_us=-1.0)
+        with pytest.raises(MemorySystemError):
+            MemoryDevice(name="x", read_latency_us=1.0,
+                         bandwidth_bytes_per_us=1.0, io_parallelism=1,
+                         write_bandwidth_bytes_per_us=0.0)
+
+
+class TestSpillPager:
+    def test_spill_then_unspill_fifo(self):
+        pager = SpillPager(page_size=64, device=dram(), cache_pages=4)
+        pager.spill(NS_MAILBOX, 100)
+        pager.spill(NS_QUEUE, 50)
+        pager.unspill(NS_MAILBOX, 60)
+        pager.unspill(NS_MAILBOX, 40)
+        pager.unspill(NS_QUEUE, 50)
+        assert pager.bytes_spilled == 150
+        assert pager.bytes_unspilled == 150
+
+    def test_unspill_past_log_end_raises(self):
+        pager = SpillPager(page_size=64, device=dram())
+        pager.spill(NS_QUEUE, 10)
+        with pytest.raises(MemorySystemError):
+            pager.unspill(NS_QUEUE, 11)
+        # namespaces are independent logs
+        with pytest.raises(MemorySystemError):
+            pager.unspill(NS_MAILBOX, 1)
+
+    def test_drain_charges_writes_and_reads(self):
+        dev = fusion_io()
+        pager = SpillPager(page_size=4096, device=dev, cache_pages=2)
+        pager.spill(NS_MAILBOX, 10_000)  # 3 pages of writes
+        cost = pager.drain_epoch_us()
+        assert cost == pytest.approx(dev.batch_write_us(3, 4096))
+        # second drain with no activity is free
+        assert pager.drain_epoch_us() == 0.0
+        pager.unspill(NS_MAILBOX, 10_000)
+        assert pager.drain_epoch_us() > 0.0  # read-back through the cache
+
+    def test_zero_byte_ops_are_noops(self):
+        pager = SpillPager(page_size=64, device=dram())
+        pager.spill(NS_QUEUE, 0)
+        pager.unspill(NS_QUEUE, 0)
+        assert pager.bytes_spilled == 0
+        assert pager.drain_epoch_us() == 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for the straggler plan/clock and the pressure engine knobs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.costmodel import EngineConfig
+from repro.runtime.pressure import StragglerClock, StragglerPlan
+
+
+class TestStragglerPlan:
+    def test_defaults(self):
+        plan = StragglerPlan()
+        assert plan.any_skew  # factor 4, fraction 0.25
+
+    def test_no_skew_when_factor_one(self):
+        assert not StragglerPlan(factor=1.0).any_skew
+        assert not StragglerPlan(fraction=0.0).any_skew
+        assert StragglerPlan(fraction=0.0, ranks=(2,)).any_skew
+
+    @pytest.mark.parametrize("kwargs", [
+        {"factor": 0.5},
+        {"fraction": -0.1},
+        {"fraction": 1.1},
+        {"rebalance": 2.0},
+        {"ranks": (-1,)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StragglerPlan(**kwargs)
+
+    def test_explicit_ranks(self):
+        s = StragglerPlan(ranks=(1, 5), factor=8.0).slowdowns(8)
+        assert s[1] == 8.0 and s[5] == 8.0
+        assert sum(s) == 6 + 16.0
+
+    def test_explicit_rank_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            StragglerPlan(ranks=(9,)).slowdowns(8)
+
+    def test_seeded_selection_is_deterministic_and_nonempty(self):
+        a = StragglerPlan(seed=3, fraction=0.25).slowdowns(16)
+        b = StragglerPlan(seed=3, fraction=0.25).slowdowns(16)
+        assert np.array_equal(a, b)
+        assert (a > 1.0).any()
+        # a tiny fraction still forces at least one straggler
+        c = StragglerPlan(seed=3, fraction=1e-9).slowdowns(16)
+        assert (c > 1.0).sum() == 1
+
+    def test_from_spec(self):
+        plan = StragglerPlan.from_spec(
+            "seed=9,factor=8,fraction=0.5,rebalance=0.25,pacing=0"
+        )
+        assert plan.seed == 9
+        assert plan.factor == 8.0
+        assert plan.fraction == 0.5
+        assert plan.rebalance == 0.25
+        assert plan.pacing is False
+
+    def test_from_spec_ranks(self):
+        assert StragglerPlan.from_spec("ranks=1+5,factor=2").ranks == (1, 5)
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            StragglerPlan.from_spec("bogus=1")
+        with pytest.raises(ConfigurationError):
+            StragglerPlan.from_spec("ranks=a+b")
+        with pytest.raises(ConfigurationError):
+            StragglerPlan.from_spec("factor")
+
+
+class TestStragglerClock:
+    def test_no_skew_passthrough(self):
+        clock = StragglerClock(StragglerPlan(ranks=(3,), factor=4.0), 4)
+        costs = np.array([10.0, 2.0, 3.0, 0.0])
+        # the straggler rank is idle this tick: no stretch
+        assert clock.tick_cost(costs) == 10.0
+        assert clock.stall_us == 0.0
+
+    def test_rebalance_zero_pays_full_skew(self):
+        clock = StragglerClock(
+            StragglerPlan(ranks=(0,), factor=4.0, rebalance=0.0), 2
+        )
+        costs = np.array([10.0, 8.0])
+        assert clock.tick_cost(costs) == 40.0
+        assert clock.stall_us == 30.0
+
+    def test_rebalance_one_pays_best_balance(self):
+        clock = StragglerClock(
+            StragglerPlan(ranks=(0,), factor=4.0, rebalance=1.0), 2
+        )
+        costs = np.array([10.0, 8.0])
+        # scaled = [40, 8]; balanced = max(base=10, mean=24) = 24
+        assert clock.tick_cost(costs) == 24.0
+        assert clock.rebalanced_us == 16.0
+
+    def test_rebalance_never_beats_unskewed_critical_path(self):
+        clock = StragglerClock(
+            StragglerPlan(ranks=(1,), factor=2.0, rebalance=1.0), 8
+        )
+        costs = np.zeros(8)
+        costs[0] = 10.0
+        costs[1] = 6.0  # skewed to 12, mean well below base
+        assert clock.tick_cost(costs) == 10.0
+
+    def test_pacing_floor_tracks_observed_skew(self):
+        plan = StragglerPlan(ranks=(0,), factor=4.0)
+        clock = StragglerClock(plan, 2)
+        assert clock.pacing_floor(1.0) == 1.0  # EWMA starts at 1
+        for _ in range(200):
+            clock.tick_cost(np.array([10.0, 1.0]))
+        assert clock.pacing_floor(1.0) == pytest.approx(4.0, rel=0.01)
+        # bounded by the worst configured slowdown
+        assert clock.pacing_floor(1.0) <= clock.max_slowdown
+
+    def test_pacing_disabled(self):
+        clock = StragglerClock(StragglerPlan(ranks=(0,), pacing=False), 2)
+        clock.tick_cost(np.array([10.0, 1.0]))
+        assert clock.pacing_floor(1.0) == 1.0
+
+
+class TestPressureConfigValidation:
+    def test_mailbox_cap_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(mailbox_cap_bytes=0)
+
+    def test_queue_spill_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(queue_spill=-1)
+        EngineConfig(queue_spill=0)  # fully external queue is valid
+
+    def test_transport_window_requires_reliable(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(transport_window=4)
+        EngineConfig(transport_window=4, reliable=True)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(transport_window=0, reliable=True)
+
+    def test_spill_cache_pages_positive(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(spill_cache_pages=0)
+
+    def test_spill_active(self):
+        assert not EngineConfig().spill_active
+        assert EngineConfig(mailbox_cap_bytes=64).spill_active
+        assert EngineConfig(queue_spill=0).spill_active
