@@ -13,7 +13,7 @@ Run:  python examples/external_memory_bfs.py
 from __future__ import annotations
 
 from repro import DistributedGraph, EdgeList, hyperion_dit, rmat_edges
-from repro.analysis.teps import bfs_traversed_edges, mteps
+from repro.analysis.teps import mteps
 from repro.bench.harness import make_page_caches, run_bfs_trial
 
 

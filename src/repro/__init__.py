@@ -37,16 +37,16 @@ from repro.algorithms import (
     sssp,
     triangle_count,
 )
-from repro.algorithms.bsp_bfs import bsp_bfs
-from repro.algorithms.wedge_sampling import sample_triangle_estimate
-from repro.analysis.communication import communication_profile
-from repro.analysis.validate import validate_bfs
-from repro.bench.graph500 import run_graph500
 from repro.algorithms.bfs import BFSAlgorithm, BFSResult
+from repro.algorithms.bsp_bfs import bsp_bfs
 from repro.algorithms.connected_components import ConnectedComponentsAlgorithm
 from repro.algorithms.kcore import KCoreAlgorithm, KCoreResult
 from repro.algorithms.sssp import SSSPAlgorithm
 from repro.algorithms.triangles import TriangleCountAlgorithm, TriangleCountResult
+from repro.algorithms.wedge_sampling import sample_triangle_estimate
+from repro.analysis.communication import communication_profile
+from repro.analysis.validate import validate_bfs
+from repro.bench.graph500 import run_graph500
 from repro.core import AsyncAlgorithm, TraversalResult, Visitor, run_traversal
 from repro.generators import (
     Graph500Config,

@@ -24,7 +24,6 @@ from repro.bench.harness import (
     build_sw_graph,
     mean_over_sources,
     pick_bfs_source,
-    run_bfs_trial,
 )
 from repro.bench.report import format_table
 from repro.core.traversal import run_traversal

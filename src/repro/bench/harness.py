@@ -12,9 +12,9 @@ import numpy as np
 from repro.algorithms.bfs import BFSAlgorithm
 from repro.analysis.teps import bfs_traversed_edges, teps
 from repro.analysis.validate import validate_bfs
-from repro.errors import TraversalError
 from repro.comm.routing import Topology
 from repro.core.traversal import run_traversal
+from repro.errors import TraversalError
 from repro.generators.preferential_attachment import preferential_attachment_edges
 from repro.generators.rmat import rmat_edges
 from repro.generators.small_world import small_world_edges

@@ -10,9 +10,9 @@ guesses.
 from __future__ import annotations
 
 import cProfile
+from dataclasses import dataclass
 import io
 import pstats
-from dataclasses import dataclass
 from typing import Callable
 
 

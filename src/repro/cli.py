@@ -10,6 +10,7 @@ Commands
 ``graph500``     Run a Graph500-style submission (N validated searches).
 ``experiment``   Regenerate one paper figure/table by name.
 ``profile``      cProfile a traversal and print the host-time hotspots.
+``lint``         AST determinism & invariant analysis (rules RPR001-RPR005).
 
 Every command prints the simulated performance trace; sizes default to
 laptop scale.  Examples::
@@ -28,25 +29,23 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.algorithms.bfs import bfs
 from repro.algorithms.kcore import kcore
 from repro.algorithms.pagerank import pagerank
 from repro.algorithms.triangles import triangle_count
 from repro.algorithms.wedge_sampling import sample_triangle_estimate
 from repro.analysis.teps import bfs_traversed_edges, mteps
-from repro.comm.faults import FaultPlan
-from repro.memory.faults import StorageFaultPlan
-from repro.runtime.pressure import StragglerPlan
 from repro.bench.harness import pick_bfs_source
+from repro.comm.faults import FaultPlan
 from repro.generators.preferential_attachment import preferential_attachment_edges
 from repro.generators.rmat import rmat_edges
 from repro.generators.small_world import small_world_edges
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
 from repro.graph.io import load_binary_edges, save_binary_edges
+from repro.memory.faults import StorageFaultPlan
 from repro.runtime.costmodel import bgp_intrepid, hyperion_dit, laptop
+from repro.runtime.pressure import StragglerPlan
 
 _MACHINES = {
     "laptop": laptop,
@@ -100,6 +99,12 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
         help="slow some ranks down, e.g. "
              "'seed=3,factor=4,fraction=0.25,rebalance=0.5' or "
              "'ranks=1+5,factor=8' (simulated time only)")
+    parser.add_argument(
+        "--detect-races", action="store_true",
+        help="instead of one traversal, run baseline + perturbed-rank-order "
+             "runs under the reliable transport and report the first tick "
+             "where visitor application diverges (exit 1 on divergence); "
+             "bfs/kcore/triangles/pagerank only")
 
 
 def _traversal_kwargs(args) -> dict:
@@ -120,6 +125,23 @@ def _traversal_kwargs(args) -> dict:
     if args.stragglers:
         kwargs["stragglers"] = StragglerPlan.from_spec(args.stragglers)
     return kwargs
+
+
+def _run_race_detection(args, graph, algorithm_factory, *, batch=False) -> int:
+    """Shared ``--detect-races`` path: run the tick-order race check and
+    print its verdict instead of a single traversal."""
+    from repro.runtime.race import detect_races
+
+    kwargs = _traversal_kwargs(args)
+    machine = kwargs.pop("machine")
+    topology = kwargs.pop("topology")
+    if batch:
+        kwargs["batch"] = True
+    report = detect_races(
+        graph, algorithm_factory, machine=machine, topology=topology, **kwargs
+    )
+    print(report.summary())
+    return 0 if report.clean else 1
 
 
 def _build_graph(args) -> tuple[EdgeList, DistributedGraph]:
@@ -164,6 +186,12 @@ def _cmd_generate(args) -> int:
 def _cmd_bfs(args) -> int:
     edges, graph = _build_graph(args)
     source = args.source if args.source is not None else pick_bfs_source(edges, seed=args.seed)
+    if args.detect_races:
+        from repro.algorithms.bfs import BFSAlgorithm
+
+        return _run_race_detection(
+            args, graph, lambda: BFSAlgorithm(source), batch=args.batch
+        )
     result = bfs(graph, source, batch=args.batch, **_traversal_kwargs(args))
     traversed = bfs_traversed_edges(edges, result.data.levels)
     print(result.stats.summary())
@@ -175,6 +203,10 @@ def _cmd_bfs(args) -> int:
 
 def _cmd_kcore(args) -> int:
     _, graph = _build_graph(args)
+    if args.detect_races:
+        from repro.algorithms.kcore import KCoreAlgorithm
+
+        return _run_race_detection(args, graph, lambda: KCoreAlgorithm(args.k))
     result = kcore(graph, args.k, **_traversal_kwargs(args))
     print(result.stats.summary())
     print(f"{args.k}-core: {result.data.core_size} vertices")
@@ -183,6 +215,14 @@ def _cmd_kcore(args) -> int:
 
 def _cmd_triangles(args) -> int:
     _, graph = _build_graph(args)
+    if args.detect_races:
+        if args.approximate:
+            print("--detect-races needs the exact traversal (drop --approximate)",
+                  file=sys.stderr)
+            return 2
+        from repro.algorithms.triangles import TriangleCountAlgorithm
+
+        return _run_race_detection(args, graph, TriangleCountAlgorithm)
     if args.approximate:
         est = sample_triangle_estimate(graph, samples=args.samples, seed=args.seed)
         print(f"estimated triangles: {est.estimate:.0f} "
@@ -197,6 +237,14 @@ def _cmd_triangles(args) -> int:
 
 def _cmd_pagerank(args) -> int:
     _, graph = _build_graph(args)
+    if args.detect_races:
+        from repro.algorithms.pagerank import PageRankAlgorithm
+
+        return _run_race_detection(
+            args, graph,
+            lambda: PageRankAlgorithm(damping=args.damping,
+                                      threshold=args.threshold),
+        )
     result = pagerank(graph, damping=args.damping, threshold=args.threshold,
                       **_traversal_kwargs(args))
     print(result.stats.summary())
@@ -208,9 +256,12 @@ def _cmd_pagerank(args) -> int:
 
 def _cmd_graph500(args) -> int:
     from repro.bench.graph500 import run_graph500
+    from repro.core.traversal import resolve_config
 
-    from repro.runtime.costmodel import EngineConfig
-
+    if args.detect_races:
+        print("--detect-races applies to single traversals "
+              "(bfs/kcore/triangles/pagerank)", file=sys.stderr)
+        return 2
     edges, graph = _build_graph(args)
     kwargs = _traversal_kwargs(args)
     machine = kwargs.pop("machine")
@@ -218,7 +269,7 @@ def _cmd_graph500(args) -> int:
     run = run_graph500(
         edges, graph, num_searches=args.searches, kernel=args.kernel,
         machine=machine, topology=topology,
-        config=EngineConfig(**kwargs) if kwargs else None,
+        config=resolve_config(**kwargs) if kwargs else None,
         seed=args.seed,
     )
     print(run.summary())
@@ -230,6 +281,10 @@ def _cmd_profile(args) -> int:
     from repro.algorithms.sssp import sssp
     from repro.bench.profiling import profile_call
 
+    if args.detect_races:
+        print("--detect-races applies to single traversals "
+              "(bfs/kcore/triangles/pagerank)", file=sys.stderr)
+        return 2
     edges, graph = _build_graph(args)
     kwargs = dict(batch=args.batch, **_traversal_kwargs(args))
     if args.algorithm == "cc":
@@ -342,6 +397,16 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("name", help="e.g. fig13 or table2 (prefix match)")
     e.add_argument("--csv", help="also export the rows as CSV to this path")
     e.set_defaults(func=_cmd_experiment)
+
+    from repro.devtools.cli import add_lint_args, run_lint
+
+    lt = sub.add_parser(
+        "lint",
+        help="AST determinism & invariant analysis over the source tree "
+             "(rules RPR001-RPR005; see docs/INTERNALS.md)",
+    )
+    add_lint_args(lt)
+    lt.set_defaults(func=run_lint)
 
     return parser
 

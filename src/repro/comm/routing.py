@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-import numpy as np
-
 from repro.errors import RoutingError
 
 

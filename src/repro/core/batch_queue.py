@@ -88,8 +88,14 @@ class BatchVisitorQueueRank:
         self._heap: list[tuple] = []
         self._seq = 0
         #: queue entries currently living in the external spill log
-        #: (tick-granularity ledger; see :meth:`sync_spill`).
+        #: (tick-granularity ledger; see :meth:`sync_spill`).  Deliberately
+        #: outside snapshot/restore — see the object path's note.
+        # repro-lint: volatile -- ledger tracks the pager, which is not rolled back on restore
         self._spilled_visitors = 0
+        #: race-detector tap (see the object path) — engine-owned, drained
+        #: every tick, hence outside snapshot/restore.
+        # repro-lint: volatile -- engine-owned observability tap, drained every tick
+        self.order_probe: list[int] | None = None
 
     @property
     def num_local_states(self) -> int:
@@ -177,6 +183,8 @@ class BatchVisitorQueueRank:
             vs.append(entry[3])
             executed += 1
         self.counters.visits += executed
+        if self.order_probe is not None:
+            self.order_probe.extend(vs)
         vertices = np.array(vs, dtype=VID_DTYPE)
         payloads = np.array(ps, dtype=self.algorithm.payload_dtype)
         # The Alg. 2 line 13 gate: expand only if the visitor still carries

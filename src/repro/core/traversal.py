@@ -34,6 +34,42 @@ class TraversalResult:
         return self.stats.time_us
 
 
+def resolve_config(
+    config: EngineConfig | None = None,
+    *,
+    batch: bool | None = None,
+    faults=None,
+    reliable: bool | None = None,
+    checkpoint_interval: int | None = None,
+    mailbox_cap: int | None = None,
+    queue_spill: int | None = None,
+    storage_faults=None,
+    stragglers=None,
+) -> EngineConfig:
+    """Overlay the :func:`run_traversal` convenience overrides onto a base
+    :class:`EngineConfig` (shared with :func:`repro.runtime.race.detect_races`
+    so both entry points accept the identical keyword surface)."""
+    overrides: dict = {}
+    if batch is not None:
+        overrides["batch"] = batch
+    if faults is not None:
+        overrides["faults"] = faults
+    if reliable is not None:
+        overrides["reliable"] = reliable
+    if checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = checkpoint_interval
+    if mailbox_cap is not None:
+        overrides["mailbox_cap_bytes"] = mailbox_cap
+    if queue_spill is not None:
+        overrides["queue_spill"] = queue_spill
+    if storage_faults is not None:
+        overrides["storage_faults"] = storage_faults
+    if stragglers is not None:
+        overrides["stragglers"] = stragglers
+    base = config or EngineConfig()
+    return replace(base, **overrides) if overrides else base
+
+
 def run_traversal(
     graph: DistributedGraph,
     algorithm: AsyncAlgorithm,
@@ -104,25 +140,17 @@ def run_traversal(
         :class:`~repro.runtime.pressure.StragglerPlan` of per-rank
         slowdowns.  Cost-only.
     """
-    overrides: dict = {}
-    if batch is not None:
-        overrides["batch"] = batch
-    if faults is not None:
-        overrides["faults"] = faults
-    if reliable is not None:
-        overrides["reliable"] = reliable
-    if checkpoint_interval is not None:
-        overrides["checkpoint_interval"] = checkpoint_interval
-    if mailbox_cap is not None:
-        overrides["mailbox_cap_bytes"] = mailbox_cap
-    if queue_spill is not None:
-        overrides["queue_spill"] = queue_spill
-    if storage_faults is not None:
-        overrides["storage_faults"] = storage_faults
-    if stragglers is not None:
-        overrides["stragglers"] = stragglers
-    if overrides:
-        config = replace(config or EngineConfig(), **overrides)
+    config = resolve_config(
+        config,
+        batch=batch,
+        faults=faults,
+        reliable=reliable,
+        checkpoint_interval=checkpoint_interval,
+        mailbox_cap=mailbox_cap,
+        queue_spill=queue_spill,
+        storage_faults=storage_faults,
+        stragglers=stragglers,
+    )
     engine = SimulationEngine(
         graph,
         algorithm,

@@ -93,8 +93,18 @@ class VisitorQueueRank:
         self._heap: list[tuple[int, int, int, Visitor]] = []
         self._seq = 0
         #: queue entries currently living in the external spill log
-        #: (tick-granularity ledger; see :meth:`sync_spill`).
+        #: (tick-granularity ledger; see :meth:`sync_spill`).  Deliberately
+        #: outside snapshot/restore: the ledger mirrors the spill pager,
+        #: which survives a crash un-rolled-back, so restoring an epoch
+        #: value would desynchronise the next ``sync_spill`` delta.
+        # repro-lint: volatile -- ledger tracks the pager, which is not rolled back on restore
         self._spilled_visitors = 0
+        #: race-detector tap: when the engine installs a list here, every
+        #: executed visitor appends its vertex (the observable application
+        #: order that the per-tick digests hash).  Externally owned and
+        #: drained, hence outside snapshot/restore.
+        # repro-lint: volatile -- engine-owned observability tap, drained every tick
+        self.order_probe: list[int] | None = None
 
     # ------------------------------------------------------------------ #
     # Graph context exposed to visitors
@@ -183,9 +193,12 @@ class VisitorQueueRank:
         """Run up to ``budget`` queued visitors; returns how many ran."""
         executed = 0
         heap = self._heap
+        probe = self.order_probe
         while heap and executed < budget:
             _, _, _, visitor = heapq.heappop(heap)
             self.counters.visits += 1
+            if probe is not None:
+                probe.append(visitor.vertex)
             visitor.visit(self)
             executed += 1
         return executed

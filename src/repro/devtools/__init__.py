@@ -1,0 +1,39 @@
+"""Static-analysis devtools: the ``repro lint`` determinism linter.
+
+This package is a self-contained AST-based analyzer that enforces the
+repository's determinism and invariant rules as named, suppressible
+checks (see :mod:`repro.devtools.rules` for the rule catalogue and
+``docs/INTERNALS.md`` section 10 for the rationale):
+
+``RPR001``  no unseeded randomness outside devtools/tests
+``RPR002``  no wall-clock reads in simulation code paths
+``RPR003``  no unordered set/dict iteration feeding send order
+``RPR004``  snapshot/restore must cover all ``__init__`` state
+``RPR005``  device I/O in runtime/comm must be cost-accounted
+
+Run it as ``repro lint [paths...]`` or ``python -m repro.devtools``.
+Violations are suppressible per line with::
+
+    # repro-lint: disable=RPR003 -- reason why this is safe
+
+and per-attribute snapshot exemptions with::
+
+    self.attr = ...  # repro-lint: volatile -- reason it need not persist
+
+The linter itself must stay importable without the rest of the library
+(it is run by CI before the test suite), so it only uses the stdlib.
+"""
+
+from repro.devtools.report import Violation, render_json, render_text
+from repro.devtools.rules import RULE_REGISTRY, all_rules
+from repro.devtools.walker import lint_file, lint_paths
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Violation",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

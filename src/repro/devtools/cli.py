@@ -1,0 +1,80 @@
+"""The ``repro lint`` command line (also ``python -m repro.devtools``).
+
+Exit codes: 0 clean, 1 violations found, 2 usage error — so CI can gate
+directly on the process status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.devtools.report import render_json, render_text
+from repro.devtools.rules import RULE_REGISTRY, all_rules
+from repro.devtools.walker import DEFAULT_EXCLUDES, lint_paths
+
+
+def add_lint_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with the top-level ``repro`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the CI gate input)")
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--include-excluded", action="store_true",
+        help="also lint the default-excluded trees "
+             f"({', '.join(sorted(DEFAULT_EXCLUDES - {'.git', '__pycache__'}))})")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        all_rules()  # force registration of every rule module
+        for code in sorted(RULE_REGISTRY):
+            print(f"{code}  {RULE_REGISTRY[code].summary}")
+        return 0
+    select = None
+    if args.select:
+        select = frozenset(c.strip() for c in args.select.split(",") if c.strip())
+    try:
+        rules = all_rules(select)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    excludes = (
+        frozenset({".git", "__pycache__"}) if args.include_excluded
+        else DEFAULT_EXCLUDES
+    )
+    violations, checked = lint_paths(args.paths, rules=rules, excludes=excludes)
+    if checked == 0:
+        print(f"repro lint: no python files found under {args.paths}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(violations, checked_files=checked))
+    elif violations:
+        print(render_text(violations))
+    else:
+        print(f"repro lint: {checked} files clean")
+    return 1 if violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & invariant linter "
+                    "(rules RPR001-RPR005; see docs/INTERNALS.md section 10)")
+    add_lint_args(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""RPR003: unordered iteration feeding per-rank / send order.
+
+A heuristic, scope-local dataflow pass: it tracks names bound to
+set-typed expressions inside one function scope, then flags ``for``
+loops and comprehensions that iterate an unordered source (a set
+literal/comprehension, a ``set()``/``frozenset()`` call, a
+``.keys()/.values()/.items()`` view, or a name bound to one of those)
+**when the loop body reaches a send-order-sensitive sink** — a mailbox
+or network send, a visitor push, or indexing into the per-rank
+collections.  Wrapping the iterable in ``sorted(...)`` (or re-binding
+the name from ``sorted(...)``) clears the taint.
+
+Set iteration order is salted per process in CPython, and dict
+insertion order can encode rank-arrival order, so either one flowing
+into message emission silently breaks the bit-identical-replay
+guarantee the equivalence gates enforce.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.report import Violation
+from repro.devtools.rules import Rule, register
+from repro.devtools.walker import FileContext
+
+#: Calls producing (or preserving) unordered iteration order.
+_UNORDERED_CTORS = frozenset({"set", "frozenset"})
+_ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+_ORDERING_CALLS = frozenset({"sorted"})
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: Send-order-sensitive sinks: anything that emits messages/visitors.
+_SEND_SINKS = frozenset(
+    {"send", "send_batch", "send_stream", "send_packet", "push", "push_batch",
+     "_enqueue"}
+)
+#: Per-rank collections: indexing these inside the loop means the loop
+#: order is a per-rank processing order.
+_RANK_COLLECTIONS = frozenset(
+    {"mailboxes", "ranks", "detectors", "spills", "caches", "partitions"}
+)
+
+
+class _ScopeTaint:
+    """Name -> unordered? classification, in statement order."""
+
+    def __init__(self) -> None:
+        #: (lineno, name, unordered) events, appended in walk order.
+        self.events: list[tuple[int, str, bool]] = []
+
+    def record(self, node: ast.Assign | ast.AnnAssign, unordered_fn) -> None:
+        value = node.value
+        if value is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name):
+                self.events.append((node.lineno, t.id, unordered_fn(value)))
+
+    def unordered_at(self, name: str, lineno: int) -> bool:
+        state = False
+        for event_line, event_name, unordered in self.events:
+            if event_name == name and event_line < lineno:
+                state = unordered
+        return state
+
+
+@register
+class UnorderedIterationIntoSendOrder(Rule):
+    """See module docstring."""
+
+    code = "RPR003"
+    summary = "no unordered set/dict-view iteration feeding send order"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for scope in self._scopes(ctx.tree):
+            out.extend(self._check_scope(ctx, scope))
+        return out
+
+    # ----------------------------------------------------------------- #
+    @staticmethod
+    def _scopes(tree: ast.Module):
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @classmethod
+    def _walk_scope(cls, scope: ast.AST):
+        """Walk a scope without descending into nested function scopes."""
+        stack = list(
+            ast.iter_child_nodes(scope)
+        )
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> list[Violation]:
+        taint = _ScopeTaint()
+
+        def unordered(expr: ast.expr) -> bool:
+            return self._is_unordered(expr, taint, expr.lineno)
+
+        nodes = sorted(
+            self._walk_scope(scope),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        )
+        for node in nodes:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                taint.record(node, unordered)
+
+        out: list[Violation] = []
+        for node in nodes:
+            if isinstance(node, ast.For):
+                if (self._is_unordered(node.iter, taint, node.lineno)
+                        and self._has_sink(node.body + node.orelse)):
+                    out.append(self._flag(ctx, node))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                if (any(self._is_unordered(g.iter, taint, node.lineno)
+                        for g in node.generators)
+                        and self._has_sink([node])):
+                    out.append(self._flag(ctx, node))
+        return out
+
+    def _flag(self, ctx: FileContext, node: ast.AST) -> Violation:
+        return self.violation(
+            ctx, node,
+            "iteration over an unordered set/dict view flows into per-rank "
+            "or mailbox send order; wrap the iterable in sorted(...) so the "
+            "emission order is deterministic")
+
+    # ----------------------------------------------------------------- #
+    @classmethod
+    def _is_unordered(cls, expr: ast.expr, taint: _ScopeTaint, lineno: int) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return taint.unordered_at(expr.id, lineno)
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (cls._is_unordered(expr.left, taint, lineno)
+                    or cls._is_unordered(expr.right, taint, lineno))
+        if not isinstance(expr, ast.Call):
+            return False
+        fn = expr.func
+        if isinstance(fn, ast.Name):
+            if fn.id in _ORDERING_CALLS:
+                return False
+            if fn.id in _UNORDERED_CTORS:
+                return True
+            if fn.id in _ORDER_PRESERVING and expr.args:
+                return cls._is_unordered(expr.args[0], taint, lineno)
+            return False
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in _DICT_VIEWS:
+                return True
+            if fn.attr in {"union", "intersection", "difference",
+                           "symmetric_difference"}:
+                return True
+        return False
+
+    @staticmethod
+    def _has_sink(body: list[ast.AST]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _SEND_SINKS):
+                    return True
+                if isinstance(node, ast.Subscript):
+                    value = node.value
+                    name = None
+                    if isinstance(value, ast.Attribute):
+                        name = value.attr
+                    elif isinstance(value, ast.Name):
+                        name = value.id
+                    if name in _RANK_COLLECTIONS:
+                        return True
+        return False

@@ -1,0 +1,42 @@
+"""Violation records and report rendering (text and JSON)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+import json
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location.
+
+    Ordered by (path, line, col, rule) so reports are stable regardless
+    of the order rules ran in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def render_text(violations: list[Violation]) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.format() for v in sorted(violations)]
+    n = len(violations)
+    lines.append(f"repro lint: {n} violation{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(violations: list[Violation], *, checked_files: int = 0) -> str:
+    """Machine-readable report (the ``--format json`` CI gate input)."""
+    payload = {
+        "checked_files": checked_files,
+        "violation_count": len(violations),
+        "violations": [asdict(v) for v in sorted(violations)],
+    }
+    return json.dumps(payload, indent=2)

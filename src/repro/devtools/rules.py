@@ -1,0 +1,329 @@
+"""The rule catalogue and registry.
+
+Each rule is a class with a ``code`` (``RPR###``), a one-line
+``summary`` and a ``check(ctx) -> list[Violation]`` method over one
+:class:`~repro.devtools.walker.FileContext`.  Register new rules with
+the :func:`register` decorator; ``repro lint --list-rules`` prints the
+catalogue straight from this registry.
+
+RPR003 (unordered-iteration dataflow) lives in
+:mod:`repro.devtools.dataflow` and registers itself here on import.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.devtools.report import Violation
+from repro.devtools.walker import FileContext
+
+RULE_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    code = getattr(cls, "code", None)
+    if not code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    RULE_REGISTRY[code] = cls
+    return cls
+
+
+def all_rules(select: frozenset[str] | None = None) -> list:
+    """Instantiate the registered rules (optionally a selected subset)."""
+    # The dataflow module registers RPR003 on import; import it lazily so
+    # rules.py stays importable from dataflow.py without a cycle.
+    from repro.devtools import dataflow  # noqa: F401
+
+    codes = sorted(RULE_REGISTRY)
+    if select is not None:
+        unknown = select - set(codes)
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        codes = [c for c in codes if c in select]
+    return [RULE_REGISTRY[c]() for c in codes]
+
+
+class Rule:
+    """Base class: shared helpers for location bookkeeping."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            ctx.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            self.code,
+            message,
+        )
+
+
+# --------------------------------------------------------------------- #
+# RPR001: unseeded randomness
+# --------------------------------------------------------------------- #
+
+#: numpy.random constructors that are deterministic *when given a seed*.
+_NP_SEEDED_CTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+
+@register
+class UnseededRandomness(Rule):
+    """Module-level ``random.*``, legacy ``np.random.*`` and unseeded
+    generator constructors all draw from process-global or OS entropy,
+    which breaks the repo's split-invariant RNG-stream guarantee."""
+
+    code = "RPR001"
+    summary = "no unseeded or process-global randomness"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolve(node.func)
+            if dotted is None:
+                continue
+            msg = self._classify(dotted, node)
+            if msg is not None:
+                out.append(self.violation(ctx, node, msg))
+        return out
+
+    @staticmethod
+    def _classify(dotted: str, node: ast.Call) -> str | None:
+        hint = ("; seed it explicitly or use repro.utils.rng.resolve_rng / "
+                "spawn_rngs")
+        if dotted.startswith("random."):
+            tail = dotted.split(".", 1)[1]
+            if tail == "Random":
+                if node.args or node.keywords:
+                    return None
+                return f"unseeded random.Random(){hint}"
+            if tail == "SystemRandom":
+                return f"random.SystemRandom draws OS entropy{hint}"
+            return (f"call into the process-global stdlib RNG "
+                    f"({dotted}){hint}")
+        if dotted.startswith("numpy.random."):
+            tail = dotted.split("numpy.random.", 1)[1]
+            if tail in _NP_SEEDED_CTORS:
+                if node.args or node.keywords:
+                    return None
+                return f"unseeded numpy.random.{tail}(){hint}"
+            return (f"legacy numpy.random API (numpy.random.{tail}) uses "
+                    f"the process-global stream{hint}")
+        return None
+
+
+# --------------------------------------------------------------------- #
+# RPR002: wall-clock reads in simulation code
+# --------------------------------------------------------------------- #
+
+_WALLCLOCK_CALLS = frozenset(
+    {"time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+     "time.monotonic", "time.monotonic_ns", "time.process_time",
+     "time.process_time_ns", "time.clock_gettime",
+     "datetime.datetime.now", "datetime.datetime.today",
+     "datetime.datetime.utcnow", "datetime.date.today"}
+)
+
+#: Path components whose files may read the host clock (host-side
+#: measurement tooling, not simulation).
+_WALLCLOCK_ALLOWED_PARTS = frozenset({"bench", "benchmarks"})
+
+
+@register
+class WallClockRead(Rule):
+    """Simulated time comes from the cost model; host-clock reads in
+    simulation code make runs non-reproducible across machines."""
+
+    code = "RPR002"
+    summary = "no wall-clock reads in simulation code paths"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        parts = set(Path(ctx.path).parts)
+        if parts & _WALLCLOCK_ALLOWED_PARTS:
+            return []
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolve(node.func)
+            if dotted in _WALLCLOCK_CALLS:
+                out.append(self.violation(
+                    ctx, node,
+                    f"wall-clock read ({dotted}) in simulation code; "
+                    f"simulated time must come from the MachineModel cost "
+                    f"accounting"))
+        return out
+
+
+# --------------------------------------------------------------------- #
+# RPR004: snapshot/restore completeness
+# --------------------------------------------------------------------- #
+
+_SNAPSHOT_PAIRS = (("snapshot_state", "restore_state"), ("snapshot", "restore"))
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """Name of a direct ``self.X`` attribute node, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _assigned_self_attrs(fn: ast.FunctionDef) -> Iterator[tuple[str, int]]:
+    """Yield ``(attr, lineno)`` for every ``self.X = ...`` style binding
+    (plain, annotated, augmented, and ``self.X[...] = ...`` mutations)."""
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Tuple):
+                targets.extend(t.elts)
+                continue
+            name = _self_attr(t)
+            if name is None and isinstance(t, ast.Subscript):
+                name = _self_attr(t.value)
+            if name is not None:
+                yield name, t.lineno
+
+
+@register
+class SnapshotCompleteness(Rule):
+    """A class with snapshot/restore methods must cover every attribute
+    that ``__init__`` creates *and* other methods mutate; anything else
+    silently survives a crash-restore with stale state."""
+
+    code = "RPR004"
+    summary = "snapshot/restore must cover all mutable __init__ state"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class(ctx, node))
+        return out
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> list[Violation]:
+        methods = {
+            n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+        }
+        pair = next(
+            (p for p in _SNAPSHOT_PAIRS if p[0] in methods and p[1] in methods),
+            None,
+        )
+        init = methods.get("__init__")
+        if pair is None or init is None:
+            return []
+        snap_name, restore_name = pair
+
+        init_attrs: dict[str, int] = {}
+        for name, lineno in _assigned_self_attrs(init):
+            init_attrs.setdefault(name, lineno)
+
+        covered: set[str] = set()
+        for m in (methods[snap_name], methods[restore_name]):
+            for sub in ast.walk(m):
+                name = _self_attr(sub)
+                if name is not None:
+                    covered.add(name)
+
+        mutated_in: dict[str, str] = {}
+        for mname, m in methods.items():
+            if mname == "__init__":
+                continue
+            for name, _ in _assigned_self_attrs(m):
+                mutated_in.setdefault(name, mname)
+
+        out: list[Violation] = []
+        for name, lineno in sorted(init_attrs.items(), key=lambda kv: kv[1]):
+            if name in covered:
+                continue
+            if name not in mutated_in:
+                # Immutable wiring (never rebound outside __init__) cannot
+                # drift, so a checkpoint need not carry it.
+                continue
+            if ctx.suppressions.is_volatile(lineno):
+                continue
+            out.append(Violation(
+                ctx.path, lineno, 1, self.code,
+                f"class {cls.name}: 'self.{name}' is assigned in __init__ "
+                f"and mutated in {mutated_in[name]}() but appears in "
+                f"neither {snap_name}() nor {restore_name}(); snapshot it "
+                f"or mark the assignment '# repro-lint: volatile -- reason'"))
+        return out
+
+
+# --------------------------------------------------------------------- #
+# RPR005: cost-accounted device I/O in runtime/ and comm/
+# --------------------------------------------------------------------- #
+
+_IO_METHODS = frozenset({"spill", "unspill", "access_range", "access_pages"})
+_COST_NAMES = frozenset({"costs", "cost", "charge", "charged", "machine"})
+_RPR005_SCOPED_DIRS = frozenset({"runtime", "comm"})
+
+
+def _touches_cost_model(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        ident: str | None = None
+        if isinstance(node, ast.Attribute):
+            ident = node.attr
+        elif isinstance(node, ast.Name):
+            ident = node.id
+        if ident is None:
+            continue
+        if ident.endswith("_us") or ident in _COST_NAMES:
+            return True
+    return False
+
+
+@register
+class FreeDeviceIO(Rule):
+    """Every SpillPager/PageCache touch from the engine or comm layers
+    must happen in a scope that also talks to the cost model, so I/O can
+    never silently become free."""
+
+    code = "RPR005"
+    summary = "device I/O in runtime//comm/ must be cost-accounted"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        if not set(Path(ctx.path).parts) & _RPR005_SCOPED_DIRS:
+            return []
+        out: list[Violation] = []
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _touches_cost_model(node):
+                continue
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _IO_METHODS):
+                    key = (sub.lineno, sub.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(self.violation(
+                        ctx, sub,
+                        f"device I/O '{sub.func.attr}(...)' in "
+                        f"{node.name}() with no cost-model touch in scope "
+                        f"(free I/O); charge it into the tick costs or "
+                        f"suppress with a reason"))
+        return out

@@ -1,0 +1,113 @@
+"""Suppression pragmas: ``# repro-lint: disable=...`` and ``volatile``.
+
+Two pragma forms are recognised, either as a trailing comment on the
+line they apply to, or as a comment-only line immediately above it:
+
+``# repro-lint: disable=RPR001[,RPR002...] -- reason``
+    Suppress the named rules on this line.  The reason string after
+    ``--`` is **required**: a suppression without one is itself reported
+    (``RPR000``) and the suppression is not honoured, so a bare pragma
+    can never silently hide a violation.
+
+``# repro-lint: volatile -- reason``
+    On a ``self.attr = ...`` line inside ``__init__``: exempt that
+    attribute from the RPR004 snapshot-completeness check.  The reason
+    is required for the same auditability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import re
+
+from repro.devtools.report import Violation
+
+#: Meta-rule code for malformed pragmas.
+META_RULE = "RPR000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|volatile)"
+    r"(?:=(?P<rules>[A-Za-z0-9_, ]+))?"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+_RULE_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class SuppressionTable:
+    """Per-file pragma index, built once from the raw source lines."""
+
+    #: line number -> rule codes disabled on that line
+    disabled: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: line numbers carrying a ``volatile`` marker
+    volatile: set[int] = field(default_factory=set)
+    #: malformed-pragma violations (reported unconditionally)
+    errors: list[Violation] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.disabled.get(line, ())
+
+    def is_volatile(self, line: int) -> bool:
+        return line in self.volatile
+
+
+def scan_pragmas(path: str, lines: list[str]) -> SuppressionTable:
+    """Build the pragma table for one file.
+
+    ``lines`` are raw source lines; line numbers are 1-based to match
+    the AST.  Pragmas inside string literals are not distinguished from
+    real comments — the pragma grammar is restrictive enough that false
+    matches are implausible in practice.
+    """
+    table = SuppressionTable()
+    for raw_lineno, text in enumerate(lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        hash_pos = text.find("#")
+        if hash_pos < 0:
+            continue
+        # A comment-only pragma line governs the line below it; a trailing
+        # pragma governs its own line.
+        standalone = text.lstrip().startswith("#")
+        lineno = raw_lineno + 1 if standalone else raw_lineno
+        match = _PRAGMA_RE.search(text, hash_pos)
+        if match is None:
+            table.errors.append(
+                Violation(path, raw_lineno, hash_pos + 1, META_RULE,
+                          "malformed repro-lint pragma (expected "
+                          "'disable=RPR### -- reason' or 'volatile -- reason')")
+            )
+            continue
+        kind = match.group("kind")
+        reason = match.group("reason")
+        col = match.start() + 1
+        if not reason:
+            table.errors.append(
+                Violation(path, raw_lineno, col, META_RULE,
+                          f"repro-lint {kind} pragma requires a reason "
+                          f"('... -- why this is safe'); suppression not honoured")
+            )
+            continue
+        if kind == "volatile":
+            if match.group("rules"):
+                table.errors.append(
+                    Violation(path, raw_lineno, col, META_RULE,
+                              "volatile pragma takes no rule list")
+                )
+                continue
+            table.volatile.add(lineno)
+            continue
+        # kind == "disable"
+        raw_rules = match.group("rules") or ""
+        codes = [c.strip() for c in raw_rules.split(",") if c.strip()]
+        bad = [c for c in codes if not _RULE_CODE_RE.match(c)]
+        if not codes or bad:
+            table.errors.append(
+                Violation(path, raw_lineno, col, META_RULE,
+                          f"disable pragma needs rule codes like RPR003 "
+                          f"(got {raw_rules!r}); suppression not honoured")
+            )
+            continue
+        existing = table.disabled.get(lineno, frozenset())
+        table.disabled[lineno] = existing | frozenset(codes)
+    return table

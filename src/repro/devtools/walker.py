@@ -1,0 +1,169 @@
+"""AST walking infrastructure shared by every rule.
+
+A :class:`FileContext` bundles everything a rule needs to inspect one
+file: the parsed tree, the raw lines, the suppression table and an
+import-alias map that resolves names like ``np.random.rand`` back to
+their canonical dotted module path (``numpy.random.rand``) so rules
+match modules, not local spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.report import Violation
+from repro.devtools.suppressions import SuppressionTable, scan_pragmas
+
+#: Path components skipped by default when walking directories.  The
+#: linter's own package and the test tree are exempt from the rules
+#: (fixtures *contain* violations on purpose), matching the policy in
+#: docs/INTERNALS.md section 10.
+DEFAULT_EXCLUDES: frozenset[str] = frozenset(
+    {"devtools", "tests", "benchmarks", "examples", "__pycache__",
+     ".git", "build", "dist"}
+)
+
+
+@dataclass
+class ImportMap:
+    """Local-name -> canonical dotted path, built from import statements."""
+
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        m = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    m.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    m.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        # Conventional numpy alias even when numpy is imported lazily.
+        m.aliases.setdefault("np", "numpy")
+        return m
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path for a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.aliases.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    path: str  # as reported (relative when possible)
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionTable
+    imports: ImportMap
+
+    @classmethod
+    def parse(cls, file_path: Path, display_path: str) -> "FileContext":
+        source = file_path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display_path)
+        lines = source.splitlines()
+        return cls(
+            path=display_path,
+            tree=tree,
+            lines=lines,
+            suppressions=scan_pragmas(display_path, lines),
+            imports=ImportMap.from_tree(tree),
+        )
+
+
+def iter_scopes(
+    tree: ast.Module,
+) -> Iterator[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda]:
+    """Yield the module and every function-like scope in the tree."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def iter_python_files(
+    paths: Sequence[str | Path],
+    *,
+    excludes: frozenset[str] = DEFAULT_EXCLUDES,
+) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for f in candidates:
+            if any(part in excludes for part in f.parts):
+                continue
+            rf = f.resolve()
+            if rf not in seen:
+                seen.add(rf)
+                yield f
+
+
+def display_path(path: Path) -> str:
+    """Report paths relative to the CWD when possible (stable in CI)."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_file(ctx: FileContext, rules: Sequence) -> list[Violation]:
+    """Run ``rules`` over one parsed file, applying suppressions."""
+    out: list[Violation] = list(ctx.suppressions.errors)
+    for rule in rules:
+        for v in rule.check(ctx):
+            if not ctx.suppressions.is_suppressed(v.line, v.rule):
+                out.append(v)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence | None = None,
+    excludes: frozenset[str] = DEFAULT_EXCLUDES,
+) -> tuple[list[Violation], int]:
+    """Lint files/directories; returns ``(violations, files_checked)``."""
+    from repro.devtools.rules import all_rules
+
+    active = list(rules) if rules is not None else all_rules()
+    violations: list[Violation] = []
+    checked = 0
+    for f in iter_python_files(paths, excludes=excludes):
+        shown = display_path(f)
+        try:
+            ctx = FileContext.parse(f, shown)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(shown, exc.lineno or 1, (exc.offset or 1), "RPR000",
+                          f"syntax error: {exc.msg}")
+            )
+            checked += 1
+            continue
+        violations.extend(lint_file(ctx, active))
+        checked += 1
+    return sorted(violations), checked

@@ -15,8 +15,8 @@ Two formats:
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
+import warnings
 
 import numpy as np
 

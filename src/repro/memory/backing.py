@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import concat_ranges
 from repro.graph.csr import CSR
 from repro.memory.page_cache import NAMESPACE_SHIFT, PageCache
-from repro.core.batch import concat_ranges
 
 _NS_ROW_PTR = 0
 _NS_COLS = 1

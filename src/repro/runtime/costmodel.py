@@ -158,6 +158,18 @@ class EngineConfig:
     transport_window: int | None = None
     #: Dedicated spill-pager cache capacity, pages (per rank).
     spill_cache_pages: int = 16
+    # --- race-detection knobs (INTERNALS §10) -------------------------- #
+    #: Record per-tick order digests (rank-by-rank counter deltas plus the
+    #: visitor-application sequence) into ``SimulationEngine.tick_digests``.
+    #: Pure observability: costs, states and stats are untouched.
+    record_order_digests: bool = False
+    #: Rank execution order within a tick — a permutation of
+    #: ``range(num_ranks)``; ``None`` means natural order.  A non-natural
+    #: order requires the reliable transport, whose canonical ``(src, seq)``
+    #: release makes arrival order independent of send interleaving; on the
+    #: plain fabric the perturbation would change delivery order and flag
+    #: perfectly correct algorithms.  Used by ``repro.runtime.race``.
+    rank_order: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.visitor_budget < 1:
@@ -191,6 +203,18 @@ class EngineConfig:
                 )
         if self.spill_cache_pages < 1:
             raise ConfigurationError("spill_cache_pages must be >= 1")
+        if self.rank_order is not None:
+            order = tuple(self.rank_order)
+            if sorted(order) != list(range(len(order))):
+                raise ConfigurationError(
+                    f"rank_order must be a permutation of range(p), got {order!r}"
+                )
+            if order != tuple(range(len(order))) and not self.reliable_active:
+                raise ConfigurationError(
+                    "a perturbed rank_order requires the reliable transport "
+                    "(its canonical (src, seq) release keeps arrival order "
+                    "schedule-invariant; set reliable=True)"
+                )
 
     # ------------------------------------------------------------------ #
     @property

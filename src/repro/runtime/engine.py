@@ -20,6 +20,9 @@ locality ordering) show up in simulated TEPS.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+
 import numpy as np
 
 from repro.comm.mailbox import Mailbox
@@ -212,6 +215,32 @@ class SimulationEngine:
                 )
             )
 
+        #: Within-tick rank execution order.  Natural by default; the race
+        #: detector perturbs it — a scheduling freedom that correct code
+        #: must be invariant to under the reliable transport's canonical
+        #: ``(src, seq)`` release (plain fabric delivery order would shift
+        #: with it, so EngineConfig rejects that combination).
+        order = self.config.rank_order
+        if order is not None and len(order) != p:
+            raise ConfigurationError(
+                f"rank_order has {len(order)} entries, graph has {p} ranks"
+            )
+        self._rank_order: list[int] = (
+            list(range(p)) if order is None else [int(r) for r in order]
+        )
+
+        #: Per-tick order digests (race detection); empty unless
+        #: ``record_order_digests`` is set.  ``tick_digests[t-1]`` folds the
+        #: per-rank digests of tick ``t``; ``tick_rank_digests`` keeps them
+        #: separate so a divergence can be localised to ranks.
+        self.tick_digests: list[bytes] = []
+        self.tick_rank_digests: list[tuple[bytes, ...]] = []
+        self._record_digests = bool(self.config.record_order_digests)
+        if self._record_digests:
+            self._digest_prev = np.zeros((p, 5), dtype=np.int64)
+            for rk in self.ranks:
+                rk.order_probe = []
+
         self.detectors: list[QuiescenceDetector] | None = None
         if self.config.use_termination_detector:
             self.detectors = [
@@ -304,7 +333,7 @@ class SimulationEngine:
             report = self.network.take_report() if self.reliable_mode else None
             had_traffic = any(arrivals)
             control_events = [0] * p
-            for r in range(p):
+            for r in self._rank_order:
                 if self.recovery is not None:
                     self.recovery.log_arrivals(t, r, arrivals[r])
                 control_events[r] = self._rank_tick(r, arrivals[r])
@@ -312,8 +341,11 @@ class SimulationEngine:
             if self.detectors is not None and not self.detectors[0].terminated:
                 self.detectors[0].maybe_start_wave()
 
-            for mb in self.mailboxes:
-                mb.flush()
+            for r in self._rank_order:
+                self.mailboxes[r].flush()
+
+            if self._record_digests:
+                self._record_order_digest(t)
 
             checkpoint_costs = None
             if (
@@ -473,6 +505,37 @@ class SimulationEngine:
                         self.detectors[r].handle(e.payload)
         self.ranks[r].process(self.config.visitor_budget)
         return controls
+
+    def _record_order_digest(self, tick: int) -> None:
+        """Fold one tick's observable visitor-application order into digests.
+
+        Each rank's digest covers (tick, rank, counter deltas, the sequence
+        of vertices whose visitors ran this tick); the tick digest folds the
+        per-rank digests in rank-id order, so it is identical for any two
+        schedules that produce the same per-rank behaviour — exactly the
+        invariant the race detector checks.
+        """
+        rank_digests: list[bytes] = []
+        for r in range(self.graph.num_partitions):
+            c = self.ranks[r].counters
+            cur = (c.previsits, c.visits, c.edges_scanned, c.pushes,
+                   c.ghost_filtered)
+            prev = self._digest_prev[r]
+            h = hashlib.blake2b(digest_size=16)
+            h.update(struct.pack(
+                "<7q", tick, r, *(int(a) - int(b) for a, b in zip(cur, prev))
+            ))
+            probe = self.ranks[r].order_probe
+            if probe:
+                h.update(np.asarray(probe, dtype=np.int64).tobytes())
+                probe.clear()
+            self._digest_prev[r] = cur
+            rank_digests.append(h.digest())
+        tick_h = hashlib.blake2b(digest_size=16)
+        for d in rank_digests:
+            tick_h.update(d)
+        self.tick_digests.append(tick_h.digest())
+        self.tick_rank_digests.append(tuple(rank_digests))
 
     def _charge_storage_faults(self, stats, costs, r: int, cache) -> None:
         """Fold one cache's epoch fault record into the run stats; escalate

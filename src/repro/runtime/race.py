@@ -1,0 +1,158 @@
+"""Tick-order race detector — is the algorithm schedule-invariant?
+
+The engine's within-tick rank execution order is a *scheduling freedom*:
+under the reliable transport, arrivals are released in canonical
+``(src, seq)`` order regardless of how sends interleaved inside the
+sending tick, so a correct asynchronous algorithm must produce the same
+per-tick behaviour whichever order the simulated ranks take their turns.
+Code that sneaks shared state across ranks (a Python-level global, a
+mutated module attribute, an object aliased across partitions) breaks
+that invariance — and such bugs are notoriously hard to localise because
+end-state checks only say *something* differed.
+
+:func:`detect_races` runs the traversal twice with
+:attr:`~repro.runtime.costmodel.EngineConfig.record_order_digests` on —
+once in natural rank order, once perturbed (reversed by default) — and
+compares the per-tick order digests.  The first differing tick is where
+the schedule first leaked into observable behaviour, and the per-rank
+digests narrow it to the ranks involved.  A clean report is a strong
+(though not exhaustive — one perturbation, not all ``p!``) determinism
+check; a divergent one is a precise bug report.
+
+The plain fabric preserves global send order, so perturbing rank order
+there would change *delivery* order and flag perfectly correct code;
+``detect_races`` therefore forces ``reliable=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.comm.routing import Topology
+from repro.core.traversal import resolve_config
+from repro.core.visitor import AsyncAlgorithm
+from repro.graph.distributed import DistributedGraph
+from repro.runtime.costmodel import EngineConfig, MachineModel, laptop
+from repro.runtime.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Outcome of one baseline-vs-perturbed race check."""
+
+    #: True when every tick's digest matched (and tick counts agree).
+    clean: bool
+    #: 1-based tick of the first digest mismatch; None when clean.
+    first_divergent_tick: int | None
+    #: Ranks whose per-rank digests differ at the divergent tick (empty
+    #: when clean, or when the runs diverged only in tick count).
+    divergent_ranks: tuple[int, ...]
+    #: Tick counts of the two runs.
+    baseline_ticks: int
+    perturbed_ticks: int
+    #: The perturbed rank execution order that was compared against
+    #: natural order.
+    rank_order: tuple[int, ...]
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.clean:
+            return (
+                f"race check clean: {self.baseline_ticks} ticks "
+                f"bit-identical under perturbed rank order "
+                f"{list(self.rank_order)}"
+            )
+        where = (
+            f"ranks {', '.join(map(str, self.divergent_ranks))}"
+            if self.divergent_ranks
+            else "tick-count mismatch"
+        )
+        return (
+            f"RACE: first divergent tick {self.first_divergent_tick} "
+            f"({where}); baseline ran {self.baseline_ticks} ticks, "
+            f"perturbed {self.perturbed_ticks} — visitor application "
+            f"depends on rank scheduling order"
+        )
+
+
+def detect_races(
+    graph: DistributedGraph,
+    algorithm,
+    *,
+    machine: MachineModel | None = None,
+    topology: Topology | str = "direct",
+    config: EngineConfig | None = None,
+    rank_order: tuple[int, ...] | None = None,
+    **overrides,
+) -> RaceReport:
+    """Run ``algorithm`` twice (natural vs perturbed rank order) and
+    report the first tick where observable behaviour diverges.
+
+    Parameters
+    ----------
+    graph, machine, topology, config:
+        As :func:`~repro.core.traversal.run_traversal`.
+    algorithm:
+        An :class:`AsyncAlgorithm` instance, or a zero-argument factory
+        returning one.  A factory is the safe choice when the algorithm
+        object accumulates per-run state — each run gets a fresh one; a
+        plain instance is rebound and reused for both runs.
+    rank_order:
+        The perturbed execution order to compare against natural order;
+        defaults to reversed rank order.
+    **overrides:
+        The :func:`run_traversal` convenience overrides (``batch``,
+        ``faults``, ``checkpoint_interval``, ...).  ``reliable`` is
+        forced on — the canonical-release transport is what makes the
+        perturbation a pure scheduling change.
+    """
+    base = resolve_config(config, **overrides)
+    if not base.reliable_active:
+        base = replace(base, reliable=True)
+    p = graph.num_partitions
+    order = (
+        tuple(int(r) for r in rank_order)
+        if rank_order is not None
+        else tuple(reversed(range(p)))
+    )
+
+    def _run(cfg: EngineConfig) -> SimulationEngine:
+        algo = (
+            algorithm
+            if isinstance(algorithm, AsyncAlgorithm)
+            else algorithm()
+        )
+        engine = SimulationEngine(
+            graph, algo, machine or laptop(), topology=topology, config=cfg
+        )
+        engine.run()
+        return engine
+
+    baseline = _run(replace(base, record_order_digests=True, rank_order=None))
+    perturbed = _run(replace(base, record_order_digests=True, rank_order=order))
+
+    b, q = baseline.tick_digests, perturbed.tick_digests
+    first: int | None = None
+    for i, (db, dq) in enumerate(zip(b, q)):
+        if db != dq:
+            first = i + 1
+            break
+    if first is None and len(b) != len(q):
+        # Identical prefix but one run kept going: divergence surfaces at
+        # the first tick the shorter run never executed.
+        first = min(len(b), len(q)) + 1
+    divergent_ranks: tuple[int, ...] = ()
+    if first is not None and first <= min(len(b), len(q)):
+        rb = baseline.tick_rank_digests[first - 1]
+        rq = perturbed.tick_rank_digests[first - 1]
+        divergent_ranks = tuple(
+            r for r, (x, y) in enumerate(zip(rb, rq)) if x != y
+        )
+    return RaceReport(
+        clean=first is None,
+        first_divergent_tick=first,
+        divergent_ranks=divergent_ranks,
+        baseline_ticks=len(b),
+        perturbed_ticks=len(q),
+        rank_order=order,
+    )

@@ -1,15 +1,14 @@
 """Tests for asynchronous BFS (Algorithms 2 and 3)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms.bfs import BFSAlgorithm, bfs
+from repro.generators.small_world import small_world_edges
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
-from repro.generators.rmat import rmat_edges
-from repro.generators.small_world import small_world_edges
 from repro.reference.bfs import bfs_levels
 from repro.types import UNREACHED
 

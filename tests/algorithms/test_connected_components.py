@@ -1,9 +1,9 @@
 """Tests for asynchronous connected components (extension algorithm)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.algorithms.connected_components import connected_components
 from repro.graph.distributed import DistributedGraph

@@ -1,11 +1,10 @@
 """Tests for asynchronous K-Core decomposition (Algorithms 4 and 5)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
 import networkx as nx
+import numpy as np
+import pytest
 
 from repro.algorithms.kcore import KCoreAlgorithm, kcore
 from repro.graph.distributed import DistributedGraph

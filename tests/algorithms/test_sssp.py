@@ -1,16 +1,16 @@
 """Tests for asynchronous SSSP (extension algorithm)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
+from repro.algorithms.bfs import bfs
 from repro.algorithms.sssp import SSSPAlgorithm, edge_weight, sssp
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
 from repro.reference.sssp import sssp_distances
 from repro.types import UNREACHED
-from repro.algorithms.bfs import bfs
 
 
 class TestEdgeWeight:

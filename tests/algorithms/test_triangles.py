@@ -1,11 +1,10 @@
 """Tests for asynchronous triangle counting (Algorithms 6 and 7)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
 import networkx as nx
+import numpy as np
+import pytest
 
 from repro.algorithms.triangles import triangle_count
 from repro.graph.distributed import DistributedGraph

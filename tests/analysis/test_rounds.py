@@ -5,7 +5,6 @@ the simulator: measured ticks (a constant-factor proxy for parallel rounds)
 must not exceed the corresponding bound by more than a small constant.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms.bfs import bfs
@@ -16,7 +15,6 @@ from repro.analysis.rounds import (
     kcore_round_bound,
     triangle_round_bound,
 )
-from repro.graph.distributed import DistributedGraph
 from repro.runtime.costmodel import EngineConfig
 from repro.types import UNREACHED
 

@@ -1,6 +1,5 @@
 """Tests for the Graph500-style BFS validator."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.bfs import bfs

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench.graph500 import run_graph500
 from repro.bench.harness import build_rmat_graph
-from repro.errors import TraversalError
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
 from repro.runtime.costmodel import hyperion_dit, laptop

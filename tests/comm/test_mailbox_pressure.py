@@ -6,13 +6,13 @@ import numpy as np
 import pytest
 
 from repro.comm.mailbox import Mailbox
-from repro.comm.message import ENVELOPE_HEADER_BYTES, KIND_VISITOR
+from repro.comm.message import KIND_VISITOR
 from repro.comm.network import Network
 from repro.comm.routing import DirectTopology, Grid2DTopology
 from repro.core.batch import VisitorBatch
 from repro.errors import CommunicationError
 from repro.memory.device import dram
-from repro.memory.spill import NS_MAILBOX, SpillPager
+from repro.memory.spill import SpillPager
 
 
 def _fabric(p, topo_cls=DirectTopology, agg=16, cap=None, spill=False):

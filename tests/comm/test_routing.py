@@ -1,10 +1,9 @@
 """Tests for routing topologies — Section III-B and Figure 4."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
-from repro.errors import RoutingError
 from repro.comm.routing import (
     DirectTopology,
     Grid2DTopology,
@@ -13,6 +12,7 @@ from repro.comm.routing import (
     max_channels,
     mean_hops,
 )
+from repro.errors import RoutingError
 
 
 class TestPaperFigure4Example:

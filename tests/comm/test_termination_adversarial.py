@@ -14,9 +14,9 @@ delay).
 
 from collections import deque
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.comm.mailbox import Mailbox
 from repro.comm.message import KIND_CONTROL, KIND_VISITOR

@@ -2,18 +2,18 @@
 
 from __future__ import annotations
 
+from hypothesis import settings
 import numpy as np
 import pytest
-from hypothesis import settings
+
+from repro.generators.rmat import rmat_edges
+from repro.graph.distributed import DistributedGraph
+from repro.graph.edge_list import EdgeList
 
 # No example database: property tests stay stateless and the repo stays
 # free of .hypothesis/ artifacts.
 settings.register_profile("repro", database=None, deadline=None)
 settings.load_profile("repro")
-
-from repro.generators.rmat import rmat_edges
-from repro.graph.distributed import DistributedGraph
-from repro.graph.edge_list import EdgeList
 
 
 @pytest.fixture

@@ -1,9 +1,9 @@
 """Unit tests for the SoA batch primitives (VisitorBatch,
 BatchStateArrays.previsit, GhostArrayTable, concat_ranges)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.core.batch import (
     BatchStateArrays,

@@ -9,19 +9,17 @@ kind of invariants that hold regardless of which algorithm runs:
 * the simulated clock is invariant to the termination mechanism.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.algorithms.bfs import BFSAlgorithm, bfs
 from repro.algorithms.kcore import kcore
-from repro.core.traversal import run_traversal
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
 from repro.runtime.costmodel import EngineConfig
-from repro.runtime.engine import SimulationEngine
 from repro.runtime.costmodel import laptop
+from repro.runtime.engine import SimulationEngine
 
 
 def graphs(max_n=14, min_edges=1, max_m=60):

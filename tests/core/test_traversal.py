@@ -1,6 +1,5 @@
 """Tests for the run_traversal entry point and TraversalResult."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.bfs import BFSAlgorithm

@@ -1,6 +1,5 @@
 """Tests for the visitor base class and AsyncAlgorithm helpers."""
 
-import numpy as np
 
 from repro.core.visitor import (
     ROLE_GHOST,
@@ -10,7 +9,6 @@ from repro.core.visitor import (
     Visitor,
 )
 from repro.graph.distributed import DistributedGraph
-from repro.graph.edge_list import EdgeList
 
 
 class TestVisitorDefaults:

@@ -8,8 +8,8 @@ algorithm in the way.
 import numpy as np
 import pytest
 
-from repro.core.visitor import ROLE_GHOST, ROLE_MASTER, AsyncAlgorithm, Visitor
 from repro.core.traversal import run_traversal
+from repro.core.visitor import ROLE_GHOST, ROLE_MASTER, AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
 from repro.runtime.costmodel import EngineConfig

@@ -1,0 +1,24 @@
+"""RPR001 fixture: every tagged line must be flagged."""
+
+import random
+from random import randint
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_draws():
+    a = random.random()  # expect: RPR001
+    b = randint(0, 10)  # expect: RPR001
+    c = np.random.rand(4)  # expect: RPR001
+    d = np.random.default_rng()  # expect: RPR001
+    e = default_rng()  # expect: RPR001
+    f = random.Random()  # expect: RPR001
+    g = random.SystemRandom()  # expect: RPR001
+    return a, b, c, d, e, f, g
+
+
+def good_draws():
+    rng = np.random.default_rng(7)
+    legacy = random.Random(3)
+    return rng.integers(10), legacy.random()

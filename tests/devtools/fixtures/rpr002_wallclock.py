@@ -1,0 +1,17 @@
+"""RPR002 fixture: wall-clock reads outside benchmark code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamps():
+    t0 = time.time()  # expect: RPR002
+    t1 = perf_counter()  # expect: RPR002
+    t2 = time.monotonic_ns()  # expect: RPR002
+    now = datetime.now()  # expect: RPR002
+    return t0, t1, t2, now
+
+
+def fine():
+    return time.strftime("%Y")

@@ -1,0 +1,51 @@
+"""RPR003 fixture: unordered iteration feeding send/per-rank order."""
+
+
+def direct_set(mailbox, targets, payload):
+    for r in set(targets):  # expect: RPR003
+        mailbox.send(r, 0, payload, 8)
+
+
+def dict_view(network, buffers):
+    for hop in buffers.keys():  # expect: RPR003
+        network.send_packet(buffers[hop])
+
+
+def tainted_name(queue, xs):
+    pending = set(xs)
+    for v in pending:  # expect: RPR003
+        queue.push(v)
+
+
+def set_algebra(mailbox, left, right, payload):
+    members = set(left)
+    for r in members | right:  # expect: RPR003
+        mailbox.send(r, 0, payload, 8)
+
+
+def comprehension(mailboxes, active):
+    return [mailboxes[r] for r in set(active)]  # expect: RPR003
+
+
+def sorted_is_fine(mailbox, targets, payload):
+    for r in sorted(set(targets)):
+        mailbox.send(r, 0, payload, 8)
+
+
+def no_sink_is_fine(xs):
+    total = 0
+    for v in set(xs):
+        total += v
+    return total
+
+
+def rebound_to_sorted_is_fine(queue, xs):
+    pending = set(xs)
+    pending = sorted(pending)
+    for v in pending:
+        queue.push(v)
+
+
+def list_iteration_is_fine(mailbox, targets, payload):
+    for r in list(targets):
+        mailbox.send(r, 0, payload, 8)

@@ -1,0 +1,61 @@
+"""RPR004 fixture: snapshot/restore completeness."""
+
+
+class Broken:
+    def __init__(self):
+        self.state = 0
+        self.cursor = 0  # expect: RPR004
+        self.wiring = object()
+        # repro-lint: volatile -- fixture: scratch is recomputed every step
+        self.scratch = 0
+
+    def step(self):
+        self.state += 1
+        self.cursor += 1
+        self.scratch = self.state + self.cursor
+
+    def snapshot_state(self):
+        return {"state": self.state}
+
+    def restore_state(self, snap):
+        self.state = snap["state"]
+
+
+class ShortNames:
+    def __init__(self):
+        self.depth = 0  # expect: RPR004
+
+    def advance(self):
+        self.depth += 1
+
+    def snapshot(self):
+        return {}
+
+    def restore(self, snap):
+        return None
+
+
+class NoSnapshotMethodsAnything:
+    def __init__(self):
+        self.anything = 0
+
+    def step(self):
+        self.anything += 1
+
+
+class FullyCovered:
+    def __init__(self):
+        self.a = 0
+        self.b = []
+
+    def step(self):
+        self.a += 1
+        self.b.append(self.a)
+        self.b = list(self.b)
+
+    def snapshot_state(self):
+        return {"a": self.a, "b": list(self.b)}
+
+    def restore_state(self, snap):
+        self.a = snap["a"]
+        self.b = list(snap["b"])

@@ -1,0 +1,17 @@
+"""RPR005 fixture (the ``runtime`` path component puts it in scope)."""
+
+
+class Drainer:
+    def free_io(self, pager, n):
+        pager.spill(1, n)  # expect: RPR005
+
+    def charged_io(self, pager, costs, n):
+        pager.spill(1, n)
+        costs[0] += pager.drain_epoch_us()
+
+    def free_cache_touch(self, cache):
+        cache.access_range(0, 4096)  # expect: RPR005
+
+    def machine_touch_is_fine(self, cache, machine):
+        cache.access_pages([1, 2, 3])
+        return machine.page_size

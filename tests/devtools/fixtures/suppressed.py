@@ -1,0 +1,31 @@
+"""Suppression fixture: valid pragmas hide findings, invalid ones are RPR000."""
+
+import random
+
+
+def hidden_trailing():
+    return random.random()  # repro-lint: disable=RPR001 -- fixture: trailing suppression
+
+
+def hidden_standalone():
+    # repro-lint: disable=RPR001 -- fixture: standalone pragma governs next line
+    return random.random()
+
+
+def reasonless_pragma_does_not_hide():
+    return random.random()  # repro-lint: disable=RPR001
+
+
+class BadVolatile:
+    def __init__(self):
+        # repro-lint: volatile
+        self.cursor = 0
+
+    def step(self):
+        self.cursor += 1
+
+    def snapshot_state(self):
+        return {}
+
+    def restore_state(self, snap):
+        return None

@@ -1,0 +1,176 @@
+"""The repro-lint analyzer: exact (rule, line) findings on the fixtures,
+suppression round-trips, CLI exit codes, and a clean shipped tree."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import all_rules, lint_paths
+from repro.devtools.cli import main as lint_main
+from repro.devtools.suppressions import scan_pragmas
+from repro.devtools.walker import DEFAULT_EXCLUDES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).parents[2] / "src" / "repro"
+
+#: Lint everything we're pointed at — fixtures live under tests/, which
+#: the default excludes would skip.
+NO_EXCLUDES = frozenset({"__pycache__"})
+
+
+def lint_fixture(name: str, select: set[str] | None = None):
+    path = FIXTURES / name
+    violations, checked = lint_paths(
+        [str(path)],
+        rules=all_rules(frozenset(select) if select else None),
+        excludes=NO_EXCLUDES,
+    )
+    assert checked == 1
+    return violations
+
+
+def expected_findings(name: str) -> set[tuple[str, int]]:
+    """The ``# expect: RPR###`` markers in a fixture, as (rule, line)."""
+    out = set()
+    for lineno, line in enumerate(
+        (FIXTURES / name).read_text().splitlines(), start=1
+    ):
+        if "# expect: " in line:
+            out.add((line.split("# expect: ", 1)[1].strip(), lineno))
+    assert out, f"fixture {name} has no expect markers"
+    return out
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "rpr001_random.py",
+        "rpr002_wallclock.py",
+        "rpr003_order.py",
+        "rpr004_snapshot.py",
+        "runtime/rpr005_io.py",
+    ],
+)
+def test_fixture_findings_exact(fixture):
+    got = {(v.rule, v.line) for v in lint_fixture(fixture)}
+    assert got == expected_findings(fixture)
+
+
+def test_rule_selection_narrows_findings():
+    violations = lint_fixture("rpr001_random.py", select={"RPR002"})
+    assert violations == []
+
+
+def test_unknown_rule_code_rejected():
+    with pytest.raises(ValueError, match="RPR999"):
+        all_rules(frozenset({"RPR999"}))
+
+
+# --------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------- #
+def _line_of(name: str, needle: str) -> int:
+    for lineno, line in enumerate(
+        (FIXTURES / name).read_text().splitlines(), start=1
+    ):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not in {name}")
+
+
+def test_suppression_round_trip():
+    violations = lint_fixture("suppressed.py")
+    got = {(v.rule, v.line) for v in violations}
+    # Valid trailing and standalone pragmas hide their RPR001 findings.
+    assert ("RPR001", _line_of("suppressed.py", "hidden_trailing") + 1) not in got
+    assert ("RPR001", _line_of("suppressed.py", "hidden_standalone") + 2) not in got
+    # A reasonless disable is RPR000 *and* leaves the finding visible.
+    bare = _line_of("suppressed.py", "reasonless_pragma_does_not_hide") + 1
+    assert ("RPR000", bare) in got
+    assert ("RPR001", bare) in got
+    # A reasonless volatile is RPR000 and does not exempt the attribute.
+    pragma = _line_of("suppressed.py", "# repro-lint: volatile")
+    assert ("RPR000", pragma) in got
+    assert ("RPR004", pragma + 1) in got
+
+
+def test_volatile_with_reason_exempts(tmp_path):
+    src = (
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        # repro-lint: volatile -- derived cache\n"
+        "        self.cursor = 0\n"
+        "    def step(self):\n"
+        "        self.cursor += 1\n"
+        "    def snapshot_state(self):\n"
+        "        return {}\n"
+        "    def restore_state(self, snap):\n"
+        "        return None\n"
+    )
+    f = tmp_path / "vol.py"
+    f.write_text(src)
+    violations, _ = lint_paths([str(f)], rules=all_rules(), excludes=NO_EXCLUDES)
+    assert violations == []
+
+
+def test_malformed_pragma_is_meta_violation():
+    table = scan_pragmas("x.py", ["x = 1  # repro-lint: disable=banana -- why"])
+    assert [v.rule for v in table.errors] == ["RPR000"]
+    assert not table.disabled
+
+
+def test_syntax_error_reports_rpr000(tmp_path):
+    f = tmp_path / "broken.py"
+    f.write_text("def oops(:\n")
+    violations, checked = lint_paths(
+        [str(f)], rules=all_rules(), excludes=NO_EXCLUDES
+    )
+    assert checked == 1
+    assert [v.rule for v in violations] == ["RPR000"]
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def test_cli_json_format(capsys):
+    code = lint_main([str(FIXTURES / "rpr001_random.py"),
+                      "--include-excluded", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked_files"] == 1
+    assert payload["violation_count"] == len(payload["violations"]) > 0
+    first = payload["violations"][0]
+    assert {"path", "line", "col", "rule", "message"} <= set(first)
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    code = lint_main([str(REPO_SRC)])
+    out = capsys.readouterr()
+    assert code == 0, out.out
+    assert "clean" in out.out
+
+
+def test_cli_default_excludes_skip_fixtures(capsys):
+    # Pointing at tests/devtools without --include-excluded finds nothing
+    # to lint (the whole tree is excluded) and exits 2.
+    code = lint_main([str(Path(__file__).parent)])
+    assert code == 2
+    assert "tests" in DEFAULT_EXCLUDES
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule in out
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["lint", str(REPO_SRC)])
+    assert args.func(args) == 0
+    assert "clean" in capsys.readouterr().out

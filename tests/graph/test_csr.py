@@ -1,9 +1,9 @@
 """Tests for CSR adjacency storage."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import GraphConstructionError
 from repro.graph.csr import CSR

@@ -1,8 +1,8 @@
 """Property tests for the distributed sample sort."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.graph.dist_sort import sample_sort_edges
 from repro.graph.edge_list import EdgeList

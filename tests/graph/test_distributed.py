@@ -1,9 +1,9 @@
 """Tests for the DistributedGraph facade."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import PartitioningError
 from repro.graph.distributed import DistributedGraph

@@ -1,9 +1,9 @@
 """Tests for edge list partitioning — Section III-A1 and Figure 3."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import PartitioningError
 from repro.generators.rmat import rmat_edges

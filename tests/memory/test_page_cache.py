@@ -1,8 +1,8 @@
 """Tests for the user-space page cache."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.errors import MemorySystemError
 from repro.memory.device import MemoryDevice

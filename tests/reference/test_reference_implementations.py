@@ -4,12 +4,11 @@ The distributed algorithms are tested against these references, so the
 references themselves are grounded in a third-party implementation here.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
 import networkx as nx
+import numpy as np
+import pytest
 
 from repro.graph.edge_list import EdgeList
 from repro.reference.bfs import bfs_levels

@@ -6,9 +6,9 @@ import pytest
 from repro.algorithms.bfs import BFSAlgorithm, bfs
 from repro.core.traversal import run_traversal
 from repro.errors import TraversalError
+from repro.generators.rmat import rmat_edges
 from repro.graph.distributed import DistributedGraph
 from repro.graph.edge_list import EdgeList
-from repro.generators.rmat import rmat_edges
 from repro.runtime.costmodel import EngineConfig, MachineModel, hyperion_dit, laptop
 from repro.runtime.engine import SimulationEngine
 

@@ -5,8 +5,8 @@ executed in a shared namespace (top to bottom, so later snippets can use
 names defined by earlier ones, exactly as a reader would follow along).
 """
 
-import re
 from pathlib import Path
+import re
 
 import pytest
 

@@ -1,9 +1,9 @@
 """Tests for locator bit-packing."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.utils import bitpack
 

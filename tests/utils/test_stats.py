@@ -1,8 +1,8 @@
 """Tests for statistics helpers."""
 
-import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.utils.stats import describe, imbalance, log2_histogram
 
