@@ -1,26 +1,32 @@
-"""Wall-clock benchmark of the vectorized batch fast path.
+"""Wall-clock benchmark of the vectorized batch fast path, per algorithm.
 
-Runs the same BFS traversal through the object path and the batch path,
-checks the two produce identical results and traversal stats (the batch
-path's defining contract), and reports the host wall-clock speedup.  Also
-reports — never gates — the reliable-delivery transport's no-fault
-overhead (host time, simulated time and protocol bytes vs the plain
-fabric) and the bounded-mailbox ledger's no-pressure overhead (a cap
+For every algorithm with a batch kernel (BFS, SSSP, CC, triangles, k-core,
+PageRank) this runs the same traversal through the object path and the
+batch path, checks the two produce identical results and traversal stats
+(the batch path's defining contract), and reports the host wall-clock
+speedup.  Also reports — never gates — the reliable-delivery transport's
+no-fault overhead (host time, simulated time and protocol bytes vs the
+plain fabric) and the bounded-mailbox ledger's no-pressure overhead (a cap
 high enough that backpressure never engages, measuring pure flow-control
-bookkeeping cost).
+bookkeeping cost), both measured on the BFS workload.
 
 Usage::
 
-    python benchmarks/bench_wallclock_hotpath.py             # full: scale 16, p=16
-    python benchmarks/bench_wallclock_hotpath.py --smoke     # CI: scale 12, p=8
+    python benchmarks/bench_wallclock_hotpath.py             # full: all algorithms
+    python benchmarks/bench_wallclock_hotpath.py --smoke     # CI: bfs + triangles
     python benchmarks/bench_wallclock_hotpath.py --smoke --check \
         --baseline BENCH_hotpath.json                        # regression gate
 
-The JSON written next to the repo root (``BENCH_hotpath.json``) records the
-measured speedup; ``--check`` fails (exit 1) when the current speedup falls
-more than 25% below the baseline's, a machine-independent regression gate
-(both paths run on the same host, so their *ratio* transfers between
-machines in a way absolute seconds do not).
+The JSON written next to the repo root (``BENCH_hotpath.json``) records one
+record per algorithm; ``--check`` fails (exit 1) when any algorithm's
+current speedup falls more than 25% below its baseline, a
+machine-independent regression gate (both paths run on the same host, so
+their *ratio* transfers between machines in a way absolute seconds do
+not).  Workload sizes differ per algorithm because their visitor volumes
+differ by orders of magnitude: triangle counting is O(sum of squared
+degrees) visitors, so it runs scale 16 at edgefactor 1, and PageRank's
+residual push needs tens of ticks per unit of threshold, so it runs a
+smaller graph.
 """
 
 from __future__ import annotations
@@ -34,11 +40,76 @@ import time
 import numpy as np
 
 from repro.algorithms.bfs import bfs
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.algorithms.triangles import triangle_count
 from repro.bench.harness import build_rmat_graph, pick_bfs_source
 from repro.runtime.costmodel import laptop
 
 #: Tolerated relative drop in speedup before --check fails.
 REGRESSION_TOLERANCE = 0.25
+
+#: Per-algorithm workload definitions.  ``graph`` keys feed
+#: :func:`build_rmat_graph`; ``run(graph, source, machine, batch)`` must be
+#: deterministic; ``arrays(result)`` yields the output arrays to compare.
+WORKLOADS = {
+    "bfs": dict(
+        graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
+        run=lambda g, s, m, b: bfs(g, s, machine=m, batch=b),
+        arrays=lambda r: (r.data.levels, r.data.parents),
+        repeats=3,
+    ),
+    "sssp": dict(
+        graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
+        run=lambda g, s, m, b: sssp(g, s, machine=m, batch=b),
+        arrays=lambda r: (r.data.distances, r.data.parents),
+        repeats=1,
+    ),
+    "cc": dict(
+        graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
+        run=lambda g, s, m, b: connected_components(g, machine=m, batch=b),
+        arrays=lambda r: (r.data.labels,),
+        repeats=1,
+    ),
+    "triangles": dict(
+        # O(sum d^2) visitors: edgefactor 1 keeps scale 16 tractable.
+        graph=dict(scale=16, edgefactor=1, num_partitions=16, num_ghosts=256),
+        run=lambda g, s, m, b: triangle_count(g, machine=m, batch=b),
+        arrays=lambda r: (r.data.per_vertex,),
+        repeats=1,
+    ),
+    "kcore": dict(
+        graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
+        run=lambda g, s, m, b: kcore(g, 4, machine=m, batch=b),
+        arrays=lambda r: (r.data.alive,),
+        repeats=1,
+    ),
+    "pagerank": dict(
+        # Residual push emits millions of visitors; a smaller graph keeps
+        # the object path's run in tens of seconds.
+        graph=dict(scale=10, edgefactor=16, num_partitions=8, num_ghosts=64),
+        run=lambda g, s, m, b: pagerank(g, threshold=1e-3, machine=m, batch=b),
+        arrays=lambda r: (r.data.scores,),
+        repeats=1,
+    ),
+}
+
+SMOKE_WORKLOADS = {
+    "bfs": dict(
+        graph=dict(scale=12, edgefactor=16, num_partitions=8, num_ghosts=64),
+        run=WORKLOADS["bfs"]["run"],
+        arrays=WORKLOADS["bfs"]["arrays"],
+        repeats=2,
+    ),
+    "triangles": dict(
+        graph=dict(scale=12, edgefactor=1, num_partitions=8, num_ghosts=64),
+        run=WORKLOADS["triangles"]["run"],
+        arrays=WORKLOADS["triangles"]["arrays"],
+        repeats=2,
+    ),
+}
 
 
 def _stats_key(stats):
@@ -55,11 +126,12 @@ def _stats_key(stats):
     )
 
 
-def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
-                  seed: int = 2024) -> dict:
-    """Time both paths on one RMAT BFS; returns the result record."""
+def run_algorithm(name: str, spec: dict, *, seed: int = 2024) -> dict:
+    """Time both paths on one workload; returns the result record."""
     edges, graph = build_rmat_graph(
-        scale, num_partitions=partitions, num_ghosts=ghosts,
+        spec["graph"]["scale"], edgefactor=spec["graph"]["edgefactor"],
+        num_partitions=spec["graph"]["num_partitions"],
+        num_ghosts=spec["graph"]["num_ghosts"],
         strategy="edge_list", seed=seed,
     )
     source = pick_bfs_source(edges, seed=seed)
@@ -69,65 +141,28 @@ def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
     timings = {}
     for label, batch in (("object", False), ("batch", True)):
         best = float("inf")
-        for _ in range(repeats):
+        for _ in range(spec["repeats"]):
             t0 = time.perf_counter()
-            res = bfs(graph, source, machine=machine, batch=batch)
+            res = spec["run"](graph, source, machine, batch)
             best = min(best, time.perf_counter() - t0)
         results[label] = res
         timings[label] = best
 
     obj, bat = results["object"], results["batch"]
     stats_equal = _stats_key(obj.stats) == _stats_key(bat.stats)
-    data_equal = (np.array_equal(obj.data.levels, bat.data.levels)
-                  and np.array_equal(obj.data.parents, bat.data.parents))
-    speedup = timings["object"] / timings["batch"]
-
-    # Reliable-delivery no-fault tax, report-only (never gated): the same
-    # traversal through the exactly-once transport, fault-free.
-    best_rel = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        rel = bfs(graph, source, machine=machine, reliable=True)
-        best_rel = min(best_rel, time.perf_counter() - t0)
-    reliable = {
-        "reliable_seconds": round(best_rel, 4),
-        "reliable_host_overhead": round(best_rel / timings["object"], 3),
-        "reliable_sim_overhead": round(
-            rel.stats.time_us / obj.stats.time_us, 4
-        ),
-        "reliable_overhead_bytes": rel.stats.reliable_overhead_bytes,
-        "reliable_ack_packets": rel.stats.ack_packets,
-    }
-    # Bounded-mailbox no-pressure tax, report-only (never gated): the same
-    # traversal with a cap so generous the credit gate never fires — any
-    # slowdown is pure flow-control bookkeeping (the byte ledger and the
-    # idle spill pager), and simulated time must be bit-identical.
-    best_cap = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        cap = bfs(graph, source, machine=machine, mailbox_cap=1 << 30)
-        best_cap = min(best_cap, time.perf_counter() - t0)
-    pressure = {
-        "pressure_seconds": round(best_cap, 4),
-        "pressure_host_overhead": round(best_cap / timings["object"], 3),
-        "pressure_sim_overhead": round(
-            cap.stats.time_us / obj.stats.time_us, 4
-        ),
-        "pressure_bp_stalls": cap.stats.total_bp_stalls,
-    }
+    data_equal = all(
+        np.array_equal(a, b)
+        for a, b in zip(spec["arrays"](obj), spec["arrays"](bat))
+    )
     return {
-        **reliable,
-        **pressure,
-        "algorithm": "bfs",
-        "machine": "laptop",
-        "scale": scale,
-        "partitions": partitions,
-        "ghosts": ghosts,
+        "algorithm": name,
+        **{k: spec["graph"][k] for k in
+           ("scale", "edgefactor", "num_partitions", "num_ghosts")},
         "source": source,
-        "repeats": repeats,
+        "repeats": spec["repeats"],
         "object_seconds": round(timings["object"], 4),
         "batch_seconds": round(timings["batch"], 4),
-        "speedup": round(speedup, 3),
+        "speedup": round(timings["object"] / timings["batch"], 3),
         "stats_equal": stats_equal,
         "data_equal": data_equal,
         "visits": sum(c.visits for c in obj.stats.ranks),
@@ -136,15 +171,61 @@ def run_benchmark(*, scale: int, partitions: int, ghosts: int, repeats: int,
     }
 
 
+def run_overheads(spec: dict, *, seed: int = 2024) -> dict:
+    """Report-only taxes measured on the BFS workload: the reliable
+    transport's no-fault overhead and the bounded mailbox's no-pressure
+    overhead (cap generous enough the credit gate never fires)."""
+    edges, graph = build_rmat_graph(
+        spec["graph"]["scale"], edgefactor=spec["graph"]["edgefactor"],
+        num_partitions=spec["graph"]["num_partitions"],
+        num_ghosts=spec["graph"]["num_ghosts"],
+        strategy="edge_list", seed=seed,
+    )
+    source = pick_bfs_source(edges, seed=seed)
+    machine = laptop()
+    repeats = spec["repeats"]
+
+    timings = {}
+    runs = {}
+    for label, kwargs in (
+        ("object", {}),
+        ("reliable", {"reliable": True}),
+        ("pressure", {"mailbox_cap": 1 << 30}),
+    ):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            runs[label] = bfs(graph, source, machine=machine, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        timings[label] = best
+    obj, rel, cap = runs["object"], runs["reliable"], runs["pressure"]
+    return {
+        "reliable_seconds": round(timings["reliable"], 4),
+        "reliable_host_overhead": round(timings["reliable"] / timings["object"], 3),
+        "reliable_sim_overhead": round(rel.stats.time_us / obj.stats.time_us, 4),
+        "reliable_overhead_bytes": rel.stats.reliable_overhead_bytes,
+        "reliable_ack_packets": rel.stats.ack_packets,
+        "pressure_seconds": round(timings["pressure"], 4),
+        "pressure_host_overhead": round(timings["pressure"] / timings["object"], 3),
+        "pressure_sim_overhead": round(cap.stats.time_us / obj.stats.time_us, 4),
+        "pressure_bp_stalls": cap.stats.total_bp_stalls,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="small/fast configuration for CI (scale 12, p=8)")
+                        help="small/fast configuration for CI (bfs + "
+                        "triangles at scale 12, p=8)")
     parser.add_argument("--check", action="store_true",
-                        help="fail when speedup regresses >25%% vs --baseline")
+                        help="fail when any algorithm's speedup regresses "
+                        ">25%% vs --baseline")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON for --check (default: the "
                         "committed file matching this run's mode)")
+    parser.add_argument("--algorithms", default=None,
+                        help="comma-separated subset to run (default: all "
+                        "in the mode's workload table)")
     parser.add_argument("-o", "--output", default=None,
                         help="where to write the result JSON (default: the "
                         "mode's baseline file at the repo root; suppressed "
@@ -154,40 +235,61 @@ def main(argv: list[str] | None = None) -> int:
     default_json = root / ("BENCH_hotpath_smoke.json" if args.smoke
                            else "BENCH_hotpath.json")
 
-    if args.smoke:
-        record = run_benchmark(scale=12, partitions=8, ghosts=64, repeats=2)
-    else:
-        record = run_benchmark(scale=16, partitions=16, ghosts=256, repeats=3)
-    record["mode"] = "smoke" if args.smoke else "full"
+    workloads = SMOKE_WORKLOADS if args.smoke else WORKLOADS
+    if args.algorithms:
+        names = args.algorithms.split(",")
+        unknown = sorted(set(names) - set(workloads))
+        if unknown:
+            print(f"unknown algorithms for this mode: {unknown}", file=sys.stderr)
+            return 2
+        workloads = {n: workloads[n] for n in names}
 
-    print(f"object path: {record['object_seconds']:.3f}s   "
-          f"batch path: {record['batch_seconds']:.3f}s   "
-          f"speedup: {record['speedup']:.2f}x")
-    print(f"reliable delivery (no faults, report-only): "
-          f"{record['reliable_seconds']:.3f}s host "
-          f"({record['reliable_host_overhead']:.2f}x object), "
-          f"{record['reliable_sim_overhead']:.4f}x simulated time, "
-          f"{record['reliable_overhead_bytes']} protocol bytes, "
-          f"{record['reliable_ack_packets']} ack packets")
-    print(f"bounded mailbox (no pressure, report-only): "
-          f"{record['pressure_seconds']:.3f}s host "
-          f"({record['pressure_host_overhead']:.2f}x object), "
-          f"{record['pressure_sim_overhead']:.4f}x simulated time, "
-          f"{record['pressure_bp_stalls']} backpressure stalls")
-    if not (record["stats_equal"] and record["data_equal"]):
-        print("FAIL: batch path diverged from the object path "
-              f"(stats_equal={record['stats_equal']}, "
-              f"data_equal={record['data_equal']})", file=sys.stderr)
+    record = {"mode": "smoke" if args.smoke else "full", "machine": "laptop",
+              "algorithms": {}}
+    diverged = False
+    for name, spec in workloads.items():
+        entry = run_algorithm(name, spec)
+        record["algorithms"][name] = entry
+        print(f"{name:>10}: object {entry['object_seconds']:.3f}s   "
+              f"batch {entry['batch_seconds']:.3f}s   "
+              f"speedup {entry['speedup']:.2f}x")
+        if not (entry["stats_equal"] and entry["data_equal"]):
+            print(f"FAIL: {name} batch path diverged from the object path "
+                  f"(stats_equal={entry['stats_equal']}, "
+                  f"data_equal={entry['data_equal']})", file=sys.stderr)
+            diverged = True
+    if diverged:
         return 1
+
+    overheads = run_overheads(workloads.get("bfs", WORKLOADS["bfs"]))
+    record.update(overheads)
+    print(f"reliable delivery (no faults, report-only): "
+          f"{overheads['reliable_seconds']:.3f}s host "
+          f"({overheads['reliable_host_overhead']:.2f}x object), "
+          f"{overheads['reliable_sim_overhead']:.4f}x simulated time, "
+          f"{overheads['reliable_overhead_bytes']} protocol bytes, "
+          f"{overheads['reliable_ack_packets']} ack packets")
+    print(f"bounded mailbox (no pressure, report-only): "
+          f"{overheads['pressure_seconds']:.3f}s host "
+          f"({overheads['pressure_host_overhead']:.2f}x object), "
+          f"{overheads['pressure_sim_overhead']:.4f}x simulated time, "
+          f"{overheads['pressure_bp_stalls']} backpressure stalls")
 
     if args.check:
         baseline = json.loads(Path(args.baseline or default_json).read_text())
-        floor = baseline["speedup"] * (1.0 - REGRESSION_TOLERANCE)
-        print(f"baseline speedup {baseline['speedup']:.2f}x "
-              f"({baseline['mode']}), regression floor {floor:.2f}x")
-        if record["speedup"] < floor:
-            print(f"FAIL: speedup {record['speedup']:.2f}x regressed below "
-                  f"{floor:.2f}x", file=sys.stderr)
+        failed = False
+        for name, base in baseline["algorithms"].items():
+            entry = record["algorithms"].get(name)
+            if entry is None:
+                continue  # --algorithms subset
+            floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+            print(f"{name}: baseline speedup {base['speedup']:.2f}x, "
+                  f"regression floor {floor:.2f}x")
+            if entry["speedup"] < floor:
+                print(f"FAIL: {name} speedup {entry['speedup']:.2f}x "
+                      f"regressed below {floor:.2f}x", file=sys.stderr)
+                failed = True
+        if failed:
             return 1
         print("OK: no wall-clock regression")
         return 0

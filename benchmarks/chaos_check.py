@@ -112,6 +112,14 @@ def main(argv: list[str] | None = None) -> int:
                 {"alive": (fk.data.alive, base_kcore.data.alive)},
                 expect_crash=plan.has_crashes,
             )
+            # The same plan through the batch kernels: counter-mutating
+            # pre-visits + checkpoint/replay of the array-backed state.
+            fkb = kcore(graph, args.k, faults=plan, batch=True)
+            problems += _check(
+                f"kcore-batch {label}", fkb, base_kcore,
+                {"alive": (fkb.data.alive, base_kcore.data.alive)},
+                expect_crash=plan.has_crashes,
+            )
             print(f"  {label}: bfs {fb.stats.packets_dropped} dropped / "
                   f"{fb.stats.retransmitted_packets} retransmits / "
                   f"{fb.stats.recoveries} recoveries; "
@@ -123,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         for p in problems:
             print(f"FAIL: {p}", file=sys.stderr)
         return 1
-    print(f"OK: {len(CHAOS_SEEDS) * 4} chaos runs bit-identical to baselines")
+    print(f"OK: {len(CHAOS_SEEDS) * 6} chaos runs bit-identical to baselines")
     return 0
 
 

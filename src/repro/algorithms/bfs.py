@@ -122,7 +122,7 @@ class BFSAlgorithm(AsyncAlgorithm):
         return BFSResult(source=self.source, levels=levels, parents=parents)
 
     # -------------------------- batch path --------------------------- #
-    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> BatchStateArrays:
         n = vertices.size
         return BatchStateArrays(
             values=np.full(n, _INF, dtype=np.float64),

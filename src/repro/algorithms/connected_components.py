@@ -100,7 +100,7 @@ class ConnectedComponentsAlgorithm(AsyncAlgorithm):
         return CCResult(labels=labels)
 
     # -------------------------- batch path --------------------------- #
-    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> BatchStateArrays:
         return BatchStateArrays(values=np.full(vertices.size, _UNSET, dtype=np.int64))
 
     def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:

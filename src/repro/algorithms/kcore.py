@@ -30,10 +30,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import VisitorBatch, occurrence_counts
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import ROLE_MASTER, AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
-from repro.types import LEVEL_DTYPE
+from repro.types import LEVEL_DTYPE, VID_DTYPE
 
 
 class KCoreState:
@@ -72,6 +73,78 @@ def make_kcore_visitor(k: int):
     return KCoreVisitor
 
 
+class KCoreStateArrays:
+    """Array-backed k-core state for one rank (batch path).
+
+    Implements the state-array protocol of
+    :class:`~repro.core.batch.BatchStateArrays` with the *counting*
+    pre-visit of Alg. 5: each arrival decrements the live counter; the
+    single arrival that drops it below ``k`` kills the vertex and passes.
+    """
+
+    __slots__ = ("alive", "kcore", "k")
+
+    def __init__(self, k: int, kcore: np.ndarray) -> None:
+        self.alive = np.ones(kcore.size, dtype=bool)
+        self.kcore = kcore
+        self.k = k
+
+    def __len__(self) -> int:
+        return int(self.kcore.size)
+
+    def previsit_batch(self, idx: np.ndarray, batch: VisitorBatch) -> np.ndarray:
+        """Exact sequential equivalent of N counting ``pre_visit`` calls.
+
+        A live vertex with counter ``c`` dies on its ``(c - k + 1)``-th
+        arrival (the live invariant ``c >= k`` makes that index >= 1), so
+        with per-vertex arrival indices in hand the whole batch resolves
+        in closed form: decrements stop at the kill, the kill arrival
+        alone passes, later arrivals see a dead vertex and drop.
+        """
+        n = idx.size
+        alive = self.alive
+        kcore = self.kcore
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if n == 1:
+            i = idx[0]
+            if not alive[i]:
+                return np.array([False])
+            kcore[i] -= 1
+            if kcore[i] < self.k:
+                alive[i] = False
+                return np.array([True])
+            return np.array([False])
+        occ = occurrence_counts(idx)
+        alive_pre = alive[idx]
+        # Arrivals needed to kill each target, measured from its pre-batch
+        # counter (meaningful only where the vertex is live).
+        kill_at = np.maximum(1, kcore[idx] - self.k + 1)
+        mask = alive_pre & (occ + 1 == kill_at)
+        # Fold the batch into the arrays via the *first* arrival of each
+        # vertex (occ == 0 rows carry the pre-batch counter): the vertex
+        # absorbs min(count, kill_at) decrements and dies iff the batch
+        # reached its kill index.
+        first = occ == 0
+        fidx = idx[first]
+        uniq, counts = np.unique(idx, return_counts=True)
+        cnt = counts[np.searchsorted(uniq, fidx)]
+        live_first = alive_pre[first]
+        ka = kill_at[first]
+        kcore[fidx] -= np.where(live_first, np.minimum(cnt, ka), 0)
+        alive[fidx[live_first & (cnt >= ka)]] = False
+        return mask
+
+    def snapshot(self) -> dict:
+        """Checkpointable copy of the mutable state arrays."""
+        return {"alive": self.alive.copy(), "kcore": self.kcore.copy()}
+
+    def restore(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot` checkpoint in place."""
+        self.alive[:] = snap["alive"]
+        self.kcore[:] = snap["kcore"]
+
+
 @dataclass(frozen=True)
 class KCoreResult:
     """Gathered k-core output."""
@@ -99,6 +172,8 @@ class KCoreAlgorithm(AsyncAlgorithm):
     name = "kcore"
     uses_ghosts = False  # precise counts required
     visitor_bytes = 8  # just the vertex id
+    supports_batch = True
+    payload_dtype = np.int64  # no payload; an all-zeros column rides along
 
     def __init__(self, k: int) -> None:
         if k < 1:
@@ -121,6 +196,40 @@ class KCoreAlgorithm(AsyncAlgorithm):
         alive = np.zeros(graph.num_vertices, dtype=bool)
         for v, state in self.master_states(graph, states_per_rank):
             alive[v] = state.alive
+        return KCoreResult(k=self.k, alive=alive)
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> KCoreStateArrays:
+        # Masters start at degree + 1 (the seed visitor cancels the +1);
+        # replicas are hair-triggered at k, dying on the first forwarded
+        # visitor.  Ghosts are forbidden, so ``masters`` is always given.
+        kcore = np.where(masters, degrees.astype(np.int64) + 1, self.k)
+        return KCoreStateArrays(self.k, kcore)
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        masters = np.asarray(graph.masters_on(rank), dtype=VID_DTYPE)
+        if masters.size == 0:
+            return None
+        return VisitorBatch(masters, np.zeros(masters.size, dtype=self.payload_dtype))
+
+    def execute_batch(self, ctx, batch: VisitorBatch) -> VisitorBatch | None:
+        # Every queued k-core visitor is a death notification: the visit
+        # expands the vertex's whole local row unconditionally and never
+        # reads vertex state (no state pages, even fully-external).
+        vertices = batch.vertices
+        ctx.meter_row_pages(vertices)
+        lens, targets = ctx.adjacency_batch(vertices)
+        ctx.counters.edges_scanned += int(lens.sum())
+        if targets.size == 0:
+            return None
+        return VisitorBatch(targets, np.zeros(targets.size, dtype=self.payload_dtype))
+
+    def finalize_batch(self, graph: DistributedGraph, arrays_per_rank: list) -> KCoreResult:
+        alive = np.zeros(graph.num_vertices, dtype=bool)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            masters = np.asarray(graph.masters_on(rank))
+            alive[masters] = arrays.alive[masters - lo]
         return KCoreResult(k=self.k, alive=alive)
 
 

@@ -28,9 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import VisitorBatch, occurrence_counts
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
+from repro.types import VID_DTYPE
 
 
 class PageRankState:
@@ -93,6 +95,71 @@ class PageRankVisitor(Visitor):
             push(PageRankVisitor(int(w), share, damping, threshold))
 
 
+class PageRankStateArrays:
+    """Array-backed PageRank state for one rank (batch path).
+
+    The accumulating pre-visit (``residual += amount``) is the one place
+    in the batch engine where float *order* matters: IEEE addition is not
+    associative, so within-batch deliveries to the same vertex are folded
+    in arrival order — vectorized where every target is distinct, an exact
+    scalar walk (Python floats are IEEE doubles) where a vertex repeats —
+    making the residual stream bit-identical to the object path's.
+    """
+
+    __slots__ = ("mass", "residual", "gated", "threshold")
+
+    def __init__(self, gated: np.ndarray, threshold: float) -> None:
+        n = gated.size
+        self.mass = np.zeros(n, dtype=np.float64)
+        self.residual = np.zeros(n, dtype=np.float64)
+        self.gated = gated
+        self.threshold = threshold
+
+    def __len__(self) -> int:
+        return int(self.mass.size)
+
+    def previsit_batch(self, idx: np.ndarray, batch: VisitorBatch) -> np.ndarray:
+        """Accumulate deliveries; gate sole-copy vertices on the threshold
+        (split copies always pass — the replica-chain stream)."""
+        amounts = batch.payloads
+        n = idx.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        residual = self.residual
+        thr = self.threshold
+        _, inverse, counts = np.unique(idx, return_inverse=True, return_counts=True)
+        dup = counts[inverse] > 1
+        if not dup.any():
+            new = residual[idx] + amounts
+            residual[idx] = new
+            return ~self.gated[idx] | (new >= thr)
+        mask = np.empty(n, dtype=bool)
+        uni = ~dup
+        if uni.any():
+            ui = idx[uni]
+            new = residual[ui] + amounts[uni]
+            residual[ui] = new
+            mask[uni] = ~self.gated[ui] | (new >= thr)
+        gated = self.gated
+        dpos = np.flatnonzero(dup)
+        for i, j, a in zip(
+            dpos.tolist(), idx[dpos].tolist(), amounts[dpos].tolist()
+        ):
+            r = residual[j] + a
+            residual[j] = r
+            mask[i] = (not gated[j]) or (r >= thr)
+        return mask
+
+    def snapshot(self) -> dict:
+        """Checkpointable copy of the mutable state arrays."""
+        return {"mass": self.mass.copy(), "residual": self.residual.copy()}
+
+    def restore(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot` checkpoint in place."""
+        self.mass[:] = snap["mass"]
+        self.residual[:] = snap["residual"]
+
+
 @dataclass(frozen=True)
 class PageRankResult:
     """Gathered PageRank output."""
@@ -114,6 +181,9 @@ class PageRankAlgorithm(AsyncAlgorithm):
     name = "pagerank"
     uses_ghosts = False  # accumulating state: ghosts would swallow mass
     visitor_bytes = 32
+    supports_batch = True
+    payload_dtype = np.float64  # the residual amount
+    batch_priority_is_payload = False  # operator<: -amount (biggest first)
 
     def __init__(self, *, damping: float = 0.85, threshold: float = 1e-4) -> None:
         if not 0.0 < damping < 1.0:
@@ -141,6 +211,71 @@ class PageRankAlgorithm(AsyncAlgorithm):
         # so the total is conserved.
         for v, state in self.master_states(graph, states_per_rank):
             scores[v] = state.mass + state.residual
+        total = scores.sum()
+        if total > 0:
+            scores /= total
+        return PageRankResult(
+            damping=self.damping, threshold=self.threshold, scores=scores
+        )
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> PageRankStateArrays:
+        return PageRankStateArrays(self._sole_copy[vertices], self.threshold)
+
+    def batch_priorities(self, payloads: np.ndarray) -> np.ndarray:
+        return -payloads
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        masters = np.asarray(graph.masters_on(rank), dtype=VID_DTYPE)
+        if masters.size == 0:
+            return None
+        seed = np.full(masters.size, 1.0 - self.damping, dtype=self.payload_dtype)
+        return VisitorBatch(masters, seed)
+
+    def execute_batch(self, ctx, batch: VisitorBatch) -> VisitorBatch | None:
+        """The drain-and-push visit, vectorized over one popped run.
+
+        Within a run the only residual mutation is the drain itself
+        (arrivals land at ``check_mailbox``, never mid-process), so the
+        first pop of each vertex drains iff its residual clears the
+        threshold, and every later pop of the same vertex sees either a
+        zeroed or an unchanged sub-threshold residual — the exact
+        sequential outcome, computed from per-vertex arrival indices.
+        """
+        vertices = batch.vertices
+        arrays = ctx.states
+        idx = vertices - ctx.state_lo
+        res = arrays.residual[idx]
+        drain = (occurrence_counts(vertices) == 0) & (res >= self.threshold)
+        gdeg = ctx.graph.global_out_degrees[vertices]
+        expand = drain & (gdeg > 0)
+        # The object visit reads state first (always), rows only when it
+        # pushes — the same state-then-rows order as the monotonic gate.
+        ctx.meter_gate_pages(vertices, expand)
+        if drain.any():
+            di = idx[drain]
+            arrays.mass[di] += arrays.residual[di]
+            arrays.residual[di] = 0.0
+        if not expand.any():
+            return None
+        ev = vertices[expand]
+        lens, targets = ctx.adjacency_batch(ev)
+        ctx.counters.edges_scanned += int(lens.sum())
+        if targets.size == 0:
+            return None
+        share = self.damping * res[expand] / gdeg[expand]
+        return VisitorBatch(targets, np.repeat(share, lens))
+
+    def finalize_batch(
+        self, graph: DistributedGraph, arrays_per_rank: list
+    ) -> PageRankResult:
+        scores = np.zeros(graph.num_vertices, dtype=np.float64)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            masters = np.asarray(graph.masters_on(rank))
+            scores[masters] = (
+                arrays.mass[masters - lo] + arrays.residual[masters - lo]
+            )
         total = scores.sum()
         if total > 0:
             scores /= total

@@ -127,7 +127,7 @@ class SSSPAlgorithm(AsyncAlgorithm):
         return SSSPResult(source=self.source, distances=distances, parents=parents)
 
     # -------------------------- batch path --------------------------- #
-    def make_state_arrays(self, vertices, degrees, role) -> BatchStateArrays:
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> BatchStateArrays:
         n = vertices.size
         return BatchStateArrays(
             values=np.full(n, np.inf, dtype=np.float64),

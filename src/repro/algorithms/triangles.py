@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import VisitorBatch, concat_ranges
 from repro.core.traversal import TraversalResult, run_traversal
 from repro.core.visitor import AsyncAlgorithm, Visitor
 from repro.graph.distributed import DistributedGraph
@@ -76,6 +77,36 @@ class TriangleVisitor(Visitor):
                 ctx.state_of(v).num_triangles += 1
 
 
+class TriangleStateArrays:
+    """Array-backed triangle counters for one rank (batch path).
+
+    The batch twin of N :class:`TriangleState` objects: pre-visit always
+    passes (no state read), and counter increments land wherever the
+    closing edge is stored — an order-free integer ``np.add.at``, so
+    within-batch duplicates need no sequential resolution.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, n: int) -> None:
+        self.counts = np.zeros(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.counts.size)
+
+    def previsit_batch(self, idx: np.ndarray, batch: VisitorBatch) -> np.ndarray:
+        """Alg. 6: ``pre_visit`` always returns true."""
+        return np.ones(idx.size, dtype=bool)
+
+    def snapshot(self) -> dict:
+        """Checkpointable copy of the mutable state arrays."""
+        return {"counts": self.counts.copy()}
+
+    def restore(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot` checkpoint in place."""
+        self.counts[:] = snap["counts"]
+
+
 @dataclass(frozen=True)
 class TriangleCountResult:
     """Gathered triangle-counting output."""
@@ -91,6 +122,10 @@ class TriangleCountAlgorithm(AsyncAlgorithm):
     name = "triangle_count"
     uses_ghosts = False  # precise counts required
     visitor_bytes = 24  # vertex + second + third
+    supports_batch = True
+    payload_dtype = np.int64  # ``second``; -1 is the paper's "infinity"
+    batch_extra_dtypes = (np.int64,)  # ``third``; -1 likewise
+    batch_priority_is_payload = False  # constant priority 0 (base Visitor)
 
     def make_state(self, vertex: int, degree: int, role: str) -> TriangleState:
         return TriangleState()
@@ -110,6 +145,71 @@ class TriangleCountAlgorithm(AsyncAlgorithm):
             for i, state in enumerate(states):
                 if state.num_triangles:
                     per_vertex[lo + i] += state.num_triangles
+        return TriangleCountResult(total=int(per_vertex.sum()), per_vertex=per_vertex)
+
+    # -------------------------- batch path --------------------------- #
+    def make_state_arrays(self, vertices, degrees, role, *, masters=None) -> TriangleStateArrays:
+        return TriangleStateArrays(vertices.size)
+
+    def batch_priorities(self, payloads: np.ndarray) -> np.ndarray:
+        return np.zeros(payloads.size, dtype=np.int64)
+
+    def initial_batch(self, graph: DistributedGraph, rank: int) -> VisitorBatch | None:
+        masters = np.asarray(graph.masters_on(rank), dtype=VID_DTYPE)
+        if masters.size == 0:
+            return None
+        sentinel = np.full(masters.size, -1, dtype=np.int64)
+        return VisitorBatch(masters, sentinel, None, (sentinel,))
+
+    def execute_batch(self, ctx, batch: VisitorBatch) -> VisitorBatch | None:
+        """Alg. 6's three-phase visit, vectorized over one popped run.
+
+        First visits (``second == -1``) and length-2 visits (``third ==
+        -1``) both scan the vertex's full local row but push only the
+        strict suffix ``w > v`` (the increasing-order discipline);
+        closing-edge checks probe membership via the shared
+        :meth:`~repro.graph.csr.CSR.has_edges` kernel and increment the
+        counter wherever the edge is stored.
+        """
+        vertices = batch.vertices
+        second = batch.payloads
+        third = batch.extras[0]
+        closing = third >= 0
+        found = np.zeros(vertices.size, dtype=bool)
+        if closing.any():
+            found[closing] = ctx.csr.has_edges(vertices[closing], third[closing])
+        ctx.meter_closing_pages(vertices, found)
+        csr = ctx.csr
+        r = vertices - csr.vertex_base
+        deg = csr.row_ptr[r + 1] - csr.row_ptr[r]
+        # Expansion scans the whole local row; the closing probe charges
+        # its binary search, max(1, bit_length(local_degree)) — and
+        # frexp's exponent of a positive integer *is* its bit length.
+        probe_cost = np.maximum(1, np.frexp(deg.astype(np.float64))[1])
+        ctx.counters.edges_scanned += int(np.where(closing, probe_cost, deg).sum())
+        if found.any():
+            np.add.at(ctx.states.counts, vertices[found] - ctx.state_lo, 1)
+        expand = ~closing
+        if not expand.any():
+            return None
+        ev = vertices[expand]
+        starts, lens = csr.row_suffix_above(ev, ev)
+        targets = csr.cols[concat_ranges(starts, lens)]
+        if targets.size == 0:
+            return None
+        # New visitors carry second = the expanding vertex, third = its
+        # old second (-1 on first visits — exactly Alg. 6's two pushes).
+        out_second = np.repeat(ev, lens)
+        out_third = np.repeat(second[expand], lens)
+        return VisitorBatch(targets, out_second, None, (out_third,))
+
+    def finalize_batch(
+        self, graph: DistributedGraph, arrays_per_rank: list
+    ) -> TriangleCountResult:
+        per_vertex = np.zeros(graph.num_vertices, dtype=VID_DTYPE)
+        for rank, arrays in enumerate(arrays_per_rank):
+            lo = graph.partitions[rank].state_lo
+            per_vertex[lo:lo + len(arrays)] += arrays.counts
         return TriangleCountResult(total=int(per_vertex.sum()), per_vertex=per_vertex)
 
 

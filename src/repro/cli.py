@@ -206,8 +206,10 @@ def _cmd_kcore(args) -> int:
     if args.detect_races:
         from repro.algorithms.kcore import KCoreAlgorithm
 
-        return _run_race_detection(args, graph, lambda: KCoreAlgorithm(args.k))
-    result = kcore(graph, args.k, **_traversal_kwargs(args))
+        return _run_race_detection(
+            args, graph, lambda: KCoreAlgorithm(args.k), batch=args.batch
+        )
+    result = kcore(graph, args.k, batch=args.batch, **_traversal_kwargs(args))
     print(result.stats.summary())
     print(f"{args.k}-core: {result.data.core_size} vertices")
     return 0
@@ -222,14 +224,16 @@ def _cmd_triangles(args) -> int:
             return 2
         from repro.algorithms.triangles import TriangleCountAlgorithm
 
-        return _run_race_detection(args, graph, TriangleCountAlgorithm)
+        return _run_race_detection(
+            args, graph, TriangleCountAlgorithm, batch=args.batch
+        )
     if args.approximate:
         est = sample_triangle_estimate(graph, samples=args.samples, seed=args.seed)
         print(f"estimated triangles: {est.estimate:.0f} "
               f"(+/- {est.std_error:.0f}, {est.samples} wedge samples, "
               f"closure {est.closure_fraction:.4f})")
     else:
-        result = triangle_count(graph, **_traversal_kwargs(args))
+        result = triangle_count(graph, batch=args.batch, **_traversal_kwargs(args))
         print(result.stats.summary())
         print(f"triangles: {result.data.total}")
     return 0
@@ -244,9 +248,10 @@ def _cmd_pagerank(args) -> int:
             args, graph,
             lambda: PageRankAlgorithm(damping=args.damping,
                                       threshold=args.threshold),
+            batch=args.batch,
         )
     result = pagerank(graph, damping=args.damping, threshold=args.threshold,
-                      **_traversal_kwargs(args))
+                      batch=args.batch, **_traversal_kwargs(args))
     print(result.stats.summary())
     print("top vertices:")
     for v, score in result.data.top(args.top):
@@ -277,6 +282,8 @@ def _cmd_graph500(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    import time
+
     from repro.algorithms.connected_components import connected_components
     from repro.algorithms.sssp import sssp
     from repro.bench.profiling import profile_call
@@ -286,18 +293,32 @@ def _cmd_profile(args) -> int:
               "(bfs/kcore/triangles/pagerank)", file=sys.stderr)
         return 2
     edges, graph = _build_graph(args)
-    kwargs = dict(batch=args.batch, **_traversal_kwargs(args))
-    if args.algorithm == "cc":
-        fn = lambda: connected_components(graph, **kwargs)  # noqa: E731
-    else:
+    kwargs = _traversal_kwargs(args)
+    if args.algorithm in ("bfs", "sssp"):
         source = (
             args.source if args.source is not None else pick_bfs_source(edges, seed=args.seed)
         )
         runner = bfs if args.algorithm == "bfs" else sssp
-        fn = lambda: runner(graph, source, **kwargs)  # noqa: E731
-    report = profile_call(fn, top=args.top)
+        make = lambda batch: lambda: runner(graph, source, batch=batch, **kwargs)  # noqa: E731
+    elif args.algorithm == "cc":
+        make = lambda batch: lambda: connected_components(graph, batch=batch, **kwargs)  # noqa: E731
+    elif args.algorithm == "kcore":
+        make = lambda batch: lambda: kcore(graph, args.k, batch=batch, **kwargs)  # noqa: E731
+    elif args.algorithm == "triangles":
+        make = lambda batch: lambda: triangle_count(graph, batch=batch, **kwargs)  # noqa: E731
+    else:
+        make = lambda batch: lambda: pagerank(graph, batch=batch, **kwargs)  # noqa: E731
+    report = profile_call(make(args.batch), top=args.top)
     print(report.result.stats.summary())
     print(report.summary(top=args.top))
+    if args.compare:
+        timings = {}
+        for batch in (False, True):
+            t0 = time.perf_counter()  # repro-lint: disable=RPR002 -- --compare reports real wall-clock, not simulated time
+            make(batch)()
+            timings[batch] = time.perf_counter() - t0  # repro-lint: disable=RPR002 -- --compare reports real wall-clock, not simulated time
+        print(f"object path {timings[False]:.3f}s, batch path {timings[True]:.3f}s "
+              f"({timings[False] / timings[True]:.2f}x)")
     return 0
 
 
@@ -358,6 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
     k = sub.add_parser("kcore", help="k-core decomposition")
     _add_graph_args(k)
     k.add_argument("-k", type=int, default=4)
+    k.add_argument("--batch", action="store_true",
+                   help="use the vectorized batch fast path")
     k.set_defaults(func=_cmd_kcore)
 
     t = sub.add_parser("triangles", help="triangle counting")
@@ -365,6 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--approximate", action="store_true",
                    help="wedge-sampling estimate instead of exact count")
     t.add_argument("--samples", type=int, default=10_000)
+    t.add_argument("--batch", action="store_true",
+                   help="use the vectorized batch fast path")
     t.set_defaults(func=_cmd_triangles)
 
     pr = sub.add_parser("pagerank", help="asynchronous PageRank")
@@ -372,6 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--damping", type=float, default=0.85)
     pr.add_argument("--threshold", type=float, default=1e-4)
     pr.add_argument("--top", type=int, default=10)
+    pr.add_argument("--batch", action="store_true",
+                   help="use the vectorized batch fast path")
     pr.set_defaults(func=_cmd_pagerank)
 
     g5 = sub.add_parser("graph500", help="Graph500-style run: N validated "
@@ -383,14 +410,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     pf = sub.add_parser("profile", help="cProfile a traversal; print the "
                         "top cumulative host-time hotspots")
-    pf.add_argument("algorithm", choices=["bfs", "sssp", "cc"])
+    pf.add_argument("algorithm",
+                    choices=["bfs", "sssp", "cc", "triangles", "kcore", "pagerank"])
     _add_graph_args(pf)
     pf.add_argument("--source", type=int, default=None,
                     help="bfs/sssp source (default: harness pick)")
+    pf.add_argument("-k", type=int, default=4, help="kcore k (default 4)")
     pf.add_argument("--top", type=int, default=20,
                     help="hotspot lines to print (default 20)")
     pf.add_argument("--batch", action="store_true",
                     help="profile the vectorized batch fast path")
+    pf.add_argument("--compare", action="store_true",
+                    help="also time both paths once and report the "
+                         "object-vs-batch wall-clock ratio")
     pf.set_defaults(func=_cmd_profile)
 
     e = sub.add_parser("experiment", help="regenerate a paper figure/table")

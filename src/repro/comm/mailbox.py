@@ -135,43 +135,47 @@ class Mailbox:
         """Queue a mixed-destination :class:`VisitorBatch` stream: visitor
         ``i`` of ``batch`` goes to rank ``dests[i]``.
 
-        Exactly equivalent to N :meth:`send` calls in stream order.  Hop
-        buffers are independent — only the *within-hop* logical message
-        order determines packet composition and per-receiver arrival order
-        — so the stream is stably grouped by next hop and each hop group
-        enqueued contiguously (one envelope per destination run; on a
-        direct topology that is one envelope per destination).
+        Exactly equivalent to N :meth:`send` calls in stream order: one
+        envelope per destination *run*, enqueued in stream order.  Run
+        envelopes keep every hop buffer's fill level crossing the
+        aggregation boundary at the same logical-message position the
+        per-visitor calls would, so mid-tick flushes — and therefore the
+        rank's global packet emission order, which the fault injector's
+        single decision stream keys off — are identical to the object
+        path's, not merely per-hop equivalent.
         """
         n = len(batch)
         if n == 0:
             return
         self.visitors_sent += n
         hops = self._hop_np[dests]
-        uniq_hops = np.unique(hops)
-        for h in uniq_hops.tolist():
-            if uniq_hops.size == 1:
-                sub, sub_dests = batch, dests
-            else:
-                m = hops == h
-                sub, sub_dests = batch.take(m), dests[m]
-            if h == self.rank:  # loopback: next_hop is self only for self
-                self._local.append(
-                    Envelope(self.rank, KIND_VISITOR, sub, size_bytes, len(sub))
-                )
-                continue
-            cuts = np.flatnonzero(sub_dests[1:] != sub_dests[:-1]) + 1
-            if cuts.size == 0:
-                self._enqueue(
-                    Envelope(int(sub_dests[0]), KIND_VISITOR, sub, size_bytes, len(sub))
-                )
-                continue
-            bounds = [0, *cuts.tolist(), len(sub)]
-            for i in range(len(bounds) - 1):
-                lo, hi = bounds[i], bounds[i + 1]
-                self._enqueue(
-                    Envelope(int(sub_dests[lo]), KIND_VISITOR,
-                             sub.slice(lo, hi), size_bytes, hi - lo)
-                )
+        self_m = hops == self.rank  # loopback: next_hop is self only for self
+        if self_m.any():
+            sub = batch.take(self_m)
+            # _local is drained only at receive(); its position relative to
+            # the remote enqueues below is unobservable, so the loopback
+            # visitors travel as one envelope (stream order preserved).
+            self._local.append(
+                Envelope(self.rank, KIND_VISITOR, sub, size_bytes, len(sub))
+            )
+            if self_m.all():
+                return
+            keep = ~self_m
+            batch = batch.take(keep)
+            dests = dests[keep]
+        cuts = np.flatnonzero(dests[1:] != dests[:-1]) + 1
+        if cuts.size == 0:
+            self._enqueue(
+                Envelope(int(dests[0]), KIND_VISITOR, batch, size_bytes, len(batch))
+            )
+            return
+        bounds = [0, *cuts.tolist(), len(dests)]
+        for i in range(len(bounds) - 1):
+            lo, hi = bounds[i], bounds[i + 1]
+            self._enqueue(
+                Envelope(int(dests[lo]), KIND_VISITOR,
+                         batch.slice(lo, hi), size_bytes, hi - lo)
+            )
 
     def _account(self, hop: int, env: Envelope) -> None:
         """Flow-control accounting for one envelope entering a hop buffer.

@@ -2,23 +2,31 @@
 
 The object path moves one heap-allocated :class:`~repro.core.visitor.Visitor`
 per logical message and evaluates ``pre_visit`` one method call at a time.
-For algorithms whose per-vertex state is flat and numeric and whose
-``pre_visit`` is the strict improve-or-drop filter (BFS, SSSP, connected
-components), the same semantics can be executed over whole frontiers at
-once: a :class:`VisitorBatch` carries ``vertices`` / ``payloads`` /
-``parents`` as parallel numpy arrays, per-vertex state lives in
-:class:`BatchStateArrays`, and the pre-visit of N arrivals becomes one
-masked compare-and-update.
+For algorithms whose per-vertex state is flat and numeric, the same
+semantics can be executed over whole frontiers at once: a
+:class:`VisitorBatch` carries ``vertices`` / ``payloads`` / ``parents``
+(plus optional algorithm-specific ``extras`` columns — triangle counting's
+``third`` vertex) as parallel numpy arrays, per-vertex state lives in an
+array-backed state block, and the pre-visit of N arrivals becomes one
+masked array update.
+
+:class:`BatchStateArrays` is the monotonic improve-or-drop state block the
+PR-1 traversals (BFS, SSSP, CC) share; counting/accumulating algorithms
+(k-core, triangles, PageRank) ship their own state-array classes that
+implement the same ``previsit_batch`` / ``snapshot`` / ``restore``
+protocol with mutable counter semantics.
 
 Equivalence contract
 --------------------
 Everything here is *sequentially equivalent* to the object path: applying
-:meth:`BatchStateArrays.previsit` to a batch produces exactly the mask and
-state mutations that N consecutive ``pre_visit`` calls would, including the
-case where several visitors in one batch target the same vertex (the first
-improving payload wins; later equal payloads are dropped).  That is what
-lets the engine's batch mode promise bit-identical states and
-:class:`~repro.runtime.trace.TraversalStats` to the object path.
+``previsit_batch`` to a batch produces exactly the mask and state
+mutations that N consecutive ``pre_visit`` calls would, including the
+case where several visitors in one batch target the same vertex (the
+within-batch order is the arrival order; :func:`occurrence_counts` gives
+each position its per-vertex arrival index so duplicate resolution is
+exact).  That is what lets the engine's batch mode promise bit-identical
+states and :class:`~repro.runtime.trace.TraversalStats` to the object
+path.
 """
 
 from __future__ import annotations
@@ -31,23 +39,31 @@ from repro.types import VID_DTYPE
 class VisitorBatch:
     """A frontier slice: N visitors as parallel arrays (one Python object).
 
-    ``payloads`` doubles as the heap priority (the batch path requires
-    ``Visitor.priority == payload``, which holds for BFS length, SSSP
-    distance and CC label).  ``parents`` is optional auxiliary state
-    (BFS/SSSP parent pointers; CC has none).
+    ``payloads`` is the primary per-visitor scalar; for the monotonic
+    traversals it doubles as the heap priority (BFS length, SSSP distance,
+    CC label), while algorithms with their own ordering supply
+    ``batch_priorities``.  ``parents`` is optional auxiliary state
+    (BFS/SSSP parent pointers).  ``extras`` is a tuple of additional
+    per-visitor columns for multi-payload visitors (triangle counting
+    carries ``second`` in ``payloads`` and ``third`` as an extra); every
+    structural operation (take/slice/split/concat) keeps the columns
+    aligned, so batch envelopes split at aggregation boundaries carry the
+    full visitor record exactly like the object path's POD structs.
     """
 
-    __slots__ = ("vertices", "payloads", "parents")
+    __slots__ = ("vertices", "payloads", "parents", "extras")
 
     def __init__(
         self,
         vertices: np.ndarray,
         payloads: np.ndarray,
         parents: np.ndarray | None = None,
+        extras: tuple = (),
     ) -> None:
         self.vertices = vertices
         self.payloads = payloads
         self.parents = parents
+        self.extras = extras
 
     def __len__(self) -> int:
         return int(self.vertices.size)
@@ -59,6 +75,7 @@ class VisitorBatch:
             self.vertices[mask],
             self.payloads[mask],
             self.parents[mask] if self.parents is not None else None,
+            tuple(e[mask] for e in self.extras),
         )
 
     def slice(self, lo: int, hi: int) -> "VisitorBatch":
@@ -67,6 +84,7 @@ class VisitorBatch:
             self.vertices[lo:hi],
             self.payloads[lo:hi],
             self.parents[lo:hi] if self.parents is not None else None,
+            tuple(e[lo:hi] for e in self.extras),
         )
 
     def split(self, k: int) -> tuple["VisitorBatch", "VisitorBatch"]:
@@ -81,10 +99,15 @@ class VisitorBatch:
         parents = None
         if batches[0].parents is not None:
             parents = np.concatenate([b.parents for b in batches])
+        extras = tuple(
+            np.concatenate([b.extras[j] for b in batches])
+            for j in range(len(batches[0].extras))
+        )
         return cls(
             np.concatenate([b.vertices for b in batches]),
             np.concatenate([b.payloads for b in batches]),
             parents,
+            extras,
         )
 
 
@@ -95,6 +118,14 @@ class BatchStateArrays:
     label); ``parents`` the optional tree pointer.  Row ``i`` holds the
     state of the ``i``-th vertex of the block this object was built for —
     callers translate vertex ids to row indices.
+
+    State-array protocol
+    --------------------
+    Any per-rank state block (this class or an algorithm-specific one such
+    as k-core's) exposes ``previsit_batch(idx, batch) -> mask``, the exact
+    sequential equivalent of N ``pre_visit`` calls in batch order;
+    ``snapshot()`` / ``restore(snap)`` for crash-recovery checkpoints; and
+    ``__len__``.
     """
 
     __slots__ = ("values", "parents")
@@ -105,6 +136,23 @@ class BatchStateArrays:
 
     def __len__(self) -> int:
         return int(self.values.size)
+
+    def previsit_batch(self, idx: np.ndarray, batch: VisitorBatch) -> np.ndarray:
+        """State-array protocol entry point (monotonic improve-or-drop)."""
+        return self.previsit(idx, batch.payloads, batch.parents)
+
+    def snapshot(self) -> dict:
+        """Checkpointable copy of the mutable state arrays."""
+        return {
+            "values": self.values.copy(),
+            "parents": self.parents.copy() if self.parents is not None else None,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot` checkpoint in place."""
+        self.values[:] = snap["values"]
+        if self.parents is not None and snap["parents"] is not None:
+            self.parents[:] = snap["parents"]
 
     # -------------------------------------------------------------- #
     def previsit(
@@ -257,6 +305,28 @@ class GhostArrayTable:
         self.state.values[:] = snap["values"]
         self.filter_hits = snap["filter_hits"]
         self.filter_passes = snap["filter_passes"]
+
+
+def occurrence_counts(values: np.ndarray) -> np.ndarray:
+    """Per-position within-batch arrival index: ``occ[i]`` is the number of
+    earlier positions ``j < i`` with ``values[j] == values[i]``.
+
+    This is what lets counting pre-visits (k-core decrements, PageRank
+    drain dedup) resolve within-batch duplicates exactly as the object
+    path's one-at-a-time arrival order would, without a Python loop: a
+    stable sort groups equal values while preserving arrival order inside
+    each group, so the within-group offset *is* the arrival index.
+    """
+    n = values.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    starts = np.flatnonzero(np.r_[True, sorted_vals[1:] != sorted_vals[:-1]])
+    lens = np.diff(np.r_[starts, n])
+    occ = np.empty(n, dtype=np.int64)
+    occ[order] = np.arange(n, dtype=np.int64) - np.repeat(starts, lens)
+    return occ
 
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:

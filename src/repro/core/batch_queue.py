@@ -11,10 +11,12 @@ destination run, and page metering for NVRAM machines goes through
 Equivalence with the object path (the determinism guarantee of
 INTERNALS §6/§7) rests on three ordering facts:
 
-* **Pre-visit** uses :meth:`BatchStateArrays.previsit`, which resolves
-  within-batch races on the same vertex sequentially, and local heap keys
-  are the identical ``(priority, tie, seq)`` triples, so queue contents
-  and pop order match visitor-for-visitor.
+* **Pre-visit** uses the state block's ``previsit_batch``, which resolves
+  within-batch races on the same vertex sequentially (monotonic
+  improve-or-drop for the traversals, exact arrival-ordered counter
+  updates for k-core/triangles/PageRank), and local heap keys are the
+  identical ``(priority, tie, seq)`` triples, so queue contents and pop
+  order match visitor-for-visitor.
 * **Send order**: adjacency rows are expanded in pop order and row targets
   are destination-monotone (owners are contiguous vertex ranges), so
   splitting the concatenated push stream at destination changes yields
@@ -77,13 +79,19 @@ class BatchVisitorQueueRank:
 
         part = graph.partitions[rank]
         self.state_lo = part.state_lo
-        self._csr = part.csr
+        #: This rank's in-memory CSR slice (``execute_batch`` hooks read it
+        #: directly; the paged view is metering-only).
+        self.csr = part.csr
         self._min_owners = graph.min_owners
         self._max_owners = graph.max_owners
+        self._prio_is_payload = algorithm.batch_priority_is_payload
         vertices = np.arange(part.state_lo, part.state_hi + 1, dtype=VID_DTYPE)
         #: Array-backed state block (the batch twin of ``.states`` lists).
         self.states = algorithm.make_state_arrays(
-            vertices, graph.global_out_degrees[vertices], ROLE_MASTER
+            vertices,
+            graph.global_out_degrees[vertices],
+            ROLE_MASTER,
+            masters=graph.min_owners[vertices] == rank,
         )
         self._heap: list[tuple] = []
         self._seq = 0
@@ -111,17 +119,15 @@ class BatchVisitorQueueRank:
         if n == 0:
             return
         self.counters.pushes += n
-        targets, payloads, parents = batch.vertices, batch.payloads, batch.parents
         if self.ghost_table is not None:
-            keep, previsits, filtered = self.ghost_table.filter(targets, payloads)
+            keep, previsits, filtered = self.ghost_table.filter(
+                batch.vertices, batch.payloads
+            )
             self.counters.previsits += previsits
             self.counters.ghost_filtered += filtered
             if filtered:
-                targets = targets[keep]
-                payloads = payloads[keep]
-                if parents is not None:
-                    parents = parents[keep]
-        self._send_runs(targets, payloads, parents)
+                batch = batch.take(keep)
+        self._send_runs(batch)
 
     def check_mailbox(self, batches: list[VisitorBatch]) -> None:
         """Algorithm 1, CHECK_MAILBOX: batched pre-visit of the arrivals,
@@ -133,9 +139,7 @@ class BatchVisitorQueueRank:
         self.counters.previsits += n
         if self.state_pager is not None:
             self._meter_state_pages(batch.vertices)
-        mask = self.states.previsit(
-            batch.vertices - self.state_lo, batch.payloads, batch.parents
-        )
+        mask = self.states.previsit_batch(batch.vertices - self.state_lo, batch)
         if not mask.any():
             return
         passed = batch.take(mask) if not mask.all() else batch
@@ -149,23 +153,46 @@ class BatchVisitorQueueRank:
             )
 
     def _enqueue_local(self, passed: VisitorBatch) -> None:
-        # Identical heap keys to the object path: (priority, tie, seq),
-        # with the payload standing in for priority and vertex/parent
-        # riding along in place of the visitor object.
+        # Identical heap keys to the object path: (priority, tie, seq).
+        # Monotonic traversals (priority == payload) store
+        # ``(payload, tie, seq, vertex, parent)``; own-priority algorithms
+        # store ``(priority, tie, seq, vertex, payload, *extras)`` —
+        # comparisons never reach past ``seq`` (it is unique), so pop
+        # order is the object path's regardless of the tail layout.
         heap = self._heap
         seq = self._seq
         loc = self.locality_ordering
         vs = passed.vertices.tolist()
         ps = passed.payloads.tolist()
-        prs = passed.parents.tolist() if passed.parents is not None else None
-        if prs is None:
-            for v, p in zip(vs, ps):
-                seq += 1
-                heapq.heappush(heap, (p, v if loc else seq, seq, v, 0))
+        if self._prio_is_payload:
+            prs = passed.parents.tolist() if passed.parents is not None else None
+            if prs is None:
+                for v, p in zip(vs, ps):
+                    seq += 1
+                    heapq.heappush(heap, (p, v if loc else seq, seq, v, 0))
+            else:
+                for v, p, pr in zip(vs, ps, prs):
+                    seq += 1
+                    heapq.heappush(heap, (p, v if loc else seq, seq, v, pr))
         else:
-            for v, p, pr in zip(vs, ps, prs):
-                seq += 1
-                heapq.heappush(heap, (p, v if loc else seq, seq, v, pr))
+            ks = self.algorithm.batch_priorities(passed.payloads).tolist()
+            if not passed.extras:
+                for v, p, k in zip(vs, ps, ks):
+                    seq += 1
+                    heapq.heappush(heap, (k, v if loc else seq, seq, v, p))
+            elif len(passed.extras) == 1:
+                es = passed.extras[0].tolist()
+                for v, p, k, e in zip(vs, ps, ks, es):
+                    seq += 1
+                    heapq.heappush(heap, (k, v if loc else seq, seq, v, p, e))
+            else:
+                cols = [e.tolist() for e in passed.extras]
+                for i, (v, p, k) in enumerate(zip(vs, ps, ks)):
+                    seq += 1
+                    heapq.heappush(
+                        heap,
+                        (k, v if loc else seq, seq, v, p, *(c[i] for c in cols)),
+                    )
         self._seq = seq
 
     def process(self, budget: int) -> int:
@@ -174,70 +201,73 @@ class BatchVisitorQueueRank:
         if not heap:
             return 0
         pop = heapq.heappop
+        algo = self.algorithm
+        prio_is_payload = self._prio_is_payload
+        n_extra = len(algo.batch_extra_dtypes)
         vs: list = []
         ps: list = []
+        extra_cols: list[list] = [[] for _ in range(n_extra)]
         executed = 0
         while heap and executed < budget:
             entry = pop(heap)
-            ps.append(entry[0])
             vs.append(entry[3])
+            ps.append(entry[0] if prio_is_payload else entry[4])
+            for j in range(n_extra):
+                extra_cols[j].append(entry[5 + j])
             executed += 1
         self.counters.visits += executed
         if self.order_probe is not None:
             self.order_probe.extend(vs)
-        vertices = np.array(vs, dtype=VID_DTYPE)
-        payloads = np.array(ps, dtype=self.algorithm.payload_dtype)
-        # The Alg. 2 line 13 gate: expand only if the visitor still carries
-        # the vertex's best value (vectorized over the popped run).
-        live = payloads == self.states.values[vertices - self.state_lo]
-        if self.paged_csr is not None or self.state_pager is not None:
-            self._meter_process_pages(vertices, live)
-        if not live.any():
-            return executed
-        live_v = vertices[live]
-        csr = self._csr
-        r = live_v - csr.vertex_base
-        row_lo = csr.row_ptr[r]
-        lens = csr.row_ptr[r + 1] - row_lo
-        total = int(lens.sum())
-        self.counters.edges_scanned += total
-        if total == 0:
-            return executed
-        targets = csr.cols[concat_ranges(row_lo, lens)]
-        out_payloads, out_parents = self.algorithm.expand_batch(
-            live_v, payloads[live], lens, targets
+        batch = VisitorBatch(
+            np.array(vs, dtype=VID_DTYPE),
+            np.array(ps, dtype=algo.payload_dtype),
+            None,
+            tuple(
+                np.array(col, dtype=dt)
+                for col, dt in zip(extra_cols, algo.batch_extra_dtypes)
+            ),
         )
-        self.counters.pushes += total
+        out = algo.execute_batch(self, batch)
+        if out is None or len(out) == 0:
+            return executed
+        self.counters.pushes += len(out)
         if self.ghost_table is not None:
-            keep, previsits, filtered = self.ghost_table.filter(targets, out_payloads)
+            keep, previsits, filtered = self.ghost_table.filter(
+                out.vertices, out.payloads
+            )
             self.counters.previsits += previsits
             self.counters.ghost_filtered += filtered
             if filtered:
-                targets = targets[keep]
-                out_payloads = out_payloads[keep]
-                if out_parents is not None:
-                    out_parents = out_parents[keep]
-        self._send_runs(targets, out_payloads, out_parents)
+                out = out.take(keep)
+        self._send_runs(out)
         return executed
 
     # ------------------------------------------------------------------ #
-    def _send_runs(
-        self,
-        targets: np.ndarray,
-        payloads: np.ndarray,
-        parents: np.ndarray | None,
-    ) -> None:
+    def _send_runs(self, batch: VisitorBatch) -> None:
         """Hand the whole expansion stream to the mailbox, which groups it
         by next hop (stably, so per-hop message order — the only order
         packet composition and arrival order depend on — is exactly the
         object path's per-visitor push order)."""
-        if targets.size == 0:
+        if len(batch) == 0:
             return
         self.mailbox.send_stream(
-            self._min_owners[targets],
-            VisitorBatch(targets, payloads, parents),
+            self._min_owners[batch.vertices],
+            batch,
             self.algorithm.visitor_bytes,
         )
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers for ``execute_batch`` hooks
+    # ------------------------------------------------------------------ #
+    def adjacency_batch(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(lens, targets)`` of the local adjacency rows of ``vertices``:
+        ``targets`` concatenates the rows in order (row ``i`` contributing
+        ``lens[i]`` entries) — the bulk twin of N ``out_edges`` calls."""
+        csr = self.csr
+        r = vertices - csr.vertex_base
+        row_lo = csr.row_ptr[r]
+        lens = csr.row_ptr[r + 1] - row_lo
+        return lens, csr.cols[concat_ranges(row_lo, lens)]
 
     # ------------------------------------------------------------------ #
     # Page metering (NVRAM machines)
@@ -252,10 +282,13 @@ class BatchVisitorQueueRank:
         base = self._STATE_NAMESPACE << NAMESPACE_SHIFT
         cache.access_pages(concat_ranges(first + base, lengths))
 
-    def _meter_process_pages(self, vertices: np.ndarray, live: np.ndarray) -> None:
+    def meter_gate_pages(self, vertices: np.ndarray, live: np.ndarray) -> None:
         """Meter the pages of one popped run, in the object path's order:
-        per visitor, its state pages (gate read), then — only when the
-        gate passed — its adjacency row's pages."""
+        per visitor, its state pages (the ``state_of`` gate read), then —
+        only where ``live`` — its adjacency row's pages (``out_edges``).
+        No-op on in-memory machines."""
+        if self.paged_csr is None and self.state_pager is None:
+            return
         nv = vertices.size
         starts = np.zeros((nv, 3), dtype=np.int64)
         lengths = np.zeros((nv, 3), dtype=np.int64)
@@ -276,17 +309,54 @@ class BatchVisitorQueueRank:
         if cache is not None:
             cache.access_pages(concat_ranges(starts.ravel(), lengths.ravel()))
 
+    def meter_row_pages(self, vertices: np.ndarray) -> None:
+        """Meter only adjacency-row pages, one visitor at a time in pop
+        order — the k-core visit, which expands unconditionally and never
+        reads vertex state."""
+        if self.paged_csr is None or vertices.size == 0:
+            return
+        starts, lengths = self.paged_csr.row_page_segments(vertices)
+        self.paged_csr.cache.access_pages(
+            concat_ranges(starts.ravel(), lengths.ravel())
+        )
+
+    def meter_closing_pages(self, vertices: np.ndarray, state_hit: np.ndarray) -> None:
+        """Meter a triangle-counting popped run: every visitor touches its
+        adjacency row (expansion scan or ``has_local_edge`` closing probe),
+        and closing visitors that *found* the edge then touch their state
+        page (the counter increment) — rows before state, per visitor, in
+        pop order, exactly as the object path's visit."""
+        if self.paged_csr is None and self.state_pager is None:
+            return
+        nv = vertices.size
+        starts = np.zeros((nv, 3), dtype=np.int64)
+        lengths = np.zeros((nv, 3), dtype=np.int64)
+        cache = None
+        if self.paged_csr is not None:
+            row_starts, row_lengths = self.paged_csr.row_page_segments(vertices)
+            starts[:, :2] = row_starts
+            lengths[:, :2] = row_lengths
+            cache = self.paged_csr.cache
+        if self.state_pager is not None and state_hit.any():
+            state_cache, state_bytes = self.state_pager
+            hit_v = vertices[state_hit]
+            byte_lo = (hit_v - self.state_lo) * state_bytes
+            first = byte_lo // state_cache.page_size
+            starts[state_hit, 2] = first + (self._STATE_NAMESPACE << NAMESPACE_SHIFT)
+            lengths[state_hit, 2] = (
+                (byte_lo + state_bytes - 1) // state_cache.page_size - first + 1
+            )
+            cache = state_cache
+        if cache is not None:
+            cache.access_pages(concat_ranges(starts.ravel(), lengths.ravel()))
+
     # ------------------------------------------------------------------ #
     def snapshot_state(self) -> dict:
-        """Checkpointable rank state for crash recovery (array copies;
-        heap tuples are immutable and shared)."""
+        """Checkpointable rank state for crash recovery (array copies via
+        the state block's ``snapshot``; heap tuples are immutable and
+        shared)."""
         snap = {
-            "values": self.states.values.copy(),
-            "parents": (
-                self.states.parents.copy()
-                if self.states.parents is not None
-                else None
-            ),
+            "arrays": self.states.snapshot(),
             "heap": list(self._heap),
             "seq": self._seq,
             "counters": copy.copy(self.counters),
@@ -297,9 +367,7 @@ class BatchVisitorQueueRank:
 
     def restore_state(self, snap: dict) -> None:
         """Reinstall a :meth:`snapshot_state` checkpoint in place."""
-        self.states.values[:] = snap["values"]
-        if self.states.parents is not None and snap["parents"] is not None:
-            self.states.parents[:] = snap["parents"]
+        self.states.restore(snap["arrays"])
         self._heap = list(snap["heap"])
         self._seq = snap["seq"]
         self.counters = copy.copy(snap["counters"])

@@ -88,13 +88,23 @@ class AsyncAlgorithm(ABC):
     #: Serialized visitor size for the byte-cost model.
     visitor_bytes: int = 16
     #: Whether the algorithm implements the vectorized batch fast path
-    #: (``EngineConfig.batch``).  Requires flat numeric state, a strict
-    #: improve-or-drop ``pre_visit``, ``priority == payload``, and the
-    #: four ``*_batch`` hooks below.  Counting algorithms (k-core,
-    #: triangles) and arbitrary user visitors stay on the object path.
+    #: (``EngineConfig.batch``).  Requires flat numeric state and the
+    #: ``*_batch`` hooks below; all built-in algorithms (monotonic
+    #: traversals *and* the counting/accumulating ones) implement it.
+    #: Arbitrary user visitors stay on the object path.
     supports_batch: bool = False
-    #: Dtype of the batch payload / priority array (the compare key).
+    #: Dtype of the batch payload array (BFS length, SSSP distance, CC
+    #: label, triangle ``second``, PageRank residual amount).
     payload_dtype = np.float64
+    #: Dtypes of additional per-visitor batch columns
+    #: (:attr:`VisitorBatch.extras`); triangle counting declares one
+    #: ``int64`` column for ``third``.
+    batch_extra_dtypes: tuple = ()
+    #: True when the heap priority *is* the payload (the monotonic
+    #: traversals).  Algorithms with their own ``operator<`` (PageRank's
+    #: ``-amount``, triangle counting's constant 0) set this False and
+    #: implement :meth:`batch_priorities`.
+    batch_priority_is_payload: bool = True
 
     def bind(self, graph: "DistributedGraph") -> None:
         """Called once by the engine before state construction.
@@ -136,16 +146,29 @@ class AsyncAlgorithm(ABC):
     # the two paths produce bit-identical states and traversal stats.
     # ------------------------------------------------------------------ #
     def make_state_arrays(
-        self, vertices: np.ndarray, degrees: np.ndarray, role: str
+        self,
+        vertices: np.ndarray,
+        degrees: np.ndarray,
+        role: str,
+        *,
+        masters: np.ndarray | None = None,
     ) -> "BatchStateArrays":
         """Array-backed state block for ``vertices`` (batch path).
 
         ``role`` is a single role for the whole block (:data:`ROLE_GHOST`
-        for ghost tables, :data:`ROLE_MASTER` otherwise) — batch-capable
-        algorithms must be role-agnostic, which all the monotonic
-        traversals are.
+        for ghost tables, :data:`ROLE_MASTER` otherwise).  ``masters`` —
+        supplied for rank state blocks, ``None`` for ghost tables — marks
+        which rows are master copies, for algorithms whose replicas
+        initialise differently (k-core's hair-trigger replicas); the
+        monotonic traversals ignore it.
         """
         raise NotImplementedError(f"{self.name} does not support the batch path")
+
+    def batch_priorities(self, payloads: np.ndarray) -> np.ndarray:
+        """Heap priorities for a batch (``operator<`` of Table I),
+        aligned with ``payloads``.  Only consulted when
+        :attr:`batch_priority_is_payload` is False."""
+        raise NotImplementedError(f"{self.name} does not define batch priorities")
 
     def initial_batch(self, graph: "DistributedGraph", rank: int) -> "VisitorBatch | None":
         """Batch twin of :meth:`initial_visitors` (same visitors, same order)."""
@@ -166,6 +189,41 @@ class AsyncAlgorithm(ABC):
         the visitors the object path would ``push``, in push order.
         """
         raise NotImplementedError(f"{self.name} does not support the batch path")
+
+    def execute_batch(self, ctx, batch: "VisitorBatch") -> "VisitorBatch | None":
+        """Vectorized ``visit`` over one popped run; returns the push batch.
+
+        ``ctx`` is the executing
+        :class:`~repro.core.batch_queue.BatchVisitorQueueRank` (the batch
+        twin of the visit context): it exposes the local CSR
+        (``ctx.csr``), state block (``ctx.states``), counters, and the
+        bulk page-metering helpers.  The default implementation is the
+        monotonic-traversal visit — the Alg. 2 line 13 still-the-best
+        gate, then :meth:`expand_batch` over the live rows — and must
+        mirror the object path's metering exactly: per popped visitor, a
+        state page (the gate read), then its row pages only when live.
+
+        Counting/accumulating algorithms override this entirely (k-core's
+        unconditional expansion, triangle counting's three-phase visit,
+        PageRank's drain-and-push); the caller centrally counts pushes and
+        applies the ghost filter to whatever batch is returned.
+        """
+        from repro.core.batch import VisitorBatch
+
+        vertices, payloads = batch.vertices, batch.payloads
+        live = payloads == ctx.states.values[vertices - ctx.state_lo]
+        ctx.meter_gate_pages(vertices, live)
+        if not live.any():
+            return None
+        live_v = vertices[live]
+        lens, targets = ctx.adjacency_batch(live_v)
+        ctx.counters.edges_scanned += int(lens.sum())
+        if targets.size == 0:
+            return None
+        out_payloads, out_parents = self.expand_batch(
+            live_v, payloads[live], lens, targets
+        )
+        return VisitorBatch(targets, out_payloads, out_parents)
 
     def finalize_batch(self, graph: "DistributedGraph", arrays_per_rank: list):
         """Batch twin of :meth:`finalize` over per-rank

@@ -138,11 +138,14 @@ def test_oracle_and_arrival_order_equivalence():
 
 
 def test_batch_requires_supporting_algorithm():
-    from repro.algorithms.kcore import KCoreAlgorithm
+    # Every shipped algorithm now supports batch; an object-only algorithm
+    # (no supports_batch) must still be rejected loudly.
+    class ObjectOnly(BFSAlgorithm):
+        supports_batch = False
 
     _, graph = _graph(3)
     with pytest.raises(TraversalError, match="batch"):
-        run_traversal(graph, KCoreAlgorithm(2), batch=True)
+        run_traversal(graph, ObjectOnly(0), batch=True)
 
 
 def test_batch_kwarg_overrides_config():

@@ -1,0 +1,95 @@
+"""Batch-path equivalence matrix for the counter-mutating algorithms.
+
+{triangles, kcore, pagerank} x {direct, 2d} x {object, batch} must agree
+bit-for-bit on final per-vertex data and on every traversal stat —
+including the float simulated clock — plus a chaos cell (seeded faults on
+the reliable transport under a bounded mailbox) where the same equality
+must hold even for the wire-level fault counters: the batch path emits
+packets in exactly the object path's order, so the fault injector's single
+decision stream perturbs both runs identically.
+
+BFS/SSSP/CC cover the overwrite-style ``pre_visit`` in
+tests/core/test_batch_equivalence.py; the three algorithms here all mutate
+counters (k-core decrements, triangle counters, PageRank residual
+accumulation), which is the ordering-sensitive case INTERNALS §7 argues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangles import triangle_count
+from repro.bench.harness import build_rmat_graph
+from repro.comm.faults import FaultPlan
+from repro.runtime.costmodel import EngineConfig
+
+CHAOS_PLAN = FaultPlan(
+    seed=7, drop_rate=0.03, duplicate_rate=0.02, delay_rate=0.05, max_delay=3
+)
+
+RUNNERS = {
+    "triangles": lambda g, **kw: triangle_count(g, **kw),
+    "kcore": lambda g, **kw: kcore(g, 3, **kw),
+    "pagerank": lambda g, **kw: pagerank(g, **kw),
+}
+
+DATA = {
+    "triangles": lambda r: {"per_vertex": r.data.per_vertex},
+    "kcore": lambda r: {"alive": r.data.alive},
+    "pagerank": lambda r: {"scores": r.data.scores},
+}
+
+
+def _full_stats_key(stats):
+    """Every counter the engine reports, wire-level ones included."""
+    ranks = tuple(
+        tuple(sorted(dataclasses.asdict(r).items())) for r in stats.ranks
+    )
+    top = tuple(sorted(
+        (k, v) for k, v in dataclasses.asdict(stats).items() if k != "ranks"
+    ))
+    return top, ranks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    _, g = build_rmat_graph(7, num_partitions=4, num_ghosts=32,
+                            strategy="edge_list", seed=2024)
+    return g
+
+
+def assert_bit_identical(algorithm, obj, bat):
+    for name, arr in DATA[algorithm](obj).items():
+        assert np.array_equal(arr, DATA[algorithm](bat)[name]), (
+            f"{algorithm}: {name} diverged between object and batch paths"
+        )
+    assert _full_stats_key(obj.stats) == _full_stats_key(bat.stats)
+
+
+@pytest.mark.parametrize("topology", ["direct", "2d"])
+@pytest.mark.parametrize("algorithm", sorted(RUNNERS))
+def test_matrix_cell(algorithm, topology, graph):
+    run = RUNNERS[algorithm]
+    obj = run(graph, topology=topology, batch=False)
+    bat = run(graph, topology=topology, batch=True)
+    assert_bit_identical(algorithm, obj, bat)
+
+
+@pytest.mark.parametrize("algorithm", sorted(RUNNERS))
+def test_chaos_cell(algorithm, graph):
+    """Faults + bounded mailbox: the full stats key still matches, so the
+    batch path's packet emission order is exactly the object path's (the
+    fault injector draws from one global stream in transmission order)."""
+    run = RUNNERS[algorithm]
+    kw = dict(faults=CHAOS_PLAN, mailbox_cap=40,
+              config=EngineConfig(visitor_budget=8))
+    obj = run(graph, batch=False, **kw)
+    bat = run(graph, batch=True, **kw)
+    assert obj.stats.packets_dropped > 0  # the plan actually engaged
+    assert obj.stats.total_bp_stalls > 0  # the cap actually engaged
+    assert_bit_identical(algorithm, obj, bat)

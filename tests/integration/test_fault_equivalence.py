@@ -20,7 +20,9 @@ import pytest
 from repro.algorithms.bfs import bfs
 from repro.algorithms.connected_components import connected_components
 from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
 from repro.algorithms.sssp import sssp
+from repro.algorithms.triangles import triangle_count
 from repro.comm.faults import CrashEvent, FaultPlan
 from repro.generators.rmat import rmat_edges
 from repro.graph.distributed import DistributedGraph
@@ -54,6 +56,10 @@ def _result_arrays(algorithm, result):
         return {"distances": data.distances, "parents": data.parents}
     if algorithm == "cc":
         return {"labels": data.labels}
+    if algorithm == "triangles":
+        return {"per_vertex": data.per_vertex}
+    if algorithm == "pagerank":
+        return {"scores": data.scores}
     return {"alive": data.alive}
 
 
@@ -64,6 +70,10 @@ def _run(algorithm, g, s, **kwargs):
         return sssp(g, s, **kwargs)
     if algorithm == "cc":
         return connected_components(g, **kwargs)
+    if algorithm == "triangles":
+        return triangle_count(g, **kwargs)
+    if algorithm == "pagerank":
+        return pagerank(g, **kwargs)
     return kcore(g, 3, **kwargs)
 
 
@@ -82,12 +92,16 @@ def assert_equivalent(algorithm, faulty, baseline):
     assert fs.termination_waves == bs.termination_waves
 
 
-# kcore is object-path only (no supports_batch); the others run both modes.
+# Every algorithm runs both modes since PR 5's batch kernels; triangles
+# and pagerank (the heavy visitor volumes) keep to the direct topology so
+# the matrix stays tier-1-fast — the 2d cells live in
+# tests/integration/test_batch_matrix.py.
 MATRIX = [
     (alg, topology, batch)
-    for alg in ("bfs", "sssp", "cc", "kcore")
-    for topology in ("direct", "2d")
-    for batch in ((False, True) if alg != "kcore" else (False,))
+    for alg in ("bfs", "sssp", "cc", "kcore", "triangles", "pagerank")
+    for topology in (("direct", "2d") if alg not in ("triangles", "pagerank")
+                     else ("direct",))
+    for batch in (False, True)
 ]
 
 
