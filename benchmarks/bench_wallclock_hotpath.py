@@ -1,14 +1,16 @@
 """Wall-clock benchmark of the vectorized batch fast path, per algorithm.
 
 For every algorithm with a batch kernel (BFS, SSSP, CC, triangles, k-core,
-PageRank) this runs the same traversal through the object path and the
-batch path, checks the two produce identical results and traversal stats
-(the batch path's defining contract), and reports the host wall-clock
-speedup.  Also reports — never gates — the reliable-delivery transport's
-no-fault overhead (host time, simulated time and protocol bytes vs the
-plain fabric) and the bounded-mailbox ledger's no-pressure overhead (a cap
-high enough that backpressure never engages, measuring pure flow-control
-bookkeeping cost), both measured on the BFS workload.
+PageRank) this runs the same traversal through the object path, the batch
+path, and the batch path under the process-parallel executor
+(``workers=N``), checks that all three produce identical results and
+traversal stats (the batch path's and parallel executor's defining
+contract), and reports the host wall-clock speedups.  Also reports — never
+gates — the reliable-delivery transport's no-fault overhead (host time,
+simulated time and protocol bytes vs the plain fabric) and the
+bounded-mailbox ledger's no-pressure overhead (a cap high enough that
+backpressure never engages, measuring pure flow-control bookkeeping cost),
+both measured on the BFS workload.
 
 Usage::
 
@@ -17,22 +19,29 @@ Usage::
     python benchmarks/bench_wallclock_hotpath.py --smoke --check \
         --baseline BENCH_hotpath.json                        # regression gate
 
-The JSON written next to the repo root (``BENCH_hotpath.json``) records one
-record per algorithm; ``--check`` fails (exit 1) when any algorithm's
-current speedup falls more than 25% below its baseline, a
-machine-independent regression gate (both paths run on the same host, so
-their *ratio* transfers between machines in a way absolute seconds do
-not).  Workload sizes differ per algorithm because their visitor volumes
-differ by orders of magnitude: triangle counting is O(sum of squared
-degrees) visitors, so it runs scale 16 at edgefactor 1, and PageRank's
-residual push needs tens of ticks per unit of threshold, so it runs a
-smaller graph.
+Every timing is the min over ``--repeats`` runs (one uniform knob for all
+algorithms and all three paths; the repeat count used is recorded in each
+entry).  The JSON written next to the repo root (``BENCH_hotpath.json``)
+records one record per algorithm; ``--check`` fails (exit 1) when any
+algorithm's current object-vs-batch speedup falls more than 25% below its
+baseline, a machine-independent regression gate (both paths run on the
+same host, so their *ratio* transfers between machines in a way absolute
+seconds do not).  The parallel columns (``parallel_seconds``,
+``host_speedup`` vs the sequential batch path) are report-only — multi-core
+scaling depends on the host's core count, recorded as ``host_cores`` — but
+parallel *divergence* from the sequential stats or result arrays fails the
+run in any mode: bit-identity is machine-independent.  Workload sizes
+differ per algorithm because their visitor volumes differ by orders of
+magnitude: triangle counting is O(sum of squared degrees) visitors, so it
+runs scale 16 at edgefactor 1, and PageRank's residual push needs tens of
+ticks per unit of threshold, so it runs a smaller graph.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 from pathlib import Path
 import sys
 import time
@@ -52,47 +61,44 @@ from repro.runtime.costmodel import laptop
 REGRESSION_TOLERANCE = 0.25
 
 #: Per-algorithm workload definitions.  ``graph`` keys feed
-#: :func:`build_rmat_graph`; ``run(graph, source, machine, batch)`` must be
-#: deterministic; ``arrays(result)`` yields the output arrays to compare.
+#: :func:`build_rmat_graph`; ``run(graph, source, machine, batch, **kw)``
+#: must be deterministic; ``arrays(result)`` yields the output arrays to
+#: compare.
 WORKLOADS = {
     "bfs": dict(
         graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
-        run=lambda g, s, m, b: bfs(g, s, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: bfs(g, s, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.levels, r.data.parents),
-        repeats=3,
     ),
     "sssp": dict(
         graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
-        run=lambda g, s, m, b: sssp(g, s, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: sssp(g, s, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.distances, r.data.parents),
-        repeats=1,
     ),
     "cc": dict(
         graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
-        run=lambda g, s, m, b: connected_components(g, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: connected_components(
+            g, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.labels,),
-        repeats=1,
     ),
     "triangles": dict(
         # O(sum d^2) visitors: edgefactor 1 keeps scale 16 tractable.
         graph=dict(scale=16, edgefactor=1, num_partitions=16, num_ghosts=256),
-        run=lambda g, s, m, b: triangle_count(g, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: triangle_count(g, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.per_vertex,),
-        repeats=1,
     ),
     "kcore": dict(
         graph=dict(scale=16, edgefactor=16, num_partitions=16, num_ghosts=256),
-        run=lambda g, s, m, b: kcore(g, 4, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: kcore(g, 4, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.alive,),
-        repeats=1,
     ),
     "pagerank": dict(
         # Residual push emits millions of visitors; a smaller graph keeps
         # the object path's run in tens of seconds.
         graph=dict(scale=10, edgefactor=16, num_partitions=8, num_ghosts=64),
-        run=lambda g, s, m, b: pagerank(g, threshold=1e-3, machine=m, batch=b),
+        run=lambda g, s, m, b, **kw: pagerank(
+            g, threshold=1e-3, machine=m, batch=b, **kw),
         arrays=lambda r: (r.data.scores,),
-        repeats=1,
     ),
 }
 
@@ -101,13 +107,11 @@ SMOKE_WORKLOADS = {
         graph=dict(scale=12, edgefactor=16, num_partitions=8, num_ghosts=64),
         run=WORKLOADS["bfs"]["run"],
         arrays=WORKLOADS["bfs"]["arrays"],
-        repeats=2,
     ),
     "triangles": dict(
         graph=dict(scale=12, edgefactor=1, num_partitions=8, num_ghosts=64),
         run=WORKLOADS["triangles"]["run"],
         arrays=WORKLOADS["triangles"]["arrays"],
-        repeats=2,
     ),
 }
 
@@ -126,8 +130,20 @@ def _stats_key(stats):
     )
 
 
-def run_algorithm(name: str, spec: dict, *, seed: int = 2024) -> dict:
-    """Time both paths on one workload; returns the result record."""
+def _best_of(repeats: int, thunk):
+    """Min-of-N wall clock; returns (best_seconds, last_result)."""
+    best = float("inf")
+    res = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = thunk()
+        best = min(best, time.perf_counter() - t0)
+    return best, res
+
+
+def run_algorithm(name: str, spec: dict, *, repeats: int, workers: int,
+                  seed: int = 2024) -> dict:
+    """Time all paths on one workload; returns the result record."""
     edges, graph = build_rmat_graph(
         spec["graph"]["scale"], edgefactor=spec["graph"]["edgefactor"],
         num_partitions=spec["graph"]["num_partitions"],
@@ -136,42 +152,52 @@ def run_algorithm(name: str, spec: dict, *, seed: int = 2024) -> dict:
     )
     source = pick_bfs_source(edges, seed=seed)
     machine = laptop()
+    run = spec["run"]
 
-    results = {}
-    timings = {}
-    for label, batch in (("object", False), ("batch", True)):
-        best = float("inf")
-        for _ in range(spec["repeats"]):
-            t0 = time.perf_counter()
-            res = spec["run"](graph, source, machine, batch)
-            best = min(best, time.perf_counter() - t0)
-        results[label] = res
-        timings[label] = best
+    obj_s, obj = _best_of(repeats, lambda: run(graph, source, machine, False))
+    bat_s, bat = _best_of(repeats, lambda: run(graph, source, machine, True))
 
-    obj, bat = results["object"], results["batch"]
     stats_equal = _stats_key(obj.stats) == _stats_key(bat.stats)
     data_equal = all(
         np.array_equal(a, b)
         for a, b in zip(spec["arrays"](obj), spec["arrays"](bat))
     )
-    return {
+    entry = {
         "algorithm": name,
         **{k: spec["graph"][k] for k in
            ("scale", "edgefactor", "num_partitions", "num_ghosts")},
         "source": source,
-        "repeats": spec["repeats"],
-        "object_seconds": round(timings["object"], 4),
-        "batch_seconds": round(timings["batch"], 4),
-        "speedup": round(timings["object"] / timings["batch"], 3),
+        "repeats": repeats,
+        "object_seconds": round(obj_s, 4),
+        "batch_seconds": round(bat_s, 4),
+        "speedup": round(obj_s / bat_s, 3),
         "stats_equal": stats_equal,
         "data_equal": data_equal,
         "visits": sum(c.visits for c in obj.stats.ranks),
         "ticks": obj.stats.ticks,
         "simulated_time_us": obj.stats.time_us,
     }
+    if workers > 1:
+        par_s, par = _best_of(
+            repeats, lambda: run(graph, source, machine, True, workers=workers)
+        )
+        entry["workers"] = workers
+        entry["parallel_seconds"] = round(par_s, 4)
+        # Host speedup of the parallel executor over the sequential batch
+        # path (same kernel, fanned out).  Honest number for *this* host;
+        # meaningless without host_cores alongside it.
+        entry["host_speedup"] = round(bat_s / par_s, 3)
+        entry["parallel_equal"] = (
+            _stats_key(bat.stats) == _stats_key(par.stats)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(spec["arrays"](bat), spec["arrays"](par))
+            )
+        )
+    return entry
 
 
-def run_overheads(spec: dict, *, seed: int = 2024) -> dict:
+def run_overheads(spec: dict, *, repeats: int, seed: int = 2024) -> dict:
     """Report-only taxes measured on the BFS workload: the reliable
     transport's no-fault overhead and the bounded mailbox's no-pressure
     overhead (cap generous enough the credit gate never fires)."""
@@ -183,7 +209,6 @@ def run_overheads(spec: dict, *, seed: int = 2024) -> dict:
     )
     source = pick_bfs_source(edges, seed=seed)
     machine = laptop()
-    repeats = spec["repeats"]
 
     timings = {}
     runs = {}
@@ -192,12 +217,9 @@ def run_overheads(spec: dict, *, seed: int = 2024) -> dict:
         ("reliable", {"reliable": True}),
         ("pressure", {"mailbox_cap": 1 << 30}),
     ):
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            runs[label] = bfs(graph, source, machine=machine, **kwargs)
-            best = min(best, time.perf_counter() - t0)
-        timings[label] = best
+        timings[label], runs[label] = _best_of(
+            repeats, lambda: bfs(graph, source, machine=machine, **kwargs)
+        )
     obj, rel, cap = runs["object"], runs["reliable"], runs["pressure"]
     return {
         "reliable_seconds": round(timings["reliable"], 4),
@@ -226,11 +248,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--algorithms", default=None,
                         help="comma-separated subset to run (default: all "
                         "in the mode's workload table)")
+    parser.add_argument("--repeats", type=int, default=2, metavar="N",
+                        help="timing repeats per path; every recorded "
+                        "timing is the min over N runs (default 2)")
+    parser.add_argument("--workers", type=int, default=8, metavar="N",
+                        help="worker count for the parallel-executor "
+                        "columns (default 8; 1 skips them)")
     parser.add_argument("-o", "--output", default=None,
                         help="where to write the result JSON (default: the "
                         "mode's baseline file at the repo root; suppressed "
                         "in --check runs)")
     args = parser.parse_args(argv)
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
     root = Path(__file__).resolve().parent.parent
     default_json = root / ("BENCH_hotpath_smoke.json" if args.smoke
                            else "BENCH_hotpath.json")
@@ -245,23 +276,35 @@ def main(argv: list[str] | None = None) -> int:
         workloads = {n: workloads[n] for n in names}
 
     record = {"mode": "smoke" if args.smoke else "full", "machine": "laptop",
-              "algorithms": {}}
+              "host_cores": os.cpu_count(), "algorithms": {}}
     diverged = False
     for name, spec in workloads.items():
-        entry = run_algorithm(name, spec)
+        entry = run_algorithm(name, spec, repeats=args.repeats,
+                              workers=args.workers)
         record["algorithms"][name] = entry
-        print(f"{name:>10}: object {entry['object_seconds']:.3f}s   "
-              f"batch {entry['batch_seconds']:.3f}s   "
-              f"speedup {entry['speedup']:.2f}x")
+        line = (f"{name:>10}: object {entry['object_seconds']:.3f}s   "
+                f"batch {entry['batch_seconds']:.3f}s   "
+                f"speedup {entry['speedup']:.2f}x")
+        if "parallel_seconds" in entry:
+            line += (f"   parallel[{entry['workers']}w] "
+                     f"{entry['parallel_seconds']:.3f}s "
+                     f"({entry['host_speedup']:.2f}x batch)")
+        print(line)
         if not (entry["stats_equal"] and entry["data_equal"]):
             print(f"FAIL: {name} batch path diverged from the object path "
                   f"(stats_equal={entry['stats_equal']}, "
                   f"data_equal={entry['data_equal']})", file=sys.stderr)
             diverged = True
+        if not entry.get("parallel_equal", True):
+            print(f"FAIL: {name} parallel executor diverged from the "
+                  f"sequential batch path at workers={args.workers}",
+                  file=sys.stderr)
+            diverged = True
     if diverged:
         return 1
 
-    overheads = run_overheads(workloads.get("bfs", WORKLOADS["bfs"]))
+    overheads = run_overheads(workloads.get("bfs", WORKLOADS["bfs"]),
+                              repeats=args.repeats)
     record.update(overheads)
     print(f"reliable delivery (no faults, report-only): "
           f"{overheads['reliable_seconds']:.3f}s host "

@@ -47,9 +47,21 @@ class KCoreState:
         self.kcore = kcore
 
 
+#: One generated visitor class per ``k`` (class identity matters: ``k`` is
+#: a class-static, and the class must be importable by name so visitor
+#: envelopes can cross the parallel executor's worker pipes).
+_KCORE_VISITOR_CLASSES: dict[int, type] = {}
+
+
 def make_kcore_visitor(k: int):
-    """Create a visitor class with ``k`` as its static parameter
-    (Alg. 5 line 4: ``kcore_visitor::k <- k``)."""
+    """Create (or reuse) a visitor class with ``k`` as its static parameter
+    (Alg. 5 line 4: ``kcore_visitor::k <- k``).  The class is registered
+    under a per-``k`` module-level name, which makes instances picklable —
+    the parallel executor's workers fork after the algorithm is built, so
+    the name resolves on their side too."""
+    cached = _KCORE_VISITOR_CLASSES.get(k)
+    if cached is not None:
+        return cached
 
     class KCoreVisitor(Visitor):
         __slots__ = ()
@@ -70,6 +82,10 @@ def make_kcore_visitor(k: int):
             for w in ctx.out_edges(v):
                 push(cls(int(w)))
 
+    KCoreVisitor.__name__ = f"KCoreVisitor_k{k}"
+    KCoreVisitor.__qualname__ = KCoreVisitor.__name__
+    globals()[KCoreVisitor.__name__] = KCoreVisitor
+    _KCORE_VISITOR_CLASSES[k] = KCoreVisitor
     return KCoreVisitor
 
 

@@ -100,6 +100,11 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
              "'seed=3,factor=4,fraction=0.25,rebalance=0.5' or "
              "'ranks=1+5,factor=8' (simulated time only)")
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the tick loop (default 1 = sequential; "
+             "requires fork). Wall-clock only: results, stats and order "
+             "digests are bit-identical at any worker count")
+    parser.add_argument(
         "--detect-races", action="store_true",
         help="instead of one traversal, run baseline + perturbed-rank-order "
              "runs under the reliable transport and report the first tick "
@@ -110,6 +115,8 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 def _traversal_kwargs(args) -> dict:
     """Machine/topology/fault kwargs shared by every traversal command."""
     kwargs = dict(machine=_MACHINES[args.machine](), topology=args.topology)
+    if args.workers != 1:
+        kwargs["workers"] = args.workers
     if args.faults:
         kwargs["faults"] = FaultPlan.from_spec(args.faults)
     if args.reliable:

@@ -31,6 +31,8 @@ path.
 
 from __future__ import annotations
 
+import mmap
+
 import numpy as np
 
 from repro.types import VID_DTYPE
@@ -327,6 +329,77 @@ def occurrence_counts(values: np.ndarray) -> np.ndarray:
     occ = np.empty(n, dtype=np.int64)
     occ[order] = np.arange(n, dtype=np.int64) - np.repeat(starts, lens)
     return occ
+
+
+class SharedArrayBlock:
+    """A shared-memory arena backing a set of named numpy arrays.
+
+    The parallel executor (:mod:`repro.runtime.parallel`) rebinds each
+    rank's SoA state arrays onto one of these arenas *before* forking its
+    worker pool: the backing store is an anonymous ``MAP_SHARED`` mapping,
+    so forked workers mutate the very pages the parent reads — final batch
+    states come back zero-copy, with no per-tick serialization and no named
+    segments to unlink.  Layout is a 64-byte-aligned offset per array.
+    """
+
+    ALIGN = 64
+
+    __slots__ = ("_mmap", "layout", "nbytes")
+
+    def __init__(self, arrays: list[tuple[str, np.ndarray]]) -> None:
+        offset = 0
+        layout: dict[str, tuple[int, np.dtype, tuple[int, ...]]] = {}
+        for name, arr in arrays:
+            layout[name] = (offset, arr.dtype, arr.shape)
+            offset += -(-arr.nbytes // self.ALIGN) * self.ALIGN
+        self.layout = layout
+        self.nbytes = offset
+        self._mmap = mmap.mmap(-1, max(offset, mmap.PAGESIZE))
+        for name, arr in arrays:
+            np.copyto(self.view(name), arr)
+
+    def view(self, name: str) -> np.ndarray:
+        """Writable array view over this arena (valid in parent and in any
+        process forked after construction)."""
+        offset, dtype, shape = self.layout[name]
+        count = int(np.prod(shape)) if shape else 1
+        return np.frombuffer(
+            self._mmap, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+
+    def close(self) -> None:
+        """Release the mapping.  Callers must drop every view first —
+        ``mmap`` refuses to close while exported buffers exist."""
+        self._mmap.close()
+
+
+def _state_array_attrs(state) -> list[str]:
+    """Names of the ndarray attributes of a state-array block, in slot
+    declaration order (the state-array protocol classes are all
+    ``__slots__``-based)."""
+    names: list[str] = []
+    for klass in type(state).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name not in names and isinstance(
+                getattr(state, name, None), np.ndarray
+            ):
+                names.append(name)
+    return names
+
+
+def share_state_arrays(state) -> SharedArrayBlock | None:
+    """Move a state-array block's ndarray attributes into a
+    :class:`SharedArrayBlock` and rebind them as views (zero-copy attach
+    for processes forked afterwards).  Returns the arena, or None when the
+    block holds no arrays.  All state-array classes mutate and ``restore``
+    in place, so rebinding is behaviour-preserving."""
+    names = _state_array_attrs(state)
+    if not names:
+        return None
+    block = SharedArrayBlock([(n, getattr(state, n)) for n in names])
+    for n in names:
+        setattr(state, n, block.view(n))
+    return block
 
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:

@@ -45,6 +45,7 @@ def resolve_config(
     queue_spill: int | None = None,
     storage_faults=None,
     stragglers=None,
+    workers: int | None = None,
 ) -> EngineConfig:
     """Overlay the :func:`run_traversal` convenience overrides onto a base
     :class:`EngineConfig` (shared with :func:`repro.runtime.race.detect_races`
@@ -52,6 +53,8 @@ def resolve_config(
     overrides: dict = {}
     if batch is not None:
         overrides["batch"] = batch
+    if workers is not None:
+        overrides["workers"] = workers
     if faults is not None:
         overrides["faults"] = faults
     if reliable is not None:
@@ -86,6 +89,7 @@ def run_traversal(
     queue_spill: int | None = None,
     storage_faults=None,
     stragglers=None,
+    workers: int | None = None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -139,6 +143,11 @@ def run_traversal(
         Override :attr:`EngineConfig.stragglers` — a
         :class:`~repro.runtime.pressure.StragglerPlan` of per-rank
         slowdowns.  Cost-only.
+    workers:
+        Override :attr:`EngineConfig.workers` — worker processes for the
+        tick loop (1 = sequential).  Wall-clock only: stats, result
+        arrays, wire counters and order digests are bit-identical to the
+        sequential schedule at any worker count.
     """
     config = resolve_config(
         config,
@@ -150,6 +159,7 @@ def run_traversal(
         queue_spill=queue_spill,
         storage_faults=storage_faults,
         stragglers=stragglers,
+        workers=workers,
     )
     engine = SimulationEngine(
         graph,

@@ -119,6 +119,15 @@ class EngineConfig:
     #: ``algorithm.supports_batch``; produces bit-identical states and
     #: traversal stats to the object path, just faster wall-clock.
     batch: bool = False
+    #: Worker processes executing the per-rank tick work.  1 (default) is
+    #: the sequential in-process path; N > 1 fans ``_rank_tick`` out to a
+    #: persistent pool of N forked workers (capped at the rank count) and
+    #: merges packets, counters and spill/cache charges at a deterministic
+    #: per-tick barrier in canonical rank order, so stats, result arrays,
+    #: wire-level transport counters and order digests stay bit-identical
+    #: to the sequential schedule.  Wall-clock only; requires a platform
+    #: with the ``fork`` start method (Linux).
+    workers: int = 1
     #: Fault plan for the simulated fabric (``repro.comm.faults.FaultPlan``;
     #: None = lossless fabric).  Setting a plan implies reliable delivery.
     faults: object | None = None
@@ -176,6 +185,8 @@ class EngineConfig:
             raise ConfigurationError("visitor_budget must be >= 1")
         if self.aggregation_size < 1:
             raise ConfigurationError("aggregation_size must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         if self.max_ticks < 1:
             raise ConfigurationError("max_ticks must be >= 1")
         if self.checkpoint_interval < 0:

@@ -49,9 +49,10 @@ from repro.memory.faults import StorageFaultInjector
 from repro.memory.page_cache import PageCache
 from repro.memory.spill import SpillPager
 from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
+from repro.runtime.parallel import ParallelRecoveryManager, WorkerCrash, WorkerPool
 from repro.runtime.pressure import StragglerClock
 from repro.runtime.recovery import RecoveryManager
-from repro.runtime.trace import TickSample, TraversalStats
+from repro.runtime.trace import RankCounters, TickSample, TraversalStats
 
 
 class SimulationEngine:
@@ -78,6 +79,15 @@ class SimulationEngine:
         if self.topology.num_ranks != p:
             raise TraversalError(
                 f"topology covers {self.topology.num_ranks} ranks, graph has {p}"
+            )
+
+        #: Effective worker-process count (capped at the rank count); > 1
+        #: routes :meth:`run` through the process-parallel executor.
+        self.workers = min(self.config.workers, p)
+        if self.workers > 1 and page_caches is not None:
+            raise ConfigurationError(
+                "caller-provided page_caches cannot stay warm across worker "
+                "processes; run warm-cache traversals with workers=1"
             )
 
         #: Plain lossless fabric, or the reliable transport when a fault
@@ -296,6 +306,9 @@ class SimulationEngine:
         if self.straggler is not None:
             stats.max_slowdown = float(self.straggler.max_slowdown)
 
+        if self.workers > 1:
+            return self._run_parallel(stats)
+
         if self.batch_mode:
             for r in range(p):
                 seed = self.algorithm.initial_batch(self.graph, r)
@@ -484,6 +497,285 @@ class SimulationEngine:
         return [rank.states for rank in self.ranks], stats
 
     # ------------------------------------------------------------------ #
+    def _run_parallel(self, stats: TraversalStats) -> tuple[list, TraversalStats]:
+        """The tick loop with per-rank work fanned out to a forked worker
+        pool (:mod:`repro.runtime.parallel`).
+
+        Structured as the sequential loop with every rank-local step
+        replaced by its barrier report: the parent replays worker packet
+        buckets into the real network in the sequential global send order,
+        folds counter deltas and spill/cache charges in ascending rank
+        order with the same float-addition order, and keeps everything it
+        owns sequentially (transport, cost model, straggler clock,
+        recovery logs, digests, stats) — which is what makes ``workers=N``
+        bit-identical to ``workers=1``.
+        """
+        p = self.graph.num_partitions
+        m = self.machine
+        cfg = self.config
+        pool = WorkerPool(self)
+        reports: dict | None = None
+        ticks = 0
+        time_us = 0.0
+        try:
+            # Seed-phase packets, replayed in natural rank order — exactly
+            # where the sequential path's seeding eager-flushes land.
+            seed_packets = pool.start()
+            for r in range(p):
+                for pkt in seed_packets.get(r, ()):
+                    self.network.send_packet(pkt)
+
+            if self.recovery is not None:
+                # Swap in the process-aware coordinator: snapshots and
+                # replay execute in the owning worker, the parent keeps the
+                # transport snapshots, logs and cost accounting.
+                self.recovery = ParallelRecoveryManager(self, pool)
+                self.network.recovery = self.recovery
+                stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
+                self.recovery.initial_checkpoint()
+            elif self.reliable_mode and cfg.faults is not None:
+                stats.fault_seed = cfg.faults.seed
+
+            prev = np.zeros((p, 5), dtype=np.int64)
+            cur = np.empty((p, 5), dtype=np.int64)
+            bp_prev = np.zeros(p, dtype=np.int64)
+            last_total_visits = 0
+            if cfg.trace_timeline:
+                last_cache_hits = 0
+                last_cache_misses = 0
+                last_bp_stalls = 0
+
+            try:
+                while True:
+                    t = ticks + 1
+                    arrivals = self.network.advance()
+                    report = self.network.take_report() if self.reliable_mode else None
+                    had_traffic = any(arrivals)
+                    if self.recovery is not None:
+                        for r in self._rank_order:
+                            self.recovery.log_arrivals(t, r, arrivals[r])
+
+                    reports, wave_packets = pool.tick(arrivals)
+                    # Deterministic barrier merge: the sequential global
+                    # send order is per-rank phase A, the rank-0 wave, then
+                    # per-rank phase B, each in ``_rank_order``.
+                    for r in self._rank_order:
+                        for pkt in reports[r].packets_a:
+                            self.network.send_packet(pkt)
+                    for pkt in wave_packets:
+                        self.network.send_packet(pkt)
+                    for r in self._rank_order:
+                        for pkt in reports[r].packets_b:
+                            self.network.send_packet(pkt)
+
+                    if self._record_digests:
+                        self._fold_order_digest(
+                            t,
+                            [reports[r].counters[:5] for r in range(p)],
+                            [reports[r].probe or () for r in range(p)],
+                        )
+
+                    checkpoint_costs = None
+                    if (
+                        self.recovery is not None
+                        and t % self._checkpoint_every == 0
+                    ):
+                        checkpoint_costs = self.recovery.checkpoint(t)
+
+                    control_events = [reports[r].controls for r in range(p)]
+                    for r in range(p):
+                        cnt = reports[r].counters
+                        cur[r, 0] = cnt[0]
+                        cur[r, 1] = cnt[1]
+                        cur[r, 2] = cnt[2]
+                        cur[r, 3] = cnt[5]
+                        cur[r, 4] = cnt[6]
+                    delta = cur - prev
+                    prev[:] = cur
+                    costs = (
+                        (delta[:, 0] + np.asarray(control_events)) * m.previsit_us
+                        + delta[:, 1] * m.visit_us
+                        + delta[:, 2] * m.edge_scan_us
+                        + delta[:, 3] * m.packet_overhead_us
+                        + delta[:, 4] * m.byte_us
+                    )
+                    for r in range(p):
+                        rep = reports[r]
+                        if self.caches[r] is not None:
+                            costs[r] += rep.cache_us
+                            self._charge_fault_record(stats, costs, r, rep.cache_faults)
+                        if self.spills[r] is not None:
+                            if rep.spill_us:
+                                costs[r] += rep.spill_us
+                                stats.spill_io_us += rep.spill_us
+                            self._charge_fault_record(stats, costs, r, rep.spill_faults)
+                        if cfg.mailbox_cap_bytes is not None:
+                            bp_delta = rep.bp_stalls - bp_prev[r]
+                            bp_prev[r] = rep.bp_stalls
+                            if bp_delta:
+                                charge = bp_delta * m.credit_stall_us
+                                costs[r] += charge
+                                stats.backpressure_stall_us += charge
+                    if report is not None:
+                        for r in range(p):
+                            extra = (
+                                (report.retrans_packets[r] + report.ack_packets[r])
+                                * m.packet_overhead_us
+                                + (report.retrans_bytes[r] + report.overhead_bytes[r])
+                                * m.byte_us
+                                + report.recovery_us[r]
+                            )
+                            if extra:
+                                costs[r] += extra
+                        self._accumulate_report(stats, report)
+                    if checkpoint_costs is not None:
+                        costs += checkpoint_costs
+                    if self.straggler is not None:
+                        tick_cost = self.straggler.tick_cost(costs)
+                        tick_floor = self.straggler.pacing_floor(m.min_tick_us)
+                    else:
+                        tick_cost = float(costs.max())
+                        tick_floor = m.min_tick_us
+                    tick_time = max(tick_cost, tick_floor)
+                    if had_traffic or not self.network.idle():
+                        hops = 1 if report is None else max(1, report.data_latency)
+                        tick_time = max(tick_time, m.hop_latency_us * hops)
+                    time_us += tick_time
+                    ticks += 1
+
+                    if cfg.trace_timeline:
+                        visits_now = sum(reports[r].counters[1] for r in range(p))
+                        hits_now = sum(reports[r].cache_hits for r in range(p))
+                        misses_now = sum(reports[r].cache_misses for r in range(p))
+                        bp_now = sum(reports[r].bp_stalls for r in range(p))
+                        stats.timeline.append(
+                            TickSample(
+                                tick=ticks,
+                                time_us=time_us,
+                                queued_visitors=sum(
+                                    reports[r].queue_len for r in range(p)
+                                ),
+                                packets_in_flight=self.network.packets_in_flight(),
+                                visits_this_tick=visits_now - last_total_visits,
+                                retransmits=(
+                                    sum(report.retrans_packets)
+                                    if report is not None
+                                    else 0
+                                ),
+                                faults=(
+                                    report.dropped + report.duplicated
+                                    + report.delayed
+                                    if report is not None
+                                    else 0
+                                ),
+                                recoveries=(
+                                    len(report.recovered) if report is not None else 0
+                                ),
+                                cache_hits=hits_now - last_cache_hits,
+                                cache_misses=misses_now - last_cache_misses,
+                                bp_stalls=bp_now - last_bp_stalls,
+                            )
+                        )
+                        last_total_visits = visits_now
+                        last_cache_hits = hits_now
+                        last_cache_misses = misses_now
+                        last_bp_stalls = bp_now
+
+                    # ---- stop? ---------------------------------------- #
+                    if self.detectors is not None:
+                        if all(reports[r].terminated for r in range(p)):
+                            self._assert_truly_done_parallel(reports)
+                            break
+                    else:
+                        if (
+                            self.network.idle()
+                            and all(reports[r].quiet for r in range(p))
+                            and not any(reports[r].buffered for r in range(p))
+                        ):
+                            break
+                    if ticks >= cfg.max_ticks:
+                        self._finalize_stats_parallel(stats, ticks, time_us, pool)
+                        raise TraversalError(
+                            f"traversal exceeded max_ticks={cfg.max_ticks} "
+                            f"(queued visitors: "
+                            f"{[reports[r].queue_len for r in range(p)]})",
+                            stats=stats,
+                        )
+            except WorkerCrash as crash:
+                # First-class worker failure: partial stats from the last
+                # barrier, wrapped exactly like the max_ticks post-mortem.
+                self._attach_partial_stats(stats, ticks, time_us, reports)
+                raise TraversalError(
+                    f"parallel worker failed after {ticks} ticks: {crash}",
+                    stats=stats,
+                ) from crash
+
+            states = self._finalize_stats_parallel(stats, ticks, time_us, pool)
+            return states, stats
+        finally:
+            pool.shutdown()
+
+    def _finalize_stats_parallel(
+        self, stats: TraversalStats, ticks: int, time_us: float, pool: WorkerPool
+    ) -> list:
+        """Parallel twin of :meth:`_finalize_stats`: counters come from the
+        workers' finalize barrier; batch states are read zero-copy from the
+        shared arenas, object states are pickled back once."""
+        counters, states_by_rank, waves = pool.finalize()
+        p = self.graph.num_partitions
+        for r in range(p):
+            stats.ranks.append(counters[r])
+        stats.ticks = ticks
+        stats.time_us = time_us
+        if self.detectors is not None and waves is not None:
+            stats.termination_waves = waves
+        if self.recovery is not None:
+            stats.checkpoints_taken = self.recovery.checkpoints_taken
+            stats.checkpoint_bytes = self.recovery.checkpoint_bytes
+        if self.straggler is not None:
+            stats.straggler_stall_us = self.straggler.stall_us
+            stats.rebalanced_us = self.straggler.rebalanced_us
+            stats.max_slowdown = float(self.straggler.max_slowdown)
+        if self.batch_mode:
+            return [rank.states for rank in self.ranks]
+        return [states_by_rank[r] for r in range(p)]
+
+    def _attach_partial_stats(
+        self, stats: TraversalStats, ticks: int, time_us: float, reports: dict | None
+    ) -> None:
+        """Post-mortem counters for a run killed by a worker failure,
+        reconstructed from the last completed barrier."""
+        if reports is not None and not stats.ranks:
+            for r in range(self.graph.num_partitions):
+                cnt = reports[r].counters
+                stats.ranks.append(
+                    RankCounters(
+                        visits=cnt[1],
+                        previsits=cnt[0],
+                        pushes=cnt[3],
+                        ghost_filtered=cnt[4],
+                        edges_scanned=cnt[2],
+                        visitors_sent=cnt[7],
+                        visitors_received=cnt[8],
+                        packets_sent=cnt[5],
+                        bytes_sent=cnt[6],
+                        bp_stalls=reports[r].bp_stalls,
+                    )
+                )
+        stats.ticks = ticks
+        stats.time_us = time_us
+
+    def _assert_truly_done_parallel(self, reports: dict) -> None:
+        """:meth:`_assert_truly_done` over the barrier reports."""
+        p = self.graph.num_partitions
+        if not all(reports[r].quiet for r in range(p)):
+            raise TerminationError("detector fired with visitors still queued")
+        if any(reports[r].buffered_visitors for r in range(p)):
+            raise TerminationError("detector fired with visitors buffered")
+        if self.network.visitor_envelopes_in_flight():
+            raise TerminationError("detector fired with visitors in flight")
+
+    # ------------------------------------------------------------------ #
     def _rank_tick(self, r: int, packets: list) -> int:
         """One rank's slice of a tick: drain arrivals, run visitors.
 
@@ -515,20 +807,33 @@ class SimulationEngine:
         schedules that produce the same per-rank behaviour — exactly the
         invariant the race detector checks.
         """
-        rank_digests: list[bytes] = []
+        rows: list[tuple[int, int, int, int, int]] = []
+        probes: list[tuple[int, ...]] = []
         for r in range(self.graph.num_partitions):
             c = self.ranks[r].counters
-            cur = (c.previsits, c.visits, c.edges_scanned, c.pushes,
-                   c.ghost_filtered)
+            rows.append((c.previsits, c.visits, c.edges_scanned, c.pushes,
+                         c.ghost_filtered))
+            probe = self.ranks[r].order_probe
+            probes.append(tuple(probe))
+            if probe:
+                probe.clear()
+        self._fold_order_digest(tick, rows, probes)
+
+    def _fold_order_digest(self, tick, rows, probes) -> None:
+        """Digest fold shared by the sequential and parallel paths: the
+        parallel barrier feeds it the worker-reported counter rows and
+        drained probe sequences, producing bit-identical digests."""
+        rank_digests: list[bytes] = []
+        for r in range(self.graph.num_partitions):
+            cur = rows[r]
             prev = self._digest_prev[r]
             h = hashlib.blake2b(digest_size=16)
             h.update(struct.pack(
                 "<7q", tick, r, *(int(a) - int(b) for a, b in zip(cur, prev))
             ))
-            probe = self.ranks[r].order_probe
+            probe = probes[r]
             if probe:
                 h.update(np.asarray(probe, dtype=np.int64).tobytes())
-                probe.clear()
             self._digest_prev[r] = cur
             rank_digests.append(h.digest())
         tick_h = hashlib.blake2b(digest_size=16)
@@ -545,7 +850,11 @@ class SimulationEngine:
         drain cost; this accumulates the observability counters and charges
         the replicated-store re-fetch for pages the device gave up on.
         """
-        faults = cache.last_epoch_faults
+        self._charge_fault_record(stats, costs, r, cache.last_epoch_faults)
+
+    def _charge_fault_record(self, stats, costs, r: int, faults) -> None:
+        """:meth:`_charge_storage_faults` body over an explicit epoch fault
+        record (the parallel barrier ships records, not caches)."""
         if faults is None:
             return
         stats.storage_retries += faults.retries

@@ -1,0 +1,564 @@
+"""Process-parallel rank execution with deterministic barriers.
+
+``EngineConfig.workers = N`` fans the per-rank work of each tick —
+``SimulationEngine._rank_tick``, detector waves, mailbox flushes,
+cache/spill epoch drains — out to a persistent pool of forked worker
+processes, one fork per :meth:`SimulationEngine.run`.  The contract is the
+one the race detector polices: within a tick, rank ``r`` touches only rank
+``r``'s queue, mailbox, ghost table, caches and detector, and the only
+cross-rank traffic is mailbox packets.  That makes rank execution
+embarrassingly parallel *between* the engine's barriers, and the barriers
+are where determinism is re-established:
+
+* **Static rank affinity.**  Worker ``w`` owns ranks ``{r : r % W == w}``
+  for the whole run, so every per-rank RNG stream, cache, spill pager and
+  detector lives in exactly one process and advances exactly as it would
+  sequentially.
+
+* **Fork + shared memory.**  The pool is forked *after* engine
+  construction, so workers inherit the fully-built engine copy-on-write
+  (graph, CSR, topology — nothing is pickled to start a run).  In batch
+  mode each rank's SoA state arrays are first rebound onto anonymous
+  ``MAP_SHARED`` arenas (:class:`repro.core.batch.SharedArrayBlock`), so
+  worker writes land in pages the parent reads — final states come back
+  zero-copy.  Object-path states are pickled back once, at finalize.
+
+* **Deterministic merge.**  Workers never talk to the real fabric; their
+  mailboxes are rewired to a :class:`_StubNetwork` that records packets in
+  emission order, bucketed per phase (mid-tick eager flushes, detector
+  wave, end-of-tick flush).  At the barrier the parent replays the buckets
+  into the real :class:`~repro.comm.network.Network` /
+  :class:`~repro.comm.reliable.ReliableTransport` in exactly the
+  sequential global send order — for each rank in ``_rank_order``: phase-A
+  packets; then the rank-0 wave packets; then for each rank in
+  ``_rank_order``: phase-B packets — so sequence stamps, the fault
+  injector's single decision stream, wire counters and order digests are
+  bit-identical to ``workers=1``.  Counter deltas and spill/cache charges
+  are likewise folded in ascending rank order with the sequential
+  per-rank float-addition order preserved.
+
+Checkpoints snapshot rank-local state *inside* the owning worker (the
+snapshot never crosses the process boundary; only its simulated byte size
+does), and crash replay re-executes the logged ticks in the owning worker
+while the parent interleaves transport notes and replayed sends per tick —
+see :class:`ParallelRecoveryManager`.
+
+A worker failure of any kind (exception, abrupt death) surfaces as
+:class:`WorkerCrash`, which the engine converts into a
+:class:`~repro.errors.TraversalError` carrying the partial stats, matching
+the ``max_ticks`` behaviour.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.message import Packet
+from repro.core.batch import SharedArrayBlock, share_state_arrays
+from repro.errors import ConfigurationError, TraversalError
+from repro.runtime.recovery import RecoveryManager, estimate_checkpoint_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import SimulationEngine
+
+
+class WorkerCrash(Exception):
+    """A parallel worker failed (exception or abrupt death)."""
+
+
+class _StubNetwork:
+    """Packet recorder standing in for the fabric inside a worker.
+
+    Workers must not touch the real network — sequence stamping, fault
+    injection and delivery scheduling are parent-side — so their mailboxes
+    get this collector instead; :meth:`take` cuts the emission-ordered
+    stream into the per-phase buckets the parent's barrier merge replays.
+    """
+
+    __slots__ = ("_packets",)
+
+    def __init__(self) -> None:
+        self._packets: list[Packet] = []
+
+    def send_packet(self, packet: Packet) -> None:
+        self._packets.append(packet)
+
+    def take(self) -> list[Packet]:
+        out = self._packets
+        self._packets = []
+        return out
+
+
+@dataclass(slots=True)
+class RankTickReport:
+    """One rank's barrier contribution for one tick (worker -> parent)."""
+
+    #: control envelopes handled (charged like pre-visits).
+    controls: int
+    #: cumulative (previsits, visits, edges_scanned, pushes, ghost_filtered,
+    #: packets_sent, bytes_sent, visitors_sent, visitors_received).
+    counters: tuple[int, int, int, int, int, int, int, int, int]
+    #: packets emitted during ``_rank_tick`` (mid-tick eager flushes).
+    packets_a: list[Packet]
+    #: packets emitted by the end-of-tick ``flush()``.
+    packets_b: list[Packet]
+    #: this tick's cache epoch drain (simulated us) and fault record.
+    cache_us: float
+    cache_faults: object | None
+    #: this tick's spill-pager drain (simulated us) and fault record.
+    spill_us: float
+    spill_faults: object | None
+    #: cumulative backpressure stalls / cache hit/miss totals.
+    bp_stalls: int
+    cache_hits: int
+    cache_misses: int
+    #: end-of-tick termination inputs.
+    queue_len: int
+    quiet: bool
+    buffered: bool
+    buffered_visitors: int
+    terminated: bool
+    #: drained order-probe sequence (None unless digests are recorded).
+    probe: tuple[int, ...] | None
+
+
+# ---------------------------------------------------------------------- #
+# Worker process
+# ---------------------------------------------------------------------- #
+def _worker_main(engine: "SimulationEngine", owned: list[int], conn) -> None:
+    """Entry point of one forked worker (owns ``owned`` ranks for life)."""
+    try:
+        stub = _StubNetwork()
+        for r in owned:
+            engine.mailboxes[r].network = stub
+        owned_set = frozenset(owned)
+        snaps: dict[int, dict] = {}
+
+        # Seed the owned ranks (ascending, like the sequential path); any
+        # eager-flush packets are shipped for the parent to replay in
+        # natural rank order before the first tick.
+        seed_packets: dict[int, list[Packet]] = {}
+        for r in owned:
+            if engine.batch_mode:
+                seed = engine.algorithm.initial_batch(engine.graph, r)
+                if seed is not None:
+                    engine.ranks[r].push_batch(seed)
+            else:
+                for visitor in engine.algorithm.initial_visitors(engine.graph, r):
+                    engine.ranks[r].push(visitor)
+            seed_packets[r] = stub.take()
+        conn.send(("ready", seed_packets))
+
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "tick":
+                conn.send(("ok", _worker_tick(engine, stub, owned, owned_set, msg[1])))
+            elif cmd == "checkpoint":
+                conn.send(("ok", _worker_checkpoint(engine, owned, snaps)))
+            elif cmd == "replay":
+                conn.send(("ok", _worker_replay(engine, stub, snaps, *msg[1:])))
+            elif cmd == "finalize":
+                conn.send(("ok", _worker_finalize(engine, owned, owned_set)))
+            elif cmd == "stop":
+                break
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown worker command {cmd!r}")
+    except BaseException as exc:  # noqa: BLE001 - everything must cross the pipe
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+def _worker_tick(
+    engine: "SimulationEngine",
+    stub: _StubNetwork,
+    owned: list[int],
+    owned_set: frozenset,
+    arrivals: dict[int, list[Packet]],
+) -> tuple[dict[int, RankTickReport], list[Packet] | None]:
+    """One tick's owned-rank work: phase A, wave (rank-0 owner), phase B,
+    then the per-rank epoch drains and termination inputs."""
+    cfg = engine.config
+    order = [r for r in engine._rank_order if r in owned_set]
+    controls: dict[int, int] = {}
+    packets_a: dict[int, list[Packet]] = {}
+    for r in order:
+        controls[r] = engine._rank_tick(r, arrivals.get(r, []))
+        packets_a[r] = stub.take()
+
+    # The wave only reads and mutates rank 0's detector/mailbox, so running
+    # it before *other workers'* phase A completes is unobservable; it is
+    # sequenced exactly between this worker's phase A and phase B, as the
+    # sequential loop sequences it for rank 0.
+    wave_packets: list[Packet] | None = None
+    detectors = engine.detectors
+    if 0 in owned_set and detectors is not None and not detectors[0].terminated:
+        detectors[0].maybe_start_wave()
+        wave_packets = stub.take()
+
+    reports: dict[int, RankTickReport] = {}
+    for r in order:
+        engine.mailboxes[r].flush()
+        packets_b = stub.take()
+        rank = engine.ranks[r]
+        mailbox = engine.mailboxes[r]
+        c = rank.counters
+        cache = engine.caches[r]
+        cache_us = 0.0
+        cache_faults = None
+        if cache is not None:
+            cache_us = cache.drain_epoch_us(concurrency=cfg.io_concurrency)
+            cache_faults = cache.last_epoch_faults
+        spill = engine.spills[r]
+        spill_us = 0.0
+        spill_faults = None
+        if spill is not None:
+            if cfg.queue_spill is not None:
+                rank.sync_spill(spill, cfg.queue_spill)
+            spill_us = spill.drain_epoch_us(concurrency=cfg.io_concurrency)
+            spill_faults = spill.cache.last_epoch_faults
+        probe = None
+        if engine._record_digests:
+            probe = tuple(rank.order_probe)
+            rank.order_probe.clear()
+        reports[r] = RankTickReport(
+            controls=controls[r],
+            counters=(
+                c.previsits, c.visits, c.edges_scanned, c.pushes,
+                c.ghost_filtered, mailbox.packets_sent, mailbox.bytes_sent,
+                mailbox.visitors_sent, mailbox.visitors_received,
+            ),
+            packets_a=packets_a[r],
+            packets_b=packets_b,
+            cache_us=cache_us,
+            cache_faults=cache_faults,
+            spill_us=spill_us,
+            spill_faults=spill_faults,
+            bp_stalls=mailbox.bp_stalls,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+            queue_len=rank.queue_length(),
+            quiet=rank.locally_quiet(),
+            buffered=mailbox.has_buffered(),
+            buffered_visitors=mailbox.buffered_visitor_count(),
+            terminated=(
+                engine.detectors[r].terminated
+                if engine.detectors is not None
+                else True
+            ),
+            probe=probe,
+        )
+    return reports, wave_packets
+
+
+def _worker_checkpoint(
+    engine: "SimulationEngine", owned: list[int], snaps: dict[int, dict]
+) -> dict[int, int]:
+    """Snapshot the owned ranks' restartable state locally; ship only the
+    simulated checkpoint byte sizes (the images never cross the pipe)."""
+    out: dict[int, int] = {}
+    for r in owned:
+        snap = {
+            "queue": engine.ranks[r].snapshot_state(),
+            "mailbox": engine.mailboxes[r].snapshot_state(),
+        }
+        if engine.detectors is not None:
+            snap["detector"] = engine.detectors[r].snapshot_state()
+        snaps[r] = snap
+        out[r] = estimate_checkpoint_bytes(engine, r)
+    return out
+
+
+def _worker_replay(
+    engine: "SimulationEngine",
+    stub: _StubNetwork,
+    snaps: dict[int, dict],
+    r: int,
+    epoch_tick: int,
+    crash_tick: int,
+    log: dict[int, list[Packet]],
+) -> tuple[list[list[Packet]], tuple, tuple, int, int]:
+    """Crash recovery for owned rank ``r``: reinstall the epoch snapshot
+    and re-execute the logged ticks, returning the per-tick emitted packet
+    streams plus the counter deltas the parent prices replay compute from.
+    Mirrors :meth:`RecoveryManager.restore_and_replay` rank-locally."""
+    snap = snaps.get(r)
+    if snap is None:
+        raise TraversalError(
+            f"rank {r} crashed at tick {crash_tick} with no worker-side "
+            f"checkpoint to restore"
+        )
+    engine.ranks[r].restore_state(snap["queue"])
+    engine.mailboxes[r].restore_state(snap["mailbox"])
+    if engine.detectors is not None:
+        engine.detectors[r].restore_state(snap["detector"])
+
+    def counter_tuple() -> tuple[int, int, int, int, int]:
+        c = engine.ranks[r].counters
+        mb = engine.mailboxes[r]
+        return (c.previsits, c.visits, c.edges_scanned, mb.packets_sent, mb.bytes_sent)
+
+    c0 = counter_tuple()
+    controls = 0
+    replayed = 0
+    per_tick_packets: list[list[Packet]] = []
+    detectors = engine.detectors
+    for t in range(epoch_tick + 1, crash_tick):
+        packets = log.get(t, [])
+        controls += engine._rank_tick(r, list(packets))
+        if r == 0 and detectors is not None and not detectors[0].terminated:
+            detectors[0].maybe_start_wave()
+        engine.mailboxes[r].flush()
+        per_tick_packets.append(stub.take())
+        replayed += 1
+    return per_tick_packets, c0, counter_tuple(), controls, replayed
+
+
+def _worker_finalize(
+    engine: "SimulationEngine", owned: list[int], owned_set: frozenset
+) -> tuple[dict, dict, int | None]:
+    """End-of-run accounting for the owned ranks: sync mailbox counters,
+    fold cache totals, ship the counters (and object-path states)."""
+    counters: dict[int, object] = {}
+    states: dict[int, object] = {}
+    for r in owned:
+        rank = engine.ranks[r]
+        rank.sync_mailbox_counters()
+        cache = engine.caches[r]
+        if cache is not None:
+            rank.counters.cache_hits = cache.hits
+            rank.counters.cache_misses = cache.misses
+            rank.counters.cache_evictions = cache.evictions
+        counters[r] = rank.counters
+        if not engine.batch_mode:
+            states[r] = rank.states
+    waves = None
+    if 0 in owned_set and engine.detectors is not None:
+        waves = engine.detectors[0].waves_participated
+    return counters, states, waves
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+class WorkerPool:
+    """Persistent forked worker pool for one :meth:`SimulationEngine.run`.
+
+    Forked in the constructor — after the engine is fully built and (in
+    batch mode) after the state arrays are rebound onto shared arenas — so
+    every worker's engine copy is bit-identical to the parent's by
+    construction.
+    """
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                "workers > 1 requires the 'fork' multiprocessing start "
+                "method (POSIX); run with workers=1 on this platform"
+            )
+        ctx = mp.get_context("fork")
+        p = engine.graph.num_partitions
+        w = min(engine.config.workers, p)
+        self.owned: list[list[int]] = [
+            [r for r in range(p) if r % w == i] for i in range(w)
+        ]
+        self.owner: list[int] = [r % w for r in range(p)]
+        self.blocks: list[SharedArrayBlock] = []
+        if engine.batch_mode:
+            for rank in engine.ranks:
+                block = share_state_arrays(rank.states)
+                if block is not None:
+                    self.blocks.append(block)
+        self._procs = []
+        self._conns = []
+        for i in range(w):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(engine, self.owned[i], child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    # -------------------------------------------------------------- #
+    def _recv(self, i: int):
+        """Receive one reply from worker ``i``; raise :class:`WorkerCrash`
+        on a reported exception or an abrupt death (never hang)."""
+        conn = self._conns[i]
+        proc = self._procs[i]
+        who = f"worker {i} (ranks {self.owned[i]})"
+        while True:
+            if conn.poll(0.05):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrash(f"{who} closed its pipe mid-reply") from exc
+                if msg[0] == "error":
+                    raise WorkerCrash(f"{who} raised {msg[1]}\n{msg[2]}")
+                return msg[1]
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerCrash(f"{who} died (exitcode {proc.exitcode})")
+
+    def _broadcast(self, message: tuple) -> list:
+        for conn in self._conns:
+            conn.send(message)
+        return [self._recv(i) for i in range(len(self._conns))]
+
+    # -------------------------------------------------------------- #
+    def start(self) -> dict[int, list[Packet]]:
+        """Collect the workers' ready messages; returns the seed-phase
+        packets keyed by emitting rank."""
+        seed: dict[int, list[Packet]] = {}
+        for i in range(len(self._conns)):
+            seed.update(self._recv(i))
+        return seed
+
+    def tick(
+        self, arrivals: list[list[Packet]]
+    ) -> tuple[dict[int, RankTickReport], list[Packet]]:
+        """Fan one tick out (each worker gets only its ranks' arrivals) and
+        gather the merged per-rank reports plus the rank-0 wave packets."""
+        for i, conn in enumerate(self._conns):
+            sub = {r: arrivals[r] for r in self.owned[i] if arrivals[r]}
+            conn.send(("tick", sub))
+        reports: dict[int, RankTickReport] = {}
+        wave: list[Packet] = []
+        for i in range(len(self._conns)):
+            out, wave_packets = self._recv(i)
+            reports.update(out)
+            if wave_packets:
+                wave = wave_packets
+        return reports, wave
+
+    def checkpoint(self) -> dict[int, int]:
+        """All workers snapshot their ranks; returns simulated bytes by rank."""
+        merged: dict[int, int] = {}
+        for part in self._broadcast(("checkpoint",)):
+            merged.update(part)
+        return merged
+
+    def replay(
+        self,
+        r: int,
+        epoch_tick: int,
+        crash_tick: int,
+        log: dict[int, list[Packet]],
+    ) -> tuple[list[list[Packet]], tuple, tuple, int, int]:
+        """Ask rank ``r``'s owner to restore and replay; see
+        :func:`_worker_replay`."""
+        conn = self._conns[self.owner[r]]
+        conn.send(("replay", r, epoch_tick, crash_tick, log))
+        return self._recv(self.owner[r])
+
+    def finalize(self) -> tuple[dict, dict, int | None]:
+        """Gather final counters (and object-path states) from all workers."""
+        counters: dict[int, object] = {}
+        states: dict[int, object] = {}
+        waves: int | None = None
+        for part_counters, part_states, part_waves in self._broadcast(("finalize",)):
+            counters.update(part_counters)
+            states.update(part_states)
+            if part_waves is not None:
+                waves = part_waves
+        return counters, states, waves
+
+    def shutdown(self) -> None:
+        """Stop and reap every worker (no child-process leak across runs).
+        Safe after errors: a wedged worker is terminated, not joined
+        forever.  The shared arenas stay mapped — the parent's state views
+        still read from them — and are reclaimed with the objects."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+
+class ParallelRecoveryManager(RecoveryManager):
+    """Checkpoint/restart coordinator for the parallel executor.
+
+    Splits the sequential :class:`RecoveryManager` at the process
+    boundary: rank-local snapshot images and replay execution live in the
+    owning worker; the parent keeps exactly what it owns sequentially —
+    transport channel snapshots, delivery logs, byte/cost accounting —
+    and interleaves transport notes with the worker's replayed sends in
+    per-tick order, so the transport observes the same operation sequence
+    as a sequential replay.
+    """
+
+    def __init__(self, engine: "SimulationEngine", pool: WorkerPool) -> None:
+        super().__init__(engine)
+        self.pool = pool
+
+    def _take_snapshots(self, tick: int) -> np.ndarray:
+        eng = self.engine
+        p = eng.graph.num_partitions
+        costs = np.zeros(p, dtype=np.float64)
+        bytes_by_rank = self.pool.checkpoint()
+        for r in range(p):
+            self._snaps[r] = {"transport": eng.network.snapshot_rank(r)}
+            nbytes = bytes_by_rank[r]
+            self._state_bytes[r] = nbytes
+            self.checkpoint_bytes += nbytes
+            costs[r] = nbytes * eng.machine.checkpoint_byte_us
+            self._log[r] = {t: v for t, v in self._log[r].items() if t > tick}
+        self.epoch_tick = tick
+        return costs
+
+    def restore_and_replay(self, r: int, crash_tick: int) -> tuple[float, int]:
+        eng = self.engine
+        snap = self._snaps[r]
+        if snap is None:
+            raise TraversalError(
+                f"rank {r} crashed at tick {crash_tick} with no checkpoint "
+                f"to restore (recovery manager not initialised?)"
+            )
+        eng.network.restore_rank(r, snap["transport"])
+        log = self._log[r]
+        per_tick_packets, c0, c1, controls, replayed = self.pool.replay(
+            r, self.epoch_tick, crash_tick,
+            {t: v for t, v in log.items() if t > self.epoch_tick},
+        )
+        for i, t in enumerate(range(self.epoch_tick + 1, crash_tick)):
+            for pkt in log.get(t, ()):
+                eng.network.note_replayed_delivery(r, pkt)
+            for pkt in per_tick_packets[i]:
+                eng.network.send_packet(pkt)
+
+        m = eng.machine
+        compute_us = (
+            (c1[0] - c0[0] + controls) * m.previsit_us
+            + (c1[1] - c0[1]) * m.visit_us
+            + (c1[2] - c0[2]) * m.edge_scan_us
+            + (c1[3] - c0[3]) * m.packet_overhead_us
+            + (c1[4] - c0[4]) * m.byte_us
+        )
+        cost_us = (
+            m.restart_us + self._state_bytes[r] * m.restore_byte_us + compute_us
+        )
+        self.recoveries += 1
+        return cost_us, replayed

@@ -50,6 +50,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.engine import SimulationEngine
 
 
+def estimate_checkpoint_bytes(engine: "SimulationEngine", r: int) -> int:
+    """Simulated size of rank ``r``'s checkpoint image: 16 bytes per vertex
+    state (value + parent), the queued visitors at their wire size, 8 bytes
+    per ghost value, plus a fixed header.  Shared with the parallel
+    executor, whose workers compute it rank-locally."""
+    rank = engine.ranks[r]
+    ghosts = len(rank.ghost_table) if rank.ghost_table is not None else 0
+    return (
+        64
+        + rank.num_local_states * 16
+        + rank.queue_length() * engine.algorithm.visitor_bytes
+        + ghosts * 8
+    )
+
+
 class RecoveryManager:
     """Checkpoint/restart coordinator for one engine run."""
 
@@ -108,18 +123,8 @@ class RecoveryManager:
         return costs
 
     def _estimate_bytes(self, r: int) -> int:
-        """Simulated size of one rank's checkpoint image: 16 bytes per
-        vertex state (value + parent), the queued visitors at their wire
-        size, 8 bytes per ghost value, plus a fixed header."""
-        eng = self.engine
-        rank = eng.ranks[r]
-        ghosts = len(rank.ghost_table) if rank.ghost_table is not None else 0
-        return (
-            64
-            + rank.num_local_states * 16
-            + rank.queue_length() * eng.algorithm.visitor_bytes
-            + ghosts * 8
-        )
+        """See :func:`estimate_checkpoint_bytes`."""
+        return estimate_checkpoint_bytes(self.engine, r)
 
     # ------------------------------------------------------------------ #
     def log_arrivals(self, tick: int, rank: int, packets: list[Packet]) -> None:

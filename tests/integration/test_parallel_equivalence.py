@@ -1,0 +1,168 @@
+"""Parallel-executor equivalence matrix: ``workers=4`` vs sequential.
+
+The process-parallel tick loop's defining contract is *bit-identity*: for
+any worker count, every traversal stat — wire-level transport counters and
+the float simulated clock included — every result array, and every
+per-tick order digest must equal the sequential run's.  This matrix
+checks that contract over all six algorithms x {direct, 2d} x {object,
+batch}, plus the hostile cells: seeded faults on the reliable transport
+under a bounded mailbox, rank crashes with checkpoint/replay recovery,
+and memory pressure (mailbox cap + queue spill), where the equality must
+hold even for fault, retransmission and backpressure counters — the
+barrier merge replays worker packets in exactly the sequential global
+send order, so the fault injector's single decision stream perturbs both
+runs identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import BFSAlgorithm, bfs
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.algorithms.triangles import triangle_count
+from repro.bench.harness import build_rmat_graph
+from repro.comm.faults import CrashEvent, FaultPlan
+from repro.runtime.costmodel import EngineConfig, laptop
+from repro.runtime.engine import SimulationEngine
+
+WORKERS = 4
+
+CHAOS_PLAN = FaultPlan(
+    seed=7, drop_rate=0.03, duplicate_rate=0.02, delay_rate=0.05, max_delay=3
+)
+CRASH_PLAN = FaultPlan(
+    seed=11, drop_rate=0.01,
+    crashes=(CrashEvent(tick=4, rank=1), CrashEvent(tick=9, rank=3)),
+)
+
+RUNNERS = {
+    "bfs": lambda g, **kw: bfs(g, 0, **kw),
+    "sssp": lambda g, **kw: sssp(g, 0, **kw),
+    "cc": lambda g, **kw: connected_components(g, **kw),
+    "triangles": lambda g, **kw: triangle_count(g, **kw),
+    "kcore": lambda g, **kw: kcore(g, 3, **kw),
+    "pagerank": lambda g, **kw: pagerank(g, **kw),
+}
+
+DATA = {
+    "bfs": lambda r: (r.data.levels, r.data.parents),
+    "sssp": lambda r: (r.data.distances,),
+    "cc": lambda r: (r.data.labels,),
+    "triangles": lambda r: (r.data.per_vertex,),
+    "kcore": lambda r: (r.data.alive,),
+    "pagerank": lambda r: (r.data.scores,),
+}
+
+
+def _full_stats_key(stats):
+    """Every counter the engine reports, wire-level ones included, plus
+    the per-tick timeline when traced."""
+    ranks = tuple(
+        tuple(sorted(dataclasses.asdict(r).items())) for r in stats.ranks
+    )
+    top = tuple(sorted(
+        (k, v) for k, v in dataclasses.asdict(stats).items()
+        if k not in ("ranks", "timeline")
+    ))
+    timeline = tuple(
+        tuple(sorted(dataclasses.asdict(s).items())) for s in stats.timeline
+    )
+    return top, ranks, timeline
+
+
+def assert_bit_identical(algorithm, seq, par):
+    for a, b in zip(DATA[algorithm](seq), DATA[algorithm](par)):
+        assert np.array_equal(a, b), (
+            f"{algorithm}: result arrays diverged at workers={WORKERS}"
+        )
+    assert _full_stats_key(seq.stats) == _full_stats_key(par.stats)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    _, g = build_rmat_graph(7, num_partitions=4, num_ghosts=32,
+                            strategy="edge_list", seed=2024)
+    return g
+
+
+@pytest.mark.parametrize("batch", [False, True], ids=["object", "batch"])
+@pytest.mark.parametrize("topology", ["direct", "2d"])
+@pytest.mark.parametrize("algorithm", sorted(RUNNERS))
+def test_matrix_cell(algorithm, topology, batch, graph):
+    run = RUNNERS[algorithm]
+    seq = run(graph, topology=topology, batch=batch)
+    par = run(graph, topology=topology, batch=batch, workers=WORKERS)
+    assert_bit_identical(algorithm, seq, par)
+
+
+@pytest.mark.parametrize("algorithm", sorted(RUNNERS))
+def test_chaos_cell(algorithm, graph):
+    """Faults + reliable transport + bounded mailbox: the barrier merge
+    preserves the global send order the fault injector draws against."""
+    run = RUNNERS[algorithm]
+    kw = dict(batch=True, faults=CHAOS_PLAN, mailbox_cap=64,
+              config=EngineConfig(visitor_budget=8))
+    seq = run(graph, **kw)
+    par = run(graph, workers=WORKERS, **kw)
+    assert seq.stats.packets_dropped > 0  # the plan actually engaged
+    assert seq.stats.total_bp_stalls > 0  # the cap actually engaged
+    assert_bit_identical(algorithm, seq, par)
+
+
+@pytest.mark.parametrize("batch", [False, True], ids=["object", "batch"])
+@pytest.mark.parametrize("algorithm", ["bfs", "kcore"])
+def test_crash_recovery_cell(algorithm, batch, graph):
+    """Rank crashes: worker-side checkpoint/replay reproduces the
+    sequential recovery manager's transport operation sequence."""
+    run = RUNNERS[algorithm]
+    kw = dict(batch=batch, faults=CRASH_PLAN, checkpoint_interval=4,
+              config=EngineConfig(visitor_budget=8))
+    seq = run(graph, **kw)
+    par = run(graph, workers=WORKERS, **kw)
+    assert seq.stats.recoveries == 2  # both planned crashes engaged
+    assert_bit_identical(algorithm, seq, par)
+
+
+@pytest.mark.parametrize("algorithm", ["bfs", "pagerank"])
+def test_pressure_cell(algorithm, graph):
+    """Mailbox cap + queue spill: the spill pager and backpressure ledger
+    run worker-side, their charges merge parent-side in rank order."""
+    run = RUNNERS[algorithm]
+    kw = dict(batch=True, mailbox_cap=64, queue_spill=16,
+              config=EngineConfig(visitor_budget=8))
+    seq = run(graph, **kw)
+    par = run(graph, workers=WORKERS, **kw)
+    assert seq.stats.total_queue_spilled > 0  # the spill limit actually engaged
+    assert_bit_identical(algorithm, seq, par)
+
+
+def test_order_digests_identical(graph):
+    """The per-tick order digests — the race detector's observable — are
+    bit-identical between schedules, not just the final stats."""
+    def digests(workers: int) -> tuple[list, list]:
+        engine = SimulationEngine(
+            graph, BFSAlgorithm(0), laptop(),
+            config=EngineConfig(record_order_digests=True, workers=workers),
+        )
+        engine.run()
+        return engine.tick_digests, engine.tick_rank_digests
+
+    seq_tick, seq_rank = digests(1)
+    par_tick, par_rank = digests(WORKERS)
+    assert len(seq_tick) > 0
+    assert seq_tick == par_tick
+    assert seq_rank == par_rank
+
+
+def test_workers_clamped_to_partitions(graph):
+    """workers > p degrades gracefully to one worker per rank."""
+    seq = bfs(graph, 0, batch=True)
+    par = bfs(graph, 0, batch=True, workers=64)
+    assert_bit_identical("bfs", seq, par)
