@@ -10,7 +10,10 @@ gates — the reliable-delivery transport's no-fault overhead (host time,
 simulated time and protocol bytes vs the plain fabric) and the
 bounded-mailbox ledger's no-pressure overhead (a cap high enough that
 backpressure never engages, measuring pure flow-control bookkeeping cost),
-both measured on the BFS workload.
+both measured on the BFS workload.  The parallel section also reports the
+supervised mode's no-fault tax (``worker_restarts>0`` with no fault plan:
+barrier deadlines + per-epoch restore-image shipping, INTERNALS §12) as
+``supervised_overhead`` vs the plain parallel run.
 
 Usage::
 
@@ -194,6 +197,23 @@ def run_algorithm(name: str, spec: dict, *, repeats: int, workers: int,
                 for a, b in zip(spec["arrays"](bat), spec["arrays"](par))
             )
         )
+        # Supervised mode with no faults injected: what the self-healing
+        # machinery (barrier deadlines, per-epoch restore-image shipping)
+        # costs when nothing ever fails.  Report-only, like the other
+        # parallel columns, but divergence still fails the run.
+        sup_s, sup = _best_of(
+            repeats, lambda: run(graph, source, machine, True,
+                                 workers=workers, worker_restarts=1)
+        )
+        entry["supervised_seconds"] = round(sup_s, 4)
+        entry["supervised_overhead"] = round(sup_s / par_s, 3)
+        entry["supervised_equal"] = (
+            _stats_key(par.stats) == _stats_key(sup.stats)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(spec["arrays"](par), spec["arrays"](sup))
+            )
+        )
     return entry
 
 
@@ -288,7 +308,9 @@ def main(argv: list[str] | None = None) -> int:
         if "parallel_seconds" in entry:
             line += (f"   parallel[{entry['workers']}w] "
                      f"{entry['parallel_seconds']:.3f}s "
-                     f"({entry['host_speedup']:.2f}x batch)")
+                     f"({entry['host_speedup']:.2f}x batch)   "
+                     f"supervised {entry['supervised_seconds']:.3f}s "
+                     f"({entry['supervised_overhead']:.2f}x parallel)")
         print(line)
         if not (entry["stats_equal"] and entry["data_equal"]):
             print(f"FAIL: {name} batch path diverged from the object path "
@@ -298,6 +320,11 @@ def main(argv: list[str] | None = None) -> int:
         if not entry.get("parallel_equal", True):
             print(f"FAIL: {name} parallel executor diverged from the "
                   f"sequential batch path at workers={args.workers}",
+                  file=sys.stderr)
+            diverged = True
+        if not entry.get("supervised_equal", True):
+            print(f"FAIL: {name} supervised mode (no faults) diverged from "
+                  f"the plain parallel run at workers={args.workers}",
                   file=sys.stderr)
             diverged = True
     if diverged:

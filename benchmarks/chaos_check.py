@@ -10,23 +10,35 @@ drops / retransmits / recoveries), fails the gate.
 This is the executable form of the INTERNALS §8 invariant: faults may
 change simulated time and wire traffic, never results or logical counts.
 
+``--worker-chaos`` switches the gate to *host*-level failures: SIGKILLed,
+hung, and mid-phase-exiting worker processes under the self-healing pool
+(INTERNALS §12), plus restart-budget-exhausted degradation.  Every
+supervised ``workers=4`` run must match the unfailed sequential run on
+results and every stats field outside ``SUPERVISION_STATS_FIELDS``, and
+every cell must actually have failed (crash/respawn/degrade counters
+non-zero — a dead gate fails too).
+
 Usage::
 
-    python benchmarks/chaos_check.py            # CI gate (exit 1 on any diff)
-    python benchmarks/chaos_check.py --scale 10 # bigger graph, same checks
+    python benchmarks/chaos_check.py                # CI gate (exit 1 on any diff)
+    python benchmarks/chaos_check.py --scale 10     # bigger graph, same checks
+    python benchmarks/chaos_check.py --worker-chaos # worker-failure gate
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 import numpy as np
 
 from repro.algorithms.bfs import bfs
 from repro.algorithms.kcore import kcore
+from repro.algorithms.pagerank import pagerank
 from repro.bench.harness import build_rmat_graph, pick_bfs_source
-from repro.comm.faults import CrashEvent, FaultPlan
+from repro.comm.faults import CrashEvent, FaultPlan, WorkerFaultPlan
+from repro.runtime.trace import SUPERVISION_STATS_FIELDS
 
 #: The fixed chaos seeds CI replays (never change lightly: the point is a
 #: deterministic gate, not a statistical one).
@@ -78,12 +90,106 @@ def _check(label: str, faulty, baseline, arrays: dict, expect_crash: bool) -> li
     return problems
 
 
+#: The worker-failure matrix ``--worker-chaos`` replays: spec, extra kwargs,
+#: and which supervision counter proves the cell actually engaged.
+WORKER_SCENARIOS = (
+    ("kill", "seed=7,kill=4:1", dict(worker_restarts=2), "worker_respawns"),
+    ("hang", "seed=7,hang=4:2",
+     dict(worker_restarts=2, worker_barrier_timeout=2.0), "worker_hangs"),
+    ("exita", "seed=7,exita=3:0", dict(worker_restarts=2), "worker_respawns"),
+    ("degrade", "seed=7,kill=4:1,forkfail=9",
+     dict(worker_restarts=2), "degraded_ranks"),
+)
+
+WORKER_RUNNERS = (
+    ("bfs", lambda g, src, **kw: bfs(g, src, **kw),
+     lambda r: {"levels": r.data.levels, "parents": r.data.parents}),
+    ("kcore", lambda g, src, **kw: kcore(g, 3, **kw),
+     lambda r: {"alive": r.data.alive}),
+    ("pagerank", lambda g, src, **kw: pagerank(g, **kw),
+     lambda r: {"scores": r.data.scores}),
+)
+
+
+def _full_stats_key(stats) -> tuple:
+    """Every stats field except the supervisor's own activity counters."""
+    ranks = tuple(tuple(sorted(dataclasses.asdict(r).items()))
+                  for r in stats.ranks)
+    top = tuple(sorted(
+        (k, v) for k, v in dataclasses.asdict(stats).items()
+        if k not in ("ranks", "timeline")
+        and k not in SUPERVISION_STATS_FIELDS
+    ))
+    return top, ranks
+
+
+def worker_chaos(args) -> int:
+    """Gate: supervised runs through host worker failures stay
+    bit-identical to the unfailed sequential run."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("SKIP: worker chaos requires the fork start method")
+        return 0
+
+    edges, graph = build_rmat_graph(
+        args.scale, num_partitions=4, num_ghosts=32, seed=2024
+    )
+    source = pick_bfs_source(edges, seed=17)
+    problems: list[str] = []
+    cells = 0
+    for algo, run, extract in WORKER_RUNNERS:
+        base = run(graph, source, batch=True)
+        print(f"baseline: {algo} {base.stats.ticks} ticks "
+              f"(scale {args.scale}, p=4, workers=1)")
+        for name, spec, kw, engaged in WORKER_SCENARIOS:
+            cells += 1
+            label = f"{algo} {name}"
+            try:
+                sup = run(graph, source, batch=True, workers=4,
+                          worker_faults=WorkerFaultPlan.from_spec(spec), **kw)
+            except Exception as exc:  # a healed run must never raise
+                problems.append(f"{label}: raised {exc!r}")
+                continue
+            for field, want in extract(base).items():
+                got = extract(sup)[field]
+                if not np.array_equal(got, want):
+                    problems.append(
+                        f"{label}: {field} diverged "
+                        f"({int(np.count_nonzero(got != want))} entries)")
+            if _full_stats_key(sup.stats) != _full_stats_key(base.stats):
+                problems.append(f"{label}: stats diverged through the failure")
+            if sup.stats.worker_crashes == 0:
+                problems.append(f"{label}: no worker ever failed (dead gate)")
+            if getattr(sup.stats, engaged) == 0:
+                problems.append(f"{label}: {engaged} == 0 (cell not engaged)")
+            print(f"  {label}: {sup.stats.worker_crashes} failures "
+                  f"({sup.stats.worker_hangs} hung), "
+                  f"{sup.stats.worker_respawns} respawns, "
+                  f"{sup.stats.worker_replayed_ticks} ticks replayed, "
+                  f"{sup.stats.degraded_ranks} ranks degraded")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"OK: {cells} supervised chaos runs bit-identical to baselines")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=int, default=8)
     parser.add_argument("-p", "--partitions", type=int, default=8)
     parser.add_argument("-k", type=int, default=3, help="k-core k")
+    parser.add_argument(
+        "--worker-chaos", action="store_true",
+        help="gate host worker failures (SIGKILL/hang/exit/degrade at "
+             "workers=4) instead of simulated transport faults")
     args = parser.parse_args(argv)
+
+    if args.worker_chaos:
+        return worker_chaos(args)
 
     edges, graph = build_rmat_graph(
         args.scale, num_partitions=args.partitions, num_ghosts=8, seed=17

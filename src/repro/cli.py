@@ -36,7 +36,7 @@ from repro.algorithms.triangles import triangle_count
 from repro.algorithms.wedge_sampling import sample_triangle_estimate
 from repro.analysis.teps import bfs_traversed_edges, mteps
 from repro.bench.harness import pick_bfs_source
-from repro.comm.faults import FaultPlan
+from repro.comm.faults import FaultPlan, WorkerFaultPlan
 from repro.generators.preferential_attachment import preferential_attachment_edges
 from repro.generators.rmat import rmat_edges
 from repro.generators.small_world import small_world_edges
@@ -105,6 +105,22 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
              "requires fork). Wall-clock only: results, stats and order "
              "digests are bit-identical at any worker count")
     parser.add_argument(
+        "--worker-faults", metavar="SPEC", default=None,
+        help="inject worker-process failures for the supervision layer, "
+             "e.g. 'seed=7,kill=4:1,hang=9:0,exita=6:3,forkfail=1' "
+             "(kill/hang/exita take tick:rank, '+' joins events; requires "
+             "--workers > 1; results stay bit-identical)")
+    parser.add_argument(
+        "--worker-restarts", type=int, default=None, metavar="N",
+        help="per-worker respawn budget when a worker process fails "
+             "(default 0 = fail fast; exhaustion degrades the orphaned "
+             "ranks to in-process execution)")
+    parser.add_argument(
+        "--worker-barrier-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock seconds a barrier waits before declaring a "
+             "worker hung and force-killing it (default 30 when "
+             "supervision is active)")
+    parser.add_argument(
         "--detect-races", action="store_true",
         help="instead of one traversal, run baseline + perturbed-rank-order "
              "runs under the reliable transport and report the first tick "
@@ -131,6 +147,12 @@ def _traversal_kwargs(args) -> dict:
         kwargs["storage_faults"] = StorageFaultPlan.from_spec(args.storage_faults)
     if args.stragglers:
         kwargs["stragglers"] = StragglerPlan.from_spec(args.stragglers)
+    if args.worker_faults:
+        kwargs["worker_faults"] = WorkerFaultPlan.from_spec(args.worker_faults)
+    if args.worker_restarts is not None:
+        kwargs["worker_restarts"] = args.worker_restarts
+    if args.worker_barrier_timeout is not None:
+        kwargs["worker_barrier_timeout"] = args.worker_barrier_timeout
     return kwargs
 
 

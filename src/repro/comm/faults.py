@@ -148,6 +148,134 @@ class FaultPlan:
         return cls(crashes=tuple(crashes), **kwargs)
 
 
+#: Worker-fault kinds understood by the supervisor / worker protocol.
+WORKER_FAULT_KINDS = ("kill", "hang", "exita")
+
+
+@dataclass(frozen=True)
+class WorkerFaultEvent:
+    """One injected worker-process failure: the worker owning ``rank``
+    misbehaves when it receives the barrier command for logical tick
+    ``tick``.
+
+    ``kind`` selects the failure mode: ``"kill"`` — SIGKILL itself on
+    command receipt (no cleanup, pipe EOF); ``"hang"`` — finish the
+    tick's work but sleep forever instead of reporting at the barrier
+    (detected by the deadline, force-killed); ``"exita"`` — hard-exit
+    midway through phase A, after the first owned rank's tick (partial
+    state mutations, no reply).
+    """
+
+    tick: int
+    rank: int
+    kind: str = "kill"
+
+    def __post_init__(self) -> None:
+        if self.tick < 1:
+            raise ConfigurationError(
+                f"worker fault tick must be >= 1, got {self.tick}"
+            )
+        if self.rank < 0:
+            raise ConfigurationError(
+                f"worker fault rank must be >= 0, got {self.rank}"
+            )
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ConfigurationError(
+                f"worker fault kind must be one of {WORKER_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Seeded description of worker-process failures for the parallel
+    executor's supervision layer (:mod:`repro.runtime.parallel`).
+
+    Unlike :class:`FaultPlan` this perturbs the *host* processes running
+    the simulation, not the simulated fabric: the supervisor injects each
+    event into the worker owning the event's rank, detects the failure at
+    the barrier, and recovers via respawn-and-replay (or degrades to
+    parent-side execution when the restart budget runs out).  ``seed``
+    drives only the host-side retry backoff jitter; results stay
+    bit-identical to the unfailed run by construction.  ``fork_failures``
+    makes the first N respawn attempts fail at fork time, exercising the
+    degradation path.
+    """
+
+    seed: int = 0
+    events: tuple[WorkerFaultEvent, ...] = field(default=())
+    fork_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fork_failures < 0:
+            raise ConfigurationError(
+                f"fork_failures must be >= 0, got {self.fork_failures}"
+            )
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def any_faults(self) -> bool:
+        """True when the plan can actually perturb a run."""
+        return bool(self.events) or self.fork_failures > 0
+
+    def events_at(self, tick: int) -> list[WorkerFaultEvent]:
+        """Worker-fault events scheduled for logical tick ``tick``."""
+        return [ev for ev in self.events if ev.tick == tick]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str) -> "WorkerFaultPlan":
+        """Parse the CLI worker-fault spec mini-language.
+
+        ``SPEC`` is a comma-separated ``key=value`` list::
+
+            seed=7,kill=4:1,hang=9:0,exita=6:3,forkfail=2
+
+        ``kill`` / ``hang`` / ``exita`` take ``tick:rank`` and may be
+        repeated by joining events with ``+`` (``kill=4:1+9:3``);
+        ``forkfail=N`` fails the first N respawn forks.
+        """
+        kwargs: dict = {}
+        events: list[WorkerFaultEvent] = []
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"worker fault spec item {item!r} is not key=value"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            if key in WORKER_FAULT_KINDS:
+                for ev in value.split("+"):
+                    parts = ev.split(":")
+                    if len(parts) != 2:
+                        raise ConfigurationError(
+                            f"worker fault event {ev!r} is not tick:rank"
+                        )
+                    try:
+                        tick, rank = (int(x) for x in parts)
+                    except ValueError:
+                        raise ConfigurationError(
+                            f"worker fault event {ev!r} has non-integer fields"
+                        ) from None
+                    events.append(WorkerFaultEvent(tick, rank, key))
+            elif key in ("seed", "forkfail"):
+                name = "seed" if key == "seed" else "fork_failures"
+                try:
+                    kwargs[name] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"worker fault spec {key}={value!r} is not an int"
+                    ) from None
+            else:
+                raise ConfigurationError(
+                    f"unknown worker fault spec key {key!r} (known: "
+                    f"{', '.join(WORKER_FAULT_KINDS)}, seed, forkfail)"
+                )
+        return cls(events=tuple(events), **kwargs)
+
+
 @dataclass
 class FaultDecision:
     """Outcome of one transmission's fault draws."""

@@ -399,6 +399,18 @@ class BatchVisitorQueueRank:
             self.counters.queue_unspilled += cur - target
         self._spilled_visitors = target
 
+    @property
+    def spill_ledger(self) -> int:
+        """The spill ledger, exposed for worker-supervision images: a
+        respawned worker adopts the failed one's ledger alongside the
+        pager snapshot, so the pair stays reconciled (the ledger is
+        deliberately outside :meth:`snapshot_state` — see its note)."""
+        return self._spilled_visitors
+
+    @spill_ledger.setter
+    def spill_ledger(self, value: int) -> None:
+        self._spilled_visitors = value
+
     def sync_mailbox_counters(self) -> None:
         """Mirror mailbox counters into this rank's trace counters."""
         c = self.counters

@@ -46,6 +46,9 @@ def resolve_config(
     storage_faults=None,
     stragglers=None,
     workers: int | None = None,
+    worker_faults=None,
+    worker_restarts: int | None = None,
+    worker_barrier_timeout: float | None = None,
 ) -> EngineConfig:
     """Overlay the :func:`run_traversal` convenience overrides onto a base
     :class:`EngineConfig` (shared with :func:`repro.runtime.race.detect_races`
@@ -69,6 +72,12 @@ def resolve_config(
         overrides["storage_faults"] = storage_faults
     if stragglers is not None:
         overrides["stragglers"] = stragglers
+    if worker_faults is not None:
+        overrides["worker_faults"] = worker_faults
+    if worker_restarts is not None:
+        overrides["worker_restarts"] = worker_restarts
+    if worker_barrier_timeout is not None:
+        overrides["worker_barrier_timeout"] = worker_barrier_timeout
     base = config or EngineConfig()
     return replace(base, **overrides) if overrides else base
 
@@ -90,6 +99,9 @@ def run_traversal(
     storage_faults=None,
     stragglers=None,
     workers: int | None = None,
+    worker_faults=None,
+    worker_restarts: int | None = None,
+    worker_barrier_timeout: float | None = None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -148,6 +160,21 @@ def run_traversal(
         tick loop (1 = sequential).  Wall-clock only: stats, result
         arrays, wire counters and order digests are bit-identical to the
         sequential schedule at any worker count.
+    worker_faults:
+        Override :attr:`EngineConfig.worker_faults` — a
+        :class:`~repro.comm.faults.WorkerFaultPlan` injecting *host*
+        worker-process failures (SIGKILL, hangs, mid-phase exits, fork
+        failures) for the supervision layer to heal.  Requires
+        ``workers > 1``; results and all logical stats stay bit-identical
+        to the unfailed run (only the ``SUPERVISION_STATS_FIELDS``
+        differ).
+    worker_restarts:
+        Override :attr:`EngineConfig.worker_restarts` — per-worker
+        respawn budget; 0 with a fault plan degrades straight to
+        parent-side execution.
+    worker_barrier_timeout:
+        Override :attr:`EngineConfig.worker_barrier_timeout` — wall-clock
+        seconds a barrier waits before declaring a worker hung.
     """
     config = resolve_config(
         config,
@@ -160,6 +187,9 @@ def run_traversal(
         storage_faults=storage_faults,
         stragglers=stragglers,
         workers=workers,
+        worker_faults=worker_faults,
+        worker_restarts=worker_restarts,
+        worker_barrier_timeout=worker_barrier_timeout,
     )
     engine = SimulationEngine(
         graph,

@@ -261,6 +261,17 @@ class VisitorQueueRank:
             self.counters.queue_unspilled += cur - target
         self._spilled_visitors = target
 
+    @property
+    def spill_ledger(self) -> int:
+        """The spill ledger, exposed for worker-supervision images (see
+        the batch path's note): restored together with the pager snapshot
+        on respawn, deliberately outside :meth:`snapshot_state`."""
+        return self._spilled_visitors
+
+    @spill_ledger.setter
+    def spill_ledger(self, value: int) -> None:
+        self._spilled_visitors = value
+
     def sync_mailbox_counters(self) -> None:
         """Mirror mailbox counters into this rank's trace counters."""
         c = self.counters

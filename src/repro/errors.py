@@ -47,6 +47,32 @@ class TerminationError(TraversalError):
     """Raised when the quiescence detector reaches an inconsistent state."""
 
 
+class WorkerCrash(ReproError):
+    """A parallel-executor worker process failed a barrier.
+
+    Raised parent-side by the worker pool when a worker's pipe reports an
+    exception, hits EOF, the process dies, or a barrier deadline expires.
+    Carries enough structure for the supervisor to decide between
+    respawn-and-replay and graceful degradation, and for the final
+    :class:`TraversalError` (fail-fast mode) to show the worker-side
+    traceback instead of discarding it.
+
+    ``kind`` is one of ``"error"`` (the worker caught an exception and
+    reported it before exiting), ``"crash"`` (the process died or its
+    pipe hit EOF — e.g. SIGKILL), or ``"hang"`` (a barrier deadline
+    expired while the process was still alive; the pool force-kills it).
+    """
+
+    def __init__(self, *args, worker=None, ranks=(), kind="crash",
+                 exitcode=None, worker_traceback=None) -> None:
+        super().__init__(*args)
+        self.worker = worker
+        self.ranks = tuple(ranks)
+        self.kind = kind
+        self.exitcode = exitcode
+        self.worker_traceback = worker_traceback
+
+
 class MemorySystemError(ReproError):
     """Raised on invalid page-cache or device configuration."""
 

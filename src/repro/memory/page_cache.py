@@ -163,6 +163,31 @@ class PageCache:
         self.epoch_misses = 0
         return cost
 
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Full cache state for supervision images: the LRU order (oldest
+        first) plus every counter, so a respawned worker's cache resumes
+        with bit-identical hit/miss/eviction evolution.  Taken at tick
+        barriers, where the epoch counters are freshly drained."""
+        return {
+            "lru": list(self._lru),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "epoch_hits": self.epoch_hits,
+            "epoch_misses": self.epoch_misses,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Adopt a :meth:`snapshot_state` image in place."""
+        self._lru = OrderedDict((page, None) for page in snap["lru"])
+        self.hits = snap["hits"]
+        self.misses = snap["misses"]
+        self.evictions = snap["evictions"]
+        self.epoch_hits = snap["epoch_hits"]
+        self.epoch_misses = snap["epoch_misses"]
+        self.last_epoch_faults = None
+
     @property
     def resident_pages(self) -> int:
         """Pages currently cached."""

@@ -83,6 +83,30 @@ class SpillPager:
         self.bytes_unspilled += nbytes
 
     # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Full pager state for supervision images: log cursors, byte
+        totals and the read-back cache, so a respawned worker's spill
+        charges evolve bit-identically.  Taken at tick barriers, where
+        the epoch write accumulator is freshly drained."""
+        return {
+            "write_cursor": list(self._write_cursor),
+            "read_cursor": list(self._read_cursor),
+            "bytes_spilled": self.bytes_spilled,
+            "bytes_unspilled": self.bytes_unspilled,
+            "epoch_write_bytes": self._epoch_write_bytes,
+            "cache": self.cache.snapshot_state(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Adopt a :meth:`snapshot_state` image in place."""
+        self._write_cursor = list(snap["write_cursor"])
+        self._read_cursor = list(snap["read_cursor"])
+        self.bytes_spilled = snap["bytes_spilled"]
+        self.bytes_unspilled = snap["bytes_unspilled"]
+        self._epoch_write_bytes = snap["epoch_write_bytes"]
+        self.cache.restore_state(snap["cache"])
+
+    # ------------------------------------------------------------------ #
     def drain_epoch_us(self, *, concurrency: int | None = None) -> float:
         """Charge and reset this epoch's spill I/O (writes + read-backs)."""
         cost = 0.0

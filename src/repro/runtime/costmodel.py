@@ -167,6 +167,27 @@ class EngineConfig:
     transport_window: int | None = None
     #: Dedicated spill-pager cache capacity, pages (per rank).
     spill_cache_pages: int = 16
+    # --- worker-supervision knobs (INTERNALS §12) ---------------------- #
+    #: Respawn budget of the parallel executor's supervision layer: total
+    #: worker-restart attempts allowed per run.  0 (default) keeps PR 6's
+    #: fail-fast behaviour — any worker failure aborts the run with a
+    #: ``TraversalError`` — unless a ``worker_faults`` plan is set, in
+    #: which case failures degrade immediately to parent-side execution.
+    #: N > 0 turns supervision on: failed workers are respawned, restored
+    #: from the latest supervision epoch images and replayed back to the
+    #: barrier; when the budget runs out the parent absorbs the orphaned
+    #: ranks and the run completes at reduced parallelism.
+    worker_restarts: int = 0
+    #: Barrier deadline in host seconds: a worker that stays silent past
+    #: this (scaled by the tick's arrival volume) is classified as hung
+    #: and force-killed.  None = a default deadline when supervision is
+    #: active, no deadline otherwise (PR 6 behaviour).
+    worker_barrier_timeout: float | None = None
+    #: Worker-process fault plan
+    #: (``repro.comm.faults.WorkerFaultPlan``; None = healthy workers).
+    #: Requires ``workers > 1``; injects real process failures (SIGKILL,
+    #: hangs, mid-phase exits, fork failures) for the chaos suite.
+    worker_faults: object | None = None
     # --- race-detection knobs (INTERNALS §10) -------------------------- #
     #: Record per-tick order digests (rank-by-rank counter deltas plus the
     #: visitor-application sequence) into ``SimulationEngine.tick_digests``.
@@ -214,6 +235,22 @@ class EngineConfig:
                 )
         if self.spill_cache_pages < 1:
             raise ConfigurationError("spill_cache_pages must be >= 1")
+        if self.worker_restarts < 0:
+            raise ConfigurationError("worker_restarts must be >= 0")
+        if self.worker_barrier_timeout is not None and self.worker_barrier_timeout <= 0:
+            raise ConfigurationError("worker_barrier_timeout must be > 0")
+        if self.worker_faults is not None:
+            if self.workers <= 1:
+                raise ConfigurationError(
+                    "worker_faults requires workers > 1 (there is no worker "
+                    "pool to fail at workers=1)"
+                )
+            if self.storage_faults is not None:
+                raise ConfigurationError(
+                    "worker_faults cannot combine with storage_faults: the "
+                    "storage fault injector's RNG stream position cannot be "
+                    "restored across a worker respawn"
+                )
         if self.rank_order is not None:
             order = tuple(self.rank_order)
             if sorted(order) != list(range(len(order))):
@@ -239,6 +276,14 @@ class EngineConfig:
         """Whether this run needs a per-rank external-memory spill pager
         (a bounded mailbox or a resident-limited visitor queue)."""
         return self.mailbox_cap_bytes is not None or self.queue_spill is not None
+
+    @property
+    def supervision_active(self) -> bool:
+        """Whether the parallel executor runs with self-healing on: a
+        restart budget, or an injection plan to survive (a plan with
+        ``worker_restarts=0`` degrades on the first failure instead of
+        respawning — the budget-exhausted path, just immediately)."""
+        return self.worker_restarts > 0 or self.worker_faults is not None
 
     @property
     def checkpoint_every(self) -> int:

@@ -49,7 +49,12 @@ from repro.memory.faults import StorageFaultInjector
 from repro.memory.page_cache import PageCache
 from repro.memory.spill import SpillPager
 from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
-from repro.runtime.parallel import ParallelRecoveryManager, WorkerCrash, WorkerPool
+from repro.runtime.parallel import (
+    ParallelRecoveryManager,
+    WorkerCrash,
+    WorkerPool,
+    WorkerSupervisor,
+)
 from repro.runtime.pressure import StragglerClock
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.trace import RankCounters, TickSample, TraversalStats
@@ -509,18 +514,24 @@ class SimulationEngine:
         owns sequentially (transport, cost model, straggler clock,
         recovery logs, digests, stats) — which is what makes ``workers=N``
         bit-identical to ``workers=1``.
+
+        Every barrier goes through a :class:`WorkerSupervisor`: inactive
+        (the default) it is a thin pass-through that fails fast on the
+        first worker loss; active (``worker_restarts``/``worker_faults``)
+        it respawns-and-replays failed workers and degrades gracefully to
+        in-process execution when the budget runs out — see INTERNALS §12.
         """
         p = self.graph.num_partitions
         m = self.machine
         cfg = self.config
-        pool = WorkerPool(self)
         reports: dict | None = None
         ticks = 0
         time_us = 0.0
-        try:
+        with WorkerPool(self) as pool:
+            supervisor = WorkerSupervisor(self, pool)
             # Seed-phase packets, replayed in natural rank order — exactly
             # where the sequential path's seeding eager-flushes land.
-            seed_packets = pool.start()
+            seed_packets = supervisor.start()
             for r in range(p):
                 for pkt in seed_packets.get(r, ()):
                     self.network.send_packet(pkt)
@@ -529,12 +540,15 @@ class SimulationEngine:
                 # Swap in the process-aware coordinator: snapshots and
                 # replay execute in the owning worker, the parent keeps the
                 # transport snapshots, logs and cost accounting.
-                self.recovery = ParallelRecoveryManager(self, pool)
+                self.recovery = ParallelRecoveryManager(self, supervisor)
                 self.network.recovery = self.recovery
                 stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
                 self.recovery.initial_checkpoint()
             elif self.reliable_mode and cfg.faults is not None:
                 stats.fault_seed = cfg.faults.seed
+            # Tick-0 supervision images when no recovery manager drives
+            # checkpoints (no-op if the initial checkpoint shipped them).
+            supervisor.prime()
 
             prev = np.zeros((p, 5), dtype=np.int64)
             cur = np.empty((p, 5), dtype=np.int64)
@@ -555,7 +569,7 @@ class SimulationEngine:
                         for r in self._rank_order:
                             self.recovery.log_arrivals(t, r, arrivals[r])
 
-                    reports, wave_packets = pool.tick(arrivals)
+                    reports, wave_packets = supervisor.tick(t, arrivals)
                     # Deterministic barrier merge: the sequential global
                     # send order is per-rank phase A, the rank-0 wave, then
                     # per-rank phase B, each in ``_rank_order``.
@@ -575,12 +589,18 @@ class SimulationEngine:
                             [reports[r].probe or () for r in range(p)],
                         )
 
+                    # Tick t's barrier is complete: a worker failure from
+                    # here on (including during the checkpoint below) must
+                    # replay *through* t, not t-1.
+                    supervisor.note_completed(t)
+
                     checkpoint_costs = None
                     if (
                         self.recovery is not None
                         and t % self._checkpoint_every == 0
                     ):
                         checkpoint_costs = self.recovery.checkpoint(t)
+                    supervisor.maybe_checkpoint(t)
 
                     control_events = [reports[r].controls for r in range(p)]
                     for r in range(p):
@@ -694,7 +714,7 @@ class SimulationEngine:
                         ):
                             break
                     if ticks >= cfg.max_ticks:
-                        self._finalize_stats_parallel(stats, ticks, time_us, pool)
+                        self._finalize_stats_parallel(stats, ticks, time_us, supervisor)
                         raise TraversalError(
                             f"traversal exceeded max_ticks={cfg.max_ticks} "
                             f"(queued visitors: "
@@ -702,26 +722,30 @@ class SimulationEngine:
                             stats=stats,
                         )
             except WorkerCrash as crash:
-                # First-class worker failure: partial stats from the last
+                # First-class worker failure the supervisor could not (or
+                # was not allowed to) heal: partial stats from the last
                 # barrier, wrapped exactly like the max_ticks post-mortem.
                 self._attach_partial_stats(stats, ticks, time_us, reports)
+                self._fold_supervision_stats(stats, supervisor)
                 raise TraversalError(
                     f"parallel worker failed after {ticks} ticks: {crash}",
                     stats=stats,
                 ) from crash
 
-            states = self._finalize_stats_parallel(stats, ticks, time_us, pool)
+            states = self._finalize_stats_parallel(stats, ticks, time_us, supervisor)
             return states, stats
-        finally:
-            pool.shutdown()
 
     def _finalize_stats_parallel(
-        self, stats: TraversalStats, ticks: int, time_us: float, pool: WorkerPool
+        self,
+        stats: TraversalStats,
+        ticks: int,
+        time_us: float,
+        supervisor: WorkerSupervisor,
     ) -> list:
         """Parallel twin of :meth:`_finalize_stats`: counters come from the
         workers' finalize barrier; batch states are read zero-copy from the
         shared arenas, object states are pickled back once."""
-        counters, states_by_rank, waves = pool.finalize()
+        counters, states_by_rank, waves = supervisor.finalize()
         p = self.graph.num_partitions
         for r in range(p):
             stats.ranks.append(counters[r])
@@ -736,9 +760,23 @@ class SimulationEngine:
             stats.straggler_stall_us = self.straggler.stall_us
             stats.rebalanced_us = self.straggler.rebalanced_us
             stats.max_slowdown = float(self.straggler.max_slowdown)
+        self._fold_supervision_stats(stats, supervisor)
         if self.batch_mode:
             return [rank.states for rank in self.ranks]
         return [states_by_rank[r] for r in range(p)]
+
+    @staticmethod
+    def _fold_supervision_stats(
+        stats: TraversalStats, supervisor: WorkerSupervisor
+    ) -> None:
+        """Surface the supervisor's own activity (excluded from the chaos
+        bit-identity contract via ``SUPERVISION_STATS_FIELDS``)."""
+        stats.worker_crashes = supervisor.worker_crashes
+        stats.worker_hangs = supervisor.worker_hangs
+        stats.worker_respawns = supervisor.worker_respawns
+        stats.worker_replayed_ticks = supervisor.worker_replayed_ticks
+        stats.degraded_ranks = supervisor.degraded_ranks
+        stats.supervision_us = supervisor.supervision_us
 
     def _attach_partial_stats(
         self, stats: TraversalStats, ticks: int, time_us: float, reports: dict | None

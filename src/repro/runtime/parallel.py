@@ -43,14 +43,60 @@ does), and crash replay re-executes the logged ticks in the owning worker
 while the parent interleaves transport notes and replayed sends per tick —
 see :class:`ParallelRecoveryManager`.
 
-A worker failure of any kind (exception, abrupt death) surfaces as
-:class:`WorkerCrash`, which the engine converts into a
-:class:`~repro.errors.TraversalError` carrying the partial stats, matching
-the ``max_ticks`` behaviour.
+Worker supervision (INTERNALS §12)
+----------------------------------
+Without supervision, a worker failure of any kind (exception, abrupt
+death) surfaces as :class:`~repro.errors.WorkerCrash`, which the engine
+converts into a :class:`~repro.errors.TraversalError` carrying the partial
+stats, matching the ``max_ticks`` behaviour.  With supervision active
+(``worker_restarts > 0`` or a ``worker_faults`` plan), the
+:class:`WorkerSupervisor` makes the pool *self-healing* instead:
+
+* **Detection.**  Every barrier receive carries a wall-clock deadline
+  (``worker_barrier_timeout``, scaled by the tick's arrival volume and by
+  replay length); pipe EOF / process death classify a failure as a
+  *crash*, a missed deadline as a *hang* (the wedged process is
+  force-killed).  Worker-reported exceptions keep their traceback and
+  surface as ``kind="error"``.
+
+* **Respawn and replay.**  At every supervision epoch the workers ship
+  full per-rank state *images* (queue, mailbox, detector, spill pager,
+  caches, spill ledger) to the parent alongside their local snapshots.  A
+  failed worker is forked again from the parent, restored from the latest
+  images, and replays the logged arrival ticks up to the last completed
+  barrier — re-running any *simulated* rank-crash recoveries recorded in
+  that window, so cumulative counters (which carry replay
+  double-increments) land bit-identically.  Replay is
+  simulation-invisible: stub packets are discarded (the real fabric
+  already carried them) and the epoch drains are thrown away.  Respawns
+  are paced by a seeded exponential backoff and bounded by
+  ``worker_restarts``.
+
+* **Graceful degradation.**  When the restart budget is exhausted (or
+  ``fork`` itself fails), the parent adopts the dead worker's images
+  itself and absorbs the orphaned ranks into its own in-process tick
+  loop; the run completes — slower, never wrong.
+
+* **Pricing.**  Restarts, image restores and replayed compute are charged
+  through the machine model into ``TraversalStats.supervision_us`` —
+  deliberately *not* into ``time_us``: the simulated cluster never
+  failed, only host processes did, so the simulated clock and every
+  logical counter stay bit-identical to the unfailed run (the chaos suite
+  compares full stats minus exactly
+  :data:`~repro.runtime.trace.SUPERVISION_STATS_FIELDS`).
+
+Injected worker faults (:class:`~repro.comm.faults.WorkerFaultPlan`) ride
+the tick command as directives: ``kill`` SIGKILLs the worker before it
+does the tick's work, ``hang`` completes the work and then sleeps past the
+deadline, ``exita`` hard-exits mid-phase-A, and ``forkfail`` consumes
+respawn attempts parent-side.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 import traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -59,15 +105,32 @@ import numpy as np
 
 from repro.comm.message import Packet
 from repro.core.batch import SharedArrayBlock, share_state_arrays
-from repro.errors import ConfigurationError, TraversalError
+from repro.errors import ConfigurationError, TraversalError, WorkerCrash
 from repro.runtime.recovery import RecoveryManager, estimate_checkpoint_bytes
+from repro.utils.rng import resolve_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.engine import SimulationEngine
 
+__all__ = [
+    "ParallelRecoveryManager",
+    "RankTickReport",
+    "WorkerCrash",
+    "WorkerPool",
+    "WorkerSupervisor",
+]
 
-class WorkerCrash(Exception):
-    """A parallel worker failed (exception or abrupt death)."""
+#: Pipe poll quantum while waiting on a worker reply.
+_POLL_S = 0.05
+#: Barrier deadline when supervision is active and the user gave none.
+DEFAULT_BARRIER_TIMEOUT_S = 30.0
+#: Supervision image cadence (ticks) when no recovery manager drives it.
+SUPERVISION_EPOCH_TICKS = 16
+#: Seeded exponential respawn backoff: base doubles per attempt, capped.
+_BACKOFF_BASE_S = 0.02
+_BACKOFF_CAP_S = 0.5
+#: Arrival-packet volume one deadline unit is assumed to cover.
+_DEADLINE_PACKETS = 50_000
 
 
 class _StubNetwork:
@@ -129,8 +192,16 @@ class RankTickReport:
 # ---------------------------------------------------------------------- #
 # Worker process
 # ---------------------------------------------------------------------- #
-def _worker_main(engine: "SimulationEngine", owned: list[int], conn) -> None:
-    """Entry point of one forked worker (owns ``owned`` ranks for life)."""
+def _worker_main(
+    engine: "SimulationEngine", owned: list[int], conn, seed_ranks: bool = True
+) -> None:
+    """Entry point of one forked worker (owns ``owned`` ranks for life).
+
+    ``seed_ranks=False`` marks a supervision *respawn*: the replacement is
+    forked from the parent mid-run, so its inherited rank state is a stale
+    fork-time copy; it sends a bare ready and waits for the ``restore``
+    command to adopt the latest epoch images before rejoining barriers.
+    """
     try:
         stub = _StubNetwork()
         for r in owned:
@@ -138,28 +209,43 @@ def _worker_main(engine: "SimulationEngine", owned: list[int], conn) -> None:
         owned_set = frozenset(owned)
         snaps: dict[int, dict] = {}
 
-        # Seed the owned ranks (ascending, like the sequential path); any
-        # eager-flush packets are shipped for the parent to replay in
-        # natural rank order before the first tick.
-        seed_packets: dict[int, list[Packet]] = {}
-        for r in owned:
-            if engine.batch_mode:
-                seed = engine.algorithm.initial_batch(engine.graph, r)
-                if seed is not None:
-                    engine.ranks[r].push_batch(seed)
-            else:
-                for visitor in engine.algorithm.initial_visitors(engine.graph, r):
-                    engine.ranks[r].push(visitor)
-            seed_packets[r] = stub.take()
-        conn.send(("ready", seed_packets))
+        if seed_ranks:
+            # Seed the owned ranks (ascending, like the sequential path);
+            # any eager-flush packets are shipped for the parent to replay
+            # in natural rank order before the first tick.
+            seed_packets: dict[int, list[Packet]] = {}
+            for r in owned:
+                if engine.batch_mode:
+                    seed = engine.algorithm.initial_batch(engine.graph, r)
+                    if seed is not None:
+                        engine.ranks[r].push_batch(seed)
+                else:
+                    for visitor in engine.algorithm.initial_visitors(engine.graph, r):
+                        engine.ranks[r].push(visitor)
+                seed_packets[r] = stub.take()
+            conn.send(("ready", seed_packets))
+        else:
+            conn.send(("ready", {}))
 
         while True:
             msg = conn.recv()
             cmd = msg[0]
             if cmd == "tick":
-                conn.send(("ok", _worker_tick(engine, stub, owned, owned_set, msg[1])))
+                inject = msg[2]
+                if inject == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                out = _worker_tick(
+                    engine, stub, owned, owned_set, msg[1],
+                    exit_mid_phase_a=(inject == "exita"),
+                )
+                if inject == "hang":
+                    while True:  # hang *before* the barrier reply
+                        time.sleep(1.0)
+                conn.send(("ok", out))
             elif cmd == "checkpoint":
-                conn.send(("ok", _worker_checkpoint(engine, owned, snaps)))
+                conn.send(("ok", _worker_checkpoint(engine, owned, snaps, ship=msg[1])))
+            elif cmd == "restore":
+                conn.send(("ok", _adopt_images(engine, stub, *msg[1:], snaps=snaps)))
             elif cmd == "replay":
                 conn.send(("ok", _worker_replay(engine, stub, snaps, *msg[1:])))
             elif cmd == "finalize":
@@ -183,6 +269,8 @@ def _worker_tick(
     owned: list[int],
     owned_set: frozenset,
     arrivals: dict[int, list[Packet]],
+    *,
+    exit_mid_phase_a: bool = False,
 ) -> tuple[dict[int, RankTickReport], list[Packet] | None]:
     """One tick's owned-rank work: phase A, wave (rank-0 owner), phase B,
     then the per-rank epoch drains and termination inputs."""
@@ -190,9 +278,13 @@ def _worker_tick(
     order = [r for r in engine._rank_order if r in owned_set]
     controls: dict[int, int] = {}
     packets_a: dict[int, list[Packet]] = {}
-    for r in order:
+    for idx, r in enumerate(order):
         controls[r] = engine._rank_tick(r, arrivals.get(r, []))
         packets_a[r] = stub.take()
+        if exit_mid_phase_a and idx == 0:
+            # Injected mid-phase death: partial state mutations stay behind
+            # (batch arenas are shared) — exactly what restore must undo.
+            os._exit(13)
 
     # The wave only reads and mutates rank 0's detector/mailbox, so running
     # it before *other workers'* phase A completes is unobservable; it is
@@ -260,11 +352,19 @@ def _worker_tick(
 
 
 def _worker_checkpoint(
-    engine: "SimulationEngine", owned: list[int], snaps: dict[int, dict]
-) -> dict[int, int]:
+    engine: "SimulationEngine",
+    owned: list[int],
+    snaps: dict[int, dict],
+    ship: bool = False,
+) -> tuple[dict[int, int], dict[int, dict] | None]:
     """Snapshot the owned ranks' restartable state locally; ship only the
-    simulated checkpoint byte sizes (the images never cross the pipe)."""
+    simulated checkpoint byte sizes — unless ``ship`` (supervision
+    active), in which case full restore *images* cross the pipe too: the
+    crash-recovery snapshot plus everything a replacement process forked
+    from the parent cannot reconstruct (spill pager, caches, spill
+    ledger)."""
     out: dict[int, int] = {}
+    images: dict[int, dict] | None = {} if ship else None
     for r in owned:
         snap = {
             "queue": engine.ranks[r].snapshot_state(),
@@ -274,7 +374,114 @@ def _worker_checkpoint(
             snap["detector"] = engine.detectors[r].snapshot_state()
         snaps[r] = snap
         out[r] = estimate_checkpoint_bytes(engine, r)
-    return out
+        if ship:
+            img = dict(snap)
+            img["spilled_visitors"] = engine.ranks[r].spill_ledger
+            if engine.caches[r] is not None:
+                img["cache"] = engine.caches[r].snapshot_state()
+            if engine.spills[r] is not None:
+                img["spill"] = engine.spills[r].snapshot_state()
+            images[r] = img
+    return out, images
+
+
+def _supervision_counters(
+    engine: "SimulationEngine", owned: list[int]
+) -> tuple[int, int, int, int, int]:
+    """Summed cumulative (previsits, visits, edges, packets, bytes) over
+    ``owned`` — the before/after pair supervision replay is priced from."""
+    pv = vi = es = ps = bs = 0
+    for r in owned:
+        c = engine.ranks[r].counters
+        mb = engine.mailboxes[r]
+        pv += c.previsits
+        vi += c.visits
+        es += c.edges_scanned
+        ps += mb.packets_sent
+        bs += mb.bytes_sent
+    return (pv, vi, es, ps, bs)
+
+
+def _adopt_images(
+    engine: "SimulationEngine",
+    stub: _StubNetwork,
+    images: dict[int, dict],
+    epoch_tick: int,
+    upto_tick: int,
+    logs: dict[int, dict[int, tuple]],
+    recoveries: dict[int, list],
+    snaps: dict[int, dict],
+) -> tuple[tuple, tuple, int, int]:
+    """Restore epoch images for a rank set and replay through ``upto_tick``.
+
+    Shared by the respawned worker's ``restore`` command and the parent's
+    graceful-degradation absorb.  Restores every image in place (shared
+    batch arenas survive; a dead worker's partial writes are overwritten),
+    repopulates ``snaps`` with the crash-recovery subset, then re-executes
+    ticks ``epoch_tick+1 .. upto_tick`` from the logged arrivals — first
+    re-running any recorded *simulated* rank-crash recoveries scheduled at
+    that tick, so cumulative counters reproduce the replay residue the
+    original worker carried.  All emitted packets, epoch drains and order
+    probes are discarded: the fabric already carried this work at the
+    original barriers.  Returns ``(c0, c1, controls, replayed)`` for
+    parent-side pricing (``c0`` taken *after* restore, so the delta is
+    exactly the replayed compute).
+    """
+    cfg = engine.config
+    owned = sorted(images)
+    owned_set = frozenset(owned)
+    for r in owned:
+        engine.mailboxes[r].network = stub
+        img = images[r]
+        if "spill" in img:
+            engine.spills[r].restore_state(img["spill"])
+        if "cache" in img:
+            engine.caches[r].restore_state(img["cache"])
+        engine.ranks[r].restore_state(img["queue"])
+        engine.ranks[r].spill_ledger = img["spilled_visitors"]
+        engine.mailboxes[r].restore_state(img["mailbox"])
+        if engine.detectors is not None:
+            engine.detectors[r].restore_state(img["detector"])
+        snaps[r] = {k: img[k] for k in ("queue", "mailbox", "detector") if k in img}
+    c0 = _supervision_counters(engine, owned)
+    order = [r for r in engine._rank_order if r in owned_set]
+    detectors = engine.detectors
+    controls = 0
+    replayed = 0
+    for t in range(epoch_tick + 1, upto_tick + 1):
+        for r in order:
+            for crash_tick, ep, lg in recoveries.get(r, ()):
+                if crash_tick == t:
+                    # The simulated recovery ran *before* this tick's work
+                    # (the transport detects the crash while delivering the
+                    # tick's arrivals); outputs are discarded, only the
+                    # counter residue matters.
+                    out = _worker_replay(engine, stub, snaps, r, ep, t, lg)
+                    replayed += out[4]
+        for r in order:
+            controls += engine._rank_tick(r, list(logs.get(r, {}).get(t, ())))
+            stub.take()
+        if 0 in owned_set and detectors is not None and not detectors[0].terminated:
+            detectors[0].maybe_start_wave()
+            stub.take()
+        for r in order:
+            engine.mailboxes[r].flush()
+            spill = engine.spills[r]
+            if spill is not None and cfg.queue_spill is not None:
+                engine.ranks[r].sync_spill(spill, cfg.queue_spill)
+            stub.take()
+        replayed += 1
+    for r in owned:
+        # Throw the replay's epoch accumulators away in one drain — the
+        # original barriers already charged these epochs, and draining
+        # zeroes the same counters whether done per tick or at the end.
+        if engine.caches[r] is not None:
+            engine.caches[r].drain_epoch_us(concurrency=cfg.io_concurrency)
+        if engine.spills[r] is not None:
+            engine.spills[r].drain_epoch_us(concurrency=cfg.io_concurrency)
+        if engine._record_digests and engine.ranks[r].order_probe is not None:
+            engine.ranks[r].order_probe.clear()
+    return c0, _supervision_counters(engine, owned), controls, replayed
 
 
 def _worker_replay(
@@ -356,6 +563,15 @@ class WorkerPool:
     batch mode) after the state arrays are rebound onto shared arenas — so
     every worker's engine copy is bit-identical to the parent's by
     construction.
+
+    The pool is pure *transport*: fork, send, receive-with-deadline,
+    kill, respawn, reap.  Failure classification happens here (every
+    receive path raises a structured :class:`~repro.errors.WorkerCrash`);
+    the recovery *policy* lives in :class:`WorkerSupervisor`.  Use as a
+    context manager so no child processes outlive a parent-side error::
+
+        with WorkerPool(engine) as pool:
+            ...
     """
 
     def __init__(self, engine: "SimulationEngine") -> None:
@@ -369,6 +585,8 @@ class WorkerPool:
         ctx = mp.get_context("fork")
         p = engine.graph.num_partitions
         w = min(engine.config.workers, p)
+        self._engine = engine
+        self._ctx = ctx
         self.owned: list[list[int]] = [
             [r for r in range(p) if r % w == i] for i in range(w)
         ]
@@ -381,6 +599,9 @@ class WorkerPool:
                     self.blocks.append(block)
         self._procs = []
         self._conns = []
+        #: liveness according to the last observation (updated by
+        #: :meth:`recv` / :meth:`kill` / :meth:`respawn`).
+        self.alive: list[bool] = []
         for i in range(w):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -392,99 +613,135 @@ class WorkerPool:
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
+            self.alive.append(True)
 
     @property
     def num_workers(self) -> int:
         return len(self._procs)
 
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
     # -------------------------------------------------------------- #
-    def _recv(self, i: int):
-        """Receive one reply from worker ``i``; raise :class:`WorkerCrash`
-        on a reported exception or an abrupt death (never hang)."""
+    def _who(self, i: int) -> str:
+        return f"worker {i} (ranks {self.owned[i]})"
+
+    def send(self, i: int, message: tuple) -> None:
+        """Send one command to worker ``i``; a dead pipe raises a
+        structured :class:`~repro.errors.WorkerCrash` instead of leaking
+        ``BrokenPipeError``."""
+        try:
+            self._conns[i].send(message)
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            self.alive[i] = False
+            raise WorkerCrash(
+                f"{self._who(i)} is gone (send failed: {exc})",
+                worker=i, ranks=self.owned[i], kind="crash",
+                exitcode=self._procs[i].exitcode,
+            ) from exc
+
+    def recv(self, i: int, deadline_s: float | None = None):
+        """Receive one reply from worker ``i``.
+
+        Raises :class:`~repro.errors.WorkerCrash` classified as:
+
+        * ``kind="error"`` — the worker reported an exception (its
+          traceback rides along in ``worker_traceback``);
+        * ``kind="crash"`` — pipe EOF or process death (``exitcode`` set);
+        * ``kind="hang"`` — no reply within ``deadline_s`` wall-clock
+          seconds; the wedged process is force-killed first, so the pipe
+          is dead by the time the caller sees the exception.
+
+        Without a deadline the wait is indefinite but never busy-hangs on
+        a dead process.
+        """
         conn = self._conns[i]
         proc = self._procs[i]
-        who = f"worker {i} (ranks {self.owned[i]})"
+        who = self._who(i)
+        # Host-side failure detection; wall-clock never touches the
+        # simulated schedule (a hang is replayed deterministically).
+        start = time.monotonic()  # repro-lint: disable=RPR002 -- host-side barrier deadline, simulation-invisible
         while True:
-            if conn.poll(0.05):
+            if conn.poll(_POLL_S):
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError) as exc:
-                    raise WorkerCrash(f"{who} closed its pipe mid-reply") from exc
+                    self.alive[i] = False
+                    raise WorkerCrash(
+                        f"{who} closed its pipe mid-reply",
+                        worker=i, ranks=self.owned[i], kind="crash",
+                        exitcode=proc.exitcode,
+                    ) from exc
                 if msg[0] == "error":
-                    raise WorkerCrash(f"{who} raised {msg[1]}\n{msg[2]}")
+                    raise WorkerCrash(
+                        f"{who} raised {msg[1]}\n--- worker traceback ---\n{msg[2]}",
+                        worker=i, ranks=self.owned[i], kind="error",
+                        worker_traceback=msg[2],
+                    )
                 return msg[1]
             if not proc.is_alive() and not conn.poll(0):
-                raise WorkerCrash(f"{who} died (exitcode {proc.exitcode})")
-
-    def _broadcast(self, message: tuple) -> list:
-        for conn in self._conns:
-            conn.send(message)
-        return [self._recv(i) for i in range(len(self._conns))]
+                self.alive[i] = False
+                raise WorkerCrash(
+                    f"{who} died (exitcode {proc.exitcode})",
+                    worker=i, ranks=self.owned[i], kind="crash",
+                    exitcode=proc.exitcode,
+                )
+            now = time.monotonic()  # repro-lint: disable=RPR002 -- host-side barrier deadline, simulation-invisible
+            if deadline_s is not None and now - start > deadline_s:
+                self.kill(i)
+                raise WorkerCrash(
+                    f"{who} missed the barrier deadline "
+                    f"({deadline_s:.1f}s); force-killed",
+                    worker=i, ranks=self.owned[i], kind="hang",
+                )
 
     # -------------------------------------------------------------- #
-    def start(self) -> dict[int, list[Packet]]:
-        """Collect the workers' ready messages; returns the seed-phase
-        packets keyed by emitting rank."""
-        seed: dict[int, list[Packet]] = {}
-        for i in range(len(self._conns)):
-            seed.update(self._recv(i))
-        return seed
+    def kill(self, i: int) -> None:
+        """Force-kill worker ``i`` (SIGKILL) and reap it."""
+        proc = self._procs[i]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        self.alive[i] = False
 
-    def tick(
-        self, arrivals: list[list[Packet]]
-    ) -> tuple[dict[int, RankTickReport], list[Packet]]:
-        """Fan one tick out (each worker gets only its ranks' arrivals) and
-        gather the merged per-rank reports plus the rank-0 wave packets."""
-        for i, conn in enumerate(self._conns):
-            sub = {r: arrivals[r] for r in self.owned[i] if arrivals[r]}
-            conn.send(("tick", sub))
-        reports: dict[int, RankTickReport] = {}
-        wave: list[Packet] = []
-        for i in range(len(self._conns)):
-            out, wave_packets = self._recv(i)
-            reports.update(out)
-            if wave_packets:
-                wave = wave_packets
-        return reports, wave
+    def respawn(self, i: int) -> None:
+        """Fork a replacement for worker ``i``'s rank set.
 
-    def checkpoint(self) -> dict[int, int]:
-        """All workers snapshot their ranks; returns simulated bytes by rank."""
-        merged: dict[int, int] = {}
-        for part in self._broadcast(("checkpoint",)):
-            merged.update(part)
-        return merged
-
-    def replay(
-        self,
-        r: int,
-        epoch_tick: int,
-        crash_tick: int,
-        log: dict[int, list[Packet]],
-    ) -> tuple[list[list[Packet]], tuple, tuple, int, int]:
-        """Ask rank ``r``'s owner to restore and replay; see
-        :func:`_worker_replay`."""
-        conn = self._conns[self.owner[r]]
-        conn.send(("replay", r, epoch_tick, crash_tick, log))
-        return self._recv(self.owner[r])
-
-    def finalize(self) -> tuple[dict, dict, int | None]:
-        """Gather final counters (and object-path states) from all workers."""
-        counters: dict[int, object] = {}
-        states: dict[int, object] = {}
-        waves: int | None = None
-        for part_counters, part_states, part_waves in self._broadcast(("finalize",)):
-            counters.update(part_counters)
-            states.update(part_states)
-            if part_waves is not None:
-                waves = part_waves
-        return counters, states, waves
+        The child is forked from the parent *mid-run* with
+        ``seed_ranks=False``: its inherited state is stale and must be
+        overwritten by a ``restore`` command before it can serve barriers.
+        Raises ``OSError`` if the fork itself fails (the supervisor's
+        retry loop treats that as one consumed attempt).
+        """
+        self.kill(i)
+        try:
+            self._conns[i].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._engine, self.owned[i], child_conn, False),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[i] = proc
+        self._conns[i] = parent_conn
+        self.alive[i] = True
 
     def shutdown(self) -> None:
         """Stop and reap every worker (no child-process leak across runs).
         Safe after errors: a wedged worker is terminated, not joined
         forever.  The shared arenas stay mapped — the parent's state views
         still read from them — and are reclaimed with the objects."""
-        for conn in self._conns:
+        for i, conn in enumerate(self._conns):
+            if not self.alive[i]:
+                continue
             try:
                 conn.send(("stop",))
             except (OSError, ValueError, BrokenPipeError):
@@ -495,7 +752,439 @@ class WorkerPool:
                 proc.terminate()
                 proc.join(timeout=5.0)
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class WorkerSupervisor:
+    """Self-healing barrier coordinator over a :class:`WorkerPool`.
+
+    There is exactly one barrier code path whether supervision is active
+    or not: every ``start``/``tick``/``checkpoint``/``replay``/``finalize``
+    goes through the supervisor.  Inactive (the default: no restart
+    budget, no fault plan), it adds no deadline and re-raises the first
+    :class:`~repro.errors.WorkerCrash` — the PR-6 fail-fast contract.
+    Active, a failed barrier runs the recovery ladder:
+
+    1. classify (``error`` / ``crash`` / ``hang``, hung workers killed);
+    2. up to ``worker_restarts`` times: seeded backoff, fork a
+       replacement, restore it from the latest epoch images, replay the
+       logged ticks (re-running recorded simulated recoveries), resend
+       the failed command;
+    3. on budget exhaustion or fork failure, absorb the orphaned ranks
+       into the parent's own tick loop (graceful degradation) and serve
+       the command in-process.
+
+    All recovery work is host-side and priced into ``supervision_us``;
+    the simulated clock, logical counters, packets and digests stay
+    bit-identical to an unfailed ``workers=1`` run.
+    """
+
+    def __init__(self, engine: "SimulationEngine", pool: WorkerPool) -> None:
+        self.engine = engine
+        self.pool = pool
+        cfg = engine.config
+        p = engine.graph.num_partitions
+        self.plan = cfg.worker_faults
+        self.active: bool = cfg.supervision_active
+        self.restart_budget: int = cfg.worker_restarts
+        timeout = cfg.worker_barrier_timeout
+        if timeout is None and self.active:
+            timeout = DEFAULT_BARRIER_TIMEOUT_S
+        #: barrier deadline base (None = wait forever, the inactive mode).
+        self.timeout: float | None = timeout
+        if self.plan is not None:
+            for ev in self.plan.events:
+                if ev.rank >= p:
+                    raise ConfigurationError(
+                        f"worker fault event targets rank {ev.rank}, "
+                        f"but the graph has {p} ranks"
+                    )
+        self._rng = resolve_rng(self.plan.seed if self.plan is not None else 0)
+        self._forkfails_left = self.plan.fork_failures if self.plan is not None else 0
+        self._fired: set[tuple[int, int, str]] = set()
+        self._attempts = [0] * pool.num_workers
+        self._retired = [False] * pool.num_workers
+        #: latest epoch images / simulated byte sizes, keyed by rank.
+        self._images: dict[int, dict] = {}
+        self._image_bytes: dict[int, int] = {}
+        self._epoch_tick = -1
+        #: per-rank arrival log since the epoch: {tick: (packets...)}.
+        self._log: list[dict[int, tuple]] = [dict() for _ in range(p)]
+        #: per-rank recorded *simulated* rank-crash recoveries since the
+        #: epoch: (crash_tick, epoch_tick, arrival log) — re-run during
+        #: restore so counter residue reproduces (see ``_adopt_images``).
+        self._recoveries: list[list] = [[] for _ in range(p)]
+        self._completed_tick = 0
+        #: stub for parent-absorbed ranks (degraded mode).
+        self._stub = _StubNetwork()
+        self._absorbed: list[int] = []
+        self._absorbed_set: frozenset[int] = frozenset()
+        self._parent_snaps: dict[int, dict] = {}
+        # supervision stats, folded into TraversalStats at finalize
+        self.worker_crashes = 0
+        self.worker_hangs = 0
+        self.worker_respawns = 0
+        self.worker_replayed_ticks = 0
+        self.supervision_us = 0.0
+
+    @property
+    def degraded_ranks(self) -> int:
+        return len(self._absorbed)
+
+    # -------------------------------------------------------------- #
+    # Barrier commands
+    # -------------------------------------------------------------- #
+    def start(self) -> dict[int, list[Packet]]:
+        """Collect the workers' ready messages; returns the seed-phase
+        packets keyed by emitting rank.  Seed-phase failures fail fast —
+        there are no images to restore from yet."""
+        seed: dict[int, list[Packet]] = {}
+        for i in range(self.pool.num_workers):
+            seed.update(self.pool.recv(i, self.timeout))
+        return seed
+
+    def prime(self) -> None:
+        """Take the tick-0 supervision images when no recovery manager
+        will drive checkpoints (``engine.recovery`` handles it otherwise,
+        through :class:`ParallelRecoveryManager`)."""
+        if self.active and self.engine.recovery is None:
+            self.checkpoint(0)
+
+    def note_completed(self, t: int) -> None:
+        """Advance the completed-tick watermark.  Must run *before* tick
+        ``t``'s checkpoint: a failure during that checkpoint replays
+        through ``t`` (its barrier already completed)."""
+        self._completed_tick = t
+
+    def maybe_checkpoint(self, t: int) -> None:
+        """Supervision-only image cadence (recovery-manager-less runs)."""
+        if (
+            self.active
+            and self.engine.recovery is None
+            and t % SUPERVISION_EPOCH_TICKS == 0
+        ):
+            self.checkpoint(t)
+
+    def tick(
+        self, t: int, arrivals: list[list[Packet]]
+    ) -> tuple[dict[int, RankTickReport], list[Packet]]:
+        """Fan tick ``t`` out (each worker gets only its ranks' arrivals)
+        and gather the merged per-rank reports plus the rank-0 wave
+        packets, surviving worker failures when supervision is active."""
+        pool = self.pool
+        if self.active:
+            for r, pkts in enumerate(arrivals):
+                if pkts:
+                    self._log[r][t] = tuple(pkts)
+        directives = self._tick_directives(t)
+        deadline = self._tick_deadline(arrivals)
+
+        reports: dict[int, RankTickReport] = {}
+        wave: list[Packet] = []
+        if self._absorbed:
+            sub = {r: arrivals[r] for r in self._absorbed if arrivals[r]}
+            out, wave_packets = _worker_tick(
+                self.engine, self._stub, self._absorbed, self._absorbed_set, sub
+            )
+            reports.update(out)
+            if wave_packets:
+                wave = wave_packets
+
+        send_failures: dict[int, WorkerCrash] = {}
+        for i in range(pool.num_workers):
+            if self._retired[i]:
+                continue
+            sub = {r: arrivals[r] for r in pool.owned[i] if arrivals[r]}
+            try:
+                pool.send(i, ("tick", sub, directives.get(i)))
+            except WorkerCrash as crash:
+                send_failures[i] = crash
+        for i in range(pool.num_workers):
+            if self._retired[i]:
+                continue
+            crash = send_failures.get(i)
+            out = None
+            if crash is None:
+                try:
+                    out = pool.recv(i, deadline)
+                except WorkerCrash as exc:
+                    crash = exc
+            if crash is not None:
+                out = self._handle_failure(
+                    i, crash, self._tick_retry_msg(i, arrivals), deadline,
+                    lambda i=i: self._parent_tick(i, arrivals),
+                )
+            out_reports, wave_packets = out
+            reports.update(out_reports)
+            if wave_packets:
+                wave = wave_packets
+        return reports, wave
+
+    def checkpoint(self, tick: int) -> dict[int, int]:
+        """All live workers (and the parent, for absorbed ranks) snapshot
+        their ranks; with supervision active the full images are shipped
+        and become the new restore epoch.  Returns simulated bytes by
+        rank."""
+        pool = self.pool
+        ship = self.active
+        merged: dict[int, int] = {}
+        images: dict[int, dict] = {}
+        if self._absorbed:
+            part, imgs = _worker_checkpoint(
+                self.engine, self._absorbed, self._parent_snaps, ship=ship
+            )
+            merged.update(part)
+            if imgs:
+                images.update(imgs)
+        for i in range(pool.num_workers):
+            if self._retired[i]:
+                continue
+            try:
+                pool.send(i, ("checkpoint", ship))
+                out = pool.recv(i, self.timeout)
+            except WorkerCrash as crash:
+                out = self._handle_failure(
+                    i, crash, ("checkpoint", ship), self.timeout,
+                    lambda i=i: self._parent_checkpoint(i, ship),
+                )
+            part, imgs = out
+            merged.update(part)
+            if imgs:
+                images.update(imgs)
+        if ship:
+            self._images.update(images)
+            self._image_bytes.update(merged)
+            self._epoch_tick = tick
+            for r in range(len(self._log)):
+                self._log[r] = {u: v for u, v in self._log[r].items() if u > tick}
+                self._recoveries[r] = [e for e in self._recoveries[r] if e[0] > tick]
+        return merged
+
+    def replay(
+        self,
+        r: int,
+        epoch_tick: int,
+        crash_tick: int,
+        log: dict[int, list[Packet]],
+    ) -> tuple[list[list[Packet]], tuple, tuple, int, int]:
+        """Simulated rank-crash recovery: route the restore-and-replay of
+        rank ``r`` to its owner (or run it in-process for absorbed ranks),
+        recording the event so a later *worker* failure's restore can
+        re-run it — see :func:`_adopt_images`."""
+        if self.active:
+            self._recoveries[r].append((crash_tick, epoch_tick, dict(log)))
+        if r in self._absorbed_set:
+            return _worker_replay(
+                self.engine, self._stub, self._parent_snaps,
+                r, epoch_tick, crash_tick, log,
+            )
+        i = self.pool.owner[r]
+        msg = ("replay", r, epoch_tick, crash_tick, log)
+        deadline = None
+        if self.timeout is not None:
+            deadline = self.timeout * max(1, crash_tick - epoch_tick)
+        try:
+            self.pool.send(i, msg)
+            return self.pool.recv(i, deadline)
+        except WorkerCrash as crash:
+            return self._handle_failure(
+                i, crash, msg, deadline,
+                lambda: _worker_replay(
+                    self.engine, self._stub, self._parent_snaps,
+                    r, epoch_tick, crash_tick, log,
+                ),
+            )
+
+    def finalize(self) -> tuple[dict, dict, int | None]:
+        """Gather final counters (and object-path states) from all live
+        workers plus the parent's absorbed ranks."""
+        counters: dict[int, object] = {}
+        states: dict[int, object] = {}
+        waves: int | None = None
+        if self._absorbed:
+            part_c, part_s, part_w = _worker_finalize(
+                self.engine, self._absorbed, self._absorbed_set
+            )
+            counters.update(part_c)
+            states.update(part_s)
+            if part_w is not None:
+                waves = part_w
+        for i in range(self.pool.num_workers):
+            if self._retired[i]:
+                continue
+            try:
+                self.pool.send(i, ("finalize",))
+                out = self.pool.recv(i, self.timeout)
+            except WorkerCrash as crash:
+                out = self._handle_failure(
+                    i, crash, ("finalize",), self.timeout,
+                    lambda i=i: self._parent_finalize(i),
+                )
+            part_c, part_s, part_w = out
+            counters.update(part_c)
+            states.update(part_s)
+            if part_w is not None:
+                waves = part_w
+        return counters, states, waves
+
+    # -------------------------------------------------------------- #
+    # Recovery ladder
+    # -------------------------------------------------------------- #
+    def _handle_failure(self, i, crash, retry_msg, deadline, parent_fn):
+        """Generic per-command recovery driver: respawn-and-replay under
+        the retry budget, then graceful degradation.  Returns the failed
+        command's reply, produced by a replacement worker or the parent."""
+        self._note(crash)
+        if not self.active or not self._images:
+            raise crash
+        pool = self.pool
+        while self._attempts[i] < self.restart_budget:
+            self._attempts[i] += 1
+            self._backoff(self._attempts[i])
+            if self._forkfails_left > 0:
+                # Injected fork failure: the attempt is consumed, no child.
+                self._forkfails_left -= 1
+                continue
+            try:
+                pool.respawn(i)
+            except OSError:  # pragma: no cover - real fork failure
+                continue
+            try:
+                pool.recv(i, self.timeout)  # bare ready
+                self._restore_worker(i)
+                pool.send(i, retry_msg)
+                out = pool.recv(i, deadline)
+            except WorkerCrash as again:
+                self._note(again)
+                pool.kill(i)
+                continue
+            self.worker_respawns += 1
+            return out
+        self._absorb(i)
+        return parent_fn()
+
+    def _restore_worker(self, i: int) -> None:
+        """Ship the epoch images + logs + recorded recoveries to the
+        freshly respawned worker ``i`` and wait for its replay to the
+        completed-tick watermark."""
+        pool = self.pool
+        owned = pool.owned[i]
+        images = {r: self._images[r] for r in owned}
+        logs = {r: self._log[r] for r in owned}
+        recov = {r: list(self._recoveries[r]) for r in owned}
+        pool.send(
+            i,
+            ("restore", images, self._epoch_tick, self._completed_tick, logs, recov),
+        )
+        deadline = None
+        if self.timeout is not None:
+            deadline = self.timeout * max(1, self._completed_tick - self._epoch_tick)
+        out = pool.recv(i, deadline)
+        self._price_recovery(owned, *out)
+
+    def _absorb(self, i: int) -> None:
+        """Graceful degradation: retire worker ``i`` for good and adopt
+        its ranks into the parent's own in-process tick loop."""
+        pool = self.pool
+        pool.kill(i)
+        self._retired[i] = True
+        owned = pool.owned[i]
+        images = {r: self._images[r] for r in owned}
+        logs = {r: self._log[r] for r in owned}
+        recov = {r: list(self._recoveries[r]) for r in owned}
+        out = _adopt_images(
+            self.engine, self._stub, images, self._epoch_tick,
+            self._completed_tick, logs, recov, snaps=self._parent_snaps,
+        )
+        self._price_recovery(owned, *out)
+        absorbed = self._absorbed_set | frozenset(owned)
+        self._absorbed_set = absorbed
+        self._absorbed = [r for r in self.engine._rank_order if r in absorbed]
+
+    # -------------------------------------------------------------- #
+    # Parent-side fallbacks (degraded mode)
+    # -------------------------------------------------------------- #
+    def _parent_tick(self, i: int, arrivals: list[list[Packet]]):
+        owned = self.pool.owned[i]
+        sub = {r: arrivals[r] for r in owned if arrivals[r]}
+        return _worker_tick(self.engine, self._stub, owned, frozenset(owned), sub)
+
+    def _parent_checkpoint(self, i: int, ship: bool):
+        return _worker_checkpoint(
+            self.engine, self.pool.owned[i], self._parent_snaps, ship=ship
+        )
+
+    def _parent_finalize(self, i: int):
+        owned = self.pool.owned[i]
+        return _worker_finalize(self.engine, owned, frozenset(owned))
+
+    # -------------------------------------------------------------- #
+    # Bookkeeping
+    # -------------------------------------------------------------- #
+    def _note(self, crash: WorkerCrash) -> None:
+        self.worker_crashes += 1
+        if getattr(crash, "kind", None) == "hang":
+            self.worker_hangs += 1
+
+    def _backoff(self, attempt: int) -> None:
+        """Seeded exponential backoff between respawn attempts (host-side
+        pacing; the jitter stream is deterministic per fault seed)."""
+        delay = min(_BACKOFF_BASE_S * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
+        time.sleep(delay * (0.5 + float(self._rng.random())))
+
+    def _price_recovery(self, owned, c0, c1, controls, replayed) -> None:
+        """Charge one restore-and-replay through the machine model into
+        ``supervision_us`` (never ``time_us`` — the simulated cluster
+        never failed, this is the host-failure what-if price tag)."""
+        m = self.engine.machine
+        compute_us = (
+            (c1[0] - c0[0] + controls) * m.previsit_us
+            + (c1[1] - c0[1]) * m.visit_us
+            + (c1[2] - c0[2]) * m.edge_scan_us
+            + (c1[3] - c0[3]) * m.packet_overhead_us
+            + (c1[4] - c0[4]) * m.byte_us
+        )
+        image_bytes = sum(self._image_bytes.get(r, 0) for r in owned)
+        self.supervision_us += (
+            m.restart_us + image_bytes * m.restore_byte_us + compute_us
+        )
+        self.worker_replayed_ticks += replayed
+
+    def _tick_directives(self, t: int) -> dict[int, str]:
+        """Resolve this tick's injected fault directives to worker ids
+        (one per worker per tick; events on absorbed ranks are moot)."""
+        if self.plan is None:
+            return {}
+        out: dict[int, str] = {}
+        for ev in self.plan.events_at(t):
+            key = (ev.tick, ev.rank, ev.kind)
+            if key in self._fired:
+                continue
+            self._fired.add(key)
+            if ev.rank in self._absorbed_set:
+                continue
+            i = self.pool.owner[ev.rank]
+            if self._retired[i]:
+                continue
+            out.setdefault(i, ev.kind)
+        return out
+
+    def _tick_deadline(self, arrivals: list[list[Packet]]) -> float | None:
+        """Wall-clock barrier deadline for one tick, scaled by the tick's
+        arrival volume so heavy ticks aren't misclassified as hangs."""
+        if self.timeout is None:
+            return None
+        total = sum(len(a) for a in arrivals)
+        return self.timeout * max(1.0, total / _DEADLINE_PACKETS)
+
+    def _tick_retry_msg(self, i: int, arrivals: list[list[Packet]]) -> tuple:
+        """The tick command resent after a recovery — directive stripped
+        (an injected fault fires once)."""
+        sub = {r: arrivals[r] for r in self.pool.owned[i] if arrivals[r]}
+        return ("tick", sub, None)
 
 
 class ParallelRecoveryManager(RecoveryManager):
@@ -507,18 +1196,21 @@ class ParallelRecoveryManager(RecoveryManager):
     transport channel snapshots, delivery logs, byte/cost accounting —
     and interleaves transport notes with the worker's replayed sends in
     per-tick order, so the transport observes the same operation sequence
-    as a sequential replay.
+    as a sequential replay.  Barrier traffic is routed through the
+    :class:`WorkerSupervisor`, so simulated rank crashes and real worker
+    failures compose (the supervisor records every simulated replay and
+    re-runs it when restoring a respawned worker).
     """
 
-    def __init__(self, engine: "SimulationEngine", pool: WorkerPool) -> None:
+    def __init__(self, engine: "SimulationEngine", supervisor: WorkerSupervisor) -> None:
         super().__init__(engine)
-        self.pool = pool
+        self.supervisor = supervisor
 
     def _take_snapshots(self, tick: int) -> np.ndarray:
         eng = self.engine
         p = eng.graph.num_partitions
         costs = np.zeros(p, dtype=np.float64)
-        bytes_by_rank = self.pool.checkpoint()
+        bytes_by_rank = self.supervisor.checkpoint(tick)
         for r in range(p):
             self._snaps[r] = {"transport": eng.network.snapshot_rank(r)}
             nbytes = bytes_by_rank[r]
@@ -539,7 +1231,7 @@ class ParallelRecoveryManager(RecoveryManager):
             )
         eng.network.restore_rank(r, snap["transport"])
         log = self._log[r]
-        per_tick_packets, c0, c1, controls, replayed = self.pool.replay(
+        per_tick_packets, c0, c1, controls, replayed = self.supervisor.replay(
             r, self.epoch_tick, crash_tick,
             {t: v for t, v in log.items() if t > self.epoch_tick},
         )

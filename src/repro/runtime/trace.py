@@ -136,6 +136,26 @@ class TraversalStats:
     #: path.
     rebalanced_us: float = 0.0
 
+    # --- worker supervision (zero without a pool; INTERNALS §12) -------- #
+    #: Worker-process failures the supervisor detected (all kinds).
+    worker_crashes: int = 0
+    #: The subset classified as hangs (barrier deadline, force-killed).
+    worker_hangs: int = 0
+    #: Replacement workers successfully respawned and rejoined.
+    worker_respawns: int = 0
+    #: Logical ticks re-executed by respawned workers catching up from the
+    #: supervision epoch images (host-side work, simulation-invisible).
+    worker_replayed_ticks: int = 0
+    #: Ranks the parent absorbed into its own tick loop after the restart
+    #: budget ran out (graceful degradation).
+    degraded_ranks: int = 0
+    #: Supervision cost priced through the machine model (restarts,
+    #: image restores, replayed compute).  Deliberately *not* added to
+    #: ``time_us``: the simulated cluster never failed, only the host
+    #: processes did, so the simulated clock stays bit-identical to the
+    #: unfailed run and this field carries the what-if price tag.
+    supervision_us: float = 0.0
+
     # ------------------------------------------------------------------ #
     def _sum(self, attr: str):
         return sum(getattr(r, attr) for r in self.ranks)
@@ -244,4 +264,26 @@ class TraversalStats:
                 f" | stragglers x{self.max_slowdown:g}: "
                 f"{self.straggler_stall_us / 1e6:.4f}s stalled"
             )
+        if self.worker_crashes or self.degraded_ranks:
+            line += (
+                f" | supervision: {self.worker_crashes} worker failures "
+                f"({self.worker_hangs} hung), {self.worker_respawns} respawns, "
+                f"{self.worker_replayed_ticks} ticks replayed, "
+                f"{self.degraded_ranks} ranks degraded"
+            )
         return line
+
+
+#: ``TraversalStats`` fields describing the supervision layer's own
+#: activity.  These are the *only* fields allowed to differ between a
+#: worker-chaos run and its unfailed baseline — every other counter (and
+#: the simulated clock) is covered by the bit-identity contract, so the
+#: chaos suite compares full stats minus exactly this set.
+SUPERVISION_STATS_FIELDS = (
+    "worker_crashes",
+    "worker_hangs",
+    "worker_respawns",
+    "worker_replayed_ticks",
+    "degraded_ranks",
+    "supervision_us",
+)

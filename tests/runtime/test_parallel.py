@@ -218,3 +218,113 @@ def test_race_detector_clean_under_parallel_schedule(graph):
     produce bit-identical per-tick digests."""
     report = detect_races(graph, lambda: BFSAlgorithm(0), workers=2)
     assert report.clean, report.summary()
+
+
+# ---------------------------------------------------------------------- #
+# Supervision: crash surfacing, pool lifecycle, fault-plan parsing
+# ---------------------------------------------------------------------- #
+def test_worker_traceback_surfaced_parent_side(graph):
+    """A worker-side exception crosses the pipe as a structured
+    WorkerCrash: the parent's TraversalError chains from it and carries
+    the child's full traceback, so the failing frame is debuggable
+    without attaching to a dead process."""
+    from repro.core.traversal import run_traversal
+    from repro.runtime.parallel import WorkerCrash
+
+    seq_levels = bfs(graph, 0).data.levels
+    bomb = int(np.flatnonzero(seq_levels == 2)[0])
+    with pytest.raises(TraversalError) as excinfo:
+        run_traversal(graph, _BombAlgorithm(0, bomb), workers=2)
+    crash = excinfo.value.__cause__
+    assert isinstance(crash, WorkerCrash)
+    assert crash.kind == "error"
+    assert crash.worker is not None
+    assert crash.worker_traceback is not None
+    assert "bomb vertex reached" in crash.worker_traceback
+    assert "_rank_tick" in crash.worker_traceback  # a child-side frame
+    assert "--- worker traceback ---" in str(excinfo.value)
+
+
+def test_pool_context_manager_reaps_on_parent_failure(graph, monkeypatch):
+    """Regression: the pool is a context manager, so a *parent*-side
+    exception between barriers (here: the simulated network blowing up)
+    still tears every worker down instead of orphaning them."""
+    from repro.runtime.costmodel import laptop
+    from repro.runtime.engine import SimulationEngine
+
+    baseline = len(multiprocessing.active_children())
+    eng = SimulationEngine(graph, BFSAlgorithm(0), laptop(),
+                           config=EngineConfig(batch=True, workers=2))
+    calls = {"n": 0}
+    orig = eng.network.advance
+
+    def exploding_advance():
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise RuntimeError("parent-side failure between barriers")
+        return orig()
+
+    monkeypatch.setattr(eng.network, "advance", exploding_advance)
+    with pytest.raises(RuntimeError, match="between barriers"):
+        eng.run()
+    assert len(multiprocessing.active_children()) == baseline
+
+
+def test_worker_fault_plan_from_spec():
+    from repro.comm.faults import WorkerFaultPlan
+
+    plan = WorkerFaultPlan.from_spec(
+        "seed=7,kill=4:1+9:3,hang=6:0,exita=3:2,forkfail=2")
+    assert plan.seed == 7
+    assert plan.fork_failures == 2
+    assert sorted((e.tick, e.rank, e.kind) for e in plan.events) == [
+        (3, 2, "exita"), (4, 1, "kill"), (6, 0, "hang"), (9, 3, "kill"),
+    ]
+    assert [e.kind for e in plan.events_at(4)] == ["kill"]
+    assert plan.any_faults
+
+
+@pytest.mark.parametrize("spec", [
+    "kill=4",            # missing rank
+    "kill=4:1:2",        # too many fields
+    "explode=4:1",       # unknown fault kind
+    "kill=-1:0",         # negative tick
+    "forkfail=x",        # non-integer
+])
+def test_worker_fault_plan_rejects_malformed_specs(spec):
+    from repro.comm.faults import WorkerFaultPlan
+
+    with pytest.raises(ConfigurationError):
+        WorkerFaultPlan.from_spec(spec)
+
+
+def test_worker_fault_config_guards():
+    from repro.comm.faults import WorkerFaultPlan
+
+    plan = WorkerFaultPlan.from_spec("kill=4:1")
+    with pytest.raises(ConfigurationError, match="workers"):
+        EngineConfig(worker_faults=plan)  # workers=1
+    with pytest.raises(ConfigurationError):
+        EngineConfig(workers=2, worker_restarts=-1)
+    with pytest.raises(ConfigurationError):
+        EngineConfig(workers=2, worker_barrier_timeout=0.0)
+
+
+def test_worker_faults_reject_storage_faults():
+    from repro.comm.faults import WorkerFaultPlan
+    from repro.memory.faults import StorageFaultPlan
+
+    with pytest.raises(ConfigurationError, match="storage"):
+        EngineConfig(workers=2,
+                     worker_faults=WorkerFaultPlan.from_spec("kill=4:1"),
+                     storage_faults=StorageFaultPlan(seed=1))
+
+
+def test_fault_plan_rank_out_of_range_rejected(graph):
+    """A plan naming a rank the partition count doesn't have is refused at
+    supervisor construction, not silently ignored."""
+    from repro.comm.faults import WorkerFaultPlan
+
+    with pytest.raises(ConfigurationError, match="rank"):
+        bfs(graph, 0, batch=True, workers=2, worker_restarts=1,
+            worker_faults=WorkerFaultPlan.from_spec("kill=4:9"))
