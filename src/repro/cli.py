@@ -45,6 +45,7 @@ from repro.graph.edge_list import EdgeList
 from repro.graph.io import load_binary_edges, save_binary_edges
 from repro.memory.faults import StorageFaultPlan
 from repro.runtime.costmodel import bgp_intrepid, hyperion_dit, laptop
+from repro.runtime.durability import DurableFaultPlan
 from repro.runtime.pressure import StragglerPlan
 
 _MACHINES = {
@@ -121,6 +122,39 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
              "worker hung and force-killing it (default 30 when "
              "supervision is active)")
     parser.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="write durable on-disk epoch checkpoints to DIR; a killed run "
+             "restarted with --resume continues bit-identically")
+    parser.add_argument(
+        "--durable-interval", type=int, default=None, metavar="TICKS",
+        help="ticks between durable epochs (default 16)")
+    parser.add_argument(
+        "--durable-keep", type=int, default=None, metavar="N",
+        help="retained durable epoch generations — the corruption-fallback "
+             "ladder depth (default 2)")
+    parser.add_argument(
+        "--durable-faults", metavar="SPEC", default=None,
+        help="inject durable-checkpoint corruption, e.g. "
+             "'seed=7,torn=32,bitflip=16+48,manifest=64,missing=80' "
+             "(values are epoch ticks, '+' joins; detection falls back to "
+             "the previous valid epoch)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest valid epoch in --durable DIR instead "
+             "of starting fresh")
+    parser.add_argument(
+        "--kill-at-tick", type=int, default=None, metavar="T",
+        help="SIGKILL this process right after the durable epoch at tick T "
+             "commits (crash-restart harness hook; requires --durable)")
+    parser.add_argument(
+        "--record-digests", action="store_true",
+        help="record per-tick visit-order digests plus the whole-run "
+             "order digest (bit-identity checks)")
+    parser.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="also dump the full stats and result-array digests as JSON "
+             "(what the crash-restart harness compares)")
+    parser.add_argument(
         "--detect-races", action="store_true",
         help="instead of one traversal, run baseline + perturbed-rank-order "
              "runs under the reliable transport and report the first tick "
@@ -153,7 +187,48 @@ def _traversal_kwargs(args) -> dict:
         kwargs["worker_restarts"] = args.worker_restarts
     if args.worker_barrier_timeout is not None:
         kwargs["worker_barrier_timeout"] = args.worker_barrier_timeout
+    if args.durable:
+        kwargs["durable_dir"] = args.durable
+    if args.durable_interval is not None:
+        kwargs["durable_interval"] = args.durable_interval
+    if args.durable_keep is not None:
+        kwargs["durable_keep"] = args.durable_keep
+    if args.durable_faults:
+        kwargs["durable_faults"] = DurableFaultPlan.from_spec(args.durable_faults)
+    if args.resume:
+        kwargs["durable_resume"] = True
+    if args.kill_at_tick is not None:
+        kwargs["kill_at_tick"] = args.kill_at_tick
+    if args.record_digests:
+        kwargs["record_digests"] = True
     return kwargs
+
+
+def _write_stats_json(path: str, stats, arrays: dict) -> None:
+    """Dump the full stats dataclass plus blake2b digests of the result
+    arrays — the crash-restart harness compares two of these files
+    (excluding ``durable_*`` keys) to prove a resumed run bit-identical."""
+    import dataclasses
+    import hashlib
+    import json
+
+    import numpy as np
+
+    digests: dict[str, str] = {}
+    for name in sorted(arrays):
+        value = arrays[name]
+        if isinstance(value, np.ndarray):
+            digests[name] = hashlib.blake2b(
+                np.ascontiguousarray(value).tobytes(), digest_size=16
+            ).hexdigest()
+        else:
+            digests[name] = repr(value)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"stats": dataclasses.asdict(stats), "arrays": digests},
+            fh, indent=2, sort_keys=True, default=repr,
+        )
+        fh.write("\n")
 
 
 def _run_race_detection(args, graph, algorithm_factory, *, batch=False) -> int:
@@ -223,6 +298,10 @@ def _cmd_bfs(args) -> int:
         )
     result = bfs(graph, source, batch=args.batch, **_traversal_kwargs(args))
     traversed = bfs_traversed_edges(edges, result.data.levels)
+    if args.stats_json:
+        _write_stats_json(args.stats_json, result.stats,
+                          {"levels": result.data.levels,
+                           "parents": result.data.parents})
     print(result.stats.summary())
     print(f"source {source}: reached {result.data.num_reached} vertices, "
           f"depth {result.data.max_level}, "
@@ -239,6 +318,9 @@ def _cmd_kcore(args) -> int:
             args, graph, lambda: KCoreAlgorithm(args.k), batch=args.batch
         )
     result = kcore(graph, args.k, batch=args.batch, **_traversal_kwargs(args))
+    if args.stats_json:
+        _write_stats_json(args.stats_json, result.stats,
+                          {"alive": result.data.alive})
     print(result.stats.summary())
     print(f"{args.k}-core: {result.data.core_size} vertices")
     return 0
@@ -263,6 +345,10 @@ def _cmd_triangles(args) -> int:
               f"closure {est.closure_fraction:.4f})")
     else:
         result = triangle_count(graph, batch=args.batch, **_traversal_kwargs(args))
+        if args.stats_json:
+            _write_stats_json(args.stats_json, result.stats,
+                              {"total": result.data.total,
+                               "per_vertex": result.data.per_vertex})
         print(result.stats.summary())
         print(f"triangles: {result.data.total}")
     return 0
@@ -281,6 +367,9 @@ def _cmd_pagerank(args) -> int:
         )
     result = pagerank(graph, damping=args.damping, threshold=args.threshold,
                       batch=args.batch, **_traversal_kwargs(args))
+    if args.stats_json:
+        _write_stats_json(args.stats_json, result.stats,
+                          {"scores": result.data.scores})
     print(result.stats.summary())
     print("top vertices:")
     for v, score in result.data.top(args.top):

@@ -303,6 +303,22 @@ class FaultInjector:
         self.duplicated = 0
         self.delayed = 0
 
+    def snapshot_state(self) -> dict:
+        """Stream position + tallies for durable checkpoints."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` image (same plan/seed)."""
+        self._rng.bit_generator.state = snap["rng"]
+        self.dropped = snap["dropped"]
+        self.duplicated = snap["duplicated"]
+        self.delayed = snap["delayed"]
+
     def decide(self) -> FaultDecision:
         """Draw the fault outcome for one wire transmission."""
         plan = self.plan

@@ -62,3 +62,22 @@ class Network:
     def idle(self) -> bool:
         """True when no packet is anywhere in the fabric."""
         return self.packets_in_flight() == 0
+
+    # -- durable checkpoints ------------------------------------------- #
+    def snapshot_full(self) -> dict:
+        """Whole-fabric state image for durable checkpoints.
+
+        Unlike the per-rank recovery snapshots, this captures everything a
+        host restart needs in one object so packet identity inside the
+        image survives a single pickle round-trip."""
+        return {
+            "sent": list(self._sent_this_tick),
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+        }
+
+    def restore_full(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_full` image."""
+        self._sent_this_tick = list(snap["sent"])
+        self.total_packets = snap["total_packets"]
+        self.total_bytes = snap["total_bytes"]

@@ -483,6 +483,63 @@ class ReliableTransport:
             else:
                 self._report.replay_skipped += 1
 
+    # --- durable checkpoints ------------------------------------------ #
+    def snapshot_full(self) -> dict:
+        """Whole-transport state image for durable checkpoints.
+
+        Captured (and later restored) as *one* object so that a data packet
+        referenced from several structures at once (``_queued``, ``_live``,
+        ``_unacked``, ``_in_flight``) keeps a single identity through the
+        pickle round-trip, exactly as it would in a live process.  Sets are
+        stored as sorted lists so the on-disk bytes are independent of the
+        writer's hash seed."""
+        return {
+            "tick": self._tick,
+            "round": self._round,
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "next_seq": dict(self._next_seq),
+            "recv_next": dict(self._recv_next),
+            "recv_buffer": {ch: dict(buf) for ch, buf in sorted(self._recv_buffer.items())},
+            "unacked": {
+                ch: {seq: list(entry) for seq, entry in sorted(pending.items())}
+                for ch, pending in sorted(self._unacked.items())
+            },
+            "need_ack": dict(self._need_ack),
+            "queued": list(self._queued),
+            "in_flight": list(self._in_flight),
+            "live": dict(self._live),
+            "down": sorted(self._down),
+            "restore_due": dict(self._restore_due),
+            "injector": (
+                self.injector.snapshot_state() if self.injector is not None else None
+            ),
+        }
+
+    def restore_full(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_full` image (same plan/topology)."""
+        self._tick = snap["tick"]
+        self._round = snap["round"]
+        self.total_packets = snap["total_packets"]
+        self.total_bytes = snap["total_bytes"]
+        self._next_seq = dict(snap["next_seq"])
+        self._recv_next = dict(snap["recv_next"])
+        self._recv_buffer = {ch: dict(buf) for ch, buf in snap["recv_buffer"].items()}
+        self._unacked = {
+            ch: {seq: list(entry) for seq, entry in pending.items()}
+            for ch, pending in snap["unacked"].items()
+        }
+        self._need_ack = dict(snap["need_ack"])
+        self._queued = list(snap["queued"])
+        self._in_flight = list(snap["in_flight"])
+        self._live = dict(snap["live"])
+        self._down = set(snap["down"])
+        self._restore_due = dict(snap["restore_due"])
+        self._replaying = None
+        self._report = TransportReport(self.num_ranks)
+        if snap["injector"] is not None and self.injector is not None:
+            self.injector.restore_state(snap["injector"])
+
     def note_replayed_delivery(self, r: int, pkt: Packet) -> None:
         """Advance ``r``'s receive watermark over a replayed delivery."""
         ch = (pkt.src, r)

@@ -49,6 +49,13 @@ def resolve_config(
     worker_faults=None,
     worker_restarts: int | None = None,
     worker_barrier_timeout: float | None = None,
+    durable_dir: str | None = None,
+    durable_interval: int | None = None,
+    durable_keep: int | None = None,
+    durable_resume: bool | None = None,
+    durable_faults=None,
+    kill_at_tick: int | None = None,
+    record_digests: bool | None = None,
 ) -> EngineConfig:
     """Overlay the :func:`run_traversal` convenience overrides onto a base
     :class:`EngineConfig` (shared with :func:`repro.runtime.race.detect_races`
@@ -78,6 +85,20 @@ def resolve_config(
         overrides["worker_restarts"] = worker_restarts
     if worker_barrier_timeout is not None:
         overrides["worker_barrier_timeout"] = worker_barrier_timeout
+    if durable_dir is not None:
+        overrides["durable_dir"] = durable_dir
+    if durable_interval is not None:
+        overrides["durable_interval"] = durable_interval
+    if durable_keep is not None:
+        overrides["durable_keep"] = durable_keep
+    if durable_resume is not None:
+        overrides["durable_resume"] = durable_resume
+    if durable_faults is not None:
+        overrides["durable_faults"] = durable_faults
+    if kill_at_tick is not None:
+        overrides["kill_at_tick"] = kill_at_tick
+    if record_digests is not None:
+        overrides["record_order_digests"] = record_digests
     base = config or EngineConfig()
     return replace(base, **overrides) if overrides else base
 
@@ -102,6 +123,13 @@ def run_traversal(
     worker_faults=None,
     worker_restarts: int | None = None,
     worker_barrier_timeout: float | None = None,
+    durable_dir: str | None = None,
+    durable_interval: int | None = None,
+    durable_keep: int | None = None,
+    durable_resume: bool | None = None,
+    durable_faults=None,
+    kill_at_tick: int | None = None,
+    record_digests: bool | None = None,
 ) -> TraversalResult:
     """Run ``algorithm`` over ``graph`` on a simulated machine.
 
@@ -175,6 +203,34 @@ def run_traversal(
     worker_barrier_timeout:
         Override :attr:`EngineConfig.worker_barrier_timeout` — wall-clock
         seconds a barrier waits before declaring a worker hung.
+    durable_dir:
+        Override :attr:`EngineConfig.durable_dir` — directory for durable
+        on-disk epoch checkpoints (host-crash recovery).  A killed run
+        restarted with ``durable_resume=True`` continues from the latest
+        valid epoch with results and stats bit-identical to an
+        uninterrupted run.
+    durable_interval:
+        Override :attr:`EngineConfig.durable_interval` — ticks between
+        durable epochs.
+    durable_keep:
+        Override :attr:`EngineConfig.durable_keep` — retained epoch
+        generations (the corruption-fallback ladder depth).
+    durable_resume:
+        Override :attr:`EngineConfig.durable_resume` — resume from the
+        latest valid epoch in ``durable_dir`` instead of starting fresh.
+    durable_faults:
+        Override :attr:`EngineConfig.durable_faults` — a
+        :class:`~repro.runtime.durability.DurableFaultPlan` injecting
+        checkpoint-file corruption (torn writes, bit flips, truncated
+        manifests, missing sections) for the fallback ladder to absorb.
+    kill_at_tick:
+        Override :attr:`EngineConfig.kill_at_tick` — SIGKILL this process
+        right after the durable epoch at the given tick commits (crash
+        harness hook; requires ``durable_dir``).
+    record_digests:
+        Override :attr:`EngineConfig.record_order_digests` — record
+        per-tick visit-order digests (and the whole-run
+        ``stats.order_digest``) for bit-identity checks.
     """
     config = resolve_config(
         config,
@@ -190,6 +246,13 @@ def run_traversal(
         worker_faults=worker_faults,
         worker_restarts=worker_restarts,
         worker_barrier_timeout=worker_barrier_timeout,
+        durable_dir=durable_dir,
+        durable_interval=durable_interval,
+        durable_keep=durable_keep,
+        durable_resume=durable_resume,
+        durable_faults=durable_faults,
+        kill_at_tick=kill_at_tick,
+        record_digests=record_digests,
     )
     engine = SimulationEngine(
         graph,

@@ -274,7 +274,9 @@ class SnapshotCompleteness(Rule):
 # RPR005: cost-accounted device I/O in runtime/ and comm/
 # --------------------------------------------------------------------- #
 
-_IO_METHODS = frozenset({"spill", "unspill", "access_range", "access_pages"})
+_IO_METHODS = frozenset(
+    {"spill", "unspill", "access_range", "access_pages", "write_epoch"}
+)
 _COST_NAMES = frozenset({"costs", "cost", "charge", "charged", "machine"})
 _RPR005_SCOPED_DIRS = frozenset({"runtime", "comm"})
 

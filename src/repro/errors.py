@@ -77,5 +77,20 @@ class MemorySystemError(ReproError):
     """Raised on invalid page-cache or device configuration."""
 
 
+class CheckpointCorruptionError(ReproError):
+    """Raised when a durable resume finds no valid epoch on disk.
+
+    The durability layer tolerates individual corrupt epochs (torn writes,
+    bit flips, truncated or incomplete manifests) by falling back to the
+    previous valid epoch; this error is the end of that ladder — every
+    epoch in the durable directory failed validation, so the run cannot be
+    resumed.  ``examined`` carries the number of epochs that were checked
+    and rejected."""
+
+    def __init__(self, *args, examined=0) -> None:
+        super().__init__(*args)
+        self.examined = examined
+
+
 class ConfigurationError(ReproError):
     """Raised when a machine model or engine configuration is invalid."""

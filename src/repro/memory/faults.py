@@ -153,6 +153,24 @@ class StorageFaultInjector:
         self.torn_pages = 0
         self.permanent_failures = 0
 
+    def snapshot_state(self) -> dict:
+        """Stream position + tallies for durable checkpoints."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "retries": self.retries,
+            "spikes": self.spikes,
+            "torn_pages": self.torn_pages,
+            "permanent_failures": self.permanent_failures,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` image (same plan/rank)."""
+        self._rng.bit_generator.state = snap["rng"]
+        self.retries = snap["retries"]
+        self.spikes = snap["spikes"]
+        self.torn_pages = snap["torn_pages"]
+        self.permanent_failures = snap["permanent_failures"]
+
     def inspect_epoch(self, num_misses: int, device, page_size: int) -> EpochStorageFaults:
         """Draw the fault outcomes for one epoch's batch of page misses.
 

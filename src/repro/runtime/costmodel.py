@@ -200,6 +200,28 @@ class EngineConfig:
     #: plain fabric the perturbation would change delivery order and flag
     #: perfectly correct algorithms.  Used by ``repro.runtime.race``.
     rank_order: tuple[int, ...] | None = None
+    # --- durable host-crash checkpoints (INTERNALS §13) ---------------- #
+    #: Directory for durable on-disk epoch checkpoints (None = off).  One
+    #: live run per directory; epochs are written atomically every
+    #: ``durable_interval`` ticks and a killed run restarts from the
+    #: newest valid epoch with ``durable_resume``.
+    durable_dir: str | None = None
+    #: Logical ticks between durable epochs.
+    durable_interval: int = 16
+    #: Committed epochs retained on disk (older ones are pruned; the
+    #: newest write-verified epoch is always kept as a fallback rung).
+    durable_keep: int = 2
+    #: Resume from the newest valid epoch in ``durable_dir`` instead of
+    #: starting fresh (an empty directory still starts fresh).
+    durable_resume: bool = False
+    #: Durable-storage fault plan
+    #: (``repro.runtime.durability.DurableFaultPlan``; None = healthy
+    #: disk).  Corrupts committed epochs post-write for the fallback
+    #: ladder tests.
+    durable_faults: object | None = None
+    #: SIGKILL this process after the durable epoch at this tick commits
+    #: (crash-restart harness hook; requires ``durable_dir``).
+    kill_at_tick: int | None = None
 
     def __post_init__(self) -> None:
         if self.visitor_budget < 1:
@@ -251,6 +273,18 @@ class EngineConfig:
                     "storage fault injector's RNG stream position cannot be "
                     "restored across a worker respawn"
                 )
+        if self.durable_interval < 1:
+            raise ConfigurationError("durable_interval must be >= 1")
+        if self.durable_keep < 1:
+            raise ConfigurationError("durable_keep must be >= 1")
+        if self.durable_dir is None:
+            for name in ("durable_resume", "durable_faults", "kill_at_tick"):
+                if getattr(self, name):
+                    raise ConfigurationError(
+                        f"{name} requires durable_dir (set --durable DIR)"
+                    )
+        if self.kill_at_tick is not None and self.kill_at_tick < 1:
+            raise ConfigurationError("kill_at_tick must be >= 1")
         if self.rank_order is not None:
             order = tuple(self.rank_order)
             if sorted(order) != list(range(len(order))):

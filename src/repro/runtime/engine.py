@@ -21,6 +21,8 @@ locality ordering) show up in simulated TEPS.
 from __future__ import annotations
 
 import hashlib
+import os
+import signal
 import struct
 
 import numpy as np
@@ -49,6 +51,7 @@ from repro.memory.faults import StorageFaultInjector
 from repro.memory.page_cache import PageCache
 from repro.memory.spill import SpillPager
 from repro.runtime.costmodel import STORAGE_NVRAM, EngineConfig, MachineModel
+from repro.runtime.durability import DurabilityManager
 from repro.runtime.parallel import (
     ParallelRecoveryManager,
     WorkerCrash,
@@ -56,7 +59,7 @@ from repro.runtime.parallel import (
     WorkerSupervisor,
 )
 from repro.runtime.pressure import StragglerClock
-from repro.runtime.recovery import RecoveryManager
+from repro.runtime.recovery import RecoveryManager, estimate_checkpoint_bytes
 from repro.runtime.trace import RankCounters, TickSample, TraversalStats
 
 
@@ -271,6 +274,22 @@ class SimulationEngine:
             self.recovery = RecoveryManager(self)
             self.network.recovery = self.recovery
 
+        #: Worker-local crash-recovery snapshots re-seeded into freshly
+        #: forked workers after a durable resume (rank -> {"queue",
+        #: "mailbox", "detector"} snap); empty otherwise — INTERNALS §13.
+        self._resume_recovery_snaps: dict[int, dict] = {}
+        #: Durable on-disk epoch writer/reader (host-crash recovery);
+        #: present only when ``durable_dir`` is configured.
+        self.durable: DurabilityManager | None = None
+        if self.config.durable_dir is not None:
+            if self.config.durable_resume and page_caches is not None:
+                raise ConfigurationError(
+                    "durable_resume cannot combine with caller-provided "
+                    "page_caches: the epoch restore would overwrite the "
+                    "warm cache state the caller is trying to preserve"
+                )
+            self.durable = DurabilityManager(self)
+
     # ------------------------------------------------------------------ #
     def _make_snapshot_fn(self, r: int):
         mailbox = self.mailboxes[r]
@@ -311,18 +330,30 @@ class SimulationEngine:
         if self.straggler is not None:
             stats.max_slowdown = float(self.straggler.max_slowdown)
 
-        if self.workers > 1:
-            return self._run_parallel(stats)
+        # Durable resume: reinstall the newest valid on-disk epoch *before*
+        # seeding (and, for workers > 1, before the pool forks, so workers
+        # inherit the restored state copy-on-write).  The restored stats
+        # object replaces the fresh one wholesale.
+        resume = None
+        if self.durable is not None and cfg.durable_resume:
+            resume = self.durable.load_latest()
+            if resume is not None:
+                stats = resume.stats
+                cache_base = [tuple(cb) for cb in resume.loop["cache_base"]]
 
-        if self.batch_mode:
-            for r in range(p):
-                seed = self.algorithm.initial_batch(self.graph, r)
-                if seed is not None:
-                    self.ranks[r].push_batch(seed)
-        else:
-            for r in range(p):
-                for visitor in self.algorithm.initial_visitors(self.graph, r):
-                    self.ranks[r].push(visitor)
+        if self.workers > 1:
+            return self._run_parallel(stats, resume)
+
+        if resume is None:
+            if self.batch_mode:
+                for r in range(p):
+                    seed = self.algorithm.initial_batch(self.graph, r)
+                    if seed is not None:
+                        self.ranks[r].push_batch(seed)
+            else:
+                for r in range(p):
+                    for visitor in self.algorithm.initial_visitors(self.graph, r):
+                        self.ranks[r].push(visitor)
 
         # Previous / current cumulative counter snapshots for the per-tick
         # cost deltas, columns: previsits, visits, edges, packets, bytes.
@@ -331,20 +362,35 @@ class SimulationEngine:
         # Cumulative backpressure stalls already charged (the mailboxes keep
         # the ledger; the engine charges per-tick deltas into the clock).
         bp_prev = np.zeros(p, dtype=np.int64)
+        last_cache_hits = 0
+        last_cache_misses = 0
+        last_bp_stalls = 0
         if cfg.trace_timeline:
             last_cache_hits = sum(c.hits for c in self.caches if c is not None)
             last_cache_misses = sum(c.misses for c in self.caches if c is not None)
-            last_bp_stalls = 0
 
         if self.recovery is not None:
             stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
-            self.recovery.initial_checkpoint()
+            if resume is None:
+                self.recovery.initial_checkpoint()
+            else:
+                self._apply_resume_recovery(resume)
         elif self.reliable_mode and cfg.faults is not None:
             stats.fault_seed = cfg.faults.seed
 
         ticks = 0
         time_us = 0.0
         last_total_visits = 0
+        if resume is not None:
+            loop = resume.loop
+            ticks = loop["ticks"]
+            time_us = loop["time_us"]
+            prev[:] = loop["prev"]
+            bp_prev[:] = loop["bp_prev"]
+            last_total_visits = loop["last_total_visits"]
+            last_cache_hits = loop["last_cache_hits"]
+            last_cache_misses = loop["last_cache_misses"]
+            last_bp_stalls = loop["last_bp_stalls"]
         while True:
             t = ticks + 1
             arrivals = self.network.advance()
@@ -434,6 +480,16 @@ class SimulationEngine:
                 self._accumulate_report(stats, report)
             if checkpoint_costs is not None:
                 costs += checkpoint_costs
+            # Durable epoch cost, estimated *after* every rank's flush and
+            # spill sync (the parallel workers read the same post-sync
+            # queue lengths rank-locally, so workers=1 and workers=N charge
+            # the bit-identical durable I/O into the simulated clock).
+            durable_costs = None
+            if self.durable is not None and self.durable.due(t):
+                durable_costs = self.durable.epoch_costs(
+                    [estimate_checkpoint_bytes(self, r) for r in range(p)]
+                )
+                costs += durable_costs
             if self.straggler is not None:
                 tick_cost = self.straggler.tick_cost(costs)
                 tick_floor = self.straggler.pacing_floor(m.min_tick_us)
@@ -480,6 +536,27 @@ class SimulationEngine:
                 last_cache_misses = misses_now
                 last_bp_stalls = bp_now
 
+            if durable_costs is not None:
+                self.durable.write_epoch(
+                    ticks,
+                    {
+                        "ticks": ticks,
+                        "time_us": time_us,
+                        "prev": prev.copy(),
+                        "bp_prev": bp_prev.copy(),
+                        "last_total_visits": last_total_visits,
+                        "last_cache_hits": last_cache_hits,
+                        "last_cache_misses": last_cache_misses,
+                        "last_bp_stalls": last_bp_stalls,
+                        "cache_base": list(cache_base),
+                    },
+                    stats,
+                )
+            if cfg.kill_at_tick is not None and ticks == cfg.kill_at_tick:
+                # Crash-restart harness hook: die hard *after* this tick's
+                # epoch (if any) committed, like a host power loss.
+                os.kill(os.getpid(), signal.SIGKILL)
+
             # ---- stop? -------------------------------------------------
             if self.detectors is not None:
                 if all(d.terminated for d in self.detectors):
@@ -502,7 +579,9 @@ class SimulationEngine:
         return [rank.states for rank in self.ranks], stats
 
     # ------------------------------------------------------------------ #
-    def _run_parallel(self, stats: TraversalStats) -> tuple[list, TraversalStats]:
+    def _run_parallel(
+        self, stats: TraversalStats, resume=None
+    ) -> tuple[list, TraversalStats]:
         """The tick loop with per-rank work fanned out to a forked worker
         pool (:mod:`repro.runtime.parallel`).
 
@@ -527,10 +606,24 @@ class SimulationEngine:
         reports: dict | None = None
         ticks = 0
         time_us = 0.0
-        with WorkerPool(self) as pool:
+        resume_tick = 0
+        if resume is not None:
+            resume_tick = resume.loop["ticks"]
+            if resume.recovery is not None:
+                # Worker-local crash-recovery snapshot halves, picked up by
+                # each forked worker at startup (same-epoch invariant: they
+                # match the transplanted parent-side recovery state).
+                self._resume_recovery_snaps = {
+                    r: snap
+                    for r, snap in enumerate(resume.rank_recovery_snaps)
+                    if snap is not None
+                }
+        with WorkerPool(self, seed_ranks=(resume is None)) as pool:
             supervisor = WorkerSupervisor(self, pool)
             # Seed-phase packets, replayed in natural rank order — exactly
-            # where the sequential path's seeding eager-flushes land.
+            # where the sequential path's seeding eager-flushes land.  A
+            # resumed pool sends bare readies (the restored network already
+            # carries every in-flight packet).
             seed_packets = supervisor.start()
             for r in range(p):
                 for pkt in seed_packets.get(r, ()):
@@ -543,21 +636,43 @@ class SimulationEngine:
                 self.recovery = ParallelRecoveryManager(self, supervisor)
                 self.network.recovery = self.recovery
                 stats.fault_seed = cfg.faults.seed if cfg.faults is not None else None
-                self.recovery.initial_checkpoint()
+                if resume is None:
+                    self.recovery.initial_checkpoint()
+                else:
+                    self._apply_resume_recovery(resume)
             elif self.reliable_mode and cfg.faults is not None:
                 stats.fault_seed = cfg.faults.seed
-            # Tick-0 supervision images when no recovery manager drives
-            # checkpoints (no-op if the initial checkpoint shipped them).
-            supervisor.prime()
+            if resume is None:
+                # Tick-0 supervision images when no recovery manager drives
+                # checkpoints (no-op if the initial checkpoint shipped them).
+                supervisor.prime()
+            else:
+                supervisor.note_completed(resume_tick)
+                if supervisor.active and self.recovery is None:
+                    # Fresh supervision images at the resume tick (safe:
+                    # there are no recorded simulated recoveries to align
+                    # with).  With a transplanted recovery manager we must
+                    # NOT re-image — images and worker recovery snaps have
+                    # to come from the same epoch — so worker self-healing
+                    # resumes at the next recovery checkpoint instead.
+                    supervisor.checkpoint(resume_tick)
 
             prev = np.zeros((p, 5), dtype=np.int64)
             cur = np.empty((p, 5), dtype=np.int64)
             bp_prev = np.zeros(p, dtype=np.int64)
             last_total_visits = 0
-            if cfg.trace_timeline:
-                last_cache_hits = 0
-                last_cache_misses = 0
-                last_bp_stalls = 0
+            last_cache_hits = 0
+            last_cache_misses = 0
+            last_bp_stalls = 0
+            if resume is not None:
+                ticks = resume_tick
+                time_us = resume.loop["time_us"]
+                prev[:] = resume.loop["prev"]
+                bp_prev[:] = resume.loop["bp_prev"]
+                last_total_visits = resume.loop["last_total_visits"]
+                last_cache_hits = resume.loop["last_cache_hits"]
+                last_cache_misses = resume.loop["last_cache_misses"]
+                last_bp_stalls = resume.loop["last_bp_stalls"]
 
             try:
                 while True:
@@ -650,6 +765,15 @@ class SimulationEngine:
                         self._accumulate_report(stats, report)
                     if checkpoint_costs is not None:
                         costs += checkpoint_costs
+                    # Durable epoch cost from the workers' rank-local
+                    # estimates (the parent's fork-time rank state is
+                    # stale; see RankTickReport.ckpt_bytes).
+                    durable_costs = None
+                    if self.durable is not None and self.durable.due(t):
+                        durable_costs = self.durable.epoch_costs(
+                            [reports[r].ckpt_bytes for r in range(p)]
+                        )
+                        costs += durable_costs
                     if self.straggler is not None:
                         tick_cost = self.straggler.tick_cost(costs)
                         tick_floor = self.straggler.pacing_floor(m.min_tick_us)
@@ -700,6 +824,31 @@ class SimulationEngine:
                         last_cache_hits = hits_now
                         last_cache_misses = misses_now
                         last_bp_stalls = bp_now
+
+                    if durable_costs is not None:
+                        # Captured after note_completed / this tick's
+                        # checkpoints, so the shipped recovery snaps are
+                        # current.  Workers collect their own ranks'
+                        # sections; parallel runs never carry a warm cache
+                        # base (caller caches are rejected with workers>1).
+                        self.durable.write_epoch(
+                            ticks,
+                            {
+                                "ticks": ticks,
+                                "time_us": time_us,
+                                "prev": prev.copy(),
+                                "bp_prev": bp_prev.copy(),
+                                "last_total_visits": last_total_visits,
+                                "last_cache_hits": last_cache_hits,
+                                "last_cache_misses": last_cache_misses,
+                                "last_bp_stalls": last_bp_stalls,
+                                "cache_base": [(0, 0, 0)] * p,
+                            },
+                            stats,
+                            rank_sections=supervisor.durable_capture(),
+                        )
+                    if cfg.kill_at_tick is not None and ticks == cfg.kill_at_tick:
+                        os.kill(os.getpid(), signal.SIGKILL)
 
                     # ---- stop? ---------------------------------------- #
                     if self.detectors is not None:
@@ -761,9 +910,49 @@ class SimulationEngine:
             stats.rebalanced_us = self.straggler.rebalanced_us
             stats.max_slowdown = float(self.straggler.max_slowdown)
         self._fold_supervision_stats(stats, supervisor)
+        stats.order_digest = self._order_digest_hex()
         if self.batch_mode:
             return [rank.states for rank in self.ranks]
         return [states_by_rank[r] for r in range(p)]
+
+    def _apply_resume_recovery(self, resume) -> None:
+        """Transplant a durable epoch's in-memory recovery state.
+
+        Transplanted, never realigned: re-checkpointing at the resume tick
+        would shorten a later simulated crash's replay window and change
+        its ``recovery_us`` — breaking bit-identity with the uninterrupted
+        run.  Sequentially, each rank's full snapshot half rides
+        ``resume.rank_recovery_snaps``; under ``workers > 1`` those halves
+        are re-seeded worker-side via ``_resume_recovery_snaps`` and the
+        parent keeps only the transport snapshots, mirroring
+        :class:`~repro.runtime.parallel.ParallelRecoveryManager`.
+        """
+        rec = self.recovery
+        sec = resume.recovery
+        if rec is None or sec is None:
+            return
+        p = self.graph.num_partitions
+        rec.epoch_tick = sec["epoch_tick"]
+        rec._state_bytes = list(sec["state_bytes"])
+        rec._log = [dict(sec["log"][r]) for r in range(p)]
+        rec.checkpoints_taken = sec["checkpoints_taken"]
+        rec.checkpoint_bytes = sec["checkpoint_bytes"]
+        rec.recoveries = sec["recoveries"]
+        parallel = self.workers > 1
+        for r in range(p):
+            snap = {} if parallel else dict(resume.rank_recovery_snaps[r] or {})
+            snap["transport"] = sec["transport"][r]
+            rec._snaps[r] = snap
+
+    def _order_digest_hex(self) -> str | None:
+        """Whole-run schedule certificate: blake2b over the concatenated
+        per-tick order digests (None unless digests are recorded)."""
+        if not self._record_digests:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        for d in self.tick_digests:
+            h.update(d)
+        return h.hexdigest()
 
     @staticmethod
     def _fold_supervision_stats(
@@ -941,6 +1130,7 @@ class SimulationEngine:
             stats.straggler_stall_us = self.straggler.stall_us
             stats.rebalanced_us = self.straggler.rebalanced_us
             stats.max_slowdown = float(self.straggler.max_slowdown)
+        stats.order_digest = self._order_digest_hex()
 
     @staticmethod
     def _accumulate_report(stats: TraversalStats, report) -> None:

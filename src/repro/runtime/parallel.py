@@ -106,6 +106,7 @@ import numpy as np
 from repro.comm.message import Packet
 from repro.core.batch import SharedArrayBlock, share_state_arrays
 from repro.errors import ConfigurationError, TraversalError, WorkerCrash
+from repro.runtime.durability import collect_rank_section
 from repro.runtime.recovery import RecoveryManager, estimate_checkpoint_bytes
 from repro.utils.rng import resolve_rng
 
@@ -187,6 +188,9 @@ class RankTickReport:
     terminated: bool
     #: drained order-probe sequence (None unless digests are recorded).
     probe: tuple[int, ...] | None
+    #: simulated durable-checkpoint byte size of this rank's state, taken
+    #: worker-side after ``sync_spill`` (0 when no durable dir is set).
+    ckpt_bytes: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -208,6 +212,13 @@ def _worker_main(
             engine.mailboxes[r].network = stub
         owned_set = frozenset(owned)
         snaps: dict[int, dict] = {}
+        # Durable resume: the parent transplanted each rank's recovery
+        # snapshot half before forking; adopt the owned ones so a later
+        # simulated rank-crash replays from the pre-kill epoch.
+        for r in owned:
+            snap = engine._resume_recovery_snaps.get(r)
+            if snap is not None:
+                snaps[r] = dict(snap)
 
         if seed_ranks:
             # Seed the owned ranks (ascending, like the sequential path);
@@ -227,7 +238,16 @@ def _worker_main(
         else:
             conn.send(("ready", {}))
 
+        parent_pid = os.getppid()
         while True:
+            # Host-crash hygiene: a SIGKILLed parent never closes our pipe
+            # (sibling workers hold inherited duplicates of every parent
+            # end), so a blocking recv would orphan this process forever —
+            # poll, and exit when reparented.  ``poll`` returns the moment
+            # a command arrives, so the live path is unthrottled.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    os._exit(0)
             msg = conn.recv()
             cmd = msg[0]
             if cmd == "tick":
@@ -248,6 +268,8 @@ def _worker_main(
                 conn.send(("ok", _adopt_images(engine, stub, *msg[1:], snaps=snaps)))
             elif cmd == "replay":
                 conn.send(("ok", _worker_replay(engine, stub, snaps, *msg[1:])))
+            elif cmd == "durable":
+                conn.send(("ok", _worker_durable(engine, owned, snaps)))
             elif cmd == "finalize":
                 conn.send(("ok", _worker_finalize(engine, owned, owned_set)))
             elif cmd == "stop":
@@ -347,6 +369,11 @@ def _worker_tick(
                 else True
             ),
             probe=probe,
+            ckpt_bytes=(
+                estimate_checkpoint_bytes(engine, r)
+                if engine.durable is not None
+                else 0
+            ),
         )
     return reports, wave_packets
 
@@ -529,6 +556,18 @@ def _worker_replay(
     return per_tick_packets, c0, counter_tuple(), controls, replayed
 
 
+def _worker_durable(
+    engine: "SimulationEngine", owned: list[int], snaps: dict[int, dict]
+) -> dict[int, dict]:
+    """Collect the owned ranks' durable epoch sections (full restartable
+    state, crossing the pipe — unlike recovery snapshots, durable epochs
+    must survive the death of every process)."""
+    return {
+        r: collect_rank_section(engine, r, recovery_snap=snaps.get(r))
+        for r in owned
+    }
+
+
 def _worker_finalize(
     engine: "SimulationEngine", owned: list[int], owned_set: frozenset
 ) -> tuple[dict, dict, int | None]:
@@ -574,7 +613,7 @@ class WorkerPool:
             ...
     """
 
-    def __init__(self, engine: "SimulationEngine") -> None:
+    def __init__(self, engine: "SimulationEngine", seed_ranks: bool = True) -> None:
         import multiprocessing as mp
 
         if "fork" not in mp.get_all_start_methods():
@@ -606,7 +645,7 @@ class WorkerPool:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(engine, self.owned[i], child_conn),
+                args=(engine, self.owned[i], child_conn, seed_ranks),
                 daemon=True,
             )
             proc.start()
@@ -1029,6 +1068,35 @@ class WorkerSupervisor:
             if part_w is not None:
                 waves = part_w
         return counters, states, waves
+
+    def durable_capture(self) -> list[dict]:
+        """Gather every rank's durable epoch section from its owner (or
+        the parent, for absorbed ranks) for
+        :meth:`~repro.runtime.durability.DurabilityManager.write_epoch`.
+        Runs at the same barrier position as the sequential collection —
+        after the tick's flush/drain, before the stop checks — so the
+        captured state is bit-identical to a ``workers=1`` epoch."""
+        pool = self.pool
+        sections: dict[int, dict] = {}
+        if self._absorbed:
+            sections.update(
+                _worker_durable(self.engine, self._absorbed, self._parent_snaps)
+            )
+        for i in range(pool.num_workers):
+            if self._retired[i]:
+                continue
+            try:
+                pool.send(i, ("durable",))
+                out = pool.recv(i, self.timeout)
+            except WorkerCrash as crash:
+                out = self._handle_failure(
+                    i, crash, ("durable",), self.timeout,
+                    lambda i=i: _worker_durable(
+                        self.engine, pool.owned[i], self._parent_snaps
+                    ),
+                )
+            sections.update(out)
+        return [sections[r] for r in range(self.engine.graph.num_partitions)]
 
     # -------------------------------------------------------------- #
     # Recovery ladder

@@ -197,3 +197,18 @@ class StragglerClock:
         if not self.plan.pacing:
             return min_tick_us
         return min_tick_us * min(self._skew_ewma, self.max_slowdown)
+
+    def snapshot_state(self) -> dict:
+        """EWMA + tallies for durable checkpoints (the EWMA feeds the
+        pacing floor, so it is part of the simulated clock's state)."""
+        return {
+            "skew_ewma": self._skew_ewma,
+            "stall_us": self.stall_us,
+            "rebalanced_us": self.rebalanced_us,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` image (same plan)."""
+        self._skew_ewma = snap["skew_ewma"]
+        self.stall_us = snap["stall_us"]
+        self.rebalanced_us = snap["rebalanced_us"]

@@ -156,6 +156,35 @@ class TraversalStats:
     #: unfailed run and this field carries the what-if price tag.
     supervision_us: float = 0.0
 
+    # --- durable host-crash checkpoints (zero without --durable) -------- #
+    #: Durable epochs committed to disk (tmp + fsync + rename).
+    durable_checkpoints: int = 0
+    #: Simulated checkpoint image bytes (the estimator the cost model
+    #: charges, *not* host pickle sizes — those are ``durable_disk_bytes``).
+    durable_bytes: int = 0
+    #: Simulated time charged for durable checkpoint I/O through the
+    #: machine model's ``checkpoint_byte_us`` rate.  Folded into the
+    #: per-tick cost vector, so it *is* part of ``time_us`` and must stay
+    #: bit-identical between an uninterrupted run and a resumed one.
+    durable_io_us: float = 0.0
+    #: Host bytes actually written to the durable directory (pickle +
+    #: manifest sizes; host-dependent, excluded from bit-identity).
+    durable_disk_bytes: int = 0
+    #: Epochs that failed write-time read-back verification (injected or
+    #: real corruption detected while the run was still alive).
+    durable_corrupt_epochs: int = 0
+    #: Corrupt/incomplete epochs skipped while resuming (fallback ladder).
+    durable_fallbacks: int = 0
+    #: Times this stats object was restored from a durable epoch.
+    durable_resumes: int = 0
+    #: Tick of the most recent successful durable resume (-1 = never).
+    durable_resume_tick: int = -1
+    #: blake2b over the run's concatenated per-tick order digests (set at
+    #: finalize when ``record_order_digests``; None otherwise).  One field
+    #: that certifies the whole execution schedule — the crash-restart
+    #: harness compares it across kill/resume boundaries.
+    order_digest: str | None = None
+
     # ------------------------------------------------------------------ #
     def _sum(self, attr: str):
         return sum(getattr(r, attr) for r in self.ranks)
@@ -271,6 +300,13 @@ class TraversalStats:
                 f"{self.worker_replayed_ticks} ticks replayed, "
                 f"{self.degraded_ranks} ranks degraded"
             )
+        if self.durable_checkpoints or self.durable_resumes:
+            line += (
+                f" | durable: {self.durable_checkpoints} epochs "
+                f"({self.durable_bytes} bytes), "
+                f"{self.durable_resumes} resumes, "
+                f"{self.durable_fallbacks} fallbacks"
+            )
         return line
 
 
@@ -286,4 +322,20 @@ SUPERVISION_STATS_FIELDS = (
     "worker_replayed_ticks",
     "degraded_ranks",
     "supervision_us",
+)
+
+#: ``TraversalStats`` fields describing the durability layer's own
+#: activity.  A resumed run legitimately differs from an uninterrupted one
+#: here (it restored at least once, may have skipped corrupt epochs, and
+#: host pickle sizes are machine-dependent) — everything *outside* this
+#: set, including ``durable_io_us`` inside ``time_us``, stays under the
+#: bit-identity contract and the crash-restart gate compares it.
+DURABILITY_STATS_FIELDS = (
+    "durable_checkpoints",
+    "durable_bytes",
+    "durable_disk_bytes",
+    "durable_corrupt_epochs",
+    "durable_fallbacks",
+    "durable_resumes",
+    "durable_resume_tick",
 )

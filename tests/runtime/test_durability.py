@@ -1,0 +1,222 @@
+"""Unit tests for the durable checkpoint layer (INTERNALS §13).
+
+Covers the epoch file format and its atomic commit protocol, the fault
+injector's four corruption modes and the fallback ladder they exercise,
+retention pruning, the orphaned-tmp sweep, the config-key guard against
+resuming a different run, and the engine-config validation surface.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.bench.harness import build_rmat_graph, pick_bfs_source
+from repro.errors import CheckpointCorruptionError, ConfigurationError
+from repro.runtime.costmodel import EngineConfig
+from repro.runtime.durability import DurableFaultPlan, sweep_orphans
+from repro.runtime.trace import DURABILITY_STATS_FIELDS, TraversalStats
+
+
+@pytest.fixture(scope="module")
+def small():
+    """A tiny partitioned RMAT graph plus a BFS source (module-cached)."""
+    edges, graph = build_rmat_graph(7, num_partitions=4, num_ghosts=32, seed=5)
+    return edges, graph, pick_bfs_source(edges, seed=5)
+
+
+def _rebuild():
+    return build_rmat_graph(7, num_partitions=4, num_ghosts=32, seed=5)[1]
+
+
+# --------------------------------------------------------------------- #
+# DurableFaultPlan
+# --------------------------------------------------------------------- #
+class TestDurableFaultPlan:
+    def test_from_spec(self):
+        plan = DurableFaultPlan.from_spec(
+            "seed=7,torn=32,bitflip=16+48,manifest=64,missing=80"
+        )
+        assert plan.seed == 7
+        assert plan.torn == (32,)
+        assert plan.bitflip == (16, 48)
+        assert plan.manifest == (64,)
+        assert plan.missing == (80,)
+        assert plan.any_faults
+
+    def test_empty_plan_has_no_faults(self):
+        assert not DurableFaultPlan().any_faults
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            DurableFaultPlan.from_spec("seed=7,shred=3")
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DurableFaultPlan.from_spec("torn=0")
+
+
+# --------------------------------------------------------------------- #
+# EngineConfig validation
+# --------------------------------------------------------------------- #
+class TestConfigValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("durable_resume", True),
+        ("durable_faults", DurableFaultPlan(torn=(4,))),
+        ("kill_at_tick", 8),
+    ])
+    def test_durable_knobs_require_dir(self, field, value):
+        with pytest.raises(ConfigurationError, match="durable_dir"):
+            EngineConfig(**{field: value})
+
+    def test_interval_and_keep_bounds(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(durable_dir=str(tmp_path), durable_interval=0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(durable_dir=str(tmp_path), durable_keep=0)
+
+
+# --------------------------------------------------------------------- #
+# Epoch write / prune / orphan sweep
+# --------------------------------------------------------------------- #
+class TestEpochFiles:
+    def test_epochs_written_and_pruned(self, small, tmp_path):
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        result = bfs(graph, src, durable_dir=d, durable_interval=4,
+                     durable_keep=1)
+        assert result.stats.durable_checkpoints >= 2
+        names = sorted(os.listdir(d))
+        # keep=1: exactly one (bin, manifest) pair survives pruning.
+        assert len(names) == 2
+        assert names[0].endswith(".bin") and names[1].endswith(".json")
+        assert result.stats.durable_disk_bytes > 0
+        assert result.stats.durable_bytes > 0
+        assert result.stats.durable_io_us > 0.0
+
+    def test_no_tmp_files_left_behind(self, small, tmp_path):
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        bfs(graph, src, durable_dir=d, durable_interval=4)
+        assert not [n for n in os.listdir(d) if ".tmp" in n]
+
+    def test_orphan_sweep(self, tmp_path):
+        d = tmp_path / "dur"
+        d.mkdir()
+        (d / f"epoch_00000004.bin.tmp{os.getpid()}").write_bytes(b"torn")
+        (d / "epoch_00000008.json.tmp12345").write_bytes(b"torn")
+        (d / "epoch_00000004.bin").write_bytes(b"keep")
+        assert sweep_orphans(str(d)) == 2
+        assert sorted(os.listdir(d)) == ["epoch_00000004.bin"]
+
+    def test_manager_sweeps_orphans_on_init(self, small, tmp_path):
+        """A SIGKILL mid-write leaves epoch tmp files; the next durable
+        run over the same directory must clean them up (the SpillPager-
+        style temp-leak fix, applied at the durability layer)."""
+        _, graph, src = small
+        d = tmp_path / "dur"
+        d.mkdir()
+        orphan = d / "epoch_00000099.bin.tmp4242"
+        orphan.write_bytes(b"half-written epoch from a killed process")
+        bfs(graph, src, durable_dir=str(d), durable_interval=4)
+        assert not orphan.exists()
+        assert not [n for n in os.listdir(d) if ".tmp" in n]
+
+    def test_stats_fields_exist(self):
+        stats = TraversalStats(algorithm="bfs", machine="laptop",
+                               topology="direct", num_ranks=1,
+                               num_vertices=1, num_edges=1)
+        for field in DURABILITY_STATS_FIELDS:
+            assert hasattr(stats, field)
+        assert hasattr(stats, "durable_io_us")
+        assert hasattr(stats, "order_digest")
+
+
+# --------------------------------------------------------------------- #
+# Corruption fallback ladder
+# --------------------------------------------------------------------- #
+class TestCorruptionFallback:
+    @pytest.mark.parametrize("mode", ["torn", "bitflip", "manifest", "missing"])
+    def test_each_mode_falls_back(self, small, tmp_path, mode):
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        full = bfs(graph, src, durable_dir=d, durable_interval=4,
+                   durable_faults=DurableFaultPlan.from_spec(f"{mode}=8"))
+        # Write-time read-back verification already counts the bad epoch.
+        assert full.stats.durable_corrupt_epochs == 1
+        resumed = bfs(_rebuild(), src, durable_dir=d, durable_interval=4,
+                      durable_resume=True)
+        assert resumed.stats.durable_resumes == 1
+        # Fallback landed on a valid epoch, never the corrupted tick-8 one.
+        assert resumed.stats.durable_resume_tick != 8
+        assert resumed.stats.durable_resume_tick > 0
+        assert (resumed.data.levels == full.data.levels).all()
+
+    def test_all_epochs_corrupt_raises(self, small, tmp_path):
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        bfs(graph, src, durable_dir=d, durable_interval=4,
+            durable_faults=DurableFaultPlan.from_spec("bitflip=4+8+12"))
+        with pytest.raises(CheckpointCorruptionError, match="failed verification"):
+            bfs(_rebuild(), src, durable_dir=d, durable_interval=4,
+                durable_resume=True)
+
+    def test_fallbacks_counted(self, small, tmp_path):
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        bfs(graph, src, durable_dir=d, durable_interval=4, durable_keep=3,
+            durable_faults=DurableFaultPlan.from_spec("torn=12"))
+        resumed = bfs(_rebuild(), src, durable_dir=d, durable_interval=4,
+                      durable_resume=True)
+        assert resumed.stats.durable_fallbacks == 1
+        assert resumed.stats.durable_corrupt_epochs == 1
+        assert resumed.stats.durable_resume_tick == 8
+
+    def test_resume_empty_dir_starts_fresh(self, small, tmp_path):
+        _, graph, src = small
+        d = str(tmp_path / "empty")
+        baseline = bfs(graph, src)
+        resumed = bfs(_rebuild(), src, durable_dir=d, durable_interval=1000,
+                      durable_resume=True)
+        assert resumed.stats.durable_resumes == 0
+        assert (resumed.data.levels == baseline.data.levels).all()
+
+
+# --------------------------------------------------------------------- #
+# Config-key guard
+# --------------------------------------------------------------------- #
+class TestConfigKey:
+    def test_different_run_rejected(self, small, tmp_path):
+        """Epochs from a different workload are a user error, not
+        corruption — the fallback ladder must not silently absorb them."""
+        from repro.algorithms.kcore import kcore
+
+        _, graph, src = small
+        d = str(tmp_path / "dur")
+        bfs(graph, src, durable_dir=d, durable_interval=4)
+        with pytest.raises(ConfigurationError, match="different run"):
+            kcore(_rebuild(), 3, durable_dir=d, durable_interval=4,
+                  durable_resume=True)
+
+    def test_warm_caches_with_resume_rejected(self, small, tmp_path):
+        from repro.algorithms.bfs import BFSAlgorithm
+        from repro.memory.page_cache import PageCache
+        from repro.runtime.costmodel import hyperion_dit
+        from repro.runtime.engine import SimulationEngine
+
+        _, graph, src = small
+        machine = hyperion_dit("nvram")
+        caches = [
+            PageCache(capacity_pages=32, page_size=machine.page_size,
+                      device=machine.storage)
+            for _ in range(graph.num_partitions)
+        ]
+        with pytest.raises(ConfigurationError, match="warm"):
+            SimulationEngine(
+                graph, BFSAlgorithm(src), machine,
+                config=EngineConfig(durable_dir=str(tmp_path / "dur"),
+                                    durable_resume=True),
+                page_caches=caches,
+            )
