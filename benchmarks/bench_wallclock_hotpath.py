@@ -163,7 +163,7 @@ def run_algorithm(name: str, spec: dict, *, repeats: int, workers: int,
     stats_equal = _stats_key(obj.stats) == _stats_key(bat.stats)
     data_equal = all(
         np.array_equal(a, b)
-        for a, b in zip(spec["arrays"](obj), spec["arrays"](bat))
+        for a, b in zip(spec["arrays"](obj), spec["arrays"](bat), strict=False)
     )
     entry = {
         "algorithm": name,
@@ -200,7 +200,7 @@ def run_algorithm(name: str, spec: dict, *, repeats: int, workers: int,
             _stats_key(bat.stats) == _stats_key(par.stats)
             and all(
                 np.array_equal(a, b)
-                for a, b in zip(spec["arrays"](bat), spec["arrays"](par))
+                for a, b in zip(spec["arrays"](bat), spec["arrays"](par), strict=False)
             )
         )
         # Supervised mode with no faults injected: what the self-healing
@@ -217,7 +217,7 @@ def run_algorithm(name: str, spec: dict, *, repeats: int, workers: int,
             _stats_key(par.stats) == _stats_key(sup.stats)
             and all(
                 np.array_equal(a, b)
-                for a, b in zip(spec["arrays"](par), spec["arrays"](sup))
+                for a, b in zip(spec["arrays"](par), spec["arrays"](sup), strict=False)
             )
         )
     return entry
@@ -244,7 +244,7 @@ def run_overheads(spec: dict, *, repeats: int, seed: int = 2024) -> dict:
         ("pressure", {"mailbox_cap": 1 << 30}),
     ):
         timings[label], runs[label] = _best_of(
-            repeats, lambda: bfs(graph, source, machine=machine, **kwargs)
+            repeats, lambda kwargs=kwargs: bfs(graph, source, machine=machine, **kwargs)
         )
     obj, rel, cap = runs["object"], runs["reliable"], runs["pressure"]
     return {

@@ -74,7 +74,7 @@ class CCResult:
     def component_sizes(self) -> dict[int, int]:
         """Map component label -> vertex count."""
         labels, counts = np.unique(self.labels, return_counts=True)
-        return {int(lb): int(c) for lb, c in zip(labels, counts)}
+        return {int(lb): int(c) for lb, c in zip(labels, counts, strict=False)}
 
 
 class ConnectedComponentsAlgorithm(AsyncAlgorithm):

@@ -144,7 +144,7 @@ class PageRankStateArrays:
         dpos = np.flatnonzero(dup)
         for i, j, a in zip(
             dpos.tolist(), idx[dpos].tolist(), amounts[dpos].tolist()
-        ):
+        , strict=False):
             r = residual[j] + a
             residual[j] = r
             mask[i] = (not gated[j]) or (r >= thr)

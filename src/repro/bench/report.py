@@ -36,8 +36,8 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths, strict=False)))
     lines.append("  ".join("-" * w for w in widths))
     for r in body:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths, strict=False)))
     return "\n".join(lines)

@@ -43,7 +43,7 @@ def bar_chart(
     peak = max(max(vals), 1e-300)
     label_width = max(len(str(lb)) for lb in labels)
     lines = []
-    for label, v in zip(labels, vals):
+    for label, v in zip(labels, vals, strict=False):
         bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
         lines.append(f"{str(label).rjust(label_width)}  {bar.ljust(width)}  {format(v, fmt)}")
     return "\n".join(lines)

@@ -10,7 +10,7 @@ Commands
 ``graph500``     Run a Graph500-style submission (N validated searches).
 ``experiment``   Regenerate one paper figure/table by name.
 ``profile``      cProfile a traversal and print the host-time hotspots.
-``lint``         AST determinism & invariant analysis (rules RPR001-RPR005).
+``lint``         AST determinism & invariant analysis (rules RPR001-RPR009).
 
 Every command prints the simulated performance trace; sizes default to
 laptop scale.  Examples::
@@ -553,7 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     lt = sub.add_parser(
         "lint",
         help="AST determinism & invariant analysis over the source tree "
-             "(rules RPR001-RPR005; see docs/INTERNALS.md)",
+             "(rules RPR001-RPR009; see docs/INTERNALS.md)",
     )
     add_lint_args(lt)
     lt.set_defaults(func=run_lint)

@@ -72,7 +72,7 @@ class Topology(ABC):
                 if src == dest:
                     continue
                 route = [src, *self.route(src, dest)]
-                for a, b in zip(route, route[1:]):
+                for a, b in zip(route, route[1:], strict=False):
                     if a == rank:
                         out.add(b)
         out.discard(rank)

@@ -167,27 +167,27 @@ class BatchVisitorQueueRank:
         if self._prio_is_payload:
             prs = passed.parents.tolist() if passed.parents is not None else None
             if prs is None:
-                for v, p in zip(vs, ps):
+                for v, p in zip(vs, ps, strict=False):
                     seq += 1
                     heapq.heappush(heap, (p, v if loc else seq, seq, v, 0))
             else:
-                for v, p, pr in zip(vs, ps, prs):
+                for v, p, pr in zip(vs, ps, prs, strict=False):
                     seq += 1
                     heapq.heappush(heap, (p, v if loc else seq, seq, v, pr))
         else:
             ks = self.algorithm.batch_priorities(passed.payloads).tolist()
             if not passed.extras:
-                for v, p, k in zip(vs, ps, ks):
+                for v, p, k in zip(vs, ps, ks, strict=False):
                     seq += 1
                     heapq.heappush(heap, (k, v if loc else seq, seq, v, p))
             elif len(passed.extras) == 1:
                 es = passed.extras[0].tolist()
-                for v, p, k, e in zip(vs, ps, ks, es):
+                for v, p, k, e in zip(vs, ps, ks, es, strict=False):
                     seq += 1
                     heapq.heappush(heap, (k, v if loc else seq, seq, v, p, e))
             else:
                 cols = [e.tolist() for e in passed.extras]
-                for i, (v, p, k) in enumerate(zip(vs, ps, ks)):
+                for i, (v, p, k) in enumerate(zip(vs, ps, ks, strict=False)):
                     seq += 1
                     heapq.heappush(
                         heap,
@@ -224,7 +224,7 @@ class BatchVisitorQueueRank:
             None,
             tuple(
                 np.array(col, dtype=dt)
-                for col, dt in zip(extra_cols, algo.batch_extra_dtypes)
+                for col, dt in zip(extra_cols, algo.batch_extra_dtypes, strict=False)
             ),
         )
         out = algo.execute_batch(self, batch)

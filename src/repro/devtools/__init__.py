@@ -5,11 +5,21 @@ repository's determinism and invariant rules as named, suppressible
 checks (see :mod:`repro.devtools.rules` for the rule catalogue and
 ``docs/INTERNALS.md`` section 10 for the rationale):
 
+File-scoped rules (each file analyzed in isolation):
+
 ``RPR001``  no unseeded randomness outside devtools/tests
 ``RPR002``  no wall-clock reads in simulation code paths
 ``RPR003``  no unordered set/dict iteration feeding send order
 ``RPR004``  snapshot/restore must cover all ``__init__`` state
 ``RPR005``  device I/O in runtime/comm must be cost-accounted
+
+Project-scoped rules (run over a whole-tree :class:`ProjectIndex` that
+resolves classes, bases and calls across modules):
+
+``RPR006``  pickle safety: no local-scope classes crossing worker pipes
+``RPR007``  snapshot/restore symmetry across inheritance and modules
+``RPR008``  every mutated stats counter registered in TraversalStats
+``RPR009``  no fork-unsafe resources (handles/locks) crossing workers
 
 Run it as ``repro lint [paths...]`` or ``python -m repro.devtools``.
 Violations are suppressible per line with::
@@ -24,16 +34,41 @@ The linter itself must stay importable without the rest of the library
 (it is run by CI before the test suite), so it only uses the stdlib.
 """
 
-from repro.devtools.report import Violation, render_json, render_text
+from repro.devtools.baseline import Baseline, BaselineResult
+from repro.devtools.project import ProjectIndex, ProjectRule
+from repro.devtools.report import (
+    Violation,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.devtools.rules import RULE_REGISTRY, all_rules
+from repro.devtools.runner import LintResult, run_lint_tree
 from repro.devtools.walker import lint_file, lint_paths
+
+# Importing a rule module registers its rules as a side effect of the
+# ``@register`` class decorators.  Doing it *here* — not lazily inside
+# ``all_rules()`` — guarantees the registry is complete the moment
+# ``repro.devtools`` (or any submodule, which triggers the package
+# ``__init__`` first) is imported, so ``from repro.devtools import
+# rules`` followed by ``RULE_REGISTRY`` lookups can never observe a
+# half-populated catalogue.
+from repro.devtools import dataflow as _dataflow  # noqa: E402,F401
+from repro.devtools import rules_parallel as _rules_parallel  # noqa: E402,F401
 
 __all__ = [
     "RULE_REGISTRY",
+    "Baseline",
+    "BaselineResult",
+    "LintResult",
+    "ProjectIndex",
+    "ProjectRule",
     "Violation",
     "all_rules",
     "lint_file",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_lint_tree",
 ]

@@ -1,0 +1,92 @@
+"""Committed-baseline support: land new rules without a big-bang cleanup.
+
+A baseline file (conventionally ``lint-baseline.json`` at the repo root)
+lists known, accepted violations.  ``repro lint --baseline FILE``
+subtracts them from the report, so CI can gate on *new* findings while
+the backlog is burned down deliberately.  Two properties keep the
+mechanism honest:
+
+* Entries match on ``(path, rule, line)`` — moving or fixing the code
+  un-matches the entry instead of hiding a fresh violation elsewhere.
+* Entries that no longer match anything are reported as **stale** (the
+  violation disappeared; the baseline should shrink).  Staleness is a
+  warning, never a gate failure, so deleting code cannot break CI — but
+  it is surfaced on every run until the file is regenerated with
+  ``--update-baseline``.
+
+Policy note (enforced by test, not by this module): no violation under
+``src/repro/runtime/`` or ``src/repro/comm/`` may be baselined — the
+parallel/durability invariants those trees carry are exactly the ones
+the RPR006-RPR009 pack exists to keep tight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.devtools.report import Violation
+
+_BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a violation list."""
+
+    kept: list[Violation]
+    suppressed: int
+    stale: list[dict] = field(default_factory=list)
+
+
+class Baseline:
+    """An accepted-violations ledger; see the module docstring."""
+
+    def __init__(self, entries: list[dict]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text())
+        entries = raw.get("entries", []) if isinstance(raw, dict) else []
+        return cls([e for e in entries if isinstance(e, dict)])
+
+    @staticmethod
+    def write(path: str | Path, violations: list[Violation]) -> None:
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": [
+                {k: v for k, v in asdict(viol).items() if k != "col"}
+                for viol in sorted(violations)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @staticmethod
+    def _key(path: str, rule: str, line: int) -> tuple[str, str, int]:
+        return (path, rule, int(line))
+
+    def apply(self, violations: list[Violation]) -> BaselineResult:
+        index: dict[tuple[str, str, int], dict] = {}
+        for e in self.entries:
+            try:
+                index[self._key(e["path"], e["rule"], e["line"])] = e
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed entry: never matches, reported stale
+        matched: set[tuple[str, str, int]] = set()
+        kept: list[Violation] = []
+        for v in violations:
+            key = self._key(v.path, v.rule, v.line)
+            if key in index:
+                matched.add(key)
+            else:
+                kept.append(v)
+        stale = [e for e in self.entries
+                 if self._key(e.get("path", ""), e.get("rule", ""),
+                              e.get("line", -1)) not in matched]
+        return BaselineResult(
+            kept=kept,
+            suppressed=len(violations) - len(kept),
+            stale=stale,
+        )

@@ -1,0 +1,131 @@
+"""The incremental lint cache (``.repro-lint-cache/``).
+
+Two granularities, both keyed by content, never by mtime:
+
+* **Per-file entries** — ``blake2b(file bytes)`` -> the file-scoped
+  violations (including pragma/syntax RPR000s).  A hit means the file
+  need not be parsed for the per-file rules.
+* **One project entry** — ``blake2b(sorted (path, file-hash) pairs)``
+  -> the project-rule violations.  A hit means the tree is byte-for-byte
+  the one the project rules last ran on, so the whole index build is
+  skipped; on an unchanged tree the second run parses *zero* files.
+
+The cache is invalidated wholesale when the analyzer itself changes: the
+signature folds in the source bytes of every ``repro.devtools`` module
+plus the active rule codes, so editing a rule (or selecting a different
+subset) can never serve stale findings.  Entries for vanished files are
+dropped on save.  The whole file is advisory — a corrupt or unreadable
+cache degrades to a full re-lint, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.devtools.report import Violation
+
+_CACHE_VERSION = 1
+_CACHE_FILE = "cache.json"
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def tree_digest(entries: list[tuple[str, str]]) -> str:
+    """Digest of the whole tree: sorted (display-path, file-digest)."""
+    h = hashlib.blake2b(digest_size=16)
+    for path, digest in sorted(entries):
+        h.update(path.encode())
+        h.update(b"\0")
+        h.update(digest.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def analyzer_signature(codes: tuple[str, ...]) -> str:
+    """Content hash of the analyzer itself plus the active rule set."""
+    h = hashlib.blake2b(digest_size=16)
+    pkg = Path(__file__).parent
+    for src in sorted(pkg.glob("*.py")):
+        h.update(src.name.encode())
+        h.update(src.read_bytes())
+    h.update(",".join(codes).encode())
+    return h.hexdigest()
+
+
+class LintCache:
+    """Load/store for one cache directory; see the module docstring."""
+
+    def __init__(self, cache_dir: str | Path, codes: tuple[str, ...]) -> None:
+        self.dir = Path(cache_dir)
+        self.signature = analyzer_signature(codes)
+        self._files: dict[str, dict] = {}
+        self._project: dict | None = None
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        try:
+            raw = json.loads((self.dir / _CACHE_FILE).read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("version") != _CACHE_VERSION:
+            return
+        if raw.get("signature") != self.signature:
+            return  # the analyzer changed; everything is stale
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self, live_paths: set[str]) -> None:
+        """Persist, dropping entries for files that no longer exist."""
+        self._files = {p: e for p, e in self._files.items() if p in live_paths}
+        payload = {
+            "version": _CACHE_VERSION,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            (self.dir / _CACHE_FILE).write_text(json.dumps(payload))
+        except OSError:
+            pass  # advisory: a read-only checkout just runs uncached
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _thaw(raw: list[dict]) -> list[Violation]:
+        return [Violation(**v) for v in raw]
+
+    def file_violations(self, path: str, digest: str) -> list[Violation] | None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return self._thaw(entry.get("violations", []))
+
+    def store_file(self, path: str, digest: str,
+                   violations: list[Violation]) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "violations": [asdict(v) for v in sorted(violations)],
+        }
+
+    def project_violations(self, key: str) -> list[Violation] | None:
+        if self._project is None or self._project.get("key") != key:
+            return None
+        return self._thaw(self._project.get("violations", []))
+
+    def store_project(self, key: str, violations: list[Violation]) -> None:
+        self._project = {
+            "key": key,
+            "violations": [asdict(v) for v in sorted(violations)],
+        }

@@ -1,7 +1,10 @@
 """The ``repro lint`` command line (also ``python -m repro.devtools``).
 
 Exit codes: 0 clean, 1 violations found, 2 usage error — so CI can gate
-directly on the process status.
+directly on the process status.  The incremental cache is on by default
+(``.repro-lint-cache/``, content-hash keyed, safe to delete at any
+time); ``--no-cache`` disables it.  ``--baseline lint-baseline.json``
+subtracts the committed backlog so CI gates on *new* findings only.
 """
 
 from __future__ import annotations
@@ -9,9 +12,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.devtools.report import render_json, render_text
+from repro.devtools.report import render_json, render_sarif, render_text
 from repro.devtools.rules import RULE_REGISTRY, all_rules
-from repro.devtools.walker import DEFAULT_EXCLUDES, lint_paths
+from repro.devtools.runner import run_lint_tree
+from repro.devtools.walker import DEFAULT_EXCLUDES
+
+#: Pragma spellings shown by ``--list-rules`` (the suppression grammar).
+_PRAGMA_HELP = (
+    "suppress per line:   # repro-lint: disable=RPR006[,RPR007...] -- reason",
+    "exempt an attribute: # repro-lint: volatile -- reason  "
+    "(RPR004/RPR007 __init__ state)",
+)
 
 
 def add_lint_args(parser: argparse.ArgumentParser) -> None:
@@ -20,27 +31,56 @@ def add_lint_args(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)")
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format (json is the CI gate input)")
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (json is the CI gate input; sarif feeds "
+             "GitHub code-scanning annotations)")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout")
     parser.add_argument(
         "--select", metavar="RULES", default=None,
         help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract the committed baseline (known violations) from "
+             "the report; stale entries are warned about")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from this run's findings, then "
+             "report against it (exit 0)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=".repro-lint-cache",
+        help="incremental cache directory (default: .repro-lint-cache)")
     parser.add_argument(
         "--include-excluded", action="store_true",
         help="also lint the default-excluded trees "
              f"({', '.join(sorted(DEFAULT_EXCLUDES - {'.git', '__pycache__'}))})")
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit")
+        help="print the rule catalogue (scope, scoped dirs, pragma "
+             "spelling) and exit")
+
+
+def _list_rules() -> int:
+    all_rules()  # force registration of every rule module
+    for code in sorted(RULE_REGISTRY):
+        cls = RULE_REGISTRY[code]
+        scope = getattr(cls, "scope", "file")
+        dirs = getattr(cls, "scoped_dirs", ())
+        where = ", ".join(f"{d}/" for d in dirs) if dirs else "tree-wide"
+        print(f"{code}  [{scope:7s}]  {where:28s}  {cls.summary}")
+    for line in _PRAGMA_HELP:
+        print(line)
+    return 0
 
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     if args.list_rules:
-        all_rules()  # force registration of every rule module
-        for code in sorted(RULE_REGISTRY):
-            print(f"{code}  {RULE_REGISTRY[code].summary}")
-        return 0
+        return _list_rules()
     select = None
     if args.select:
         select = frozenset(c.strip() for c in args.select.split(",") if c.strip())
@@ -53,17 +93,64 @@ def run_lint(args: argparse.Namespace) -> int:
         frozenset({".git", "__pycache__"}) if args.include_excluded
         else DEFAULT_EXCLUDES
     )
-    violations, checked = lint_paths(args.paths, rules=rules, excludes=excludes)
-    if checked == 0:
+    baseline = args.baseline
+    if args.update_baseline and baseline is None:
+        print("repro lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_lint_tree(
+            args.paths,
+            rules=rules,
+            excludes=excludes,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            baseline_path=baseline,
+            update_baseline=args.update_baseline,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if result.checked_files == 0:
         print(f"repro lint: no python files found under {args.paths}",
               file=sys.stderr)
         return 2
+
+    violations = result.violations
     if args.format == "json":
-        print(render_json(violations, checked_files=checked))
+        report = render_json(violations, checked_files=result.checked_files,
+                             result=result)
+    elif args.format == "sarif":
+        report = render_sarif(violations, checked_files=result.checked_files)
     elif violations:
-        print(render_text(violations))
+        report = render_text(violations)
     else:
-        print(f"repro lint: {checked} files clean")
+        report = f"repro lint: {result.checked_files} files clean"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    else:
+        print(report)
+
+    # Run telemetry goes to stderr so the report itself stays
+    # byte-identical between cold and warm runs.
+    if result.cache_enabled:
+        print(f"repro lint: cache: {result.parsed_files} files parsed, "
+              f"{result.cache_hits} file hits, project "
+              f"{'hit' if result.project_cache_hit else 'miss'}",
+              file=sys.stderr)
+    if result.baselined:
+        print(f"repro lint: baseline suppressed {result.baselined} known "
+              f"violation{'s' if result.baselined != 1 else ''}",
+              file=sys.stderr)
+    if result.stale_baseline:
+        n = len(result.stale_baseline)
+        print(f"repro lint: warning: {n} stale baseline "
+              f"entr{'ies' if n != 1 else 'y'} (violations no longer "
+              f"present; regenerate with --update-baseline):",
+              file=sys.stderr)
+        for e in result.stale_baseline[:10]:
+            print(f"  {e.get('path')}:{e.get('line')}: {e.get('rule')}",
+                  file=sys.stderr)
     return 1 if violations else 0
 
 
@@ -71,7 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="AST-based determinism & invariant linter "
-                    "(rules RPR001-RPR005; see docs/INTERNALS.md section 10)")
+                    "(file rules RPR001-RPR005, project rules "
+                    "RPR006-RPR009; see docs/INTERNALS.md section 10)")
     add_lint_args(parser)
     return run_lint(parser.parse_args(argv))
 

@@ -1,0 +1,287 @@
+"""Project-wide analysis: parse the tree once, index it, feed ProjectRules.
+
+The per-file rules (RPR001-RPR005) see one :class:`FileContext` at a
+time, which is exactly as far as a file-scoped invariant reaches.  The
+parallel/durability invariants added by the worker pool, supervision and
+durable-checkpoint layers are *cross-module* by construction: a visitor
+class defined in ``algorithms/`` must pickle across a worker pipe opened
+in ``runtime/parallel.py``; a ``snapshot_state`` written in ``comm/``
+must restore the attribute set a base class in another module declared;
+a ``stats.X`` counter bumped in ``runtime/`` must be a declared field of
+``TraversalStats`` in ``runtime/trace.py``.
+
+This module supplies the shared substrate for those rules:
+
+:class:`ProjectIndex`
+    One parse of the whole tree, then a module index, a class index with
+    resolved (cross-module) base names, a def-site index and an
+    approximate call graph.  Rules query it instead of re-walking files.
+
+:class:`ProjectRule`
+    Base class for rules that run once per *tree* instead of once per
+    file.  ``check(ctx)`` is a no-op so project rules compose with the
+    per-file driver; ``check_project(index)`` does the work.
+
+Name resolution is intentionally approximate (``ast`` only — nothing is
+imported or executed): dotted names are resolved through each file's
+import-alias map, and class lookups fall back to unique-short-name
+matching so the same rules work on the real tree and on single-file test
+fixtures.  Ambiguity resolves to "unknown", never to a guess, keeping
+the rules' false-positive rate at the pragma-worthy level.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Iterable, Iterator
+
+from repro.devtools.report import Violation
+from repro.devtools.rules import Rule
+from repro.devtools.walker import FileContext
+
+#: Attribute-call names that hand an object to another process or to a
+#: pickle stream: mailbox/queue emission (visitor envelopes cross worker
+#: pipes batched per tick) and explicit pickling (durable checkpoint
+#: sections).  Used by the call graph and the pickle-safety rule.
+PIPE_SINKS = frozenset(
+    {"send", "send_batch", "send_stream", "push", "push_batch", "dumps"}
+)
+
+
+def module_dotted(path: str) -> str:
+    """Best-effort dotted module name for a display path.
+
+    ``src/repro/runtime/trace.py`` -> ``repro.runtime.trace``; paths
+    outside a ``src`` root keep their trailing components so tmp-dir
+    fixtures still get stable, distinct names.
+    """
+    parts = [p for p in PurePath(path).parts if p not in ("/", "\\")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    return ".".join(parts)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus everything the project rules ask about."""
+
+    key: str  #: ``<module>.<qualname>`` — unique within the index
+    module: str
+    path: str
+    qualname: str
+    node: ast.ClassDef
+    ctx: FileContext
+    #: Base-class names resolved through the file's import map (dotted
+    #: where the import map knows the origin, bare otherwise).
+    base_names: tuple[str, ...]
+    #: Function the class is defined inside, when local (else None).
+    enclosing_function: ast.FunctionDef | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def methods(self) -> dict[str, ast.FunctionDef]:
+        return {
+            n.name: n for n in self.node.body if isinstance(n, ast.FunctionDef)
+        }
+
+
+@dataclass
+class ProjectIndex:
+    """The one-parse-per-run index every :class:`ProjectRule` queries."""
+
+    #: display path -> parsed context, for suppression lookups.
+    files: dict[str, FileContext] = field(default_factory=dict)
+    #: dotted module name -> parsed context.
+    modules: dict[str, FileContext] = field(default_factory=dict)
+    #: ``<module>.<qualname>`` -> class info.
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: short class name -> every class carrying it.
+    by_name: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    #: def-site index: ``<module>.<qualname>`` -> function node.
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: approximate call graph: function key -> resolved callee names
+    #: (dotted through the import map) plus bare attribute-call names.
+    calls: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext]) -> "ProjectIndex":
+        index = cls()
+        for ctx in contexts:
+            index._add_file(ctx)
+        return index
+
+    def _add_file(self, ctx: FileContext) -> None:
+        mod = module_dotted(ctx.path)
+        self.files[ctx.path] = ctx
+        self.modules[mod] = ctx
+        self._walk(ctx, mod, ctx.tree, qual=(), enclosing=None)
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        mod: str,
+        node: ast.AST,
+        qual: tuple[str, ...],
+        enclosing: ast.FunctionDef | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qn = ".".join(qual + (child.name,))
+                info = ClassInfo(
+                    key=f"{mod}.{qn}",
+                    module=mod,
+                    path=ctx.path,
+                    qualname=qn,
+                    node=child,
+                    ctx=ctx,
+                    base_names=tuple(
+                        b for b in (
+                            ctx.imports.resolve(base) for base in child.bases
+                        ) if b is not None
+                    ),
+                    enclosing_function=enclosing,
+                )
+                self.classes[info.key] = info
+                self.by_name.setdefault(child.name, []).append(info)
+                self._walk(ctx, mod, child, qual + (child.name,), enclosing)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qn = ".".join(qual + (child.name,))
+                key = f"{mod}.{qn}"
+                if isinstance(child, ast.FunctionDef):
+                    self.functions[key] = child
+                self.calls[key] = self._called_names(ctx, child)
+                self._walk(
+                    ctx, mod, child, qual + (child.name,),
+                    child if isinstance(child, ast.FunctionDef) else enclosing,
+                )
+            else:
+                self._walk(ctx, mod, child, qual, enclosing)
+
+    @staticmethod
+    def _called_names(ctx: FileContext, fn: ast.AST) -> frozenset[str]:
+        out: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolve(node.func)
+            if dotted is not None:
+                out.add(dotted)
+            if isinstance(node.func, ast.Attribute):
+                out.add(node.func.attr)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------ #
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        yield from self.classes.values()
+
+    def resolve_class(self, dotted: str) -> ClassInfo | None:
+        """Class info for a (possibly partial) dotted name, or None.
+
+        Exact key match first; then a unique short-name match; then a
+        suffix match among same-named candidates.  Ambiguity -> None.
+        """
+        hit = self.classes.get(dotted)
+        if hit is not None:
+            return hit
+        tail = dotted.rsplit(".", 1)[-1]
+        candidates = self.by_name.get(tail, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        for c in candidates:
+            if c.key.endswith("." + dotted):
+                return c
+        return None
+
+    @staticmethod
+    def _base_matches(base: str, target: str) -> bool:
+        return (base == target
+                or target.endswith("." + base)
+                or base.endswith("." + target))
+
+    def is_subclass_of(self, info: ClassInfo, targets: frozenset[str]) -> bool:
+        """Transitive (cross-module) subclass test against dotted names."""
+        seen: set[str] = set()
+        stack = [info]
+        while stack:
+            cur = stack.pop()
+            if cur.key in seen:
+                continue
+            seen.add(cur.key)
+            for base in cur.base_names:
+                if any(self._base_matches(base, t) for t in targets):
+                    return True
+                nxt = self.resolve_class(base)
+                if nxt is not None:
+                    stack.append(nxt)
+        return False
+
+    def mro_method(
+        self, info: ClassInfo, name: str
+    ) -> tuple[ClassInfo, ast.FunctionDef] | None:
+        """Resolve ``name`` on the class or (left-to-right, depth-first)
+        its indexed base classes — the cross-module lookup RPR004's
+        single-file view cannot do."""
+        seen: set[str] = set()
+
+        def walk(cur: ClassInfo) -> tuple[ClassInfo, ast.FunctionDef] | None:
+            if cur.key in seen:
+                return None
+            seen.add(cur.key)
+            fn = cur.methods.get(name)
+            if fn is not None:
+                return cur, fn
+            for base in cur.base_names:
+                nxt = self.resolve_class(base)
+                if nxt is not None:
+                    hit = walk(nxt)
+                    if hit is not None:
+                        return hit
+            return None
+
+        return walk(info)
+
+    def mro_chain(self, info: ClassInfo) -> list[ClassInfo]:
+        """The class plus every indexed ancestor (cycle-safe)."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = [info]
+        while stack:
+            cur = stack.pop(0)
+            if cur.key in seen:
+                continue
+            seen.add(cur.key)
+            out.append(cur)
+            for base in cur.base_names:
+                nxt = self.resolve_class(base)
+                if nxt is not None:
+                    stack.append(nxt)
+        return out
+
+
+class ProjectRule(Rule):
+    """Base class for tree-scoped rules.
+
+    ``check`` (the per-file hook) is a no-op so project rules can ride
+    the same registry and selection machinery as file rules; the driver
+    calls ``check_project`` once with the built index.  Suppression
+    pragmas still apply — the driver maps each violation back to its
+    file's pragma table before reporting.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Violation]:
+        raise NotImplementedError

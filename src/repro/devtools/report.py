@@ -1,9 +1,13 @@
-"""Violation records and report rendering (text and JSON)."""
+"""Violation records and report rendering (text, JSON and SARIF)."""
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.devtools.runner import LintResult
 
 
 @dataclass(frozen=True, order=True)
@@ -32,11 +36,86 @@ def render_text(violations: list[Violation]) -> str:
     return "\n".join(lines)
 
 
-def render_json(violations: list[Violation], *, checked_files: int = 0) -> str:
-    """Machine-readable report (the ``--format json`` CI gate input)."""
+def render_json(
+    violations: list[Violation],
+    *,
+    checked_files: int = 0,
+    result: "LintResult | None" = None,
+) -> str:
+    """Machine-readable report (the ``--format json`` CI gate input).
+
+    The stable core (``checked_files`` / ``violation_count`` /
+    ``violations``) is byte-identical between a cold and a warm run on
+    the same tree; the run-dependent cache/baseline telemetry lives
+    under its own keys so gates can ignore it.
+    """
     payload = {
         "checked_files": checked_files,
         "violation_count": len(violations),
         "violations": [asdict(v) for v in sorted(violations)],
+    }
+    if result is not None:
+        payload["cache"] = {
+            "enabled": result.cache_enabled,
+            "files_reparsed": result.parsed_files,
+            "file_hits": result.cache_hits,
+            "project_hit": result.project_cache_hit,
+        }
+        payload["baseline"] = {
+            "suppressed": result.baselined,
+            "stale_entries": result.stale_baseline,
+        }
+    return json.dumps(payload, indent=2)
+
+
+#: SARIF 2.1.0 skeleton constants (the CI annotation format).
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(violations: list[Violation], *, checked_files: int = 0) -> str:
+    """SARIF 2.1.0 report, one result per violation — the format GitHub
+    code scanning ingests to annotate PR diffs in place."""
+    from repro.devtools.rules import RULE_REGISTRY
+
+    seen_rules = sorted({v.rule for v in violations})
+    rules = []
+    for code in seen_rules:
+        cls = RULE_REGISTRY.get(code)
+        summary = getattr(cls, "summary", "") if cls else ""
+        if code == "RPR000":
+            summary = "malformed pragma / unparsable file"
+        rules.append({
+            "id": code,
+            "shortDescription": {"text": summary or code},
+        })
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                    "region": {"startLine": v.line, "startColumn": v.col},
+                },
+            }],
+        }
+        for v in sorted(violations)
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "properties": {"checked_files": checked_files},
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2)

@@ -35,9 +35,11 @@ def register(cls: type) -> type:
 
 def all_rules(select: frozenset[str] | None = None) -> list:
     """Instantiate the registered rules (optionally a selected subset)."""
-    # The dataflow module registers RPR003 on import; import it lazily so
-    # rules.py stays importable from dataflow.py without a cycle.
-    from repro.devtools import dataflow  # noqa: F401
+    # The package __init__ imports every rule module, so any import of
+    # repro.devtools.* has already filled the registry.  The re-imports
+    # here are a belt-and-suspenders guard for direct module execution
+    # paths that bypass the package (they are no-ops otherwise).
+    from repro.devtools import dataflow, rules_parallel  # noqa: F401
 
     codes = sorted(RULE_REGISTRY)
     if select is not None:
@@ -53,6 +55,12 @@ class Rule:
 
     code: str = ""
     summary: str = ""
+    #: ``"file"`` rules run once per parsed file; ``"project"`` rules
+    #: (see :class:`repro.devtools.project.ProjectRule`) run once per
+    #: tree against the built index.
+    scope: str = "file"
+    #: Path components the rule confines itself to (empty = tree-wide).
+    scoped_dirs: tuple[str, ...] = ()
 
     def check(self, ctx: FileContext) -> list[Violation]:
         raise NotImplementedError
@@ -303,6 +311,7 @@ class FreeDeviceIO(Rule):
 
     code = "RPR005"
     summary = "device I/O in runtime//comm/ must be cost-accounted"
+    scoped_dirs = ("runtime", "comm")
 
     def check(self, ctx: FileContext) -> list[Violation]:
         if not set(Path(ctx.path).parts) & _RPR005_SCOPED_DIRS:

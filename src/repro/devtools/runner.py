@@ -1,0 +1,158 @@
+"""The two-phase lint driver: (1) parse + index, (2) file & project rules.
+
+``run_lint_tree`` is the one entry point behind both the CLI and the
+library helpers:
+
+Phase 1 — *acquire*.  Expand paths, hash every candidate file, consult
+the :class:`~repro.devtools.cache.LintCache` (when enabled).  A per-file
+cache hit supplies that file's violations without parsing; a project
+cache hit (tree digest unchanged) skips the index build entirely, so a
+fully-warm run parses zero files.
+
+Phase 2 — *analyze*.  Run the per-file rules over each freshly parsed
+:class:`~repro.devtools.walker.FileContext`, then build one
+:class:`~repro.devtools.project.ProjectIndex` and run the project rules
+(RPR006-RPR009) over it.  Suppression pragmas apply uniformly: project
+violations are mapped back to their file's pragma table before
+reporting.
+
+Finally the optional committed baseline is subtracted (and staleness
+computed) — see :mod:`repro.devtools.baseline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.cache import LintCache, file_digest, tree_digest
+from repro.devtools.report import Violation
+from repro.devtools.walker import (
+    DEFAULT_EXCLUDES,
+    FileContext,
+    display_path,
+    iter_python_files,
+    lint_file,
+)
+
+
+@dataclass
+class LintResult:
+    """Everything a caller (CLI, CI gate, tests) needs from one run."""
+
+    violations: list[Violation]
+    checked_files: int = 0
+    #: Files actually parsed this run (0 on a fully-warm cache).
+    parsed_files: int = 0
+    cache_enabled: bool = False
+    #: Per-file cache hits (file-rule results served without analysis).
+    cache_hits: int = 0
+    #: Whether the project-rule pass was served from cache.
+    project_cache_hit: bool = False
+    #: Violations subtracted by the baseline.
+    baselined: int = 0
+    #: Baseline entries that no longer match any violation.
+    stale_baseline: list[dict] = field(default_factory=list)
+
+
+def run_lint_tree(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence | None = None,
+    excludes: frozenset[str] = DEFAULT_EXCLUDES,
+    cache_dir: str | Path | None = None,
+    baseline_path: str | Path | None = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Lint ``paths`` and return a :class:`LintResult`; see module doc."""
+    from repro.devtools.project import ProjectIndex, ProjectRule
+    from repro.devtools.rules import all_rules
+
+    active = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    codes = tuple(sorted(r.code for r in active))
+
+    cache = LintCache(cache_dir, codes) if cache_dir is not None else None
+    result = LintResult(violations=[], cache_enabled=cache is not None)
+
+    # ---- phase 1: acquire ------------------------------------------- #
+    entries: list[tuple[Path, str, str]] = []  # (file, shown, digest)
+    for f in iter_python_files(paths, excludes=excludes):
+        shown = display_path(f)
+        try:
+            data = f.read_bytes()
+        except OSError:
+            continue
+        entries.append((f, shown, file_digest(data)))
+    result.checked_files = len(entries)
+
+    tree_key = tree_digest([(shown, digest) for _, shown, digest in entries])
+    project_cached: list[Violation] | None = None
+    if cache is not None and project_rules:
+        project_cached = cache.project_violations(tree_key)
+    need_index = bool(project_rules) and project_cached is None
+
+    contexts: dict[str, FileContext] = {}
+    for f, shown, digest in entries:
+        cached = cache.file_violations(shown, digest) if cache else None
+        if cached is not None:
+            result.cache_hits += 1
+            result.violations.extend(cached)
+            if not need_index:
+                continue  # nothing left that needs this file's AST
+        try:
+            ctx = FileContext.parse(f, shown)
+        except SyntaxError as exc:
+            result.parsed_files += 1
+            if cached is None:
+                broken = [Violation(shown, exc.lineno or 1, (exc.offset or 1),
+                                    "RPR000", f"syntax error: {exc.msg}")]
+                result.violations.extend(broken)
+                if cache is not None:
+                    cache.store_file(shown, digest, broken)
+            continue
+        result.parsed_files += 1
+        contexts[shown] = ctx
+        if cached is None:
+            file_viols = lint_file(ctx, file_rules)
+            result.violations.extend(file_viols)
+            if cache is not None:
+                cache.store_file(shown, digest, file_viols)
+
+    # ---- phase 2: project rules ------------------------------------- #
+    if project_rules:
+        if project_cached is not None:
+            result.project_cache_hit = True
+            result.violations.extend(project_cached)
+        else:
+            index = ProjectIndex.build(contexts.values())
+            project_viols: list[Violation] = []
+            for rule in project_rules:
+                for v in rule.check_project(index):
+                    ctx = index.files.get(v.path)
+                    if (ctx is not None
+                            and ctx.suppressions.is_suppressed(v.line, v.rule)):
+                        continue
+                    project_viols.append(v)
+            result.violations.extend(project_viols)
+            if cache is not None:
+                cache.store_project(tree_key, project_viols)
+
+    if cache is not None:
+        cache.save({shown for _, shown, _ in entries})
+
+    result.violations.sort()
+
+    # ---- baseline ---------------------------------------------------- #
+    if baseline_path is not None:
+        if update_baseline:
+            Baseline.write(baseline_path, result.violations)
+        baseline = Baseline.load(baseline_path)
+        applied = baseline.apply(result.violations)
+        result.violations = applied.kept
+        result.baselined = applied.suppressed
+        result.stale_baseline = applied.stale
+    return result

@@ -147,23 +147,12 @@ def lint_paths(
     rules: Sequence | None = None,
     excludes: frozenset[str] = DEFAULT_EXCLUDES,
 ) -> tuple[list[Violation], int]:
-    """Lint files/directories; returns ``(violations, files_checked)``."""
-    from repro.devtools.rules import all_rules
+    """Lint files/directories; returns ``(violations, files_checked)``.
 
-    active = list(rules) if rules is not None else all_rules()
-    violations: list[Violation] = []
-    checked = 0
-    for f in iter_python_files(paths, excludes=excludes):
-        shown = display_path(f)
-        try:
-            ctx = FileContext.parse(f, shown)
-        except SyntaxError as exc:
-            violations.append(
-                Violation(shown, exc.lineno or 1, (exc.offset or 1), "RPR000",
-                          f"syntax error: {exc.msg}")
-            )
-            checked += 1
-            continue
-        violations.extend(lint_file(ctx, active))
-        checked += 1
-    return sorted(violations), checked
+    Compatibility wrapper over :func:`repro.devtools.runner.run_lint_tree`
+    (uncached, no baseline) — file rules *and* project rules both run.
+    """
+    from repro.devtools.runner import run_lint_tree
+
+    result = run_lint_tree(paths, rules=rules, excludes=excludes)
+    return result.violations, result.checked_files

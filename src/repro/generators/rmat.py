@@ -91,7 +91,7 @@ def _rmat_chunk(
     ab = a + b
     a_frac = a / ab  # P(dst bit = 0 | src bit = 0)
     c_frac = c / (1.0 - ab)  # P(dst bit = 0 | src bit = 1)
-    for level in range(scale):
+    for _level in range(scale):
         u = rng.random(m)
         v = rng.random(m)
         src_bit = (u >= ab).astype(np.int64)

@@ -19,7 +19,7 @@ def sssp_distances(
     weights = np.array(
         [
             edge_weight(int(u), int(v), max_weight=max_weight, salt=salt)
-            for u, v in zip(edges.src, edges.dst)
+            for u, v in zip(edges.src, edges.dst, strict=False)
         ],
         dtype=np.float64,
     )

@@ -1056,7 +1056,7 @@ class SimulationEngine:
             prev = self._digest_prev[r]
             h = hashlib.blake2b(digest_size=16)
             h.update(struct.pack(
-                "<7q", tick, r, *(int(a) - int(b) for a, b in zip(cur, prev))
+                "<7q", tick, r, *(int(a) - int(b) for a, b in zip(cur, prev, strict=False))
             ))
             probe = probes[r]
             if probe:

@@ -133,7 +133,7 @@ def detect_races(
 
     b, q = baseline.tick_digests, perturbed.tick_digests
     first: int | None = None
-    for i, (db, dq) in enumerate(zip(b, q)):
+    for i, (db, dq) in enumerate(zip(b, q, strict=False)):
         if db != dq:
             first = i + 1
             break
@@ -146,7 +146,7 @@ def detect_races(
         rb = baseline.tick_rank_digests[first - 1]
         rq = perturbed.tick_rank_digests[first - 1]
         divergent_ranks = tuple(
-            r for r, (x, y) in enumerate(zip(rb, rq)) if x != y
+            r for r, (x, y) in enumerate(zip(rb, rq, strict=False)) if x != y
         )
     return RaceReport(
         clean=first is None,

@@ -166,6 +166,7 @@ class TraversalStats:
     #: machine model's ``checkpoint_byte_us`` rate.  Folded into the
     #: per-tick cost vector, so it *is* part of ``time_us`` and must stay
     #: bit-identical between an uninterrupted run and a resumed one.
+    # repro-lint: disable=RPR008 -- rides time_us by design (charged to the simulated clock), so it must stay bit-identity-checked, i.e. OUT of the DURABILITY_STATS_FIELDS exclusion tuple
     durable_io_us: float = 0.0
     #: Host bytes actually written to the durable directory (pickle +
     #: manifest sizes; host-dependent, excluded from bit-identity).

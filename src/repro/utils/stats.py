@@ -75,6 +75,6 @@ def log2_histogram(values: np.ndarray) -> dict[int, int]:
     positive = arr[arr > 0]
     if positive.size:
         buckets = np.floor(np.log2(positive.astype(np.float64))).astype(np.int64)
-        for b, c in zip(*np.unique(buckets, return_counts=True)):
+        for b, c in zip(*np.unique(buckets, return_counts=True), strict=False):
             out[int(b)] = int(c)
     return out

@@ -83,7 +83,7 @@ class TestAgainstReference:
 
     def test_against_networkx(self, rmat_small):
         g = DistributedGraph.build(rmat_small, 8)
-        nxg = nx.Graph(list(zip(rmat_small.src.tolist(), rmat_small.dst.tolist())))
+        nxg = nx.Graph(list(zip(rmat_small.src.tolist(), rmat_small.dst.tolist(), strict=False)))
         nxg.add_nodes_from(range(rmat_small.num_vertices))
         core = nx.core_number(nxg)
         for k in (2, 4):

@@ -76,7 +76,7 @@ class TestAggregation:
         """The aggregation claim: same messages, fewer packets."""
         net1, boxes1 = _fabric(2, agg=1)
         net16, boxes16 = _fabric(2, agg=16)
-        for boxes, net in ((boxes1, net1), (boxes16, net16)):
+        for boxes, _net in ((boxes1, net1), (boxes16, net16)):
             for i in range(16):
                 boxes[0].send(1, KIND_VISITOR, i, 8)
             boxes[0].flush()
@@ -152,7 +152,7 @@ class TestBatchSends:
         out = []
         for p in payloads:
             if isinstance(p, VisitorBatch):
-                out.extend(zip(p.vertices.tolist(), p.payloads.tolist()))
+                out.extend(zip(p.vertices.tolist(), p.payloads.tolist(), strict=False))
             else:
                 out.append(p)
         return out
@@ -197,7 +197,7 @@ class TestBatchSends:
         payloads = rng.integers(0, 1000, size=200)
         net_a, boxes_a = _fabric(16, Grid2DTopology, shape=(4, 4), agg=5)
         net_b, boxes_b = _fabric(16, Grid2DTopology, shape=(4, 4), agg=5)
-        for d, v, p in zip(dests.tolist(), vertices.tolist(), payloads.tolist()):
+        for d, v, p in zip(dests.tolist(), vertices.tolist(), payloads.tolist(), strict=False):
             boxes_a[3].send(d, KIND_VISITOR, (v, p), 8)
         boxes_b[3].send_stream(dests, VisitorBatch(vertices, payloads), 8)
         for boxes in (boxes_a, boxes_b):
@@ -207,7 +207,7 @@ class TestBatchSends:
         got_b = self._pump_flat(net_b, boxes_b, max_ticks=20)
         assert got_a == got_b
         assert net_a.total_packets == net_b.total_packets
-        for ba, bb in zip(boxes_a, boxes_b):
+        for ba, bb in zip(boxes_a, boxes_b, strict=False):
             for attr in ("visitors_sent", "visitors_received", "packets_sent",
                          "bytes_sent", "envelopes_forwarded"):
                 assert getattr(ba, attr) == getattr(bb, attr), attr

@@ -126,7 +126,7 @@ class TestConcatRanges:
         starts = np.array([5, 0, 100])
         lengths = np.array([3, 0, 2])
         expect = np.concatenate(
-            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+            [np.arange(s, s + l) for s, l in zip(starts, lengths, strict=False)]
         )
         assert np.array_equal(concat_ranges(starts, lengths), expect)
 

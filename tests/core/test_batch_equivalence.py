@@ -105,7 +105,7 @@ def test_warm_cache_equivalence(seed):
         bat = bfs(graph, source, machine=machine, page_caches=caches_bat, batch=True)
         assert np.array_equal(obj.data.levels, bat.data.levels)
         assert _stats_key(obj.stats) == _stats_key(bat.stats)
-    for co, cb in zip(caches_obj, caches_bat):
+    for co, cb in zip(caches_obj, caches_bat, strict=False):
         assert (co.hits, co.misses, co.evictions) == (cb.hits, cb.misses, cb.evictions)
         assert list(co._lru) == list(cb._lru)
 

@@ -46,7 +46,7 @@ class TestBulkCSRKernels:
         sources = np.array([q[0] for q in queries], dtype=np.int64)
         bounds = np.array([q[1] for q in queries], dtype=np.int64)
         starts, lens = csr.row_suffix_above(sources, bounds)
-        for (s, b), start, length in zip(queries, starts, lens):
+        for (s, b), start, length in zip(queries, starts, lens, strict=False):
             expect = [w for w in csr.neighbors(s).tolist() if w > b]
             got = csr.cols[start:start + length].tolist()
             assert got == expect
@@ -140,7 +140,7 @@ class TestPageRankStateArrays:
         # (IEEE doubles, so bit-identical to the object path).
         residual = [0.0] * 4
         expect = []
-        for i, a in zip(idx.tolist(), amounts.tolist()):
+        for i, a in zip(idx.tolist(), amounts.tolist(), strict=False):
             residual[i] += a
             expect.append((not gated) or residual[i] >= threshold)
         arrays = PageRankStateArrays(np.full(4, gated), threshold)

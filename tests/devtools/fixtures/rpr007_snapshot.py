@@ -1,0 +1,55 @@
+"""RPR007 fixture: snapshot/restore symmetry."""
+
+
+class ForgetsOnRestore:
+    def __init__(self):
+        self.frontier = []
+        self.depth = 0
+
+    def step(self):
+        self.depth += 1
+        self.frontier = [self.depth]
+
+    def snapshot_state(self):  # expect: RPR007
+        return {"frontier": list(self.frontier), "depth": self.depth}
+
+    def restore_state(self, snap):
+        self.frontier = list(snap["frontier"])
+
+
+class RestoresFromThinAir:
+    def __init__(self):
+        self.cursor = 0
+
+    def advance(self):
+        self.cursor += 1
+
+    def snapshot_state(self):
+        return {}
+
+    def restore_state(self, snap):  # expect: RPR007
+        self.cursor = snap["cursor"]
+
+
+class SnapshotOnly:
+    def snapshot_state(self):  # expect: RPR007
+        return {"x": 1}
+
+
+class RoundTrips:
+    """Clean: symmetric pair; the derived cache is reset, not carried."""
+
+    def __init__(self):
+        self.frontier = []
+        self.cache = {}
+
+    def step(self):
+        self.frontier = [0]
+        self.cache[0] = 1
+
+    def snapshot_state(self):
+        return {"frontier": list(self.frontier)}
+
+    def restore_state(self, snap):
+        self.frontier = list(snap["frontier"])
+        self.cache = {}

@@ -1,0 +1,35 @@
+"""RPR008 fixture: stats-counter declaration & family registration.
+
+Self-contained mini ``TraversalStats`` plus exclusion tuples, so the
+project rule can resolve everything from this one file.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TraversalStats:
+    ticks: int = 0
+    worker_respawns: int = 0
+    worker_replays: int = 0  # expect: RPR008
+    durable_checkpoints: int = 0
+
+
+SUPERVISION_STATS_FIELDS = (  # expect: RPR008
+    "worker_respawns",
+    "worker_retired",
+)
+
+DURABILITY_STATS_FIELDS = (
+    "durable_checkpoints",
+)
+
+
+def record_tick(stats):
+    # Clean: both counters are declared fields.
+    stats.ticks += 1
+    stats.worker_respawns += 1
+
+
+def record_phantom(stats):
+    stats.phantom_counter += 1  # expect: RPR008

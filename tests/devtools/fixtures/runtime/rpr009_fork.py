@@ -1,0 +1,28 @@
+"""RPR009 fixture: fork-unsafe OS resources on simulation state."""
+
+import threading
+
+AUDIT_LOG = open("audit.log", "a")  # expect: RPR009
+
+
+class TickGate:
+    def __init__(self, trace_path):
+        self.lock = threading.Lock()  # expect: RPR009
+        self.trace = open(trace_path, "w")  # expect: RPR009
+
+    def snapshot_state(self):
+        return {}
+
+    def restore_state(self, snap):
+        return None
+
+
+class SafeReader:
+    """Clean: handles stay scoped to one call, nothing persists one."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def read_all(self):
+        with open(self.path) as fh:
+            return fh.read()

@@ -52,6 +52,10 @@ def expected_findings(name: str) -> set[tuple[str, int]]:
         "rpr003_order.py",
         "rpr004_snapshot.py",
         "runtime/rpr005_io.py",
+        "rpr006_pickle.py",
+        "rpr007_snapshot.py",
+        "runtime/rpr008_stats.py",
+        "runtime/rpr009_fork.py",
     ],
 )
 def test_fixture_findings_exact(fixture):
@@ -164,8 +168,40 @@ def test_cli_default_excludes_skip_fixtures(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+    for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                 "RPR006", "RPR007", "RPR008", "RPR009"):
         assert rule in out
+    # Each rule advertises its scope (file vs project) and scoped dirs.
+    assert "[file   ]" in out
+    assert "[project]" in out
+    assert "tree-wide" in out
+    assert "runtime/, comm/" in out
+    # The pragma spellings are part of the catalogue.
+    assert "# repro-lint: disable=" in out
+    assert "# repro-lint: volatile" in out
+
+
+def test_all_rules_registered_without_explicit_imports():
+    """Regression: importing *any* devtools module must observe the full
+    registry — rule registration lives in the package ``__init__``, not
+    in a lazy import inside ``all_rules()``.  A fresh interpreter that
+    imports only ``repro.devtools.rules`` still gets RPR003/RPR006-009
+    because the submodule import triggers the package ``__init__``."""
+    import os
+    import subprocess
+    import sys
+
+    probe = (
+        "from repro.devtools.rules import RULE_REGISTRY\n"
+        "expected = {f'RPR00{i}' for i in range(1, 10)}\n"
+        "missing = expected - set(RULE_REGISTRY)\n"
+        "raise SystemExit(f'missing: {sorted(missing)}' if missing else 0)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).parents[2] / "src")
+    proc = subprocess.run([sys.executable, "-c", probe],
+                          env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
 
 
 def test_repro_cli_lint_subcommand(capsys):

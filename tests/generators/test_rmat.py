@@ -51,7 +51,7 @@ class TestChunking:
     def test_chunked_stream_deterministic(self):
         a = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=700))
         b = list(rmat_edge_chunks(9, 3000, seed=5, chunk_size=700))
-        for (s1, d1), (s2, d2) in zip(a, b):
+        for (s1, d1), (s2, d2) in zip(a, b, strict=False):
             assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
 
     def test_chunked_total_and_range(self):

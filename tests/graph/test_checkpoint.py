@@ -25,7 +25,7 @@ class TestRoundTrip:
         assert np.array_equal(loaded.edges.src, graph.edges.src)
         assert np.array_equal(loaded.min_owners, graph.min_owners)
         assert np.array_equal(loaded.max_owners, graph.max_owners)
-        for a, b in zip(loaded.partitions, graph.partitions):
+        for a, b in zip(loaded.partitions, graph.partitions, strict=False):
             assert (a.state_lo, a.state_hi) == (b.state_lo, b.state_hi)
             assert (a.edge_lo, a.edge_hi) == (b.edge_lo, b.edge_hi)
             assert np.array_equal(a.csr.cols, b.csr.cols)
@@ -62,7 +62,7 @@ class TestRoundTrip:
         save_distributed_graph(graph, path)
         loaded = load_distributed_graph(path)
         assert loaded.num_ghosts == 10_000
-        for a, b in zip(loaded.partitions, graph.partitions):
+        for a, b in zip(loaded.partitions, graph.partitions, strict=False):
             assert np.array_equal(a.ghost_candidates, b.ghost_candidates)
 
 

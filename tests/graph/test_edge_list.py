@@ -87,7 +87,7 @@ class TestSort:
 class TestSymmetrize:
     def test_reverse_edges_added(self):
         el = EdgeList.from_pairs([(0, 1)], num_vertices=2).symmetrized()
-        pairs = set(zip(el.src.tolist(), el.dst.tolist()))
+        pairs = set(zip(el.src.tolist(), el.dst.tolist(), strict=False))
         assert pairs == {(0, 1), (1, 0)}
 
     def test_self_loop_not_duplicated(self):
@@ -133,7 +133,7 @@ class TestSimpleUndirected:
         # no self loops
         assert not np.any(simple.src == simple.dst)
         # symmetric: every edge's reverse present
-        pairs = set(zip(simple.src.tolist(), simple.dst.tolist()))
+        pairs = set(zip(simple.src.tolist(), simple.dst.tolist(), strict=False))
         assert all((b, a) in pairs for a, b in pairs)
         # no duplicates
         assert len(pairs) == simple.num_edges

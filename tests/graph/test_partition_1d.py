@@ -19,7 +19,7 @@ class TestBuild:
         part = OneDPartitioning.build(10, 3)
         ranges = [part.vertex_range(r) for r in range(3)]
         assert ranges[0][0] == 0 and ranges[-1][1] == 10
-        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        for (_a, b), (c, _d) in zip(ranges, ranges[1:], strict=False):
             assert b == c
 
     def test_too_many_partitions(self):

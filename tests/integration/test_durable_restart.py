@@ -85,7 +85,7 @@ def _assert_resume_identical(algo, source, tmp_path, **kw):
     assert resumed.stats.durable_resume_tick > 0
     assert _stats_dict(full.stats) == _stats_dict(resumed.stats)
     assert full.stats.order_digest == resumed.stats.order_digest
-    for a, b in zip(DATA[algo](full), DATA[algo](resumed)):
+    for a, b in zip(DATA[algo](full), DATA[algo](resumed), strict=False):
         assert np.array_equal(a, b)
     return full, resumed
 

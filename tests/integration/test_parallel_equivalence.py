@@ -78,7 +78,7 @@ def _full_stats_key(stats):
 
 
 def assert_bit_identical(algorithm, seq, par):
-    for a, b in zip(DATA[algorithm](seq), DATA[algorithm](par)):
+    for a, b in zip(DATA[algorithm](seq), DATA[algorithm](par), strict=False):
         assert np.array_equal(a, b), (
             f"{algorithm}: result arrays diverged at workers={WORKERS}"
         )

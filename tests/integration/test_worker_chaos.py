@@ -81,7 +81,7 @@ def _stats_key(stats):
 
 
 def assert_healed_identical(algorithm, seq, par):
-    for a, b in zip(DATA[algorithm](seq), DATA[algorithm](par)):
+    for a, b in zip(DATA[algorithm](seq), DATA[algorithm](par), strict=False):
         assert np.array_equal(a, b), (
             f"{algorithm}: results diverged through a worker failure"
         )

@@ -21,7 +21,7 @@ from repro.types import UNREACHED
 def _nx_graph(edges: EdgeList) -> nx.Graph:
     g = nx.Graph()
     g.add_nodes_from(range(edges.num_vertices))
-    g.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+    g.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist(), strict=False))
     return g
 
 

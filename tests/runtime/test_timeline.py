@@ -26,7 +26,7 @@ class TestTimeline:
             config=EngineConfig(trace_timeline=True),
         )
         times = [s.time_us for s in r.stats.timeline]
-        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(b > a for a, b in zip(times, times[1:], strict=False))
         assert times[-1] == r.stats.time_us
 
     def test_drains_to_empty(self, rmat_small, rmat_small_graph):

@@ -37,7 +37,7 @@ def test_spawn_count_and_independence():
 def test_spawn_deterministic():
     a = [g.random(4) for g in spawn_rngs(9, 3)]
     b = [g.random(4) for g in spawn_rngs(9, 3)]
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=False):
         assert np.array_equal(x, y)
 
 
