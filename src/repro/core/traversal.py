@@ -27,6 +27,11 @@ class TraversalResult:
     data: object
     #: Full simulation trace (counts, simulated time, cache behaviour).
     stats: TraversalStats
+    #: Host-side barrier IPC telemetry of the parallel executor (frame /
+    #: pickled-byte / barrier-wait counters; None at ``workers=1``).
+    #: Deliberately outside ``stats``: it varies with the host and the
+    #: transport while ``stats`` is bit-identical across both.
+    ipc: dict | None = None
 
     @property
     def time_us(self) -> float:
@@ -46,6 +51,7 @@ def resolve_config(
     storage_faults=None,
     stragglers=None,
     workers: int | None = None,
+    ipc: str | None = None,
     worker_faults=None,
     worker_restarts: int | None = None,
     worker_barrier_timeout: float | None = None,
@@ -65,6 +71,8 @@ def resolve_config(
         overrides["batch"] = batch
     if workers is not None:
         overrides["workers"] = workers
+    if ipc is not None:
+        overrides["ipc_transport"] = ipc
     if faults is not None:
         overrides["faults"] = faults
     if reliable is not None:
@@ -120,6 +128,7 @@ def run_traversal(
     storage_faults=None,
     stragglers=None,
     workers: int | None = None,
+    ipc: str | None = None,
     worker_faults=None,
     worker_restarts: int | None = None,
     worker_barrier_timeout: float | None = None,
@@ -188,6 +197,11 @@ def run_traversal(
         tick loop (1 = sequential).  Wall-clock only: stats, result
         arrays, wire counters and order digests are bit-identical to the
         sequential schedule at any worker count.
+    ipc:
+        Override :attr:`EngineConfig.ipc_transport` — ``"ring"``
+        (shared-memory SoA packet frames, zero pickled bytes on a
+        steady-state batch tick) or ``"pipe"`` (pickled multiprocessing
+        pipes).  Wall-clock only; ignored at ``workers=1``.
     worker_faults:
         Override :attr:`EngineConfig.worker_faults` — a
         :class:`~repro.comm.faults.WorkerFaultPlan` injecting *host*
@@ -243,6 +257,7 @@ def run_traversal(
         storage_faults=storage_faults,
         stragglers=stragglers,
         workers=workers,
+        ipc=ipc,
         worker_faults=worker_faults,
         worker_restarts=worker_restarts,
         worker_barrier_timeout=worker_barrier_timeout,
@@ -267,4 +282,4 @@ def run_traversal(
         data = algorithm.finalize_batch(graph, states_per_rank)
     else:
         data = algorithm.finalize(graph, states_per_rank)
-    return TraversalResult(data=data, stats=stats)
+    return TraversalResult(data=data, stats=stats, ipc=engine.ipc_counters)

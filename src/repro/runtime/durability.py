@@ -464,7 +464,14 @@ class DurabilityManager:
             ("digests", digests),
             ("recovery", self._recovery_section()),
         ]
-        blobs = [(name, pickle.dumps(obj, protocol=4)) for name, obj in sections]
+        blobs = [
+            # Highest protocol (5): framed numpy buffers serialize without
+            # the protocol-4 bytes-object copy — epoch images are the
+            # biggest residual pickle producer now that barrier traffic
+            # rides the shared-memory rings.
+            (name, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+            for name, obj in sections
+        ]
         entries = []
         offset = 0
         for name, blob in blobs:

@@ -92,6 +92,9 @@ class SimulationEngine:
         #: Effective worker-process count (capped at the rank count); > 1
         #: routes :meth:`run` through the process-parallel executor.
         self.workers = min(self.config.workers, p)
+        #: Barrier IPC telemetry from the worker pool (frame / pickled-byte
+        #: / barrier-wait counters); stays None at ``workers=1``.
+        self.ipc_counters: dict | None = None
         if self.workers > 1 and page_caches is not None:
             raise ConfigurationError(
                 "caller-provided page_caches cannot stay warm across worker "
@@ -882,6 +885,7 @@ class SimulationEngine:
                 ) from crash
 
             states = self._finalize_stats_parallel(stats, ticks, time_us, supervisor)
+            self.ipc_counters = pool.ipc_counters()
             return states, stats
 
     def _finalize_stats_parallel(

@@ -95,10 +95,13 @@ respawn attempts parent-side.
 from __future__ import annotations
 
 import os
+import pickle
 import signal
+import struct
 import time
 import traceback
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _mp_wait
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -107,7 +110,15 @@ from repro.comm.message import Packet
 from repro.core.batch import SharedArrayBlock, share_state_arrays
 from repro.errors import ConfigurationError, TraversalError, WorkerCrash
 from repro.runtime.durability import collect_rank_section
+from repro.runtime.packet_codec import (
+    UnframeablePayload,
+    decode_ints,
+    decode_packets,
+    encode_ints,
+    encode_packets,
+)
 from repro.runtime.recovery import RecoveryManager, estimate_checkpoint_bytes
+from repro.runtime.shm_ring import RingIntegrityError, SpscRing
 from repro.utils.rng import resolve_rng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,8 +132,6 @@ __all__ = [
     "WorkerSupervisor",
 ]
 
-#: Pipe poll quantum while waiting on a worker reply.
-_POLL_S = 0.05
 #: Barrier deadline when supervision is active and the user gave none.
 DEFAULT_BARRIER_TIMEOUT_S = 30.0
 #: Supervision image cadence (ticks) when no recovery manager drives it.
@@ -194,10 +203,199 @@ class RankTickReport:
 
 
 # ---------------------------------------------------------------------- #
+# Pipe framing & shared-memory ring transport (INTERNALS §14)
+# ---------------------------------------------------------------------- #
+#: Per-direction ring capacity.  16 MiB holds hundreds of ticks of frame
+#: traffic for the bench workloads; a tick that does not fit spills to the
+#: pickled pipe, which is always correct.  Module-level so tests can
+#: shrink it to force the overflow path.
+RING_BYTES = 1 << 24
+
+#: First byte of every pipe message: a pickled envelope or a fixed token.
+_TAG_PICKLE = 0
+_TAG_TOKEN = 1
+#: Pickled-envelope header: tag + number of out-of-band buffers following.
+_PICKLE_HDR = struct.Struct("<BI")
+#: Token opcodes (second byte).
+_TOK_TICK = 1
+_TOK_OK = 2
+#: Parent -> worker tick token: tag, op, tick, n arrival frames, directive.
+_TICK_TOKEN = struct.Struct("<BBqIB")
+#: Worker -> parent barrier token: tag, op, n frames, flags (bit 0 = a
+#: pickled residue envelope follows on the pipe).
+_OK_TOKEN = struct.Struct("<BBIB")
+_OK_RESIDUE = 1
+
+#: Injected-fault directives, encoded into the tick token.
+_DIRECTIVE_CODES = {None: 0, "kill": 1, "hang": 2, "exita": 3}
+_DIRECTIVE_NAMES = {v: k for k, v in _DIRECTIVE_CODES.items()}
+
+#: Frame-tag channels: ``tag = channel << 16 | rank``.
+_CH_ARRIVALS = 1
+_CH_PACKETS_A = 2
+_CH_WAVE = 3
+_CH_PACKETS_B = 4
+_CH_PROBE = 5
+
+
+def _frame_tag(channel: int, rank: int = 0) -> int:
+    return (channel << 16) | rank
+
+
+#: Shared counters-table layout: one row per rank, fixed columns, so the
+#: scalar half of a :class:`RankTickReport` crosses the process boundary
+#: as plain stores into a shared arena (zero pickled bytes).
+_TBL_I64_COLS = 19
+_TI_CONTROLS = 0
+_TI_COUNTERS_LO, _TI_COUNTERS_HI = 1, 10  # the cumulative 9-tuple
+_TI_BP_STALLS = 10
+_TI_CACHE_HITS = 11
+_TI_CACHE_MISSES = 12
+_TI_QUEUE_LEN = 13
+_TI_QUIET = 14
+_TI_BUFFERED = 15
+_TI_BUFFERED_VISITORS = 16
+_TI_TERMINATED = 17
+_TI_CKPT_BYTES = 18
+_TBL_F64_COLS = 2
+_TF_CACHE_US = 0
+_TF_SPILL_US = 1
+
+
+@dataclass
+class _RingLinks:
+    """One worker's shared-memory attachments, created parent-side before
+    the fork and inherited through it (never pickled)."""
+
+    #: worker -> parent frame ring (barrier reports).
+    tx: SpscRing
+    #: parent -> worker frame ring (tick arrivals).
+    rx: SpscRing
+    #: per-rank scalar report columns (shared by all workers; each writes
+    #: only its owned rows).
+    table_i: np.ndarray
+    table_f: np.ndarray
+
+
+def _send_obj(conn, obj) -> int:
+    """Ship one python object over the pipe as a tagged pickle-5 envelope
+    with out-of-band buffers (numpy columns and checkpoint images cross as
+    raw bytes instead of being copied into the pickle stream).  Returns
+    the pickled byte count for the telemetry counters."""
+    buffers: list = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    conn.send_bytes(_PICKLE_HDR.pack(_TAG_PICKLE, len(buffers)) + body)
+    total = _PICKLE_HDR.size + len(body)
+    for buf in buffers:
+        raw = buf.raw()
+        conn.send_bytes(raw)
+        total += raw.nbytes
+    return total
+
+
+def _recv_obj_tail(conn, first: bytes) -> tuple[object, int]:
+    """Finish receiving a pickled envelope whose first pipe message is
+    ``first``: collect the out-of-band buffers, then unpickle.  Buffers
+    are copied into ``bytearray`` so restored numpy arrays are writable
+    (restore paths mutate them in place).  Returns ``(obj, bytes)``."""
+    tag, n_buffers = _PICKLE_HDR.unpack_from(first, 0)
+    total = len(first)
+    buffers: list[bytearray] = []
+    for _ in range(n_buffers):
+        raw = conn.recv_bytes()
+        total += len(raw)
+        buffers.append(bytearray(raw))
+    obj = pickle.loads(first[_PICKLE_HDR.size:], buffers=buffers)
+    return obj, total
+
+
+def _worker_recv(conn) -> tuple[str, object]:
+    """Worker-side receive: ``("tok", raw_bytes)`` for a fixed-size token,
+    ``("obj", message)`` for a pickled command."""
+    data = conn.recv_bytes()
+    if data[0] == _TAG_TOKEN:
+        return "tok", data
+    return "obj", _recv_obj_tail(conn, data)[0]
+
+
+# ---------------------------------------------------------------------- #
 # Worker process
 # ---------------------------------------------------------------------- #
+def _store_report_scalars(links: _RingLinks, r: int, rep: RankTickReport) -> None:
+    """Write the scalar half of one rank's report into its shared
+    counters-table row (the parent reads it back after the OK token)."""
+    row = links.table_i[r]
+    row[_TI_CONTROLS] = rep.controls
+    row[_TI_COUNTERS_LO:_TI_COUNTERS_HI] = rep.counters
+    row[_TI_BP_STALLS] = rep.bp_stalls
+    row[_TI_CACHE_HITS] = rep.cache_hits
+    row[_TI_CACHE_MISSES] = rep.cache_misses
+    row[_TI_QUEUE_LEN] = rep.queue_len
+    row[_TI_QUIET] = int(rep.quiet)
+    row[_TI_BUFFERED] = int(rep.buffered)
+    row[_TI_BUFFERED_VISITORS] = rep.buffered_visitors
+    row[_TI_TERMINATED] = int(rep.terminated)
+    row[_TI_CKPT_BYTES] = rep.ckpt_bytes
+    links.table_f[r, _TF_CACHE_US] = rep.cache_us
+    links.table_f[r, _TF_SPILL_US] = rep.spill_us
+
+
+def _ship_tick_ring(conn, links: _RingLinks, out) -> None:
+    """Ship one tick's barrier output over the ring: scalars into the
+    counters table, packet/probe columns as ring frames, then the OK
+    token.  All-or-nothing — the frames are encoded and costed *before*
+    anything is written, so an unframeable payload or a full ring spills
+    the whole tick to the pickled pipe without desyncing the frame
+    sequence.  Fault records (rare; storage fault plans only) ride a
+    pickled residue envelope after the token."""
+    reports, wave_packets = out
+    frames: list[tuple[int, bytes]] | None = []
+    try:
+        for r, rep in reports.items():
+            if rep.packets_a:
+                frames.append(
+                    (_frame_tag(_CH_PACKETS_A, r), encode_packets(rep.packets_a))
+                )
+        if wave_packets:
+            frames.append((_frame_tag(_CH_WAVE), encode_packets(wave_packets)))
+        for r, rep in reports.items():
+            if rep.packets_b:
+                frames.append(
+                    (_frame_tag(_CH_PACKETS_B, r), encode_packets(rep.packets_b))
+                )
+            if rep.probe is not None:
+                frames.append((_frame_tag(_CH_PROBE, r), encode_ints(rep.probe)))
+    except UnframeablePayload:
+        frames = None
+    if frames is not None:
+        need = sum(SpscRing.frame_cost(len(p)) for _, p in frames)
+        if need > links.tx.free():
+            frames = None
+    if frames is None:
+        # Whole-tick spill: the pickled residue is the exact pipe-mode
+        # reply, so the parent replays it bit-identically.
+        conn.send_bytes(_OK_TOKEN.pack(_TAG_TOKEN, _TOK_OK, 0, _OK_RESIDUE))
+        _send_obj(conn, ("ok", {"spill": out}))
+        return
+    faults: dict[int, tuple] = {}
+    for r, rep in reports.items():
+        _store_report_scalars(links, r, rep)
+        if rep.cache_faults is not None or rep.spill_faults is not None:
+            faults[r] = (rep.cache_faults, rep.spill_faults)
+    for tag, payload in frames:
+        links.tx.write(tag, payload)
+    flags = _OK_RESIDUE if faults else 0
+    conn.send_bytes(_OK_TOKEN.pack(_TAG_TOKEN, _TOK_OK, len(frames), flags))
+    if faults:
+        _send_obj(conn, ("ok", {"faults": faults}))
+
+
 def _worker_main(
-    engine: "SimulationEngine", owned: list[int], conn, seed_ranks: bool = True
+    engine: "SimulationEngine",
+    owned: list[int],
+    conn,
+    seed_ranks: bool = True,
+    links: _RingLinks | None = None,
 ) -> None:
     """Entry point of one forked worker (owns ``owned`` ranks for life).
 
@@ -205,6 +403,13 @@ def _worker_main(
     forked from the parent mid-run, so its inherited rank state is a stale
     fork-time copy; it sends a bare ready and waits for the ``restore``
     command to adopt the latest epoch images before rejoining barriers.
+
+    ``links`` carries the shared-memory ring attachments (inherited
+    through the fork).  Commands arrive either as fixed-size tokens (the
+    ring fast path: arrivals are frames in ``links.rx``, the reply goes
+    back through ``links.tx``) or as pickled envelopes (control plane and
+    correctness fallback) — the worker always replies in the transport
+    the command arrived on.
     """
     try:
         stub = _StubNetwork()
@@ -234,9 +439,9 @@ def _worker_main(
                     for visitor in engine.algorithm.initial_visitors(engine.graph, r):
                         engine.ranks[r].push(visitor)
                 seed_packets[r] = stub.take()
-            conn.send(("ready", seed_packets))
+            _send_obj(conn, ("ready", seed_packets))
         else:
-            conn.send(("ready", {}))
+            _send_obj(conn, ("ready", {}))
 
         parent_pid = os.getppid()
         while True:
@@ -248,7 +453,29 @@ def _worker_main(
             while not conn.poll(1.0):
                 if os.getppid() != parent_pid:
                     os._exit(0)
-            msg = conn.recv()
+            kind, msg = _worker_recv(conn)
+            if kind == "tok":
+                # Ring fast path: the whole tick command is one fixed-size
+                # token; arrivals are frames already sitting in the ring.
+                _, op, t, n_frames, dcode = _TICK_TOKEN.unpack(msg)
+                if op != _TOK_TICK:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown worker token op {op}")
+                inject = _DIRECTIVE_NAMES[dcode]
+                if inject == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                arrivals: dict[int, list[Packet]] = {}
+                for _ in range(n_frames):
+                    tag, payload = links.rx.read()
+                    arrivals[tag & 0xFFFF] = decode_packets(payload)
+                out = _worker_tick(
+                    engine, stub, owned, owned_set, arrivals,
+                    exit_mid_phase_a=(inject == "exita"),
+                )
+                if inject == "hang":
+                    while True:  # hang *before* the barrier reply
+                        time.sleep(1.0)
+                _ship_tick_ring(conn, links, out)
+                continue
             cmd = msg[0]
             if cmd == "tick":
                 inject = msg[2]
@@ -261,24 +488,26 @@ def _worker_main(
                 if inject == "hang":
                     while True:  # hang *before* the barrier reply
                         time.sleep(1.0)
-                conn.send(("ok", out))
+                _send_obj(conn, ("ok", out))
             elif cmd == "checkpoint":
-                conn.send(("ok", _worker_checkpoint(engine, owned, snaps, ship=msg[1])))
+                _send_obj(
+                    conn, ("ok", _worker_checkpoint(engine, owned, snaps, ship=msg[1]))
+                )
             elif cmd == "restore":
-                conn.send(("ok", _adopt_images(engine, stub, *msg[1:], snaps=snaps)))
+                _send_obj(conn, ("ok", _adopt_images(engine, stub, *msg[1:], snaps=snaps)))
             elif cmd == "replay":
-                conn.send(("ok", _worker_replay(engine, stub, snaps, *msg[1:])))
+                _send_obj(conn, ("ok", _worker_replay(engine, stub, snaps, *msg[1:])))
             elif cmd == "durable":
-                conn.send(("ok", _worker_durable(engine, owned, snaps)))
+                _send_obj(conn, ("ok", _worker_durable(engine, owned, snaps)))
             elif cmd == "finalize":
-                conn.send(("ok", _worker_finalize(engine, owned, owned_set)))
+                _send_obj(conn, ("ok", _worker_finalize(engine, owned, owned_set)))
             elif cmd == "stop":
                 break
             else:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown worker command {cmd!r}")
     except BaseException as exc:  # noqa: BLE001 - everything must cross the pipe
         try:
-            conn.send(("error", repr(exc), traceback.format_exc()))
+            _send_obj(conn, ("error", repr(exc), traceback.format_exc()))
         except (OSError, ValueError):  # pragma: no cover - parent already gone
             pass
     finally:
@@ -636,16 +865,57 @@ class WorkerPool:
                 block = share_state_arrays(rank.states)
                 if block is not None:
                     self.blocks.append(block)
+
+        #: Zero-pickle barrier transport (INTERNALS §14).  Only the batch
+        #: path emits frameable payloads, so the object path silently
+        #: stays on the pickled pipes whatever the config says.
+        self.use_ring: bool = (
+            engine.config.ipc_transport == "ring" and engine.batch_mode
+        )
+        self.rings_tx: list[SpscRing] = []  # worker -> parent
+        self.rings_rx: list[SpscRing] = []  # parent -> worker
+        self._links: list[_RingLinks | None] = []
+        self._table_block: SharedArrayBlock | None = None
+        self._table_i: np.ndarray | None = None
+        self._table_f: np.ndarray | None = None
+        if self.use_ring:
+            self._table_block = SharedArrayBlock(
+                [
+                    ("i64", np.zeros((p, _TBL_I64_COLS), dtype=np.int64)),
+                    ("f64", np.zeros((p, _TBL_F64_COLS), dtype=np.float64)),
+                ]
+            )
+            self._table_i = self._table_block.view("i64")
+            self._table_f = self._table_block.view("f64")
+
+        #: Host-side IPC telemetry (see :meth:`ipc_counters`).
+        self.ipc_bytes_pickled = 0
+        self.ipc_tick_bytes_pickled = 0
+        self.ipc_frame_bytes = 0
+        self.ipc_ring_spills = 0
+        self.ipc_pipe_fallbacks = 0
+        self.barrier_seconds = 0.0
+
         self._procs = []
         self._conns = []
         #: liveness according to the last observation (updated by
         #: :meth:`recv` / :meth:`kill` / :meth:`respawn`).
         self.alive: list[bool] = []
         for i in range(w):
+            links = None
+            if self.use_ring:
+                tx = SpscRing(RING_BYTES)
+                rx = SpscRing(RING_BYTES)
+                self.rings_tx.append(tx)
+                self.rings_rx.append(rx)
+                links = _RingLinks(
+                    tx=tx, rx=rx, table_i=self._table_i, table_f=self._table_f
+                )
+            self._links.append(links)
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(engine, self.owned[i], child_conn, seed_ranks),
+                args=(engine, self.owned[i], child_conn, seed_ranks, links),
                 daemon=True,
             )
             proc.start()
@@ -669,12 +939,14 @@ class WorkerPool:
     def _who(self, i: int) -> str:
         return f"worker {i} (ranks {self.owned[i]})"
 
-    def send(self, i: int, message: tuple) -> None:
-        """Send one command to worker ``i``; a dead pipe raises a
+    def send(self, i: int, message: tuple, *, tick: bool = False) -> None:
+        """Send one pickled command to worker ``i`` (protocol 5, columns
+        and images as out-of-band buffers); a dead pipe raises a
         structured :class:`~repro.errors.WorkerCrash` instead of leaking
-        ``BrokenPipeError``."""
+        ``BrokenPipeError``.  ``tick`` marks barrier tick traffic for the
+        zero-pickle telemetry."""
         try:
-            self._conns[i].send(message)
+            n = _send_obj(self._conns[i], message)
         except (BrokenPipeError, OSError, ValueError) as exc:
             self.alive[i] = False
             raise WorkerCrash(
@@ -682,14 +954,114 @@ class WorkerPool:
                 worker=i, ranks=self.owned[i], kind="crash",
                 exitcode=self._procs[i].exitcode,
             ) from exc
+        self.ipc_bytes_pickled += n
+        if tick:
+            self.ipc_tick_bytes_pickled += n
 
-    def recv(self, i: int, deadline_s: float | None = None):
-        """Receive one reply from worker ``i``.
+    def send_tick(
+        self,
+        i: int,
+        t: int,
+        arrivals: dict[int, list[Packet]],
+        directive: str | None,
+    ) -> None:
+        """Fan tick ``t`` out to worker ``i`` — the zero-pickle fast path
+        when the ring transport is on: arrival packets go into the
+        worker's rx ring as SoA frames (ascending rank, so the worker can
+        key them without an index) and the command itself is one
+        fixed-size token.  Unframeable arrivals or a full ring fall back
+        to the pickled pipe command, which is always correct."""
+        links = self._links[i]
+        if links is not None:
+            frames: list[tuple[int, bytes]] | None = []
+            try:
+                for r in sorted(arrivals):
+                    frames.append(
+                        (_frame_tag(_CH_ARRIVALS, r), encode_packets(arrivals[r]))
+                    )
+            except UnframeablePayload:
+                frames = None
+            if frames is not None:
+                need = sum(SpscRing.frame_cost(len(p)) for _, p in frames)
+                if need > links.rx.free():
+                    frames = None
+            if frames is not None:
+                for tag, payload in frames:
+                    links.rx.write(tag, payload)
+                    self.ipc_frame_bytes += len(payload)
+                token = _TICK_TOKEN.pack(
+                    _TAG_TOKEN, _TOK_TICK, t, len(frames),
+                    _DIRECTIVE_CODES[directive],
+                )
+                try:
+                    self._conns[i].send_bytes(token)
+                except (BrokenPipeError, OSError, ValueError) as exc:
+                    self.alive[i] = False
+                    raise WorkerCrash(
+                        f"{self._who(i)} is gone (send failed: {exc})",
+                        worker=i, ranks=self.owned[i], kind="crash",
+                        exitcode=self._procs[i].exitcode,
+                    ) from exc
+                return
+            self.ipc_ring_spills += 1
+        self.send(i, ("tick", arrivals, directive), tick=True)
+
+    def _recv_bytes(self, i: int, deadline_s: float | None, start: float):
+        """Block until worker ``i``'s pipe has one message and return its
+        raw bytes, classifying failures.  No busy loop: the wait parks in
+        ``multiprocessing.connection.wait`` on the pipe *and* the process
+        sentinel, so an idle barrier burns no CPU the workers need and a
+        dying worker wakes the parent immediately."""
+        conn = self._conns[i]
+        proc = self._procs[i]
+        who = self._who(i)
+        while True:
+            timeout = None
+            if deadline_s is not None:
+                # Host-side failure detection; wall-clock never touches
+                # the simulated schedule (a hang is replayed
+                # deterministically).
+                elapsed = time.monotonic() - start  # repro-lint: disable=RPR002 -- host-side barrier deadline, simulation-invisible
+                timeout = deadline_s - elapsed
+                if timeout <= 0:
+                    self.kill(i)
+                    raise WorkerCrash(
+                        f"{who} missed the barrier deadline "
+                        f"({deadline_s:.1f}s); force-killed",
+                        worker=i, ranks=self.owned[i], kind="hang",
+                    )
+            ready = _mp_wait([conn, proc.sentinel], timeout)
+            if conn in ready:
+                try:
+                    return conn.recv_bytes()
+                except (EOFError, OSError) as exc:
+                    self.alive[i] = False
+                    raise WorkerCrash(
+                        f"{who} closed its pipe mid-reply",
+                        worker=i, ranks=self.owned[i], kind="crash",
+                        exitcode=proc.exitcode,
+                    ) from exc
+            if ready:  # sentinel only: the process died
+                if conn.poll(0):
+                    continue  # its last reply is still buffered — read it
+                self.alive[i] = False
+                proc.join(timeout=5.0)
+                raise WorkerCrash(
+                    f"{who} died (exitcode {proc.exitcode})",
+                    worker=i, ranks=self.owned[i], kind="crash",
+                    exitcode=proc.exitcode,
+                )
+
+    def recv(self, i: int, deadline_s: float | None = None, *, tick: bool = False):
+        """Receive one reply from worker ``i`` — a pickled envelope, or
+        (ring transport) a fixed-size OK token whose payload is decoded
+        from the worker's tx ring and the shared counters table.
 
         Raises :class:`~repro.errors.WorkerCrash` classified as:
 
         * ``kind="error"`` — the worker reported an exception (its
-          traceback rides along in ``worker_traceback``);
+          traceback rides along in ``worker_traceback``), or its ring
+          frames failed integrity validation (torn/stale frames);
         * ``kind="crash"`` — pipe EOF or process death (``exitcode`` set);
         * ``kind="hang"`` — no reply within ``deadline_s`` wall-clock
           seconds; the wedged process is force-killed first, so the pipe
@@ -698,45 +1070,127 @@ class WorkerPool:
         Without a deadline the wait is indefinite but never busy-hangs on
         a dead process.
         """
-        conn = self._conns[i]
-        proc = self._procs[i]
         who = self._who(i)
-        # Host-side failure detection; wall-clock never touches the
-        # simulated schedule (a hang is replayed deterministically).
         start = time.monotonic()  # repro-lint: disable=RPR002 -- host-side barrier deadline, simulation-invisible
-        while True:
-            if conn.poll(_POLL_S):
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError) as exc:
-                    self.alive[i] = False
+        try:
+            data = self._recv_bytes(i, deadline_s, start)
+            if data[0] == _TAG_TOKEN:
+                _, op, n_frames, flags = _OK_TOKEN.unpack(data)
+                if op != _TOK_OK:  # pragma: no cover - protocol guard
                     raise WorkerCrash(
-                        f"{who} closed its pipe mid-reply",
-                        worker=i, ranks=self.owned[i], kind="crash",
-                        exitcode=proc.exitcode,
-                    ) from exc
-                if msg[0] == "error":
-                    raise WorkerCrash(
-                        f"{who} raised {msg[1]}\n--- worker traceback ---\n{msg[2]}",
+                        f"{who} sent an unknown token op {op}",
                         worker=i, ranks=self.owned[i], kind="error",
-                        worker_traceback=msg[2],
                     )
-                return msg[1]
-            if not proc.is_alive() and not conn.poll(0):
-                self.alive[i] = False
+                residue = None
+                if flags & _OK_RESIDUE:
+                    first = self._recv_bytes(i, deadline_s, start)
+                    obj, n = _recv_obj_tail(self._conns[i], first)
+                    self.ipc_bytes_pickled += n
+                    self.ipc_tick_bytes_pickled += n
+                    residue = obj[1]
+                if residue is not None and "spill" in residue:
+                    # Whole-tick ring spill: the residue is the exact
+                    # pipe-mode reply.
+                    self.ipc_ring_spills += 1
+                    return residue["spill"]
+                faults = residue.get("faults") if residue is not None else None
+                try:
+                    return self._decode_tick_reply(i, n_frames, faults)
+                except RingIntegrityError as exc:
+                    raise WorkerCrash(
+                        f"{who} shipped a corrupt ring frame: {exc}",
+                        worker=i, ranks=self.owned[i], kind="error",
+                    ) from exc
+            msg, n = _recv_obj_tail(self._conns[i], data)
+            self.ipc_bytes_pickled += n
+            if tick:
+                self.ipc_tick_bytes_pickled += n
+            if msg[0] == "error":
                 raise WorkerCrash(
-                    f"{who} died (exitcode {proc.exitcode})",
-                    worker=i, ranks=self.owned[i], kind="crash",
-                    exitcode=proc.exitcode,
+                    f"{who} raised {msg[1]}\n--- worker traceback ---\n{msg[2]}",
+                    worker=i, ranks=self.owned[i], kind="error",
+                    worker_traceback=msg[2],
                 )
-            now = time.monotonic()  # repro-lint: disable=RPR002 -- host-side barrier deadline, simulation-invisible
-            if deadline_s is not None and now - start > deadline_s:
-                self.kill(i)
-                raise WorkerCrash(
-                    f"{who} missed the barrier deadline "
-                    f"({deadline_s:.1f}s); force-killed",
-                    worker=i, ranks=self.owned[i], kind="hang",
-                )
+            return msg[1]
+        finally:
+            self.barrier_seconds += time.monotonic() - start  # repro-lint: disable=RPR002 -- host-side telemetry, simulation-invisible
+
+    def _decode_tick_reply(
+        self, i: int, n_frames: int, faults: dict[int, tuple] | None
+    ) -> tuple[dict[int, RankTickReport], list[Packet] | None]:
+        """Rebuild worker ``i``'s barrier reply from its tx-ring frames
+        and the shared counters table — the exact
+        ``(reports, wave_packets)`` tuple the pickled pipe would carry,
+        so the caller's deterministic merge is transport-blind."""
+        links = self._links[i]
+        packets_a: dict[int, list[Packet]] = {}
+        packets_b: dict[int, list[Packet]] = {}
+        probes: dict[int, tuple[int, ...]] = {}
+        wave: list[Packet] | None = None
+        for _ in range(n_frames):
+            tag, payload = links.tx.read()
+            self.ipc_frame_bytes += len(payload)
+            ch, r = tag >> 16, tag & 0xFFFF
+            if ch == _CH_PACKETS_A:
+                packets_a[r] = decode_packets(payload)
+            elif ch == _CH_WAVE:
+                wave = decode_packets(payload)
+            elif ch == _CH_PACKETS_B:
+                packets_b[r] = decode_packets(payload)
+            elif ch == _CH_PROBE:
+                probes[r] = decode_ints(payload)
+            else:  # pragma: no cover - protocol guard
+                raise RingIntegrityError(f"unknown frame channel {ch}")
+        if faults is None:
+            faults = {}
+        reports: dict[int, RankTickReport] = {}
+        for r in self.owned[i]:
+            row = self._table_i[r]
+            frow = self._table_f[r]
+            cache_faults, spill_faults = faults.get(r, (None, None))
+            reports[r] = RankTickReport(
+                controls=int(row[_TI_CONTROLS]),
+                counters=tuple(  # type: ignore[arg-type]
+                    int(v) for v in row[_TI_COUNTERS_LO:_TI_COUNTERS_HI]
+                ),
+                packets_a=packets_a.get(r, []),
+                packets_b=packets_b.get(r, []),
+                cache_us=float(frow[_TF_CACHE_US]),
+                cache_faults=cache_faults,
+                spill_us=float(frow[_TF_SPILL_US]),
+                spill_faults=spill_faults,
+                bp_stalls=int(row[_TI_BP_STALLS]),
+                cache_hits=int(row[_TI_CACHE_HITS]),
+                cache_misses=int(row[_TI_CACHE_MISSES]),
+                queue_len=int(row[_TI_QUEUE_LEN]),
+                quiet=bool(row[_TI_QUIET]),
+                buffered=bool(row[_TI_BUFFERED]),
+                buffered_visitors=int(row[_TI_BUFFERED_VISITORS]),
+                terminated=bool(row[_TI_TERMINATED]),
+                probe=probes.get(r),
+                ckpt_bytes=int(row[_TI_CKPT_BYTES]),
+            )
+        return reports, wave
+
+    def ipc_counters(self) -> dict:
+        """Host-side barrier IPC telemetry for this run (surfaced as
+        :attr:`~repro.core.traversal.TraversalResult.ipc` and by the
+        hotpath bench).  ``tick_bytes_pickled`` is the zero-pickle
+        contract's observable: on the ring transport a steady-state batch
+        tick exchanges no pickled bytes, so it stays 0 unless a tick
+        spilled (``ring_spills``) or supervision replayed one."""
+        frames = sum(r.frames_read for r in self.rings_tx)
+        frames += sum(r.frames_written for r in self.rings_rx)
+        return {
+            "transport": "ring" if self.use_ring else "pipe",
+            "workers": self.num_workers,
+            "frames": frames,
+            "frame_bytes": self.ipc_frame_bytes,
+            "bytes_pickled": self.ipc_bytes_pickled,
+            "tick_bytes_pickled": self.ipc_tick_bytes_pickled,
+            "ring_spills": self.ipc_ring_spills,
+            "barrier_seconds": round(self.barrier_seconds, 6),
+        }
 
     # -------------------------------------------------------------- #
     def kill(self, i: int) -> None:
@@ -761,10 +1215,18 @@ class WorkerPool:
             self._conns[i].close()
         except OSError:  # pragma: no cover - already closed
             pass
+        links = self._links[i]
+        if links is not None:
+            # The dead producer may have left partial frames behind; wipe
+            # both directions so the replacement (forked below, inheriting
+            # the same arenas) starts against clean rings with a fresh
+            # sequence space.  Safe: no producer is live on either ring.
+            links.tx.reset()
+            links.rx.reset()
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self._engine, self.owned[i], child_conn, False),
+            args=(self._engine, self.owned[i], child_conn, False, links),
             daemon=True,
         )
         proc.start()
@@ -782,7 +1244,7 @@ class WorkerPool:
             if not self.alive[i]:
                 continue
             try:
-                conn.send(("stop",))
+                _send_obj(conn, ("stop",))
             except (OSError, ValueError, BrokenPipeError):
                 pass
         for proc in self._procs:
@@ -938,7 +1400,7 @@ class WorkerSupervisor:
                 continue
             sub = {r: arrivals[r] for r in pool.owned[i] if arrivals[r]}
             try:
-                pool.send(i, ("tick", sub, directives.get(i)))
+                pool.send_tick(i, t, sub, directives.get(i))
             except WorkerCrash as crash:
                 send_failures[i] = crash
         for i in range(pool.num_workers):
@@ -948,7 +1410,7 @@ class WorkerSupervisor:
             out = None
             if crash is None:
                 try:
-                    out = pool.recv(i, deadline)
+                    out = pool.recv(i, deadline, tick=True)
                 except WorkerCrash as exc:
                     crash = exc
             if crash is not None:

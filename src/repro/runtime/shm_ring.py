@@ -1,0 +1,220 @@
+"""Single-producer/single-consumer byte rings in anonymous ``MAP_SHARED``
+arenas — the shared-memory half of the parallel executor's zero-pickle
+barrier transport (INTERNALS §14).
+
+A :class:`SpscRing` is one direction of one parent↔worker link: the
+producer appends variable-length *frames* (a tag word plus an opaque
+payload produced by :mod:`repro.runtime.packet_codec`), the consumer reads
+them back in order.  The backing store is the same anonymous
+``mmap.mmap(-1, ...)`` arena :class:`repro.core.batch.SharedArrayBlock`
+uses, so a worker forked after construction writes the very pages the
+parent reads — no pickling, no pipe copies, no named segments to unlink.
+
+Synchronisation is deliberately *not* in here: the executor's pipe tokens
+are the happens-before edge.  A producer only advances ``tail`` before its
+fixed-size pipe token, and the consumer only reads frames after receiving
+that token, so the control words never race.  What the ring *does* defend
+against is torn or stale data — a producer killed mid-write, a replacement
+process resuming against a dirty arena — via a per-frame sequence word and
+a CRC-32 over the payload, both checked on every read
+(:class:`RingIntegrityError`).  Overflow is not an error here either:
+:meth:`try_write` refuses and the caller spills to the pickled pipe path,
+which is always correct.
+
+Layout (offsets in bytes)::
+
+    0    head   u64  consumer cursor (monotonic byte count)
+    8    rseq   u64  consumer's next expected frame sequence
+    64   tail   u64  producer cursor (monotonic byte count)
+    72   wseq   u64  producer's next frame sequence
+    128  data   [capacity bytes, frames padded to 8-byte starts]
+
+    frame := seq u64 | tag u32 | length u32 | crc32 u64 | payload | pad
+
+Head/tail live on separate 64-byte cache lines (one writer each); both
+are monotonic, so ``tail - head`` is the buffered byte count and positions
+are taken modulo the capacity — frames wrap around the arena boundary in
+up to two slices.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import zlib
+
+__all__ = ["RingIntegrityError", "RingOverflow", "SpscRing"]
+
+#: Control-word block preceding the data region (two cache lines).
+_CTRL_BYTES = 128
+_HEAD = 0
+_RSEQ = 8
+_TAIL = 64
+_WSEQ = 72
+
+#: Per-frame header: sequence, tag, payload length, payload CRC-32.
+_FRAME = struct.Struct("<QIIQ")
+_ALIGN = 8
+
+
+class RingOverflow(Exception):
+    """The frame does not fit in the ring's free space (spill to pipe)."""
+
+
+class RingIntegrityError(Exception):
+    """A frame failed its sequence or checksum validation (torn write,
+    stale arena, or a protocol bug) — the reader must not trust it."""
+
+
+class SpscRing:
+    """One direction of a parent↔worker shared-memory frame channel."""
+
+    __slots__ = ("_mmap", "_buf", "capacity", "frames_written", "frames_read")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= _FRAME.size + _ALIGN:
+            raise ValueError(f"ring capacity {capacity} is too small")
+        # Round up so wrapped offsets stay 8-aligned.
+        capacity = -(-capacity // _ALIGN) * _ALIGN
+        self.capacity = capacity
+        self._mmap = mmap.mmap(-1, _CTRL_BYTES + capacity)
+        self._buf = memoryview(self._mmap)
+        #: host-side telemetry (per-process; the parent's counts feed the
+        #: bench's ``ipc_frames`` column).
+        self.frames_written = 0
+        self.frames_read = 0
+
+    # ------------------------------------------------------------------ #
+    # control words
+    # ------------------------------------------------------------------ #
+    def _get(self, off: int) -> int:
+        return struct.unpack_from("<Q", self._buf, off)[0]
+
+    def _set(self, off: int, value: int) -> None:
+        struct.pack_into("<Q", self._buf, off, value)
+
+    def used(self) -> int:
+        """Buffered (unread) bytes."""
+        return self._get(_TAIL) - self._get(_HEAD)
+
+    def free(self) -> int:
+        """Writable bytes remaining."""
+        return self.capacity - self.used()
+
+    @staticmethod
+    def frame_cost(payload_len: int) -> int:
+        """Ring bytes one frame of ``payload_len`` bytes consumes."""
+        return -(-(_FRAME.size + payload_len) // _ALIGN) * _ALIGN
+
+    def reset(self) -> None:
+        """Discard everything buffered and restart the sequence space.
+
+        Parent-side only, and only while no producer is live — the
+        supervisor calls this before forking a replacement worker, so the
+        replacement starts against a clean arena instead of a dead
+        producer's partial frames.
+        """
+        self._set(_HEAD, 0)
+        self._set(_RSEQ, 0)
+        self._set(_TAIL, 0)
+        self._set(_WSEQ, 0)
+
+    def close(self) -> None:
+        """Release the mapping (drop all frames)."""
+        self._buf.release()
+        self._mmap.close()
+
+    # ------------------------------------------------------------------ #
+    # producer
+    # ------------------------------------------------------------------ #
+    def _copy_in(self, pos: int, data) -> None:
+        """Copy ``data`` into the arena at logical position ``pos``,
+        wrapping at the capacity boundary (at most two slices)."""
+        data = memoryview(data).cast("B")
+        n = len(data)
+        pos %= self.capacity
+        first = min(n, self.capacity - pos)
+        off = _CTRL_BYTES + pos
+        self._buf[off:off + first] = data[:first]
+        if first < n:
+            self._buf[_CTRL_BYTES:_CTRL_BYTES + n - first] = data[first:]
+
+    def try_write(self, tag: int, payload) -> bool:
+        """Append one frame; returns False when it does not fit (the
+        caller spills to the pipe instead — never blocks, never waits)."""
+        payload = memoryview(payload).cast("B")
+        need = self.frame_cost(len(payload))
+        if need > self.free():
+            return False
+        tail = self._get(_TAIL)
+        seq = self._get(_WSEQ)
+        crc = zlib.crc32(payload)
+        self._copy_in(tail, _FRAME.pack(seq, tag, len(payload), crc))
+        self._copy_in(tail + _FRAME.size, payload)
+        # Publish order: the data is in place before tail moves, and the
+        # consumer will not look before the pipe token anyway.
+        self._set(_WSEQ, seq + 1)
+        self._set(_TAIL, tail + need)
+        self.frames_written += 1
+        return True
+
+    def write(self, tag: int, payload) -> None:
+        """:meth:`try_write` that raises :class:`RingOverflow` instead of
+        returning False."""
+        if not self.try_write(tag, payload):
+            raise RingOverflow(
+                f"frame of {len(memoryview(payload).cast('B'))} payload "
+                f"bytes does not fit ({self.free()} of {self.capacity} free)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # consumer
+    # ------------------------------------------------------------------ #
+    def _copy_out(self, pos: int, n: int) -> bytearray:
+        """Copy ``n`` bytes out of the arena at logical position ``pos``
+        (two slices across the wrap).  Returns a *writable* buffer so the
+        codec can hand out mutable numpy views without another copy."""
+        out = bytearray(n)
+        pos %= self.capacity
+        first = min(n, self.capacity - pos)
+        off = _CTRL_BYTES + pos
+        out[:first] = self._buf[off:off + first]
+        if first < n:
+            out[first:] = self._buf[_CTRL_BYTES:_CTRL_BYTES + n - first]
+        return out
+
+    def read(self) -> tuple[int, bytearray]:
+        """Consume the next frame; returns ``(tag, payload)``.
+
+        Raises :class:`RingIntegrityError` when the ring is empty (the
+        producer promised a frame it never finished) or when the frame
+        fails its sequence/length/checksum validation.
+        """
+        head = self._get(_HEAD)
+        tail = self._get(_TAIL)
+        buffered = tail - head
+        if buffered < _FRAME.size:
+            raise RingIntegrityError(
+                f"expected a frame but only {buffered} bytes are buffered"
+            )
+        seq, tag, length, crc = _FRAME.unpack_from(
+            bytes(self._copy_out(head, _FRAME.size))
+        )
+        rseq = self._get(_RSEQ)
+        if seq != rseq:
+            raise RingIntegrityError(
+                f"frame sequence {seq} != expected {rseq} (torn or stale frame)"
+            )
+        if _FRAME.size + length > buffered or length > self.capacity:
+            raise RingIntegrityError(
+                f"frame length {length} exceeds the {buffered} buffered bytes"
+            )
+        payload = self._copy_out(head + _FRAME.size, length)
+        if zlib.crc32(payload) != crc:
+            raise RingIntegrityError(
+                f"frame {seq} checksum mismatch (torn write)"
+            )
+        self._set(_RSEQ, rseq + 1)
+        self._set(_HEAD, head + self.frame_cost(length))
+        self.frames_read += 1
+        return tag, payload

@@ -1,0 +1,179 @@
+"""Unit tests for the SoA packet-frame codec: exact round-trips of batch
+and control payloads (dtypes, seq/ack stamps, per-message sizes, value
+types), the unframeable ladder that triggers the pipe fallback, and the
+writable-view contract decoded batches must honor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.message import Envelope, Packet
+from repro.core.batch import VisitorBatch
+from repro.runtime.packet_codec import (
+    UnframeablePayload,
+    decode_ints,
+    decode_packets,
+    encode_ints,
+    encode_packets,
+)
+
+
+def _batch(n: int, *, parents: bool = False, extras: int = 0, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return VisitorBatch(
+        rng.integers(0, 1 << 20, n).astype(np.int64),
+        rng.integers(0, 1 << 10, n).astype(np.int64),
+        rng.integers(-1, 1 << 20, n).astype(np.int64) if parents else None,
+        tuple(rng.integers(0, 99, n).astype(np.int64) for _ in range(extras)),
+    )
+
+
+def _round_trip(packets):
+    # bytearray: the ring hands the decoder a writable buffer.
+    return decode_packets(bytearray(encode_packets(packets)))
+
+
+def assert_packets_equal(a, b):
+    assert len(a) == len(b)
+    for pa, pb in zip(a, b, strict=False):
+        assert (pa.src, pa.hop_dest, pa.seq, pa.ack) == (
+            pb.src, pb.hop_dest, pb.seq, pb.ack)
+        assert len(pa.envelopes) == len(pb.envelopes)
+        for ea, eb in zip(pa.envelopes, pb.envelopes, strict=False):
+            assert (ea.dest, ea.kind, ea.size_bytes, ea.count) == (
+                eb.dest, eb.kind, eb.size_bytes, eb.count)
+            if isinstance(ea.payload, VisitorBatch):
+                assert isinstance(eb.payload, VisitorBatch)
+                for ca, cb in (
+                    (ea.payload.vertices, eb.payload.vertices),
+                    (ea.payload.payloads, eb.payload.payloads),
+                    (ea.payload.parents, eb.payload.parents),
+                    *zip(ea.payload.extras, eb.payload.extras, strict=True),
+                ):
+                    if ca is None:
+                        assert cb is None
+                    else:
+                        assert ca.dtype == cb.dtype
+                        assert np.array_equal(ca, cb)
+            else:
+                assert ea.payload == eb.payload
+                # bool vs int distinction must survive the int64 column.
+                for va, vb in zip(ea.payload, eb.payload, strict=True):
+                    assert type(va) is type(vb)
+        assert pa.wire_bytes == pb.wire_bytes
+
+
+def test_batch_payload_round_trip():
+    pkt = Packet(src=3, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=2, payload=_batch(17, parents=True),
+                 size_bytes=24, count=17),
+    ], seq=41, ack=7)
+    assert_packets_equal([pkt], _round_trip([pkt]))
+
+
+def test_multi_packet_multi_envelope_round_trip():
+    packets = [
+        Packet(src=0, hop_dest=2, envelopes=[
+            Envelope(dest=2, kind=2, payload=_batch(5, extras=1, seed=1),
+                     size_bytes=16, count=5),
+            Envelope(dest=3, kind=2, payload=_batch(9, extras=1, seed=2),
+                     size_bytes=16, count=9),
+        ]),
+        Packet(src=1, hop_dest=0, envelopes=[]),
+        Packet(src=2, hop_dest=0, envelopes=[
+            Envelope(dest=0, kind=1, payload=("probe", 4, 1, True, 0),
+                     size_bytes=8, count=1),
+        ], seq=0, ack=3),
+    ]
+    assert_packets_equal(packets, _round_trip(packets))
+
+
+def test_empty_packet_list():
+    assert _round_trip([]) == []
+
+
+def test_control_value_types_survive():
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=1, payload=("reply", 0, False, True, -5),
+                 size_bytes=8, count=1),
+        Envelope(dest=1, kind=1, payload=("terminate",), size_bytes=8, count=1),
+    ])
+    out = _round_trip([pkt])[0]
+    assert out.envelopes[0].payload == ("reply", 0, False, True, -5)
+    assert out.envelopes[0].payload[2] is False
+    assert out.envelopes[0].payload[3] is True
+    assert out.envelopes[1].payload == ("terminate",)
+
+
+def test_non_default_column_dtypes_round_trip():
+    batch = VisitorBatch(
+        np.arange(6, dtype=np.uint32),
+        np.linspace(0, 1, 6).astype(np.float64),
+        np.arange(6, dtype=np.int16),
+        (np.array([1, 0, 1, 1, 0, 0], dtype=np.bool_),),
+    )
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=2, payload=batch, size_bytes=8, count=6)])
+    assert_packets_equal([pkt], _round_trip([pkt]))
+
+
+def test_decoded_columns_are_mutable_views():
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=2, payload=_batch(4), size_bytes=8, count=4)])
+    out = _round_trip([pkt])[0]
+    col = out.envelopes[0].payload.vertices
+    col[0] = 12345  # raises on a readonly frombuffer view
+    assert col[0] == 12345
+
+
+def test_object_payload_unframeable():
+    class NotAColumn:
+        pass
+
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=0, payload=NotAColumn(), size_bytes=8, count=1)])
+    with pytest.raises(UnframeablePayload):
+        encode_packets([pkt])
+
+
+def test_unregistered_control_string_unframeable():
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=1, payload=("gossip", 3), size_bytes=8, count=1)])
+    with pytest.raises(UnframeablePayload):
+        encode_packets([pkt])
+
+
+def test_non_scalar_control_value_unframeable():
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=1, payload=(3.5,), size_bytes=8, count=1)])
+    with pytest.raises(UnframeablePayload):
+        encode_packets([pkt])
+
+
+def test_heterogeneous_batch_schemas_unframeable():
+    """One frame carries one column schema; mixing payload dtypes within
+    a tick means something unusual is in flight — spill, don't guess."""
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=2, payload=_batch(3), size_bytes=8, count=3),
+        Envelope(dest=2, kind=2, payload=VisitorBatch(
+            np.arange(3, dtype=np.int32), np.arange(3, dtype=np.int64)),
+            size_bytes=8, count=3),
+    ])
+    with pytest.raises(UnframeablePayload):
+        encode_packets([pkt])
+
+
+def test_unsupported_dtype_unframeable():
+    batch = VisitorBatch(
+        np.arange(3, dtype=np.complex128), np.arange(3, dtype=np.int64))
+    pkt = Packet(src=0, hop_dest=1, envelopes=[
+        Envelope(dest=1, kind=2, payload=batch, size_bytes=8, count=3)])
+    with pytest.raises(UnframeablePayload):
+        encode_packets([pkt])
+
+
+def test_encode_ints_round_trip():
+    assert decode_ints(bytearray(encode_ints((1, -2, 1 << 40, 0)))) == (
+        1, -2, 1 << 40, 0)
+    assert decode_ints(bytearray(encode_ints(()))) == ()

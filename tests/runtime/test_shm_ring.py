@@ -1,0 +1,169 @@
+"""Unit tests for the shared-memory SPSC frame ring (INTERNALS §14):
+framing round-trips, wraparound at the arena boundary, overflow refusal
+(the pipe-spill trigger), torn/stale-frame detection via the per-frame
+sequence and checksum words, and the supervisor's reset protocol."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.runtime.shm_ring import RingIntegrityError, RingOverflow, SpscRing
+
+
+def test_single_frame_round_trip():
+    ring = SpscRing(1 << 12)
+    payload = b"hello, frames"
+    ring.write(0x20001, payload)
+    tag, out = ring.read()
+    assert tag == 0x20001
+    assert bytes(out) == payload
+    assert ring.used() == 0
+    assert ring.frames_written == ring.frames_read == 1
+
+
+def test_read_returns_writable_buffer():
+    """The codec hands out numpy views over the frame buffer; they must
+    be mutable like their pickled twins, so the ring returns bytearray."""
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"abc")
+    _, out = ring.read()
+    out[0] = 0x7A  # would raise on a readonly buffer
+    assert bytes(out) == b"zbc"
+
+
+def test_fifo_order_and_interleaving():
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"first")
+    ring.write(2, b"second")
+    assert ring.read() == (1, bytearray(b"first"))
+    ring.write(3, b"third")
+    assert ring.read() == (2, bytearray(b"second"))
+    assert ring.read() == (3, bytearray(b"third"))
+
+
+def test_empty_payload_frame():
+    ring = SpscRing(1 << 12)
+    ring.write(9, b"")
+    tag, out = ring.read()
+    assert tag == 9
+    assert bytes(out) == b""
+
+
+def test_wraparound_at_arena_boundary():
+    """Frames larger than the space left before the boundary wrap in two
+    slices; hundreds of mixed-size frames through a small ring force the
+    wrap point onto every offset class."""
+    ring = SpscRing(1 << 10)
+    rng_payloads = [bytes([i % 256]) * ((37 * i) % 400) for i in range(300)]
+    for i, payload in enumerate(rng_payloads):
+        ring.write(i, payload)
+        if i % 2 == 1:  # keep two frames resident across the wrap
+            for _ in range(2):
+                tag, out = ring.read()
+                assert bytes(out) == rng_payloads[tag]
+    assert ring.frames_read == 300
+
+
+def test_overflow_refused_not_corrupted():
+    ring = SpscRing(1 << 10)
+    big = os.urandom(600)
+    assert ring.try_write(1, big)
+    assert not ring.try_write(2, big)  # does not fit -> caller spills
+    with pytest.raises(RingOverflow):
+        ring.write(2, big)
+    # The resident frame is untouched by the refused writes.
+    tag, out = ring.read()
+    assert tag == 1
+    assert bytes(out) == big
+    # Space reclaimed by the read is writable again.
+    assert ring.try_write(2, big)
+
+
+def test_frame_cost_is_the_admission_metric():
+    ring = SpscRing(1 << 10)
+    payload = b"x" * 100
+    n = 0
+    while ring.free() >= SpscRing.frame_cost(len(payload)):
+        ring.write(n, payload)
+        n += 1
+    assert n > 0
+    assert not ring.try_write(n, payload)
+
+
+def test_empty_ring_read_is_integrity_error():
+    ring = SpscRing(1 << 12)
+    with pytest.raises(RingIntegrityError, match="buffered"):
+        ring.read()
+
+
+def test_torn_payload_detected_by_checksum():
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"A" * 64)
+    # Simulate a producer killed mid-write: flip one payload byte behind
+    # the header (offset 128 ctrl + 24 frame header + somewhere inside).
+    ring._mmap[128 + 24 + 10] ^= 0xFF
+    with pytest.raises(RingIntegrityError, match="checksum"):
+        ring.read()
+
+
+def test_stale_frame_detected_by_sequence():
+    """A replacement producer resuming against a dirty arena would replay
+    old sequence numbers; the reader refuses them."""
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"frame0")
+    assert ring.read() == (1, bytearray(b"frame0"))
+    # A restarted producer that forgot its sequence cursor replays seq 0;
+    # the reader (expecting seq 1) must refuse the frame.
+    struct.pack_into("<Q", ring._mmap, 72, 0)  # wseq
+    ring.write(2, b"stale")
+    with pytest.raises(RingIntegrityError, match="sequence"):
+        ring.read()
+
+
+def test_oversized_length_word_detected():
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"ok")
+    # Corrupt the length word (bytes 12..16 of the frame header).
+    struct.pack_into("<I", ring._mmap, 128 + 12, 1 << 20)
+    with pytest.raises(RingIntegrityError, match="length"):
+        ring.read()
+
+
+def test_reset_clears_frames_and_sequence_space():
+    ring = SpscRing(1 << 12)
+    ring.write(1, b"doomed")
+    ring.write(2, b"also doomed")
+    ring.reset()
+    assert ring.used() == 0
+    # A fresh producer starts at sequence 0 again and is readable.
+    ring.write(3, b"clean")
+    assert ring.read() == (3, bytearray(b"clean"))
+
+
+def test_capacity_guard():
+    with pytest.raises(ValueError):
+        SpscRing(8)
+
+
+def test_visible_across_fork():
+    """The arena is anonymous MAP_SHARED: frames written by a forked
+    child are readable by the parent with no pipe bytes."""
+    import multiprocessing as mp
+
+    if "fork" not in mp.get_all_start_methods():
+        pytest.skip("requires fork")
+    ring = SpscRing(1 << 12)
+    done = mp.get_context("fork").Event()
+
+    def child():
+        ring.write(7, b"from the child")
+        done.set()
+
+    proc = mp.get_context("fork").Process(target=child)
+    proc.start()
+    assert done.wait(10.0)
+    proc.join(10.0)
+    assert ring.read() == (7, bytearray(b"from the child"))
